@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file reproduces one table or figure of the paper.  Each test
+runs the corresponding experiment driver exactly once under
+``benchmark.pedantic`` (so ``pytest benchmarks/ --benchmark-only`` reports
+how long each experiment takes) and then prints the regenerated rows/series
+as a plain-text table so they can be compared with the paper side by side.
+
+The experiment parameters (trace hours, user subsets) are scaled down so the
+whole harness completes in a few minutes; the shapes of the results — which
+scheme wins, by roughly what factor, where the crossovers fall — are what is
+being reproduced, not the absolute joule counts of the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under the benchmark fixture and return its result."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_figure(title: str, body: str) -> None:
+    """Print one reproduced figure with a visually distinct header."""
+    bar = "=" * max(20, len(title))
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing the figure-printing helper."""
+    return print_figure

@@ -1,0 +1,94 @@
+"""Future-work study (paper Section 8): fast dormancy seen from the base station.
+
+Many devices running MakeIdle share one cell; the base station either grants
+every dormancy request (the paper's assumption), rate-limits chatty devices,
+or refuses requests once cell-wide signalling exceeds a budget.  The
+benchmark reports total device energy and signalling load under each
+network-side policy.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import format_table
+from repro.basestation import (
+    AcceptAllDormancy,
+    CellSimulator,
+    DeviceSpec,
+    LoadAwareDormancy,
+    RateLimitedDormancy,
+    RejectAllDormancy,
+)
+from repro.core import MakeIdlePolicy
+from repro.rrc import get_profile
+from repro.traces import generate_application_trace
+
+_DEVICE_COUNT = 6
+_DURATION = 900.0
+
+
+def _run_cell():
+    profile = get_profile("att_hspa")
+    apps = ("im", "email", "news", "im", "microblog", "email")
+    devices = [
+        DeviceSpec(
+            device_id=index,
+            trace=generate_application_trace(
+                apps[index % len(apps)], duration=_DURATION, seed=index
+            ),
+            policy=MakeIdlePolicy(window_size=100),
+        )
+        for index in range(_DEVICE_COUNT)
+    ]
+    outcomes = {}
+    for policy in (
+        AcceptAllDormancy(),
+        RateLimitedDormancy(min_interval_s=30.0),
+        LoadAwareDormancy(max_switches_per_minute=40),
+        RejectAllDormancy(),
+    ):
+        result = CellSimulator(profile, policy).run(devices)
+        outcomes[policy.name] = result
+    return outcomes
+
+
+def test_basestation_policies(benchmark):
+    outcomes = run_once(benchmark, _run_cell)
+
+    rows = [
+        [
+            name,
+            result.total_energy_j,
+            result.total_switches,
+            result.signaling.messages,
+            result.dormancy_requests,
+            100.0 * result.denial_rate,
+        ]
+        for name, result in outcomes.items()
+    ]
+    print_figure(
+        f"Base-station dormancy policies — {_DEVICE_COUNT} devices, AT&T profile",
+        format_table(
+            [
+                "network policy",
+                "total energy (J)",
+                "switches",
+                "RRC messages",
+                "dormancy requests",
+                "denied %",
+            ],
+            rows,
+        ),
+    )
+
+    accept = outcomes["accept_all"]
+    reject = outcomes["reject_all"]
+    # Granting dormancy saves device energy; refusing it costs energy but
+    # eliminates dormancy-induced switches.
+    assert accept.total_energy_j <= reject.total_energy_j
+    assert accept.dormancy_denied == 0
+    assert reject.dormancy_denied == reject.dormancy_requests
+    # Intermediate policies sit between the two extremes in denial rate.
+    limited = outcomes["rate_limited"]
+    assert 0.0 <= limited.denial_rate <= 1.0

@@ -1,0 +1,63 @@
+"""Figure 3: measured power over one radio state-switch cycle.
+
+The paper's oscillograms show the power levels of the different RRC states
+on an HTC Vivid (AT&T 3G) and a Galaxy Nexus (Verizon LTE): the transfer
+spike, the Cell_DCH / RRC_CONNECTED tail, the Cell_FACH tail (AT&T only) and
+the near-zero idle floor, with the transitions at the measured inactivity
+timers.  This benchmark reconstructs the same power-versus-time step
+function from a single simulated burst and prints it as a coarse text plot.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_figure, run_once
+
+from repro.core import StatusQuoPolicy
+from repro.rrc import get_profile
+from repro.sim import TraceSimulator, build_power_trace
+from repro.traces import Direction, Packet, PacketTrace
+
+
+def _one_burst_power(profile_key: str):
+    profile = get_profile(profile_key)
+    trace = PacketTrace(
+        [
+            Packet(0.0, 300, Direction.UPLINK),
+            Packet(0.4, 1400, Direction.DOWNLINK),
+            Packet(0.8, 1400, Direction.DOWNLINK),
+        ],
+        name="one-burst",
+    )
+    result = TraceSimulator(profile, trailing_time=profile.total_inactivity_timeout + 5.0).run(
+        trace, StatusQuoPolicy()
+    )
+    return profile, build_power_trace(profile, result.intervals, result.effective_trace)
+
+
+def _render(profile, power) -> str:
+    lines = []
+    peak = max(s.power_w for s in power.samples)
+    for time, value in power.sample_grid(step=1.0):
+        bar = "#" * int(round(40 * value / peak)) if peak > 0 else ""
+        lines.append(f"t={time:5.1f}s  {value * 1000.0:7.0f} mW  {bar}")
+    return "\n".join(lines)
+
+
+@pytest.mark.parametrize("carrier", ["att_hspa", "verizon_lte"])
+def test_fig03_power_profile(benchmark, carrier):
+    profile, power = run_once(benchmark, _one_burst_power, carrier)
+    print_figure(
+        f"Figure 3 — power profile over one state-switch cycle ({profile.name})",
+        _render(profile, power),
+    )
+
+    # The profile must show the paper's plateaus: transfer at the bulk power,
+    # tail at P_t1, then (AT&T only) P_t2, then ~0.
+    assert power.power_at(0.6) == pytest.approx(profile.power_recv_w)
+    assert power.power_at(profile.t1 / 2 + 1.0) == pytest.approx(profile.power_active_w)
+    if profile.has_high_idle_state:
+        assert power.power_at(profile.t1 + profile.t2 / 2) == pytest.approx(
+            profile.power_high_idle_w
+        )
+    assert power.power_at(profile.total_inactivity_timeout + 3.0) == pytest.approx(0.0)

@@ -1,0 +1,53 @@
+"""Figure 8: simulation energy-model error for Verizon 3G and LTE.
+
+Section 6.1 validates the per-second energy estimator against power-monitor
+measurements of TCP bulk transfers (10 kB / 100 kB / 1000 kB, five runs
+each) and finds errors within ±10 %.  This benchmark runs the library's
+estimator against the detailed reference model (the stand-in for the power
+monitor, see DESIGN.md) and reports the error distribution per network.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import format_table
+from repro.energy import run_validation
+from repro.rrc import get_profile
+
+
+def _validate_both():
+    return {
+        key: run_validation(get_profile(key), runs_per_size=5, seed=0)
+        for key in ("verizon_3g", "verizon_lte")
+    }
+
+
+def test_fig08_model_error(benchmark):
+    results = run_once(benchmark, _validate_both)
+
+    rows = []
+    for key, validation in results.items():
+        errors = sorted(validation.errors)
+        rows.append(
+            [
+                key,
+                100.0 * errors[0],
+                100.0 * validation.mean_error,
+                100.0 * errors[-1],
+                100.0 * validation.mean_absolute_error,
+            ]
+        )
+    print_figure(
+        "Figure 8 — simulation energy error (% vs reference measurement)",
+        format_table(
+            ["network", "min err%", "mean err%", "max err%", "mean |err|%"],
+            rows,
+            float_format="{:+.1f}",
+        ),
+    )
+
+    # Paper: errors within about ±10 % for both networks.
+    for validation in results.values():
+        assert validation.mean_absolute_error <= 0.15
+        assert abs(validation.mean_error) <= 0.10

@@ -1,0 +1,69 @@
+"""Figure 10: per-user results in the Verizon 3G network.
+
+Three panels: (a) energy saved per user, (b) number of state switches
+normalised by the status quo, and (c) energy saved per state switch, for the
+six Verizon 3G users.  MakeIdle's gains are substantial for every user and
+MakeIdle+MakeActive keeps the switch count near the status quo.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import format_grouped_bars, user_study
+from repro.core import SCHEME_ORDER
+from repro.rrc import get_profile
+
+HOURS_PER_DAY = 0.5
+
+
+def test_fig10_verizon3g_users(benchmark):
+    profile = get_profile("verizon_3g")
+    study = run_once(
+        benchmark,
+        user_study,
+        "verizon_3g",
+        profile,
+        hours_per_day=HOURS_PER_DAY,
+        seed=0,
+        window_size=100,
+    )
+
+    savings = {
+        f"user{uid}": {s: outcome.savings[s].saved_percent for s in SCHEME_ORDER}
+        for uid, outcome in study.items()
+    }
+    switches = {
+        f"user{uid}": {s: outcome.savings[s].switches_normalized for s in SCHEME_ORDER}
+        for uid, outcome in study.items()
+    }
+    per_switch = {
+        f"user{uid}": {s: outcome.savings[s].saved_per_switch_j for s in SCHEME_ORDER}
+        for uid, outcome in study.items()
+    }
+    print_figure(
+        "Figure 10(a) — energy saved per user (%, Verizon 3G)",
+        format_grouped_bars(savings, unit="%"),
+    )
+    print_figure(
+        "Figure 10(b) — state switches normalised by status quo (Verizon 3G)",
+        format_grouped_bars(switches, float_format="{:.2f}"),
+    )
+    print_figure(
+        "Figure 10(c) — energy saved per state switch (J, Verizon 3G)",
+        format_grouped_bars(per_switch, unit="J"),
+    )
+
+    for outcome in study.values():
+        # MakeIdle substantially beats the fixed 4.5 s tail for every user
+        # and stays within reach of the Oracle.
+        assert outcome.savings["makeidle"].saved_percent > (
+            outcome.savings["fixed_4.5s"].saved_percent
+        )
+        assert outcome.savings["makeidle"].saved_percent >= (
+            0.7 * outcome.savings["oracle"].saved_percent
+        )
+        # MakeActive pulls the switch count back down towards the status quo.
+        assert outcome.savings["makeidle+makeactive_fixed"].switches_normalized <= (
+            outcome.savings["makeidle"].switches_normalized
+        )

@@ -1,0 +1,75 @@
+"""Figure 12: false switches and missed switches against the Oracle.
+
+For each user, the fraction of inter-packet gaps where a scheme demoted the
+radio although the Oracle would not have (false positive), and where it kept
+the radio on although the Oracle would have demoted (false negative).
+MakeIdle's error rates are much smaller than those of the fixed baselines —
+the paper's explanation for why it outperforms them.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_figure, run_once
+
+from repro.analysis import format_grouped_bars, user_study
+from repro.rrc import get_profile
+
+HOURS_PER_DAY = 0.5
+SCHEMES = ("fixed_4.5s", "p95_iat", "makeidle")
+
+
+@pytest.mark.parametrize("population, carrier", [
+    ("verizon_3g", "verizon_3g"),
+    ("verizon_lte", "verizon_lte"),
+])
+def test_fig12_false_switches(benchmark, population, carrier):
+    profile = get_profile(carrier)
+    study = run_once(
+        benchmark,
+        user_study,
+        population,
+        profile,
+        hours_per_day=HOURS_PER_DAY,
+        seed=0,
+        window_size=100,
+    )
+
+    rows = {}
+    for uid, outcome in study.items():
+        row = {}
+        for scheme in SCHEMES:
+            counts = outcome.confusion[scheme]
+            row[f"{scheme} FP"] = counts.false_switch_percent
+            row[f"{scheme} FN"] = counts.missed_switch_percent
+        rows[f"user{uid}"] = row
+    print_figure(
+        f"Figure 12 — false (FP) and missed (FN) switches vs Oracle (%, {profile.name})",
+        format_grouped_bars(rows, unit="%"),
+    )
+
+    makeidle_errors, fixed_errors, p95_errors = [], [], []
+    for outcome in study.values():
+        makeidle = outcome.confusion["makeidle"]
+        fixed = outcome.confusion["fixed_4.5s"]
+        p95 = outcome.confusion["p95_iat"]
+        makeidle_errors.append(makeidle.false_switch_rate + makeidle.missed_switch_rate)
+        fixed_errors.append(fixed.false_switch_rate + fixed.missed_switch_rate)
+        p95_errors.append(p95.false_switch_rate + p95.missed_switch_rate)
+        # MakeIdle's combined error must be no worse than the fixed timer's
+        # for every user, and its false-switch rate stays small in absolute
+        # terms (it almost never demotes inside a burst).
+        assert makeidle_errors[-1] <= fixed_errors[-1] + 0.02
+        assert makeidle.false_switch_percent <= 25.0
+        assert makeidle.missed_switch_rate <= max(
+            fixed.missed_switch_rate, p95.missed_switch_rate
+        ) + 0.02
+
+    # Across the population, MakeIdle's typical (median) error is below both
+    # baselines' — the paper's Figure 12 message.
+    def median(values):
+        ordered = sorted(values)
+        return ordered[len(ordered) // 2]
+
+    assert median(makeidle_errors) <= median(fixed_errors) + 0.02
+    assert median(makeidle_errors) <= median(p95_errors) + 0.02

@@ -1,0 +1,52 @@
+"""Figure 17: energy saved for the four carriers' RRC parameters.
+
+The same user traces are replayed against the measured RRC profiles of
+T-Mobile 3G, AT&T HSPA+, Verizon 3G and Verizon LTE.  MakeIdle+MakeActive
+outperforms the 4.5-second tail on every carrier; the paper's headline
+maxima are 67 % (MakeIdle, Verizon LTE) and 75 % (with MakeActive,
+Verizon 3G).
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import carrier_comparison, format_grouped_bars
+from repro.core import SCHEME_ORDER
+from repro.rrc import CARRIER_ORDER
+
+HOURS_PER_DAY = 0.4
+USERS = (1, 2, 3)
+
+
+def test_fig17_carriers_energy(benchmark):
+    rows = run_once(
+        benchmark,
+        carrier_comparison,
+        carriers=CARRIER_ORDER,
+        population="verizon_3g",
+        hours_per_day=HOURS_PER_DAY,
+        seed=0,
+        window_size=100,
+        users=USERS,
+    )
+
+    groups = {
+        carrier: {s: rows[carrier].saved_percent[s] for s in SCHEME_ORDER}
+        for carrier in CARRIER_ORDER
+    }
+    print_figure(
+        "Figure 17 — energy saved per carrier (%, aggregated over users)",
+        format_grouped_bars(groups, unit="%"),
+    )
+
+    for carrier in CARRIER_ORDER:
+        saved = rows[carrier].saved_percent
+        # MakeIdle+MakeActive beats the 4.5-second tail on every carrier.
+        assert saved["makeidle+makeactive_learn"] > saved["fixed_4.5s"]
+        assert saved["makeidle+makeactive_fixed"] > saved["fixed_4.5s"]
+        # MakeIdle alone already yields large savings on every carrier.
+        assert saved["makeidle"] > 35.0
+        # And never exceeds the Oracle by more than the MakeActive batching
+        # bonus would explain (MakeIdle itself delays nothing).
+        assert saved["makeidle"] <= saved["oracle"] + 2.0

@@ -1,0 +1,52 @@
+"""Figure 18: signalling overhead (state switches) per carrier, normalised.
+
+The number of state switches of each scheme divided by the status quo's.
+MakeIdle alone inflates the switch count (at most a few times the status
+quo); adding MakeActive pulls it back down towards the status-quo level,
+which is the paper's argument that the savings come without extra
+signalling load on the network.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import carrier_comparison, format_grouped_bars
+from repro.core import SCHEME_ORDER
+from repro.rrc import CARRIER_ORDER
+
+HOURS_PER_DAY = 0.4
+USERS = (1, 2, 3)
+
+
+def test_fig18_carriers_switches(benchmark):
+    rows = run_once(
+        benchmark,
+        carrier_comparison,
+        carriers=CARRIER_ORDER,
+        population="verizon_3g",
+        hours_per_day=HOURS_PER_DAY,
+        seed=1,
+        window_size=100,
+        users=USERS,
+    )
+
+    groups = {
+        carrier: {s: rows[carrier].switches_normalized[s] for s in SCHEME_ORDER}
+        for carrier in CARRIER_ORDER
+    }
+    print_figure(
+        "Figure 18 — state switches normalised by status quo, per carrier",
+        format_grouped_bars(groups, float_format="{:.2f}"),
+    )
+
+    for carrier in CARRIER_ORDER:
+        normalized = rows[carrier].switches_normalized
+        # MakeIdle's inflation is bounded (paper: at most ~3-5x).
+        assert normalized["makeidle"] <= 6.0
+        # MakeActive (either variant) reduces the overhead relative to
+        # MakeIdle alone.
+        assert normalized["makeidle+makeactive_fixed"] <= normalized["makeidle"] + 1e-9
+        assert normalized["makeidle+makeactive_learn"] <= normalized["makeidle"] + 1e-9
+        # The Oracle never switches more often than MakeIdle does.
+        assert normalized["oracle"] <= normalized["makeidle"] + 1e-9

@@ -1,0 +1,82 @@
+"""Related-work comparison (paper Section 7) run through the same simulator.
+
+The paper argues qualitatively against three prior approaches; this
+benchmark makes the comparison quantitative on a shared workload:
+
+* TOP needs application hints, and its savings degrade with hint accuracy;
+* TailEnder reaches good savings only with deadlines of minutes, not
+  seconds;
+* MakeIdle (no application changes, no long delays) stays close to the
+  Oracle bound.
+"""
+
+from __future__ import annotations
+
+from conftest import print_figure, run_once
+
+from repro.analysis import format_table
+from repro.core import (
+    MakeIdlePolicy,
+    OraclePolicy,
+    StatusQuoPolicy,
+    TailEnderPolicy,
+    TailTheftPolicy,
+    TopHintPolicy,
+)
+from repro.rrc import get_profile
+from repro.sim import TraceSimulator
+from repro.traces import generate_mixed_trace
+
+
+def _compare():
+    profile = get_profile("att_hspa")
+    trace = generate_mixed_trace(
+        ["email", "im", "news"], duration=2400.0, seed=5
+    )
+    simulator = TraceSimulator(profile)
+    baseline = simulator.run(trace, StatusQuoPolicy())
+
+    schemes = {
+        "oracle": OraclePolicy(),
+        "makeidle": MakeIdlePolicy(window_size=100),
+        "top (hints 100%)": TopHintPolicy(hint_accuracy=1.0),
+        "top (hints 60%)": TopHintPolicy(hint_accuracy=0.6),
+        "tailender (600s deadline)": TailEnderPolicy(deadline_s=600.0),
+        "tailtheft (60s timeout)": TailTheftPolicy(timeout_s=60.0),
+    }
+    table = {}
+    for label, policy in schemes.items():
+        result = simulator.run(trace, policy)
+        delayed = [d for d in result.delays if d > 0.0]
+        table[label] = (
+            100.0 * result.energy_saved_fraction(baseline),
+            result.switches_normalized(baseline),
+            max(delayed) if delayed else 0.0,
+        )
+    return table
+
+
+def test_related_work_comparison(benchmark):
+    table = run_once(benchmark, _compare)
+
+    rows = [
+        [label, saved, switches, delay]
+        for label, (saved, switches, delay) in table.items()
+    ]
+    print_figure(
+        "Related work — savings / switches / worst-case delay on a mixed background workload",
+        format_table(
+            ["scheme", "energy saved %", "switches vs SQ", "max delay (s)"], rows
+        ),
+    )
+
+    perfect_top = table["top (hints 100%)"][0]
+    degraded_top = table["top (hints 60%)"][0]
+    # Imperfect hints cannot beat perfect hints.
+    assert degraded_top <= perfect_top + 1.0
+    # MakeIdle achieves savings without delaying any traffic...
+    assert table["makeidle"][2] == 0.0
+    # ...whereas TailEnder's savings come with multi-minute delays.
+    assert table["tailender (600s deadline)"][2] > 60.0
+    # The Oracle remains the no-delay upper bound for MakeIdle.
+    assert table["makeidle"][0] <= table["oracle"][0] + 1.0

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Analyse a real tcpdump capture: how much radio energy would MakeIdle save?
+
+The paper's control module watches the device's own packet stream, so any
+``tcpdump``/``Wireshark`` capture taken on a phone (or tethered laptop) can
+be analysed directly.  This example:
+
+1. loads a pcap file (or, if none is given, synthesises a mixed background
+   workload and round-trips it through the library's own pcap writer so the
+   full external-data path is exercised),
+2. prints the trace's burst structure and inter-arrival statistics — the
+   inputs the algorithms reason about, and
+3. reports the energy and signalling impact of MakeIdle and
+   MakeIdle+MakeActive on the carrier of your choice.
+
+Run it with::
+
+    python examples/pcap_analysis.py [capture.pcap] [device_ip] [carrier]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import StatusQuoPolicy, TraceSimulator, read_pcap, write_pcap
+from repro.analysis import format_table
+from repro.core import CombinedPolicy, LearningMakeActive, MakeIdlePolicy
+from repro.energy import TailEnergyModel
+from repro.metrics import delay_stats_for_result
+from repro.rrc import get_profile
+from repro.traces import generate_mixed_trace, segment_bursts, summarize_trace
+
+
+def load_trace(argv: list[str]):
+    """Load the capture named on the command line, or build a demo capture."""
+    if len(argv) > 1:
+        path = Path(argv[1])
+        device = argv[2] if len(argv) > 2 else None
+        print(f"Reading capture {path} (device address: {device or 'auto-detect'})")
+        return read_pcap(path, device_address=device)
+    # No capture supplied: synthesise one and round-trip it through pcap so
+    # the example still demonstrates the real file-based workflow.
+    print("No capture supplied — generating a demo workload and writing it to a pcap.")
+    trace = generate_mixed_trace(["im", "email", "news"], duration=1800.0, seed=11)
+    with tempfile.NamedTemporaryFile(suffix=".pcap", delete=False) as handle:
+        write_pcap(handle.name, trace)
+        print(f"Demo capture written to {handle.name}")
+        return read_pcap(handle.name, device_address="10.0.0.2")
+
+
+def main() -> None:
+    trace = load_trace(sys.argv)
+    carrier = sys.argv[3] if len(sys.argv) > 3 else "verizon_3g"
+    profile = get_profile(carrier)
+    threshold = TailEnergyModel(profile).t_threshold
+
+    # 2. Workload characteristics.
+    summary = summarize_trace(trace)
+    bursts = segment_bursts(trace, gap_threshold=threshold)
+    print()
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["packets", summary.packet_count],
+            ["duration (s)", summary.duration],
+            ["total bytes", summary.total_bytes],
+            ["median inter-arrival (s)", summary.median_inter_arrival],
+            ["95th pct inter-arrival (s)", summary.p95_inter_arrival],
+            [f"bursts (gap > t_threshold = {threshold:.2f}s)", len(bursts)],
+        ],
+        title="Capture summary",
+    ))
+
+    # 3. Energy impact on the chosen carrier.
+    simulator = TraceSimulator(profile)
+    baseline = simulator.run(trace, StatusQuoPolicy())
+    makeidle = simulator.run(trace, MakeIdlePolicy(window_size=100))
+    combined = simulator.run(
+        trace,
+        CombinedPolicy(MakeIdlePolicy(window_size=100), LearningMakeActive()),
+    )
+    delays = delay_stats_for_result(combined, only_delayed=True)
+
+    print()
+    print(format_table(
+        ["policy", "energy (J)", "saved (%)", "switches / status quo",
+         "mean delay (s)"],
+        [
+            ["status_quo", baseline.total_energy_j, 0.0, 1.0, 0.0],
+            ["makeidle", makeidle.total_energy_j,
+             100.0 * makeidle.energy_saved_fraction(baseline),
+             makeidle.switches_normalized(baseline), 0.0],
+            ["makeidle+makeactive", combined.total_energy_j,
+             100.0 * combined.energy_saved_fraction(baseline),
+             combined.switches_normalized(baseline), delays.mean],
+        ],
+        title=f"Impact on {profile.name}",
+    ))
+    print(
+        "\nTail energy under the status quo: "
+        f"{baseline.breakdown.tail_j:.1f} J "
+        f"({100.0 * baseline.breakdown.fraction(baseline.breakdown.tail_j):.0f}% of total) — "
+        "this is the portion the traffic-aware policies recover."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates full
+PEP 660 editable-install support (it lets pip fall back to the legacy
+``setup.py develop`` code path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""Experiment drivers and text renderers for the paper's tables and figures."""
+
+from .experiments import (
+    CarrierComparisonRow,
+    UserStudyResult,
+    application_energy_breakdowns,
+    application_savings,
+    carrier_comparison,
+    headline_savings,
+    learning_curve,
+    run_schemes,
+    run_status_quo,
+    twait_series,
+    user_study,
+    window_size_sweep,
+)
+from .figures import format_bar_chart, format_grouped_bars, format_table
+
+__all__ = [
+    "CarrierComparisonRow",
+    "UserStudyResult",
+    "application_energy_breakdowns",
+    "application_savings",
+    "carrier_comparison",
+    "format_bar_chart",
+    "format_grouped_bars",
+    "format_table",
+    "headline_savings",
+    "learning_curve",
+    "run_schemes",
+    "run_status_quo",
+    "twait_series",
+    "user_study",
+    "window_size_sweep",
+]

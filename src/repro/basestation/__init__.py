@@ -1,0 +1,38 @@
+"""Base-station-side model of fast dormancy (the paper's future work, §8).
+
+The paper evaluates everything from the device's side and explicitly defers
+"studying the effects of triggering fast dormancy on the base station side
+… considering issues such as handling multiple phones triggering the
+feature" to future work.  This subpackage provides that study's substrate:
+
+* :mod:`repro.basestation.policies` — network-side policies deciding whether
+  to grant a device's fast-dormancy request (3GPP Release 8 leaves this to
+  the operator; the paper assumes "always accept");
+* :mod:`repro.basestation.cell` — a multi-device cell simulation that runs
+  each device's trace through its own RRC machine and control policy while
+  the base station arbitrates dormancy requests and tracks aggregate
+  signalling load and channel occupancy.
+"""
+
+from .cell import CellSimulator, CellResult, DeviceResult, DeviceSpec
+from .policies import (
+    AcceptAllDormancy,
+    DormancyDecision,
+    DormancyPolicy,
+    LoadAwareDormancy,
+    RateLimitedDormancy,
+    RejectAllDormancy,
+)
+
+__all__ = [
+    "AcceptAllDormancy",
+    "CellResult",
+    "CellSimulator",
+    "DeviceResult",
+    "DeviceSpec",
+    "DormancyDecision",
+    "DormancyPolicy",
+    "LoadAwareDormancy",
+    "RateLimitedDormancy",
+    "RejectAllDormancy",
+]

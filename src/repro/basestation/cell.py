@@ -1,0 +1,300 @@
+"""Multi-device cell simulation with network-controlled fast dormancy.
+
+This is the substrate for the paper's future-work question (§8): what
+happens at the base station when *many* phones run MakeIdle and trigger
+fast dormancy?  The simulator replays one packet trace per device, each
+against its own RRC state machine and device-side policy, while a single
+:class:`~repro.basestation.policies.DormancyPolicy` arbitrates every
+fast-dormancy request using a live snapshot of cell load.
+
+Scope and simplifications
+-------------------------
+
+* Devices use the MakeIdle side of their policy (``dormancy_wait``); the
+  MakeActive buffering path is not modelled here — batching is a purely
+  device-local decision that the base station never sees, so it can be
+  studied with the single-device :class:`~repro.sim.TraceSimulator`.
+* Channel capacity is not modelled; the cell tracks occupancy and
+  signalling load but never blocks a promotion.  This matches the paper's
+  scope (energy and signalling, not throughput).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.policy import RadioPolicy
+from ..energy.accounting import EnergyAccountant, EnergyBreakdown
+from ..rrc.profiles import CarrierProfile
+from ..rrc.signaling import SignalingLoad, signaling_load
+from ..rrc.state_machine import RrcStateMachine
+from ..rrc.states import RadioState
+from ..traces.packet import PacketTrace
+from .policies import (
+    AcceptAllDormancy,
+    CellLoadSnapshot,
+    DormancyPolicy,
+)
+
+__all__ = ["DeviceSpec", "DeviceResult", "CellResult", "CellSimulator"]
+
+#: Length of the sliding window used for the cell's switches-per-minute load.
+_LOAD_WINDOW_S = 60.0
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One device attached to the cell: its identity, trace and policy."""
+
+    device_id: int
+    trace: PacketTrace
+    policy: RadioPolicy
+
+    def __post_init__(self) -> None:
+        if self.device_id < 0:
+            raise ValueError(f"device_id must be non-negative, got {self.device_id}")
+
+
+@dataclass(frozen=True)
+class DeviceResult:
+    """Per-device outcome of a cell simulation."""
+
+    device_id: int
+    policy_name: str
+    breakdown: EnergyBreakdown
+    dormancy_requests: int
+    dormancy_granted: int
+    dormancy_denied: int
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total device energy over the run, joules."""
+        return self.breakdown.total_j
+
+    @property
+    def denial_rate(self) -> float:
+        """Fraction of this device's dormancy requests that were denied."""
+        if self.dormancy_requests == 0:
+            return 0.0
+        return self.dormancy_denied / self.dormancy_requests
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Aggregate outcome of a cell simulation."""
+
+    dormancy_policy_name: str
+    devices: tuple[DeviceResult, ...]
+    signaling: SignalingLoad
+    duration_s: float
+    peak_active_devices: int
+    switch_times: tuple[float, ...] = field(default=(), repr=False)
+
+    @property
+    def total_energy_j(self) -> float:
+        """Energy summed over every device, joules."""
+        return sum(d.total_energy_j for d in self.devices)
+
+    @property
+    def total_switches(self) -> int:
+        """State switches summed over every device."""
+        return self.signaling.switches
+
+    @property
+    def dormancy_requests(self) -> int:
+        """Fast-dormancy requests summed over every device."""
+        return sum(d.dormancy_requests for d in self.devices)
+
+    @property
+    def dormancy_denied(self) -> int:
+        """Denied fast-dormancy requests summed over every device."""
+        return sum(d.dormancy_denied for d in self.devices)
+
+    @property
+    def denial_rate(self) -> float:
+        """Cell-wide fraction of dormancy requests that were denied."""
+        requests = self.dormancy_requests
+        return self.dormancy_denied / requests if requests else 0.0
+
+    @property
+    def peak_switches_per_minute(self) -> int:
+        """Largest number of switches observed in any 60-second window."""
+        times = sorted(self.switch_times)
+        best = 0
+        start = 0
+        for end, time in enumerate(times):
+            while time - times[start] > _LOAD_WINDOW_S:
+                start += 1
+            best = max(best, end - start + 1)
+        return best
+
+    def device(self, device_id: int) -> DeviceResult:
+        """Return the result for one device id."""
+        for result in self.devices:
+            if result.device_id == device_id:
+                return result
+        raise KeyError(f"no device with id {device_id}")
+
+
+class CellSimulator:
+    """Replays several devices' traces against one base station.
+
+    Parameters
+    ----------
+    profile:
+        Carrier profile shared by every device in the cell.
+    dormancy_policy:
+        Base-station policy answering fast-dormancy requests; defaults to
+        the paper's always-accept assumption.
+    """
+
+    def __init__(
+        self,
+        profile: CarrierProfile,
+        dormancy_policy: DormancyPolicy | None = None,
+    ) -> None:
+        self._profile = profile
+        self._dormancy_policy = (
+            dormancy_policy if dormancy_policy is not None else AcceptAllDormancy()
+        )
+        self._accountant = EnergyAccountant(profile)
+
+    @property
+    def profile(self) -> CarrierProfile:
+        """The carrier profile shared by all devices."""
+        return self._profile
+
+    @property
+    def dormancy_policy(self) -> DormancyPolicy:
+        """The base-station dormancy policy."""
+        return self._dormancy_policy
+
+    def run(self, devices: Sequence[DeviceSpec]) -> CellResult:
+        """Simulate all devices and return per-device and aggregate results."""
+        if not devices:
+            raise ValueError("at least one device is required")
+        ids = [d.device_id for d in devices]
+        if len(set(ids)) != len(ids):
+            raise ValueError("device ids must be unique")
+
+        self._dormancy_policy.reset()
+        machines: dict[int, RrcStateMachine] = {}
+        pending: dict[int, float | None] = {}
+        requests: dict[int, int] = {}
+        granted: dict[int, int] = {}
+        denied: dict[int, int] = {}
+        switch_times: list[float] = []
+        peak_active = 0
+
+        for spec in devices:
+            spec.policy.prepare(spec.trace, self._profile)
+            spec.policy.reset()
+            machines[spec.device_id] = RrcStateMachine(self._profile, start_time=0.0)
+            pending[spec.device_id] = None
+            requests[spec.device_id] = 0
+            granted[spec.device_id] = 0
+            denied[spec.device_id] = 0
+
+        events = sorted(
+            (
+                (packet.timestamp, spec.device_id, packet)
+                for spec in devices
+                for packet in spec.trace
+            ),
+            key=lambda item: (item[0], item[1]),
+        )
+        specs: Mapping[int, DeviceSpec] = {d.device_id: d for d in devices}
+
+        def snapshot(time: float) -> CellLoadSnapshot:
+            active = sum(
+                1
+                for machine in machines.values()
+                if machine.state is not RadioState.IDLE
+            )
+            recent = sum(1 for t in switch_times if time - t <= _LOAD_WINDOW_S)
+            return CellLoadSnapshot(
+                time=time,
+                active_devices=active,
+                total_devices=len(machines),
+                switches_last_minute=recent,
+            )
+
+        def handle_pending(device_id: int, now: float, cancel: bool) -> None:
+            """Fire or cancel the device's scheduled dormancy request."""
+            scheduled = pending[device_id]
+            if scheduled is None:
+                return
+            pending[device_id] = None
+            if cancel or scheduled >= now:
+                return
+            requests[device_id] += 1
+            decision = self._dormancy_policy.decide(
+                device_id, scheduled, snapshot(scheduled)
+            )
+            if decision.granted:
+                granted[device_id] += 1
+                before = len(machines[device_id].switches)
+                machines[device_id].request_fast_dormancy(scheduled)
+                if len(machines[device_id].switches) > before:
+                    switch_times.append(scheduled)
+            else:
+                denied[device_id] += 1
+
+        for now, device_id, packet in events:
+            machine = machines[device_id]
+            scheduled = pending[device_id]
+            # A packet arriving before the scheduled wait elapses cancels it.
+            handle_pending(device_id, now, cancel=scheduled is not None and scheduled >= now)
+
+            was_idle = machine.state_at(now) is RadioState.IDLE
+            machine.notify_activity(now)
+            if was_idle:
+                switch_times.append(now)
+            specs[device_id].policy.observe_packet(now, packet)
+            wait = specs[device_id].policy.dormancy_wait(now)
+            pending[device_id] = now + wait if wait is not None else None
+            peak_active = max(peak_active, snapshot(now).active_devices)
+
+        # Drain pending requests after the last packet of each device.
+        end_time = max((t for t, _, _ in events), default=0.0)
+        end_time += self._profile.total_inactivity_timeout + 1.0
+        for spec in devices:
+            handle_pending(spec.device_id, end_time, cancel=False)
+            machines[spec.device_id].finish(end_time)
+
+        device_results = []
+        for spec in devices:
+            machine = machines[spec.device_id]
+            breakdown = self._accountant.account(
+                spec.trace, machine.intervals, machine.switches
+            )
+            device_results.append(
+                DeviceResult(
+                    device_id=spec.device_id,
+                    policy_name=spec.policy.name,
+                    breakdown=breakdown,
+                    dormancy_requests=requests[spec.device_id],
+                    dormancy_granted=granted[spec.device_id],
+                    dormancy_denied=denied[spec.device_id],
+                )
+            )
+
+        all_switches = [
+            event
+            for machine in machines.values()
+            for event in machine.switches
+        ]
+        load = signaling_load(
+            all_switches,
+            duration_s=end_time,
+            technology=self._profile.technology,
+        )
+        return CellResult(
+            dormancy_policy_name=self._dormancy_policy.name,
+            devices=tuple(device_results),
+            signaling=load,
+            duration_s=end_time,
+            peak_active_devices=peak_active,
+            switch_times=tuple(sorted(switch_times)),
+        )

@@ -1,0 +1,173 @@
+"""Network-controlled fast-dormancy policies (3GPP Release 8).
+
+Under Release 8 the device merely *requests* channel release; the base
+station decides.  The paper's simplified model assumes every request is
+granted and motivates this module in its future work: an operator worried
+about signalling storms may want to throttle or refuse requests.  Each
+policy here sees the requesting device, the request time and a snapshot of
+current cell load, and answers grant / deny.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CellLoadSnapshot",
+    "DormancyDecision",
+    "DormancyPolicy",
+    "AcceptAllDormancy",
+    "RejectAllDormancy",
+    "RateLimitedDormancy",
+    "LoadAwareDormancy",
+]
+
+
+@dataclass(frozen=True)
+class CellLoadSnapshot:
+    """What the base station knows when it evaluates a dormancy request."""
+
+    time: float
+    active_devices: int
+    total_devices: int
+    switches_last_minute: int
+
+    def __post_init__(self) -> None:
+        if self.total_devices < 0 or self.active_devices < 0:
+            raise ValueError("device counts must be non-negative")
+        if self.active_devices > self.total_devices:
+            raise ValueError("active_devices cannot exceed total_devices")
+        if self.switches_last_minute < 0:
+            raise ValueError("switches_last_minute must be non-negative")
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of attached devices currently holding a channel."""
+        if self.total_devices == 0:
+            return 0.0
+        return self.active_devices / self.total_devices
+
+
+@dataclass(frozen=True)
+class DormancyDecision:
+    """Outcome of one fast-dormancy request."""
+
+    granted: bool
+    reason: str = ""
+
+
+class DormancyPolicy:
+    """Base class: how the base station answers fast-dormancy requests."""
+
+    #: Name used in result tables.
+    name: str = "dormancy_policy"
+
+    def decide(
+        self, device_id: int, request_time: float, load: CellLoadSnapshot
+    ) -> DormancyDecision:
+        """Grant or deny a device's request to release its channel."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear per-run state (default: nothing to clear)."""
+
+
+class AcceptAllDormancy(DormancyPolicy):
+    """The paper's assumption: every request is granted immediately."""
+
+    name = "accept_all"
+
+    def decide(
+        self, device_id: int, request_time: float, load: CellLoadSnapshot
+    ) -> DormancyDecision:
+        del device_id, request_time, load
+        return DormancyDecision(granted=True, reason="always accept")
+
+
+class RejectAllDormancy(DormancyPolicy):
+    """The pre-Release-7 world: devices cannot release the channel themselves."""
+
+    name = "reject_all"
+
+    def decide(
+        self, device_id: int, request_time: float, load: CellLoadSnapshot
+    ) -> DormancyDecision:
+        del device_id, request_time, load
+        return DormancyDecision(granted=False, reason="fast dormancy disabled")
+
+
+class RateLimitedDormancy(DormancyPolicy):
+    """Grant requests unless a device asks too often.
+
+    Operators deploying network-controlled fast dormancy mainly fear
+    signalling storms from chatty devices; this policy denies a request if
+    the same device was already granted one within ``min_interval_s``.
+    """
+
+    name = "rate_limited"
+
+    def __init__(self, min_interval_s: float = 10.0) -> None:
+        if min_interval_s <= 0:
+            raise ValueError(f"min_interval_s must be positive, got {min_interval_s}")
+        self._min_interval_s = min_interval_s
+        self._last_grant: dict[int, float] = {}
+
+    @property
+    def min_interval_s(self) -> float:
+        """Minimum spacing between granted requests from one device."""
+        return self._min_interval_s
+
+    def reset(self) -> None:
+        self._last_grant.clear()
+
+    def decide(
+        self, device_id: int, request_time: float, load: CellLoadSnapshot
+    ) -> DormancyDecision:
+        del load
+        last = self._last_grant.get(device_id)
+        if last is not None and request_time - last < self._min_interval_s:
+            return DormancyDecision(
+                granted=False,
+                reason=f"device requested again within {self._min_interval_s}s",
+            )
+        self._last_grant[device_id] = request_time
+        return DormancyDecision(granted=True, reason="within rate limit")
+
+
+class LoadAwareDormancy(DormancyPolicy):
+    """Grant requests only while cell-wide signalling stays below a budget.
+
+    The base station tracks switches over the last minute (provided in the
+    load snapshot) and starts refusing dormancy requests once the rate
+    exceeds ``max_switches_per_minute`` — trading device energy for network
+    stability exactly the way the paper's future-work discussion anticipates.
+    """
+
+    name = "load_aware"
+
+    def __init__(self, max_switches_per_minute: int = 120) -> None:
+        if max_switches_per_minute <= 0:
+            raise ValueError(
+                "max_switches_per_minute must be positive, "
+                f"got {max_switches_per_minute}"
+            )
+        self._max_switches_per_minute = max_switches_per_minute
+
+    @property
+    def max_switches_per_minute(self) -> int:
+        """Cell-wide switch budget per minute above which requests are denied."""
+        return self._max_switches_per_minute
+
+    def decide(
+        self, device_id: int, request_time: float, load: CellLoadSnapshot
+    ) -> DormancyDecision:
+        del device_id, request_time
+        if load.switches_last_minute >= self._max_switches_per_minute:
+            return DormancyDecision(
+                granted=False,
+                reason=(
+                    f"cell at {load.switches_last_minute} switches/min, "
+                    f"budget {self._max_switches_per_minute}"
+                ),
+            )
+        return DormancyDecision(granted=True, reason="cell below switch budget")

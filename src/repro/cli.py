@@ -1,0 +1,333 @@
+"""Command-line interface for the library.
+
+Installed as the ``repro-rrc`` console script (and runnable as
+``python -m repro.cli``), the CLI exposes the most common workflows without
+writing any Python:
+
+* ``repro-rrc carriers`` — list the built-in carrier profiles (Table 2).
+* ``repro-rrc simulate`` — run one workload under one or more schemes on one
+  carrier and print the energy/switch/delay comparison.
+* ``repro-rrc apps`` — the per-application comparison of Figure 9.
+* ``repro-rrc compare-carriers`` — the cross-carrier comparison of
+  Figures 17/18 and Table 3.
+* ``repro-rrc validate`` — the energy-estimator validation of Figure 8.
+* ``repro-rrc trace-info`` — summarise a pcap/tcpdump capture.
+
+Every command prints plain text to stdout; ``--csv PATH`` additionally
+writes machine-readable output where it makes sense.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.experiments import (
+    application_savings,
+    carrier_comparison,
+    run_schemes,
+)
+from .analysis.figures import format_table
+from .config import KNOWN_SCHEMES
+from .energy.validation import run_validation
+from .metrics.savings import savings_table
+from .rrc.profiles import CARRIER_ORDER, CARRIER_PROFILES, get_profile
+from .reporting.render import write_csv
+from .traces.pcap import read_pcap
+from .traces.stats import summarize_trace
+from .traces.synthetic import APPLICATION_NAMES, generate_application_trace
+from .traces.tcpdump import read_tcpdump
+from .traces.users import user_trace
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the ``repro-rrc`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro-rrc",
+        description=(
+            "Traffic-aware 3G/LTE RRC energy saving "
+            "(reproduction of Deng & Balakrishnan, CoNEXT 2012)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("carriers", help="list the built-in carrier profiles")
+
+    simulate = sub.add_parser(
+        "simulate", help="simulate one workload under the standard schemes"
+    )
+    simulate.add_argument(
+        "--carrier", default="att_hspa", choices=sorted(CARRIER_PROFILES)
+    )
+    source = simulate.add_mutually_exclusive_group()
+    source.add_argument(
+        "--app", choices=APPLICATION_NAMES, help="synthetic application workload"
+    )
+    source.add_argument("--user", type=int, help="synthetic user id (with --population)")
+    source.add_argument("--pcap", help="path to a pcap capture")
+    source.add_argument("--tcpdump", help="path to a tcpdump text log")
+    simulate.add_argument(
+        "--population", default="verizon_3g", help="user population for --user"
+    )
+    simulate.add_argument("--duration", type=float, default=3600.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--window-size", type=int, default=100)
+    simulate.add_argument("--csv", help="also write the comparison as CSV")
+
+    apps = sub.add_parser("apps", help="per-application savings (Figure 9)")
+    apps.add_argument(
+        "--carrier", default="att_hspa", choices=sorted(CARRIER_PROFILES)
+    )
+    apps.add_argument("--duration", type=float, default=1800.0)
+    apps.add_argument("--seed", type=int, default=0)
+    apps.add_argument("--csv", help="also write the table as CSV")
+
+    carriers_cmp = sub.add_parser(
+        "compare-carriers",
+        help="cross-carrier comparison (Figures 17/18, Table 3)",
+    )
+    carriers_cmp.add_argument("--population", default="verizon_3g")
+    carriers_cmp.add_argument("--hours", type=float, default=1.0)
+    carriers_cmp.add_argument("--users", type=int, nargs="*", default=[1, 2])
+    carriers_cmp.add_argument("--seed", type=int, default=0)
+    carriers_cmp.add_argument("--csv", help="also write the table as CSV")
+
+    validate = sub.add_parser(
+        "validate", help="energy-estimator validation (Figure 8)"
+    )
+    validate.add_argument(
+        "--carrier", default="verizon_lte", choices=sorted(CARRIER_PROFILES)
+    )
+    validate.add_argument("--seed", type=int, default=0)
+
+    trace_info = sub.add_parser("trace-info", help="summarise a capture file")
+    trace_info.add_argument("path")
+    trace_info.add_argument(
+        "--format", choices=("pcap", "tcpdump"), default="pcap"
+    )
+
+    return parser
+
+
+# ----------------------------------------------------------------------------------
+# Command implementations
+# ----------------------------------------------------------------------------------
+
+def _cmd_carriers() -> int:
+    rows = [
+        [
+            profile.key,
+            profile.name,
+            profile.technology.name,
+            f"{profile.power_send_mw:.0f}",
+            f"{profile.power_recv_mw:.0f}",
+            f"{profile.power_active_mw:.0f}",
+            f"{profile.power_high_idle_mw:.0f}",
+            f"{profile.t1:.1f}",
+            f"{profile.t2:.1f}",
+        ]
+        for profile in (CARRIER_PROFILES[key] for key in CARRIER_ORDER)
+    ]
+    print(
+        format_table(
+            ["key", "name", "tech", "Psnd", "Prcv", "Pt1", "Pt2", "t1", "t2"], rows
+        )
+    )
+    return 0
+
+
+def _load_simulate_trace(args: argparse.Namespace):
+    if args.pcap:
+        return read_pcap(args.pcap)
+    if args.tcpdump:
+        return read_tcpdump(args.tcpdump).trace
+    if args.user is not None:
+        return user_trace(
+            args.population,
+            args.user,
+            hours_per_day=args.duration / 3600.0,
+            seed=args.seed,
+        )
+    app = args.app or "email"
+    return generate_application_trace(app, duration=args.duration, seed=args.seed)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.carrier)
+    trace = _load_simulate_trace(args)
+    results = run_schemes(trace, profile, window_size=args.window_size)
+    baseline = results.pop("status_quo")
+    table = savings_table(results, baseline)
+    rows = []
+    records = []
+    for scheme in KNOWN_SCHEMES:
+        if scheme not in table:
+            continue
+        report = table[scheme]
+        result = results[scheme]
+        rows.append(
+            [
+                scheme,
+                f"{report.saved_percent:.1f}",
+                f"{result.total_energy_j:.1f}",
+                f"{result.switches_normalized(baseline):.2f}",
+                f"{result.mean_delay:.2f}",
+            ]
+        )
+        records.append(
+            {
+                "scheme": scheme,
+                "saved_percent": report.saved_percent,
+                "energy_j": result.total_energy_j,
+                "switches_normalized": result.switches_normalized(baseline),
+                "mean_delay_s": result.mean_delay,
+            }
+        )
+    print(f"carrier: {profile.name}    trace: {trace.name} ({len(trace)} packets)")
+    print(f"status quo energy: {baseline.total_energy_j:.1f} J, "
+          f"{baseline.switch_count} switches")
+    print(
+        format_table(
+            ["scheme", "saved %", "energy (J)", "switches/SQ", "mean delay (s)"], rows
+        )
+    )
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_apps(args: argparse.Namespace) -> int:
+    profile = get_profile(args.carrier)
+    table = application_savings(
+        profile, duration=args.duration, seed=args.seed
+    )
+    schemes = sorted({scheme for per_app in table.values() for scheme in per_app})
+    rows = []
+    records = []
+    for app, per_app in table.items():
+        row = [app] + [
+            f"{per_app[s].saved_percent:.1f}" if s in per_app else "-" for s in schemes
+        ]
+        rows.append(row)
+        record = {"app": app}
+        record.update(
+            {s: per_app[s].saved_percent for s in schemes if s in per_app}
+        )
+        records.append(record)
+    print(format_table(["app"] + schemes, rows))
+    if args.csv:
+        write_csv(records, args.csv, fieldnames=["app"] + schemes)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_compare_carriers(args: argparse.Namespace) -> int:
+    comparison = carrier_comparison(
+        population=args.population,
+        hours_per_day=args.hours,
+        seed=args.seed,
+        users=args.users or None,
+    )
+    rows = []
+    records = []
+    for carrier_key, row in comparison.items():
+        makeidle = row.saved_percent.get("makeidle", 0.0)
+        combined = row.saved_percent.get("makeidle+makeactive_learn", 0.0)
+        switches = row.switches_normalized.get("makeidle", 0.0)
+        combined_switches = row.switches_normalized.get(
+            "makeidle+makeactive_learn", 0.0
+        )
+        delay = row.median_delay_s.get("makeidle+makeactive_learn", 0.0)
+        rows.append(
+            [
+                carrier_key,
+                f"{makeidle:.1f}",
+                f"{combined:.1f}",
+                f"{switches:.2f}",
+                f"{combined_switches:.2f}",
+                f"{delay:.2f}",
+            ]
+        )
+        records.append(
+            {
+                "carrier": carrier_key,
+                "makeidle_saved_percent": makeidle,
+                "combined_saved_percent": combined,
+                "makeidle_switches_normalized": switches,
+                "combined_switches_normalized": combined_switches,
+                "combined_median_delay_s": delay,
+            }
+        )
+    print(
+        format_table(
+            [
+                "carrier",
+                "MakeIdle %",
+                "MI+MA %",
+                "MI switches/SQ",
+                "MI+MA switches/SQ",
+                "MA median delay (s)",
+            ],
+            rows,
+        )
+    )
+    if args.csv:
+        write_csv(records, args.csv)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    profile = get_profile(args.carrier)
+    outcome = run_validation(profile, seed=args.seed)
+    print(f"carrier: {profile.name}")
+    print(f"mean signed error:   {outcome.mean_error * 100:+.2f}%")
+    print(f"mean absolute error: {outcome.mean_absolute_error * 100:.2f}%")
+    print(f"max absolute error:  {outcome.max_absolute_error * 100:.2f}%")
+    within = "yes" if outcome.max_absolute_error <= 0.10 else "no"
+    print(f"within the paper's 10% bound: {within}")
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    if args.format == "pcap":
+        trace = read_pcap(args.path)
+    else:
+        trace = read_tcpdump(args.path).trace
+    summary = summarize_trace(trace)
+    print(f"trace: {trace.name}")
+    print(f"packets:        {summary.packet_count}")
+    print(f"duration:       {summary.duration:.1f} s")
+    print(f"total bytes:    {summary.total_bytes}")
+    print(f"mean throughput:{summary.mean_throughput_bps / 1000.0:10.1f} kbit/s")
+    print(f"median IAT:     {summary.median_inter_arrival:.3f} s")
+    print(f"95th pct IAT:   {summary.p95_inter_arrival:.3f} s")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``repro-rrc`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "carriers":
+        return _cmd_carriers()
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    if args.command == "apps":
+        return _cmd_apps(args)
+    if args.command == "compare-carriers":
+        return _cmd_compare_carriers(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "trace-info":
+        return _cmd_trace_info(args)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,165 @@
+"""Experiment configuration objects with JSON round-tripping.
+
+The benchmark harness, the CLI and the examples all need to describe the
+same few experiment knobs — which carrier, which workload, how long, which
+schemes, which random seed.  :class:`ExperimentConfig` captures those knobs
+in one validated place, and the JSON helpers make configurations easy to
+store alongside results so every number in EXPERIMENTS.md can be traced
+back to the exact parameters that produced it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .rrc.profiles import CARRIER_PROFILES
+from .traces.synthetic import APPLICATION_NAMES
+from .traces.users import USER_POPULATIONS
+
+__all__ = ["WorkloadConfig", "ExperimentConfig", "load_config", "save_config"]
+
+#: Scheme names understood by :func:`repro.core.controller.standard_policies`,
+#: plus the status-quo baseline.
+KNOWN_SCHEMES: tuple[str, ...] = (
+    "status_quo",
+    "fixed_4.5s",
+    "p95_iat",
+    "makeidle",
+    "oracle",
+    "makeidle+makeactive_learn",
+    "makeidle+makeactive_fixed",
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """What traffic to replay.
+
+    Exactly one of the three sources is used, selected by ``kind``:
+
+    * ``"application"`` — a synthetic single-application trace
+      (``name`` must be one of the paper's seven categories);
+    * ``"user"`` — a synthetic user-day mixture (``name`` is the population,
+      ``user_id`` selects the user);
+    * ``"pcap"`` / ``"tcpdump"`` — a capture file at ``path``.
+    """
+
+    kind: str = "application"
+    name: str = "email"
+    user_id: int = 1
+    path: str = ""
+    duration_s: float = 3600.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("application", "user", "pcap", "tcpdump"):
+            raise ValueError(
+                "workload kind must be 'application', 'user', 'pcap' or "
+                f"'tcpdump', got {self.kind!r}"
+            )
+        if self.kind == "application" and self.name not in APPLICATION_NAMES:
+            raise ValueError(
+                f"unknown application {self.name!r}; known: {APPLICATION_NAMES}"
+            )
+        if self.kind == "user" and self.name not in USER_POPULATIONS:
+            raise ValueError(
+                f"unknown user population {self.name!r}; known: "
+                f"{tuple(USER_POPULATIONS)}"
+            )
+        if self.kind in ("pcap", "tcpdump") and not self.path:
+            raise ValueError(f"a {self.kind} workload requires a file path")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.user_id < 1:
+            raise ValueError(f"user_id must be >= 1, got {self.user_id}")
+
+    def build_trace(self):
+        """Materialise the workload as a :class:`~repro.traces.packet.PacketTrace`."""
+        from .traces.pcap import read_pcap
+        from .traces.synthetic import generate_application_trace
+        from .traces.tcpdump import read_tcpdump
+        from .traces.users import user_trace
+
+        if self.kind == "application":
+            return generate_application_trace(
+                self.name, duration=self.duration_s, seed=self.seed
+            )
+        if self.kind == "user":
+            return user_trace(
+                self.name,
+                self.user_id,
+                hours_per_day=self.duration_s / 3600.0,
+                seed=self.seed,
+            )
+        if self.kind == "pcap":
+            return read_pcap(self.path)
+        return read_tcpdump(self.path).trace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """One complete experiment: a workload, a carrier, and the schemes to run."""
+
+    carrier: str = "att_hspa"
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    schemes: tuple[str, ...] = ("status_quo", "makeidle", "oracle")
+    window_size: int = 100
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.carrier not in CARRIER_PROFILES:
+            raise ValueError(
+                f"unknown carrier {self.carrier!r}; known: {sorted(CARRIER_PROFILES)}"
+            )
+        if not self.schemes:
+            raise ValueError("at least one scheme is required")
+        unknown = [s for s in self.schemes if s not in KNOWN_SCHEMES]
+        if unknown:
+            raise ValueError(
+                f"unknown schemes {unknown}; known: {list(KNOWN_SCHEMES)}"
+            )
+        if "status_quo" not in self.schemes:
+            raise ValueError("schemes must include 'status_quo' (the baseline)")
+        if self.window_size < 2:
+            raise ValueError(f"window_size must be >= 2, got {self.window_size}")
+
+    def with_carrier(self, carrier: str) -> "ExperimentConfig":
+        """Return a copy of this configuration targeting a different carrier."""
+        return replace(self, carrier=carrier)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON serialisation."""
+        data = asdict(self)
+        data["schemes"] = list(self.schemes)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentConfig":
+        """Re-create a configuration from :meth:`to_dict` output."""
+        payload = dict(data)
+        workload = payload.pop("workload", {})
+        schemes: Sequence[str] = payload.pop("schemes", cls().schemes)
+        return cls(
+            workload=WorkloadConfig(**workload),
+            schemes=tuple(schemes),
+            **payload,
+        )
+
+
+def save_config(config: ExperimentConfig, path: str | Path) -> None:
+    """Write an experiment configuration to a JSON file."""
+    Path(path).write_text(
+        json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_config(path: str | Path) -> ExperimentConfig:
+    """Read an experiment configuration from a JSON file."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at the top level")
+    return ExperimentConfig.from_dict(data)

@@ -1,0 +1,242 @@
+"""Interactive-application awareness for MakeActive (paper Section 6.5).
+
+MakeActive deliberately delays traffic, which is only acceptable for
+background applications.  The paper's suggested deployment is that "the
+control module maintain a list of delay-sensitive or interactive
+applications; when any of these applications is running in the foreground,
+the system disables MakeActive".  This module implements that mechanism:
+
+* :class:`ApplicationRegistry` holds the delay-sensitivity classification of
+  application labels (the ``app`` field carried on every packet);
+* :class:`ForegroundSchedule` records which application is in the foreground
+  over time (a step function, e.g. derived from screen/app-switch logs);
+* :class:`InteractiveAwarePolicy` wraps any combined policy and suppresses
+  its activation delays whenever an interactive application is in the
+  foreground (and, optionally, whenever the *arriving session itself*
+  belongs to an interactive application).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..rrc.profiles import CarrierProfile
+from ..traces.packet import Packet, PacketTrace
+from .policy import RadioPolicy
+
+__all__ = [
+    "ApplicationRegistry",
+    "DEFAULT_REGISTRY",
+    "ForegroundSchedule",
+    "InteractiveAwarePolicy",
+]
+
+
+class ApplicationRegistry:
+    """Classification of application labels as interactive or background.
+
+    Unknown applications default to *interactive* — the conservative choice,
+    since wrongly delaying an interactive application hurts the user while
+    wrongly not delaying a background one only costs some signalling.
+    """
+
+    def __init__(
+        self,
+        interactive: Iterable[str] = (),
+        background: Iterable[str] = (),
+        default_interactive: bool = True,
+    ) -> None:
+        self._interactive = {label.lower() for label in interactive}
+        self._background = {label.lower() for label in background}
+        overlap = self._interactive & self._background
+        if overlap:
+            raise ValueError(
+                f"labels classified both interactive and background: {sorted(overlap)}"
+            )
+        self._default_interactive = default_interactive
+
+    @property
+    def interactive_labels(self) -> frozenset[str]:
+        """Labels registered as interactive."""
+        return frozenset(self._interactive)
+
+    @property
+    def background_labels(self) -> frozenset[str]:
+        """Labels registered as background."""
+        return frozenset(self._background)
+
+    def register(self, label: str, interactive: bool) -> None:
+        """Add or reclassify one application label."""
+        key = label.lower()
+        self._interactive.discard(key)
+        self._background.discard(key)
+        (self._interactive if interactive else self._background).add(key)
+
+    def is_interactive(self, label: str) -> bool:
+        """Whether packets labelled ``label`` belong to an interactive app."""
+        key = label.lower()
+        if key in self._interactive:
+            return True
+        if key in self._background:
+            return False
+        return self._default_interactive
+
+    def is_background(self, label: str) -> bool:
+        """Whether packets labelled ``label`` may be delayed by MakeActive."""
+        return not self.is_interactive(label)
+
+
+#: Classification of the paper's seven application categories (Section 6.1):
+#: everything described as a background/"always on" workload may be delayed,
+#: while the interactive foreground workloads must not be.
+DEFAULT_REGISTRY = ApplicationRegistry(
+    interactive=("social", "finance", "web", "browser"),
+    background=("news", "im", "microblog", "game", "email", "sync"),
+)
+
+
+@dataclass(frozen=True)
+class ForegroundInterval:
+    """The application ``app`` was in the foreground from ``start`` to ``end``."""
+
+    start: float
+    end: float
+    app: str
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("interval end must be >= start")
+
+
+class ForegroundSchedule:
+    """Step function recording which application is in the foreground.
+
+    Times outside every interval mean the screen is off / the launcher is
+    showing, i.e. no interactive application is in the foreground.
+    """
+
+    def __init__(self, intervals: Iterable[ForegroundInterval] = ()) -> None:
+        ordered = sorted(intervals, key=lambda i: i.start)
+        for first, second in zip(ordered, ordered[1:]):
+            if second.start < first.end:
+                raise ValueError(
+                    "foreground intervals must not overlap: "
+                    f"{first} overlaps {second}"
+                )
+        self._intervals = tuple(ordered)
+        self._starts = tuple(i.start for i in ordered)
+
+    @property
+    def intervals(self) -> tuple[ForegroundInterval, ...]:
+        """The schedule's intervals in chronological order."""
+        return self._intervals
+
+    def foreground_app(self, time: float) -> str | None:
+        """The application in the foreground at ``time`` (``None`` if none)."""
+        index = bisect_right(self._starts, time) - 1
+        if index < 0:
+            return None
+        interval = self._intervals[index]
+        return interval.app if time < interval.end or time == interval.start else None
+
+    @classmethod
+    def always(cls, app: str, duration: float) -> "ForegroundSchedule":
+        """A schedule with ``app`` in the foreground for the whole run."""
+        return cls([ForegroundInterval(0.0, duration, app)])
+
+
+class InteractiveAwarePolicy(RadioPolicy):
+    """Wrap a policy and disable its MakeActive side around interactive use.
+
+    Activation delays from the wrapped policy are forced to zero when
+
+    * an interactive application is currently in the foreground (per the
+      schedule and registry), or
+    * the arriving session itself belongs to an interactive application and
+      ``protect_interactive_sessions`` is set (it must not be delayed even
+      if the screen is off — e.g. a foreground app's first request).
+
+    On a real device the control module sits in the socket layer, so it
+    knows which application opened the socket that is waking the radio; in
+    the trace-driven simulation that knowledge is recovered by looking up
+    the application label of the packet arriving at the decision time
+    (``prepare`` indexes the trace for this — it reads labels only, never
+    future timing, so it is not an oracle).
+
+    MakeIdle-side decisions (dormancy waits) pass through unchanged: early
+    demotion never delays user traffic, it only costs an extra promotion.
+    """
+
+    def __init__(
+        self,
+        inner: RadioPolicy,
+        registry: ApplicationRegistry | None = None,
+        schedule: ForegroundSchedule | None = None,
+        protect_interactive_sessions: bool = True,
+    ) -> None:
+        self._inner = inner
+        self._registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._schedule = schedule if schedule is not None else ForegroundSchedule()
+        self._protect_sessions = protect_interactive_sessions
+        self._app_at_time: dict[float, str] = {}
+        self._last_app: str = ""
+        self._suppressed = 0
+        self.name = f"interactive_aware[{inner.name}]"
+
+    @property
+    def inner(self) -> RadioPolicy:
+        """The wrapped policy."""
+        return self._inner
+
+    @property
+    def suppressed_delays(self) -> int:
+        """How many activation delays were forced to zero so far."""
+        return self._suppressed
+
+    def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
+        # Index which application label is waking the radio at each arrival
+        # time (the socket-layer knowledge a real control module has).
+        self._app_at_time = {}
+        for packet in trace:
+            self._app_at_time.setdefault(packet.timestamp, packet.app)
+        self._inner.prepare(trace, profile)
+
+    def reset(self) -> None:
+        self._inner.reset()
+        self._last_app = ""
+        self._suppressed = 0
+        # The trace index from prepare() is kept: it is static workload
+        # metadata, not per-run learning state.
+
+    def observe_packet(self, time: float, packet: Packet) -> None:
+        self._last_app = packet.app
+        self._inner.observe_packet(time, packet)
+
+    def dormancy_wait(self, now: float) -> float | None:
+        return self._inner.dormancy_wait(now)
+
+    def activation_delay(self, now: float) -> float:
+        delay = self._inner.activation_delay(now)
+        if delay <= 0:
+            return delay
+        if self._foreground_is_interactive(now) or self._session_is_interactive(now):
+            self._suppressed += 1
+            return 0.0
+        return delay
+
+    def on_release(self, release_time: float, arrival_times: Sequence[float]) -> None:
+        self._inner.on_release(release_time, arrival_times)
+
+    def _foreground_is_interactive(self, now: float) -> bool:
+        app = self._schedule.foreground_app(now)
+        return app is not None and self._registry.is_interactive(app)
+
+    def _session_is_interactive(self, now: float) -> bool:
+        if not self._protect_sessions:
+            return False
+        app = self._app_at_time.get(now, self._last_app)
+        if not app:
+            return False
+        return self._registry.is_interactive(app)

@@ -1,0 +1,203 @@
+"""MakeIdle: online prediction of when to demote the radio (paper Section 4).
+
+After every packet the algorithm asks: *is this the end of a burst?*  It
+cannot know, so it models the time until the next packet with the empirical
+distribution of the last ``n`` inter-arrival times (a sliding window,
+``n = 100`` by default — Figure 13 sweeps this) and picks the waiting time
+``t_wait`` that maximises the expected energy gain of the strategy "wait
+``t_wait`` seconds; if still silent, trigger fast dormancy":
+
+* the cost of that strategy, for a next-packet gap ``G`` drawn from the
+  window, is ``E(G)`` when the packet arrives during the wait (``G <= t_wait``
+  — no switch happens) and ``E(t_wait) + E_switch`` when it does not;
+* the cost of doing nothing is the status-quo tail energy ``E(G)`` (which
+  already includes the switch cost for gaps longer than ``t1 + t2``);
+* ``f(t_wait)`` is the expected difference, and MakeIdle schedules a demotion
+  after ``t_wait* = argmax f`` seconds of silence whenever the maximum gain
+  is positive.
+
+This is the energy-based formalisation of the paper's two-step description:
+the conditional probability ``P(no packet within t_wait + t_threshold | no
+packet within t_wait)`` enters through the expectation over the window, and
+"high enough" is defined — exactly as in the paper — by comparing expected
+energies rather than by a fixed probability cut-off.
+
+The candidate ``t_wait`` values are restricted to ``[0, t_threshold]``: the
+paper observes that waiting longer than ``t_threshold`` leaves little room
+for saving (the tail has already been mostly paid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..energy.model import TailEnergyModel
+from ..rrc.profiles import CarrierProfile
+from ..traces.packet import Packet, PacketTrace
+from ..traces.stats import SlidingWindowDistribution
+from .policy import RadioPolicy
+
+__all__ = ["MakeIdlePolicy", "WaitDecision"]
+
+#: Default number of recent packets whose inter-arrival times form the window.
+DEFAULT_WINDOW_SIZE = 100
+
+#: Default number of candidate waiting times evaluated in [0, t_threshold].
+DEFAULT_CANDIDATE_COUNT = 24
+
+
+@dataclass(frozen=True)
+class WaitDecision:
+    """One MakeIdle decision: the chosen wait and its expected gain."""
+
+    time: float
+    wait: float | None
+    expected_gain: float
+
+    @property
+    def switched(self) -> bool:
+        """Whether the decision schedules a demotion."""
+        return self.wait is not None
+
+
+class MakeIdlePolicy(RadioPolicy):
+    """Adaptive fast-dormancy policy driven by recent inter-arrival times.
+
+    Parameters
+    ----------
+    window_size:
+        Number of recent inter-arrival samples kept (the paper's ``n``).
+    candidate_count:
+        Resolution of the ``t_wait`` grid over ``[0, t_threshold]``.
+    min_samples:
+        Minimum number of window samples before the policy starts issuing
+        demotion decisions; below this it behaves like the status quo.
+    """
+
+    name = "makeidle"
+
+    def __init__(
+        self,
+        window_size: int = DEFAULT_WINDOW_SIZE,
+        candidate_count: int = DEFAULT_CANDIDATE_COUNT,
+        min_samples: int = 5,
+    ) -> None:
+        if window_size < 2:
+            raise ValueError(f"window_size must be >= 2, got {window_size}")
+        if candidate_count < 2:
+            raise ValueError(f"candidate_count must be >= 2, got {candidate_count}")
+        if min_samples < 2:
+            raise ValueError(f"min_samples must be >= 2, got {min_samples}")
+        self._window_size = window_size
+        self._candidate_count = candidate_count
+        self._min_samples = min_samples
+        self._window = SlidingWindowDistribution(window_size)
+        self._model: TailEnergyModel | None = None
+        self._candidates: tuple[float, ...] = ()
+        self._history: list[WaitDecision] = []
+
+    # -- configuration / state views -----------------------------------------------------
+
+    @property
+    def window_size(self) -> int:
+        """The sliding-window length ``n``."""
+        return self._window_size
+
+    @property
+    def t_threshold(self) -> float:
+        """The offline threshold of the prepared profile (0 before prepare)."""
+        return self._model.t_threshold if self._model else 0.0
+
+    @property
+    def wait_history(self) -> tuple[WaitDecision, ...]:
+        """Every decision taken so far (drives Figure 14)."""
+        return tuple(self._history)
+
+    @property
+    def window(self) -> SlidingWindowDistribution:
+        """The sliding inter-arrival window (exposed for inspection/tests)."""
+        return self._window
+
+    # -- policy hooks ----------------------------------------------------------------------
+
+    def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
+        self._model = TailEnergyModel(profile)
+        threshold = self._model.t_threshold
+        step = threshold / (self._candidate_count - 1)
+        self._candidates = tuple(i * step for i in range(self._candidate_count))
+
+    def reset(self) -> None:
+        self._window.reset()
+        self._history.clear()
+
+    def observe_packet(self, time: float, packet: Packet) -> None:
+        self._window.observe(time)
+
+    def dormancy_wait(self, now: float) -> float | None:
+        if self._model is None:
+            raise RuntimeError("MakeIdlePolicy.prepare() must be called before use")
+        if not self._window.is_warm(self._min_samples):
+            self._history.append(WaitDecision(now, None, 0.0))
+            return None
+        wait, gain = self.best_wait()
+        decision = WaitDecision(now, wait if gain > 0 else None, gain)
+        self._history.append(decision)
+        return decision.wait
+
+    # -- the decision computation ------------------------------------------------------------
+
+    def best_wait(self) -> tuple[float, float]:
+        """Return ``(t_wait*, f(t_wait*))`` under the current window.
+
+        ``f`` is the expected status-quo cost minus the expected cost of
+        waiting then switching; a positive value means switching is expected
+        to pay off.
+        """
+        model = self._model
+        if model is None:
+            raise RuntimeError("MakeIdlePolicy.prepare() must be called before use")
+        gaps = self._window.samples
+        if not gaps:
+            return 0.0, 0.0
+        status_quo_cost = sum(model.tail_energy(g) for g in gaps) / len(gaps)
+        best_wait = self._candidates[0]
+        best_gain = float("-inf")
+        for wait in self._candidates:
+            cost = self._wait_then_switch_cost(wait, gaps)
+            gain = status_quo_cost - cost
+            if gain > best_gain:
+                best_gain = gain
+                best_wait = wait
+        return best_wait, best_gain
+
+    def expected_gain(self, wait: float) -> float:
+        """``f(wait)`` for an arbitrary waiting time (diagnostic helper)."""
+        model = self._model
+        if model is None:
+            raise RuntimeError("MakeIdlePolicy.prepare() must be called before use")
+        gaps = self._window.samples
+        if not gaps:
+            return 0.0
+        status_quo_cost = sum(model.tail_energy(g) for g in gaps) / len(gaps)
+        return status_quo_cost - self._wait_then_switch_cost(wait, gaps)
+
+    def conditional_no_packet_probability(self, wait: float) -> float:
+        """The paper's ``P(t_wait)``: P(no packet in wait + t_threshold | none in wait)."""
+        threshold = self.t_threshold
+        return self._window.probability_no_packet(wait, threshold)
+
+    def _wait_then_switch_cost(self, wait: float, gaps: Sequence[float]) -> float:
+        """Expected cost of waiting ``wait`` seconds then demoting, under ``gaps``."""
+        model = self._model
+        assert model is not None
+        total = 0.0
+        switch_cost = model.switch_energy
+        for gap in gaps:
+            if gap <= wait:
+                # The next packet arrives before we would have switched: we
+                # pay the tail until it arrives and no switch happens.
+                total += model.wait_energy(gap)
+            else:
+                total += model.wait_energy(wait) + switch_cost
+        return total / len(gaps)

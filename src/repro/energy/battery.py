@@ -1,0 +1,244 @@
+"""Battery model and lifetime projection.
+
+The paper's conclusion puts its savings in perspective by projecting battery
+lifetime: the Nexus S loses about 7.3 hours of lifetime when using 3G instead
+of 2G, so saving 66 % of the radio energy "might correspond to an increase in
+lifetime by about 66 % of 7.3 hours, or about 4.8 hours".  This module makes
+that projection explicit and reusable:
+
+* :class:`Battery` describes a device battery (capacity, voltage).
+* :class:`DevicePowerBudget` splits the device's average power draw into the
+  radio component (which our policies reduce) and the rest of the platform
+  (CPU, screen, …) which is unaffected.
+* :func:`project_lifetime` converts a simulated
+  :class:`~repro.energy.accounting.EnergyBreakdown` (or a savings fraction)
+  into battery-lifetime hours, and :func:`lifetime_extension` reports the
+  gain over the status quo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accounting import EnergyBreakdown
+
+__all__ = [
+    "Battery",
+    "DevicePowerBudget",
+    "LifetimeProjection",
+    "GALAXY_NEXUS_BATTERY",
+    "NEXUS_S_BATTERY",
+    "project_lifetime",
+    "lifetime_extension",
+    "paper_lifetime_estimate",
+]
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A device battery described by its nominal capacity and voltage.
+
+    Attributes
+    ----------
+    capacity_mah:
+        Nominal capacity in milliamp-hours.
+    voltage_v:
+        Nominal cell voltage in volts (Li-ion phones are ≈3.7 V).
+    """
+
+    capacity_mah: float
+    voltage_v: float = 3.7
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError(f"capacity_mah must be positive, got {self.capacity_mah}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage_v must be positive, got {self.voltage_v}")
+
+    @property
+    def capacity_j(self) -> float:
+        """Total stored energy in joules (capacity × voltage)."""
+        return self.capacity_mah / 1000.0 * self.voltage_v * 3600.0
+
+    @property
+    def capacity_wh(self) -> float:
+        """Total stored energy in watt-hours."""
+        return self.capacity_j / 3600.0
+
+    def hours_at_power(self, power_w: float) -> float:
+        """How long the battery lasts at a constant drain of ``power_w`` watts."""
+        if power_w <= 0:
+            raise ValueError(f"power_w must be positive, got {power_w}")
+        return self.capacity_j / power_w / 3600.0
+
+
+#: Battery of the Galaxy Nexus used in the paper's Verizon measurements.
+GALAXY_NEXUS_BATTERY = Battery(capacity_mah=1750.0)
+
+#: Battery of the Nexus S used in the paper's T-Mobile measurements and in the
+#: conclusion's lifetime estimate.
+NEXUS_S_BATTERY = Battery(capacity_mah=1500.0)
+
+
+@dataclass(frozen=True)
+class DevicePowerBudget:
+    """Average device power split into radio and non-radio components.
+
+    The policies in this library only change the radio component; screen,
+    CPU and other platform draw is unaffected, so lifetime projections must
+    keep the two separate.
+
+    Attributes
+    ----------
+    radio_power_w:
+        Average power of the cellular radio under the status quo, watts.
+    platform_power_w:
+        Average power of everything else (CPU, screen, sensors), watts.
+    """
+
+    radio_power_w: float
+    platform_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.radio_power_w < 0:
+            raise ValueError("radio_power_w must be non-negative")
+        if self.platform_power_w < 0:
+            raise ValueError("platform_power_w must be non-negative")
+
+    @property
+    def total_power_w(self) -> float:
+        """Total average device power in watts."""
+        return self.radio_power_w + self.platform_power_w
+
+    @property
+    def radio_fraction(self) -> float:
+        """Fraction of total power drawn by the radio (0 when total is 0)."""
+        total = self.total_power_w
+        return self.radio_power_w / total if total > 0 else 0.0
+
+    def with_radio_saving(self, saving_fraction: float) -> "DevicePowerBudget":
+        """Return a budget whose radio power is reduced by ``saving_fraction``.
+
+        ``saving_fraction`` may be negative (a scheme that costs energy);
+        values above 1 are rejected because the radio cannot produce energy.
+        """
+        if saving_fraction > 1.0:
+            raise ValueError(
+                f"saving_fraction must be <= 1, got {saving_fraction}"
+            )
+        return DevicePowerBudget(
+            radio_power_w=self.radio_power_w * (1.0 - saving_fraction),
+            platform_power_w=self.platform_power_w,
+        )
+
+    @classmethod
+    def from_breakdown(
+        cls,
+        breakdown: EnergyBreakdown,
+        duration_s: float,
+        platform_power_w: float = 0.35,
+    ) -> "DevicePowerBudget":
+        """Build a budget from a simulated run's energy breakdown.
+
+        ``duration_s`` is the wall-clock length of the simulated run; the
+        radio power is the breakdown's total energy averaged over it.  The
+        default platform power (0.35 W) approximates an Android phone with
+        the screen mostly off, matching the paper's background-application
+        focus.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {duration_s}")
+        return cls(
+            radio_power_w=breakdown.total_j / duration_s,
+            platform_power_w=platform_power_w,
+        )
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """Battery-lifetime figures for a baseline and an energy-saving scheme."""
+
+    baseline_hours: float
+    scheme_hours: float
+    radio_saving_fraction: float
+
+    @property
+    def extension_hours(self) -> float:
+        """Extra battery hours gained by the scheme."""
+        return self.scheme_hours - self.baseline_hours
+
+    @property
+    def extension_fraction(self) -> float:
+        """Relative lifetime gain (0 when the baseline lifetime is 0)."""
+        if self.baseline_hours <= 0:
+            return 0.0
+        return self.extension_hours / self.baseline_hours
+
+
+def project_lifetime(
+    battery: Battery,
+    budget: DevicePowerBudget,
+    radio_saving_fraction: float,
+) -> LifetimeProjection:
+    """Project battery lifetime before and after applying a radio saving.
+
+    Parameters
+    ----------
+    battery:
+        The device battery.
+    budget:
+        Status-quo power budget (radio + platform).
+    radio_saving_fraction:
+        Fraction of radio energy saved by the scheme (e.g. ``0.66``).
+    """
+    baseline_hours = battery.hours_at_power(budget.total_power_w)
+    saved_budget = budget.with_radio_saving(radio_saving_fraction)
+    if saved_budget.total_power_w <= 0:
+        raise ValueError("scheme would leave the device drawing no power at all")
+    scheme_hours = battery.hours_at_power(saved_budget.total_power_w)
+    return LifetimeProjection(
+        baseline_hours=baseline_hours,
+        scheme_hours=scheme_hours,
+        radio_saving_fraction=radio_saving_fraction,
+    )
+
+
+def lifetime_extension(
+    battery: Battery,
+    baseline: EnergyBreakdown,
+    scheme: EnergyBreakdown,
+    duration_s: float,
+    platform_power_w: float = 0.35,
+) -> LifetimeProjection:
+    """Project the lifetime gain of ``scheme`` over ``baseline``.
+
+    Both breakdowns must come from simulating the *same* trace over the
+    same duration; the radio saving fraction is derived from their totals.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    budget = DevicePowerBudget.from_breakdown(baseline, duration_s, platform_power_w)
+    if baseline.total_j > 0:
+        saving = (baseline.total_j - scheme.total_j) / baseline.total_j
+    else:
+        saving = 0.0
+    return project_lifetime(battery, budget, saving)
+
+
+def paper_lifetime_estimate(
+    saving_fraction: float,
+    radio_lifetime_cost_hours: float = 7.3,
+) -> float:
+    """The paper's back-of-envelope lifetime gain (conclusion, Section 8).
+
+    The Nexus S specification lists a 7.3-hour lifetime difference between
+    2G and 3G talk time; the paper estimates the gain from saving a fraction
+    ``s`` of radio energy as ``s × 7.3`` hours (66 % → ≈4.8 hours).
+    """
+    if not 0.0 <= saving_fraction <= 1.0:
+        raise ValueError(
+            f"saving_fraction must be in [0, 1], got {saving_fraction}"
+        )
+    if radio_lifetime_cost_hours < 0:
+        raise ValueError("radio_lifetime_cost_hours must be non-negative")
+    return saving_fraction * radio_lifetime_cost_hours

@@ -1,0 +1,150 @@
+"""The paper's simplified power model: tail energy E(t) and t_threshold.
+
+Section 4.1 of the paper models the energy spent between two adjacent
+packets separated by ``t`` seconds, under the status-quo RRC timers, as the
+piecewise function
+
+.. math::
+
+    E(t) = \\begin{cases}
+        t \\, P_{t1}                                   & 0 < t \\le t_1 \\\\
+        t_1 P_{t1} + (t - t_1) P_{t2}                  & t_1 < t \\le t_1 + t_2 \\\\
+        t_1 P_{t1} + t_2 P_{t2} + E_{switch}           & t > t_1 + t_2
+    \\end{cases}
+
+where ``P_t1`` and ``P_t2`` are the Active and High-power-idle tail powers
+and ``E_switch`` is the cost of one demotion plus the promotion needed for
+the next packet.  Switching to Idle immediately after the first packet
+instead costs exactly ``E_switch``; it pays off iff ``E_switch < E(t)``,
+and because ``E(t)`` is non-decreasing there is a unique threshold
+``t_threshold`` such that switching wins exactly when ``t > t_threshold``.
+
+:class:`TailEnergyModel` implements ``E(t)``, its derivative-free expected
+value under an empirical gap distribution (used by the online MakeIdle
+predictor), and the closed-form ``t_threshold``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..rrc.profiles import CarrierProfile
+
+__all__ = ["TailEnergyModel", "compute_t_threshold"]
+
+
+@dataclass(frozen=True)
+class TailEnergyModel:
+    """Piecewise tail-energy model ``E(t)`` for one carrier profile."""
+
+    profile: CarrierProfile
+
+    # -- the piecewise model -------------------------------------------------------
+
+    def tail_energy(self, gap: float) -> float:
+        """``E(t)``: energy spent idling between two packets ``gap`` seconds apart.
+
+        Under the status-quo timers the radio stays in Active for up to
+        ``t1`` seconds, then (if the carrier has a FACH-like state) in
+        High-power idle for up to ``t2`` seconds, then demotes to Idle; if
+        the demotion happened, the next packet additionally pays the
+        promotion (the full ``E_switch`` round trip is charged here, as in
+        the paper's formulation).
+        """
+        if gap < 0:
+            raise ValueError(f"gap must be non-negative, got {gap}")
+        p = self.profile
+        if gap <= p.t1:
+            return gap * p.power_active_w
+        if gap <= p.t1 + p.t2:
+            return p.t1 * p.power_active_w + (gap - p.t1) * p.power_high_idle_w
+        full_tail = p.t1 * p.power_active_w + p.t2 * p.power_high_idle_w
+        return full_tail + p.switch_energy_j
+
+    def wait_energy(self, wait: float) -> float:
+        """Energy spent keeping the radio on for ``wait`` seconds after a packet.
+
+        This is the cost MakeIdle pays while it waits to gain confidence
+        that the burst has ended; it follows the same Active→High-idle
+        power schedule as :meth:`tail_energy` but never includes the switch
+        cost (the caller adds ``E_switch`` explicitly when it decides to
+        demote).
+        """
+        if wait < 0:
+            raise ValueError(f"wait must be non-negative, got {wait}")
+        p = self.profile
+        if wait <= p.t1:
+            return wait * p.power_active_w
+        if wait <= p.t1 + p.t2:
+            return p.t1 * p.power_active_w + (wait - p.t1) * p.power_high_idle_w
+        return p.t1 * p.power_active_w + p.t2 * p.power_high_idle_w
+
+    @property
+    def switch_energy(self) -> float:
+        """``E_switch``: demote-then-promote round-trip energy, joules."""
+        return self.profile.switch_energy_j
+
+    @property
+    def full_tail_energy(self) -> float:
+        """Energy of riding out both inactivity timers once (no switch cost)."""
+        p = self.profile
+        return p.t1 * p.power_active_w + p.t2 * p.power_high_idle_w
+
+    # -- the offline-optimal threshold ------------------------------------------------
+
+    @property
+    def t_threshold(self) -> float:
+        """The gap above which demoting immediately beats staying on.
+
+        Solves ``E(t) = E_switch`` on the piecewise-linear model.  If the
+        switch energy exceeds even the full tail (pathological profile),
+        the threshold is the total timeout ``t1 + t2`` — switching then
+        only wins when the status quo would have switched anyway.
+        """
+        p = self.profile
+        e_switch = p.switch_energy_j
+        if p.power_active_w > 0 and e_switch <= p.t1 * p.power_active_w:
+            return e_switch / p.power_active_w
+        remaining = e_switch - p.t1 * p.power_active_w
+        if p.power_high_idle_w > 0 and remaining <= p.t2 * p.power_high_idle_w:
+            return p.t1 + remaining / p.power_high_idle_w
+        return p.t1 + p.t2
+
+    def switch_beneficial(self, gap: float) -> bool:
+        """Whether demoting immediately saves energy for a gap of ``gap`` seconds."""
+        return gap > self.t_threshold
+
+    # -- expectations under an empirical gap distribution -----------------------------
+
+    def expected_no_switch_energy(self, gaps: Iterable[float]) -> float:
+        """E[E_no_switch]: expected status-quo tail energy under observed gaps.
+
+        This approximates the integral in the paper's Equation (1) with the
+        empirical distribution of the recent inter-arrival times; gaps longer
+        than ``t1 + t2`` contribute the full capped tail (the integral's
+        upper limit).
+        """
+        gap_list = [g for g in gaps if g >= 0]
+        if not gap_list:
+            return 0.0
+        cap = self.profile.t1 + self.profile.t2
+        total = sum(self.wait_energy(min(g, cap)) for g in gap_list)
+        return total / len(gap_list)
+
+    def expected_wait_switch_energy(self, wait: float) -> float:
+        """E[E_wait_switch]: cost of waiting ``wait`` seconds and then demoting."""
+        return self.switch_energy + self.wait_energy(wait)
+
+    def expected_gain(self, wait: float, gaps: Sequence[float]) -> float:
+        """``f(t_wait)`` from the paper: expected saving of wait-then-switch.
+
+        Positive values mean that waiting ``wait`` seconds and then issuing
+        fast dormancy is expected to beat letting the inactivity timers run.
+        """
+        return self.expected_no_switch_energy(gaps) - self.expected_wait_switch_energy(wait)
+
+
+def compute_t_threshold(profile: CarrierProfile) -> float:
+    """Convenience wrapper returning :attr:`TailEnergyModel.t_threshold`."""
+    return TailEnergyModel(profile).t_threshold

@@ -1,0 +1,100 @@
+"""False-switch / missed-switch analysis against the Oracle (Figure 12).
+
+The paper explains MakeIdle's advantage over the fixed baselines by counting
+how often each scheme's demotion decisions disagree with the offline-optimal
+(Oracle) decision:
+
+* a **false switch** (false positive) is a gap for which the scheme demoted
+  the radio but the Oracle would have kept it Active (the gap was shorter
+  than ``t_threshold``) — it wastes switch energy and signalling;
+* a **missed switch** (false negative) is a gap for which the Oracle demotes
+  but the scheme kept the radio on — it wastes tail energy.
+
+The rates are normalised the way the paper defines them:
+``FP = N_FS / (N_FS + N_TN)`` and ``FN = N_MS / (N_MS + N_TP)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..sim.results import GapDecision, SimulationResult
+
+__all__ = ["ConfusionCounts", "confusion_from_decisions", "confusion_for_result"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Counts of agreement/disagreement between a scheme and the Oracle."""
+
+    true_positive: int
+    true_negative: int
+    false_switch: int
+    missed_switch: int
+
+    @property
+    def total(self) -> int:
+        """Total number of decisions compared."""
+        return (
+            self.true_positive
+            + self.true_negative
+            + self.false_switch
+            + self.missed_switch
+        )
+
+    @property
+    def false_switch_rate(self) -> float:
+        """False positives over (false positives + true negatives), in [0, 1]."""
+        denominator = self.false_switch + self.true_negative
+        return self.false_switch / denominator if denominator else 0.0
+
+    @property
+    def missed_switch_rate(self) -> float:
+        """False negatives over (false negatives + true positives), in [0, 1]."""
+        denominator = self.missed_switch + self.true_positive
+        return self.missed_switch / denominator if denominator else 0.0
+
+    @property
+    def false_switch_percent(self) -> float:
+        """False-switch rate as a percentage (as plotted in Figure 12)."""
+        return 100.0 * self.false_switch_rate
+
+    @property
+    def missed_switch_percent(self) -> float:
+        """Missed-switch rate as a percentage (as plotted in Figure 12)."""
+        return 100.0 * self.missed_switch_rate
+
+
+def confusion_from_decisions(
+    decisions: Sequence[GapDecision], t_threshold: float
+) -> ConfusionCounts:
+    """Compare per-gap demotion decisions against the threshold rule.
+
+    The Oracle demotes exactly when the gap exceeds ``t_threshold``; each
+    :class:`GapDecision` records whether the scheme actually demoted within
+    that gap.
+    """
+    if t_threshold < 0:
+        raise ValueError(f"t_threshold must be non-negative, got {t_threshold}")
+    tp = tn = fp = fn = 0
+    for decision in decisions:
+        oracle_switches = decision.gap > t_threshold
+        if decision.switched and oracle_switches:
+            tp += 1
+        elif decision.switched and not oracle_switches:
+            fp += 1
+        elif not decision.switched and oracle_switches:
+            fn += 1
+        else:
+            tn += 1
+    return ConfusionCounts(
+        true_positive=tp, true_negative=tn, false_switch=fp, missed_switch=fn
+    )
+
+
+def confusion_for_result(
+    result: SimulationResult, t_threshold: float
+) -> ConfusionCounts:
+    """Confusion counts of one simulated run against the Oracle rule."""
+    return confusion_from_decisions(result.gap_decisions, t_threshold)

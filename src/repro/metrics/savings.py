@@ -1,0 +1,68 @@
+"""Energy-saving metrics relative to the status quo.
+
+Every energy result in the paper is expressed as the percentage of energy
+saved compared with the status quo (the carrier's default inactivity
+timers) on the same trace:  ``100 * (E_statusquo - E_scheme) / E_statusquo``.
+The helpers here compute that for single runs and for dictionaries of runs
+keyed by scheme, which is the shape the figure benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..sim.results import SimulationResult
+
+__all__ = ["SavingsReport", "energy_saved_percent", "savings_table"]
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Energy and overhead of one scheme relative to the status-quo run."""
+
+    scheme: str
+    energy_j: float
+    baseline_energy_j: float
+    saved_percent: float
+    switch_count: int
+    baseline_switch_count: int
+    switches_normalized: float
+    saved_per_switch_j: float
+    mean_delay_s: float
+    median_delay_s: float
+
+    @property
+    def saved_j(self) -> float:
+        """Absolute saving in joules."""
+        return self.baseline_energy_j - self.energy_j
+
+
+def energy_saved_percent(
+    result: SimulationResult, baseline: SimulationResult
+) -> float:
+    """Percentage of the status-quo energy that ``result`` saves (may be negative)."""
+    return 100.0 * result.energy_saved_fraction(baseline)
+
+
+def compare(result: SimulationResult, baseline: SimulationResult) -> SavingsReport:
+    """Build the full :class:`SavingsReport` of one scheme against the baseline."""
+    return SavingsReport(
+        scheme=result.policy_name,
+        energy_j=result.total_energy_j,
+        baseline_energy_j=baseline.total_energy_j,
+        saved_percent=energy_saved_percent(result, baseline),
+        switch_count=result.switch_count,
+        baseline_switch_count=baseline.switch_count,
+        switches_normalized=result.switches_normalized(baseline),
+        saved_per_switch_j=result.energy_saved_per_switch(baseline),
+        mean_delay_s=result.mean_delay,
+        median_delay_s=result.median_delay,
+    )
+
+
+def savings_table(
+    results: Mapping[str, SimulationResult], baseline: SimulationResult
+) -> dict[str, SavingsReport]:
+    """Compare every scheme in ``results`` against the status-quo ``baseline``."""
+    return {name: compare(result, baseline) for name, result in results.items()}

@@ -1,0 +1,172 @@
+"""The paper's quantitative claims, and checks of measured results against them.
+
+Reproduction is about *shape*, not exact numbers: our substrate is a
+simulator fed synthetic workloads, not the authors' phones and users.  Each
+:class:`PaperClaim` therefore records the claim as a band — the value the
+paper reports plus an acceptance interval wide enough that the qualitative
+conclusion ("MakeIdle saves more than half the energy", "MakeActive brings
+switches back to the status quo") still holds at its edges.
+:func:`check_claims` evaluates measured values against those bands and is
+what EXPERIMENTS.md and the headline benchmark assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+__all__ = ["PaperClaim", "ClaimCheck", "PAPER_CLAIMS", "check_claims"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One quantitative statement from the paper, with an acceptance band."""
+
+    key: str
+    description: str
+    source: str
+    paper_value: float
+    accept_low: float
+    accept_high: float
+    unit: str = "%"
+
+    def __post_init__(self) -> None:
+        if self.accept_low > self.accept_high:
+            raise ValueError(
+                f"claim {self.key!r}: accept_low must be <= accept_high"
+            )
+
+    def within_band(self, measured: float) -> bool:
+        """Whether a measured value falls inside the acceptance band."""
+        return self.accept_low <= measured <= self.accept_high
+
+
+@dataclass(frozen=True)
+class ClaimCheck:
+    """Outcome of checking one measured value against one claim."""
+
+    claim: PaperClaim
+    measured: float
+
+    @property
+    def passed(self) -> bool:
+        """Whether the measured value is inside the claim's acceptance band."""
+        return self.claim.within_band(self.measured)
+
+    @property
+    def deviation(self) -> float:
+        """Measured minus paper value (same unit as the claim)."""
+        return self.measured - self.claim.paper_value
+
+
+#: The headline quantitative claims of the paper, keyed by a short name used
+#: by the benchmark harness and EXPERIMENTS.md.  Savings claims are expressed
+#: in percent, switch-count claims as a multiple of the status quo, delay
+#: claims in seconds.
+PAPER_CLAIMS: dict[str, PaperClaim] = {
+    claim.key: claim
+    for claim in (
+        PaperClaim(
+            key="makeidle_3g_savings_low",
+            description="MakeIdle energy saving across 3G carriers (lower end)",
+            source="Abstract / Section 6.5 (Figure 17)",
+            paper_value=51.0,
+            accept_low=35.0,
+            accept_high=80.0,
+        ),
+        PaperClaim(
+            key="makeidle_3g_savings_high",
+            description="MakeIdle energy saving across 3G carriers (upper end)",
+            source="Abstract / Section 6.5 (Figure 17)",
+            paper_value=66.0,
+            accept_low=45.0,
+            accept_high=85.0,
+        ),
+        PaperClaim(
+            key="makeidle_lte_savings",
+            description="MakeIdle energy saving on Verizon LTE",
+            source="Abstract / Section 6.5 (Figure 17)",
+            paper_value=67.0,
+            accept_low=45.0,
+            accept_high=85.0,
+        ),
+        PaperClaim(
+            key="combined_3g_savings_high",
+            description="MakeIdle+MakeActive saving, best 3G carrier (Verizon 3G)",
+            source="Abstract / Section 6.5 (Figure 17)",
+            paper_value=75.0,
+            accept_low=50.0,
+            accept_high=90.0,
+        ),
+        PaperClaim(
+            key="combined_lte_savings",
+            description="MakeIdle+MakeActive energy saving on Verizon LTE",
+            source="Abstract / Section 6.5 (Figure 17)",
+            paper_value=71.0,
+            accept_low=50.0,
+            accept_high=95.0,
+        ),
+        PaperClaim(
+            key="makeidle_switch_overhead_max",
+            description="MakeIdle switch count relative to status quo (at most)",
+            source="Section 6.5 (Figure 18): less than 3.1x",
+            paper_value=3.1,
+            accept_low=1.0,
+            accept_high=6.0,
+            unit="x status quo",
+        ),
+        PaperClaim(
+            key="combined_switch_overhead",
+            description="MakeIdle+MakeActive switch count relative to status quo",
+            source="Section 6.5 (Figure 18): about 1.33x or less",
+            paper_value=1.33,
+            accept_low=0.3,
+            accept_high=2.0,
+            unit="x status quo",
+        ),
+        PaperClaim(
+            key="makeactive_median_delay",
+            description="Median session delay introduced by MakeActive (Verizon 3G)",
+            source="Section 6.5 / Table 3: 4.48 s median",
+            paper_value=4.48,
+            accept_low=0.5,
+            accept_high=12.0,
+            unit="s",
+        ),
+        PaperClaim(
+            key="energy_model_error",
+            description="Energy estimator error vs reference measurement",
+            source="Section 6.1 / Figure 8: within 10%",
+            paper_value=10.0,
+            accept_low=0.0,
+            accept_high=15.0,
+        ),
+        PaperClaim(
+            key="tail_energy_fraction",
+            description="Share of 3G energy spent in tail states (background apps)",
+            source="Section 1 / Figure 1: about 60% or more",
+            paper_value=60.0,
+            accept_low=40.0,
+            accept_high=95.0,
+        ),
+    )
+}
+
+
+def check_claims(
+    measured: Mapping[str, float],
+    claims: Mapping[str, PaperClaim] = PAPER_CLAIMS,
+) -> list[ClaimCheck]:
+    """Check measured values against the paper's claims.
+
+    Only claims present in ``measured`` are checked; unknown measurement keys
+    raise, because a silently ignored measurement usually means a typo in the
+    harness.
+    """
+    unknown = sorted(set(measured) - set(claims))
+    if unknown:
+        raise KeyError(f"measurements with no matching claim: {unknown}")
+    return [
+        ClaimCheck(claim=claims[key], measured=value)
+        for key, value in measured.items()
+    ]

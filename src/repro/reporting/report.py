@@ -1,0 +1,73 @@
+"""Markdown report generators (the machinery behind EXPERIMENTS.md).
+
+Two levels are provided:
+
+* :func:`headline_report` — a compact paper-vs-measured table for the
+  abstract's headline numbers, built from the output of
+  :func:`repro.analysis.experiments.headline_savings` and
+  :func:`repro.analysis.experiments.carrier_comparison`;
+* :func:`experiments_report` — a full markdown document with one section per
+  reproduced table/figure, given pre-computed measurement dictionaries (the
+  benchmark harness produces these; the CLI's ``report`` command wires the
+  two together).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .claims import PAPER_CLAIMS, ClaimCheck, check_claims
+from .render import format_markdown_table
+
+__all__ = ["headline_report", "experiments_report"]
+
+
+def _claim_rows(checks: Sequence[ClaimCheck]) -> list[list[object]]:
+    rows: list[list[object]] = []
+    for check in checks:
+        claim = check.claim
+        rows.append(
+            [
+                claim.key,
+                claim.description,
+                f"{claim.paper_value:g} {claim.unit}",
+                f"{check.measured:.2f} {claim.unit}",
+                "yes" if check.passed else "NO",
+            ]
+        )
+    return rows
+
+
+def headline_report(measured: Mapping[str, float]) -> str:
+    """Markdown table comparing measured headline numbers with the paper's.
+
+    ``measured`` maps claim keys (see
+    :data:`repro.reporting.claims.PAPER_CLAIMS`) to measured values.
+    """
+    checks = check_claims(measured)
+    table = format_markdown_table(
+        ["claim", "description", "paper", "measured", "within band"],
+        _claim_rows(checks),
+    )
+    passed = sum(1 for c in checks if c.passed)
+    summary = f"{passed}/{len(checks)} headline claims reproduced within their bands."
+    return f"{table}\n\n{summary}\n"
+
+
+def experiments_report(
+    sections: Sequence[tuple[str, str]],
+    measured: Mapping[str, float] | None = None,
+    title: str = "Experiment reproduction record",
+) -> str:
+    """Assemble a full markdown report.
+
+    ``sections`` is a list of ``(heading, markdown_body)`` pairs, one per
+    reproduced table or figure; when ``measured`` is given a headline
+    paper-vs-measured section is prepended.
+    """
+    parts: list[str] = [f"# {title}", ""]
+    if measured:
+        parts.extend(["## Headline claims", "", headline_report(measured), ""])
+    for heading, body in sections:
+        parts.extend([f"## {heading}", "", body.rstrip(), ""])
+    return "\n".join(parts).rstrip() + "\n"

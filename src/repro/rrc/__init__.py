@@ -1,0 +1,66 @@
+"""RRC substrate: radio states, carrier profiles, state machine, fast dormancy."""
+
+from .drx import (
+    DEFAULT_LTE_DRX,
+    DrxConfig,
+    DrxPhase,
+    drx_timeline,
+    effective_tail_power,
+    profile_with_drx,
+)
+from .fast_dormancy import (
+    SENSITIVITY_FRACTIONS,
+    FastDormancyModel,
+    dormancy_fraction_sweep,
+)
+from .signaling import (
+    LTE_SIGNALING_COSTS,
+    UMTS_SIGNALING_COSTS,
+    SignalingCosts,
+    SignalingLoad,
+    compare_signaling,
+    count_messages,
+    signaling_costs_for,
+    signaling_load,
+)
+from .profiles import (
+    CARRIER_ORDER,
+    CARRIER_PROFILES,
+    DEFAULT_DORMANCY_FRACTION,
+    CarrierProfile,
+    get_profile,
+)
+from .state_machine import RrcStateMachine, StateInterval, SwitchEvent, SwitchKind
+from .states import RadioState, Technology, state_name
+
+__all__ = [
+    "CARRIER_ORDER",
+    "DEFAULT_LTE_DRX",
+    "DrxConfig",
+    "DrxPhase",
+    "LTE_SIGNALING_COSTS",
+    "SignalingCosts",
+    "SignalingLoad",
+    "UMTS_SIGNALING_COSTS",
+    "compare_signaling",
+    "count_messages",
+    "drx_timeline",
+    "effective_tail_power",
+    "profile_with_drx",
+    "signaling_costs_for",
+    "signaling_load",
+    "CARRIER_PROFILES",
+    "CarrierProfile",
+    "DEFAULT_DORMANCY_FRACTION",
+    "FastDormancyModel",
+    "RadioState",
+    "RrcStateMachine",
+    "SENSITIVITY_FRACTIONS",
+    "StateInterval",
+    "SwitchEvent",
+    "SwitchKind",
+    "Technology",
+    "dormancy_fraction_sweep",
+    "get_profile",
+    "state_name",
+]

@@ -1,0 +1,212 @@
+"""LTE connected-mode DRX (discontinuous reception) extension.
+
+The paper's LTE model (Figure 2(b)) collapses RRC_CONNECTED into a single
+Active state and notes that the standard's connected-mode *substates* —
+continuous reception, Short DRX and Long DRX (Huang et al., MobiSys 2012,
+the paper's reference [8]) — "are not relevant" to its analysis because the
+tail power it measured already averages over them.  This module implements
+those substates explicitly so that:
+
+* the simplification can be quantified (:func:`effective_tail_power`
+  computes the duty-cycled average power the single-state model should use);
+* ablation studies can run the library's policies against an LTE profile
+  whose tail power is derived from a DRX configuration instead of a single
+  measured constant (:func:`profile_with_drx`).
+
+The DRX model is intentionally the standard textbook one: after the last
+data activity the UE listens continuously for ``inactivity_timer`` seconds,
+then cycles through Short DRX (waking for ``on_duration`` every
+``short_cycle`` seconds) for ``short_cycle_timer`` seconds, then Long DRX
+(same on-duration every ``long_cycle`` seconds) until the RRC inactivity
+timer releases the connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .profiles import CarrierProfile
+from .states import Technology
+
+__all__ = [
+    "DrxConfig",
+    "DrxPhase",
+    "DEFAULT_LTE_DRX",
+    "drx_timeline",
+    "effective_tail_power",
+    "profile_with_drx",
+]
+
+
+@dataclass(frozen=True)
+class DrxConfig:
+    """Connected-mode DRX parameters (all times in seconds).
+
+    Attributes
+    ----------
+    inactivity_timer:
+        Continuous-reception time after the last data activity before Short
+        DRX starts.
+    on_duration:
+        Time the receiver is awake at the start of each DRX cycle.
+    short_cycle:
+        Length of one Short DRX cycle.
+    short_cycle_timer:
+        How long the UE stays in Short DRX before moving to Long DRX.
+    long_cycle:
+        Length of one Long DRX cycle.
+    sleep_power_fraction:
+        Receiver power while "asleep" inside a DRX cycle, as a fraction of
+        the awake (continuous-reception) power.  Non-zero because the RF
+        chain is only partly gated.
+    """
+
+    inactivity_timer: float = 0.1
+    on_duration: float = 0.01
+    short_cycle: float = 0.02
+    short_cycle_timer: float = 0.4
+    long_cycle: float = 0.32
+    sleep_power_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.inactivity_timer < 0:
+            raise ValueError("inactivity_timer must be non-negative")
+        if self.on_duration <= 0:
+            raise ValueError("on_duration must be positive")
+        if self.short_cycle < self.on_duration:
+            raise ValueError("short_cycle must be at least on_duration")
+        if self.long_cycle < self.on_duration:
+            raise ValueError("long_cycle must be at least on_duration")
+        if self.short_cycle_timer < 0:
+            raise ValueError("short_cycle_timer must be non-negative")
+        if not 0.0 <= self.sleep_power_fraction <= 1.0:
+            raise ValueError("sleep_power_fraction must be in [0, 1]")
+
+    @property
+    def short_duty_cycle(self) -> float:
+        """Fraction of a Short DRX cycle the receiver is awake."""
+        return min(1.0, self.on_duration / self.short_cycle)
+
+    @property
+    def long_duty_cycle(self) -> float:
+        """Fraction of a Long DRX cycle the receiver is awake."""
+        return min(1.0, self.on_duration / self.long_cycle)
+
+    def awake_fraction_at(self, elapsed: float) -> float:
+        """Average awake fraction of the phase active ``elapsed`` seconds after data.
+
+        Returns 1.0 during continuous reception, the short duty cycle during
+        Short DRX, and the long duty cycle afterwards.
+        """
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed}")
+        if elapsed < self.inactivity_timer:
+            return 1.0
+        if elapsed < self.inactivity_timer + self.short_cycle_timer:
+            return self.short_duty_cycle
+        return self.long_duty_cycle
+
+
+#: A typical LTE DRX configuration (values in line with deployed networks
+#: and with the measurements in Huang et al. [8]).
+DEFAULT_LTE_DRX = DrxConfig()
+
+
+@dataclass(frozen=True)
+class DrxPhase:
+    """One phase of the post-activity DRX schedule."""
+
+    name: str
+    start: float
+    end: float
+    awake_fraction: float
+
+    @property
+    def duration(self) -> float:
+        """Length of the phase in seconds."""
+        return self.end - self.start
+
+
+def drx_timeline(config: DrxConfig, tail_length: float) -> list[DrxPhase]:
+    """Phases the UE passes through in a tail of ``tail_length`` seconds.
+
+    The tail starts at the last data activity and ends when the RRC
+    inactivity timer releases the connection (the carrier's ``t1``).
+    """
+    if tail_length < 0:
+        raise ValueError(f"tail_length must be non-negative, got {tail_length}")
+    phases: list[DrxPhase] = []
+    boundaries = (
+        ("continuous", 0.0, config.inactivity_timer, 1.0),
+        (
+            "short_drx",
+            config.inactivity_timer,
+            config.inactivity_timer + config.short_cycle_timer,
+            config.short_duty_cycle,
+        ),
+        (
+            "long_drx",
+            config.inactivity_timer + config.short_cycle_timer,
+            float("inf"),
+            config.long_duty_cycle,
+        ),
+    )
+    for name, start, end, fraction in boundaries:
+        if start >= tail_length:
+            break
+        phases.append(
+            DrxPhase(
+                name=name,
+                start=start,
+                end=min(end, tail_length),
+                awake_fraction=fraction,
+            )
+        )
+    return phases
+
+
+def effective_tail_power(
+    config: DrxConfig,
+    awake_power_w: float,
+    tail_length: float,
+) -> float:
+    """Average connected-mode tail power over a tail of ``tail_length`` seconds.
+
+    The awake power is drawn for the awake fraction of each phase and
+    ``sleep_power_fraction`` of it for the remainder; averaging over the
+    whole tail yields the single "P_t1" constant the paper's model uses.
+    """
+    if awake_power_w < 0:
+        raise ValueError("awake_power_w must be non-negative")
+    if tail_length <= 0:
+        raise ValueError(f"tail_length must be positive, got {tail_length}")
+    sleep_power = awake_power_w * config.sleep_power_fraction
+    energy = 0.0
+    for phase in drx_timeline(config, tail_length):
+        average = (
+            phase.awake_fraction * awake_power_w
+            + (1.0 - phase.awake_fraction) * sleep_power
+        )
+        energy += average * phase.duration
+    return energy / tail_length
+
+
+def profile_with_drx(
+    profile: CarrierProfile,
+    config: DrxConfig = DEFAULT_LTE_DRX,
+    awake_power_w: float | None = None,
+) -> CarrierProfile:
+    """Return an LTE profile whose tail power is derived from a DRX schedule.
+
+    ``awake_power_w`` defaults to the profile's receive power (the radio is
+    listening during the on-durations); the derived average replaces the
+    profile's measured ``P_t1``.  Only meaningful for LTE profiles — 3G
+    profiles are returned unchanged apart from a :class:`ValueError` guard.
+    """
+    if profile.technology is not Technology.LTE:
+        raise ValueError(
+            f"DRX applies to LTE profiles only, got {profile.technology!r}"
+        )
+    awake = awake_power_w if awake_power_w is not None else profile.power_recv_w
+    average_w = effective_tail_power(config, awake, profile.t1)
+    return replace(profile, power_active_mw=average_w * 1000.0)

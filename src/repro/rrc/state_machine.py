@@ -1,0 +1,334 @@
+"""Discrete-event RRC state machine driven by packet activity.
+
+The machine reproduces the behaviour in Figure 2 of the paper:
+
+* data activity keeps (or puts) the radio in the **Active** state
+  (CELL_DCH / RRC_CONNECTED);
+* after ``t1`` seconds without activity the network demotes the radio to the
+  **High-power idle** state (CELL_FACH) — carriers without such a state
+  (Verizon 3G, LTE) skip straight to Idle;
+* after a further ``t2`` seconds of inactivity the radio is demoted to
+  **Idle** (CELL_PCH / IDLE / RRC_IDLE);
+* a device supporting fast dormancy may request the demotion to Idle early;
+* any activity while Idle triggers a **promotion** back to Active, which
+  costs time, energy, and signalling.
+
+The machine maintains a timeline of :class:`StateInterval` records (which
+state the radio occupied over which span of trace time) and a list of
+:class:`SwitchEvent` records (each promotion or demotion with its energy
+cost).  The energy accounting in :mod:`repro.energy` integrates state power
+over the timeline and adds the switch energies, exactly as the paper's
+simplified power model (Figure 5) does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+from .profiles import CarrierProfile
+from .states import RadioState
+
+__all__ = [
+    "StateInterval",
+    "SwitchEvent",
+    "SwitchKind",
+    "RrcStateMachine",
+]
+
+
+class SwitchKind(Enum):
+    """Why a state switch happened."""
+
+    PROMOTION = "promotion"          # Idle -> Active, triggered by traffic
+    TIMER_DEMOTION = "timer_demotion"  # Active/High-idle -> next state, by timer
+    FAST_DORMANCY = "fast_dormancy"    # Active/High-idle -> Idle, by device request
+
+
+@dataclass(frozen=True)
+class StateInterval:
+    """The radio occupied ``state`` from ``start`` to ``end`` (trace time)."""
+
+    start: float
+    end: float
+    state: RadioState
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"interval end ({self.end}) must be >= start ({self.start})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval in seconds."""
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class SwitchEvent:
+    """One radio state switch and its fixed cost."""
+
+    time: float
+    kind: SwitchKind
+    from_state: RadioState
+    to_state: RadioState
+    energy_j: float
+    delay_s: float
+
+    @property
+    def is_promotion(self) -> bool:
+        """True when this switch brought the radio from Idle to Active."""
+        return self.kind is SwitchKind.PROMOTION
+
+    @property
+    def is_demotion(self) -> bool:
+        """True when this switch lowered the radio's power state."""
+        return not self.is_promotion
+
+
+class RrcStateMachine:
+    """Simulates the RRC machine of one carrier for one device.
+
+    The machine is advanced by two kinds of calls:
+
+    * :meth:`notify_activity` — a packet was sent or received at a given
+      time; the machine first applies any timer-based demotions that would
+      have happened since the previous event, then promotes the radio if it
+      was Idle.
+    * :meth:`request_fast_dormancy` — the control module asks the base
+      station to release the channel now (the paper's simplified model
+      assumes the request is always granted).
+
+    Finally :meth:`finish` closes the timeline at the end of the trace.
+    Times must be non-decreasing across calls.
+    """
+
+    def __init__(self, profile: CarrierProfile, start_time: float = 0.0,
+                 initial_state: RadioState = RadioState.IDLE) -> None:
+        self._profile = profile
+        self._state = initial_state
+        self._segment_start = start_time
+        self._last_activity = start_time
+        self._now = start_time
+        self._intervals: list[StateInterval] = []
+        self._switches: list[SwitchEvent] = []
+        self._finished = False
+
+    # -- public read-only views -----------------------------------------------------
+
+    @property
+    def profile(self) -> CarrierProfile:
+        """The carrier profile driving timers and costs."""
+        return self._profile
+
+    @property
+    def state(self) -> RadioState:
+        """Current radio state (as of the last processed event)."""
+        return self._state
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently processed event."""
+        return self._now
+
+    @property
+    def intervals(self) -> Sequence[StateInterval]:
+        """Timeline of completed state intervals."""
+        return tuple(self._intervals)
+
+    @property
+    def switches(self) -> Sequence[SwitchEvent]:
+        """All state switches recorded so far."""
+        return tuple(self._switches)
+
+    @property
+    def promotion_count(self) -> int:
+        """Number of Idle→Active promotions so far."""
+        return sum(1 for s in self._switches if s.is_promotion)
+
+    @property
+    def demotion_count(self) -> int:
+        """Number of demotions (timer or fast dormancy) so far."""
+        return sum(1 for s in self._switches if s.is_demotion)
+
+    @property
+    def switch_count(self) -> int:
+        """Total number of state switches so far."""
+        return len(self._switches)
+
+    @property
+    def idle_since_last_activity(self) -> float:
+        """Seconds elapsed since the last data activity."""
+        return self._now - self._last_activity
+
+    # -- state transitions ------------------------------------------------------------
+
+    def state_at(self, time: float) -> RadioState:
+        """Return the state the radio *would* be in at ``time`` with no new activity.
+
+        Does not mutate the machine; useful for policies peeking ahead.
+        """
+        self._check_time(time)
+        if self._state not in (RadioState.ACTIVE, RadioState.HIGH_IDLE):
+            return self._state
+        idle_for = time - self._last_activity
+        if self._state is RadioState.ACTIVE:
+            if self._profile.has_high_idle_state:
+                if idle_for >= self._profile.t1 + self._profile.t2:
+                    return RadioState.IDLE
+                if idle_for >= self._profile.t1:
+                    return RadioState.HIGH_IDLE
+                return RadioState.ACTIVE
+            return RadioState.IDLE if idle_for >= self._profile.t1 else RadioState.ACTIVE
+        # HIGH_IDLE: demote after the remaining t2 counted from entering FACH,
+        # which the timeline records as segment_start.
+        if time - self._segment_start >= self._profile.t2:
+            return RadioState.IDLE
+        return RadioState.HIGH_IDLE
+
+    def advance_to(self, time: float) -> None:
+        """Apply all timer-based demotions up to ``time`` (no new activity)."""
+        self._check_time(time)
+        self._apply_timers(time)
+        self._now = time
+
+    def notify_activity(self, time: float, reset_timer: bool = True) -> bool:
+        """Record data activity at ``time``.
+
+        Applies pending timer demotions first, then promotes the radio if it
+        was Idle (recording a promotion switch) and finally returns the radio
+        to Active.  Returns ``True`` when the activity caused a promotion.
+
+        Parameters
+        ----------
+        time:
+            Trace time of the packet.
+        reset_timer:
+            Whether the activity resets the inactivity timer (always true
+            for real packets; policies may inject synthetic "keep-alive"
+            activity that should not).
+        """
+        self._check_time(time)
+        self._apply_timers(time)
+        promoted = False
+        if self._state is RadioState.IDLE:
+            self._record_switch(
+                time,
+                SwitchKind.PROMOTION,
+                RadioState.IDLE,
+                RadioState.ACTIVE,
+                self._profile.promotion_energy_j,
+                self._profile.promotion_delay_s,
+            )
+            self._transition(time, RadioState.ACTIVE)
+            promoted = True
+        elif self._state is RadioState.HIGH_IDLE:
+            # Returning to the dedicated channel from FACH is cheap and the
+            # paper does not count it as a signalling switch.
+            self._transition(time, RadioState.ACTIVE)
+        self._now = time
+        if reset_timer:
+            self._last_activity = time
+        return promoted
+
+    def request_fast_dormancy(self, time: float) -> bool:
+        """Demote the radio to Idle at ``time`` via fast dormancy.
+
+        Returns ``True`` if a demotion actually happened (the radio was not
+        already Idle).  The demotion is charged the fast-dormancy energy from
+        the profile.
+        """
+        self._check_time(time)
+        self._apply_timers(time)
+        self._now = time
+        if self._state is RadioState.IDLE:
+            return False
+        self._record_switch(
+            time,
+            SwitchKind.FAST_DORMANCY,
+            self._state,
+            RadioState.IDLE,
+            self._profile.demotion_energy_j,
+            self._profile.demotion_delay_s,
+        )
+        self._transition(time, RadioState.IDLE)
+        return True
+
+    def finish(self, end_time: float) -> None:
+        """Close the timeline at ``end_time`` (applying any pending timers)."""
+        self._check_time(end_time)
+        self._apply_timers(end_time)
+        if end_time > self._segment_start:
+            self._intervals.append(
+                StateInterval(self._segment_start, end_time, self._state)
+            )
+            self._segment_start = end_time
+        self._now = end_time
+        self._finished = True
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _check_time(self, time: float) -> None:
+        if self._finished:
+            raise RuntimeError("state machine already finished")
+        if time < self._now:
+            raise ValueError(
+                f"events must be non-decreasing in time: {time} < {self._now}"
+            )
+
+    def _transition(self, time: float, new_state: RadioState) -> None:
+        if time > self._segment_start:
+            self._intervals.append(
+                StateInterval(self._segment_start, time, self._state)
+            )
+        self._state = new_state
+        self._segment_start = time
+
+    def _record_switch(
+        self,
+        time: float,
+        kind: SwitchKind,
+        from_state: RadioState,
+        to_state: RadioState,
+        energy: float,
+        delay: float,
+    ) -> None:
+        self._switches.append(
+            SwitchEvent(time, kind, from_state, to_state, energy, delay)
+        )
+
+    def _apply_timers(self, time: float) -> None:
+        """Insert timer-based demotions that occur strictly before ``time``."""
+        profile = self._profile
+        if self._state is RadioState.ACTIVE:
+            demote_at = self._last_activity + profile.t1
+            if time >= demote_at:
+                if profile.has_high_idle_state:
+                    self._record_switch(
+                        demote_at, SwitchKind.TIMER_DEMOTION,
+                        RadioState.ACTIVE, RadioState.HIGH_IDLE, 0.0, 0.0,
+                    )
+                    self._transition(demote_at, RadioState.HIGH_IDLE)
+                    idle_at = demote_at + profile.t2
+                    if time >= idle_at:
+                        self._record_switch(
+                            idle_at, SwitchKind.TIMER_DEMOTION,
+                            RadioState.HIGH_IDLE, RadioState.IDLE, 0.0, 0.0,
+                        )
+                        self._transition(idle_at, RadioState.IDLE)
+                else:
+                    self._record_switch(
+                        demote_at, SwitchKind.TIMER_DEMOTION,
+                        RadioState.ACTIVE, RadioState.IDLE, 0.0, 0.0,
+                    )
+                    self._transition(demote_at, RadioState.IDLE)
+        elif self._state is RadioState.HIGH_IDLE:
+            idle_at = self._segment_start + profile.t2
+            if time >= idle_at:
+                self._record_switch(
+                    idle_at, SwitchKind.TIMER_DEMOTION,
+                    RadioState.HIGH_IDLE, RadioState.IDLE, 0.0, 0.0,
+                )
+                self._transition(idle_at, RadioState.IDLE)

@@ -1,0 +1,15 @@
+"""Trace-driven simulation: the simulator, its results, and power profiles."""
+
+from .power_trace import PowerSample, PowerTrace, build_power_trace
+from .results import GapDecision, SessionDelay, SimulationResult
+from .simulator import TraceSimulator
+
+__all__ = [
+    "GapDecision",
+    "PowerSample",
+    "PowerTrace",
+    "SessionDelay",
+    "SimulationResult",
+    "TraceSimulator",
+    "build_power_trace",
+]

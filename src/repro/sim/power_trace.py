@@ -1,0 +1,150 @@
+"""Power-versus-time reconstruction of a simulated run (Figure 3).
+
+Figure 3 of the paper shows the instantaneous power drawn by the phone over
+one radio state-switch cycle: a burst of data at full transfer power, the
+Active (DCH / RRC_CONNECTED) tail at ``P_t1``, the High-power-idle (FACH)
+tail at ``P_t2`` where the carrier has one, and finally the near-zero Idle
+level.  This module converts a simulated radio timeline plus the effective
+packet trace into a step function of power over time, which the Figure 3
+benchmark samples and renders as a text plot.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..energy.accounting import DataEnergyModel
+from ..rrc.profiles import CarrierProfile
+from ..rrc.state_machine import StateInterval
+from ..traces.packet import PacketTrace
+
+__all__ = ["PowerSample", "PowerTrace", "build_power_trace"]
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """Power draw over one homogeneous span of time."""
+
+    start: float
+    end: float
+    power_w: float
+    label: str
+
+    @property
+    def duration(self) -> float:
+        """Length of the span in seconds."""
+        return self.end - self.start
+
+    @property
+    def energy_j(self) -> float:
+        """Energy of the span in joules."""
+        return self.duration * self.power_w
+
+
+class PowerTrace:
+    """A piecewise-constant power profile with sampling helpers."""
+
+    def __init__(self, samples: Sequence[PowerSample]) -> None:
+        self._samples = tuple(sorted(samples, key=lambda s: s.start))
+        self._starts = tuple(s.start for s in self._samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def samples(self) -> tuple[PowerSample, ...]:
+        """All spans, ordered by start time."""
+        return self._samples
+
+    @property
+    def duration(self) -> float:
+        """Total span of the profile in seconds."""
+        if not self._samples:
+            return 0.0
+        return self._samples[-1].end - self._samples[0].start
+
+    @property
+    def total_energy_j(self) -> float:
+        """Integral of power over the profile, joules."""
+        return sum(s.energy_j for s in self._samples)
+
+    def power_at(self, time: float) -> float:
+        """Instantaneous power at ``time`` (0 outside the profile)."""
+        if not self._samples:
+            return 0.0
+        index = bisect_right(self._starts, time) - 1
+        if index < 0:
+            return 0.0
+        sample = self._samples[index]
+        if time > sample.end:
+            return 0.0
+        return sample.power_w
+
+    def sample_grid(self, step: float) -> list[tuple[float, float]]:
+        """Sample the profile every ``step`` seconds as ``(time, power)`` pairs."""
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if not self._samples:
+            return []
+        start = self._samples[0].start
+        points: list[tuple[float, float]] = []
+        time = start
+        end = self._samples[-1].end
+        while time <= end:
+            points.append((time, self.power_at(time)))
+            time += step
+        return points
+
+
+def build_power_trace(
+    profile: CarrierProfile,
+    intervals: Sequence[StateInterval],
+    trace: PacketTrace,
+    data_model: DataEnergyModel | None = None,
+) -> PowerTrace:
+    """Build the power step function of one simulated run.
+
+    Each state interval contributes a span at that state's tail power; the
+    spans covered by packet transfers are overridden with the direction-
+    specific transfer power.  Transfers are placed immediately before their
+    packet's timestamp (the same convention the accounting uses) and clipped
+    to the interval they fall into.
+    """
+    model = data_model or DataEnergyModel(profile)
+    samples: list[PowerSample] = []
+
+    transfer_spans: list[tuple[float, float, float]] = []
+    for transfer in model.packet_transfers(trace):
+        start = max(0.0, transfer.timestamp - transfer.duration_s)
+        power = profile.transfer_power_w(transfer.uplink)
+        transfer_spans.append((start, transfer.timestamp, power))
+    transfer_spans.sort()
+
+    for interval in intervals:
+        base_power = profile.state_power_w(interval.state)
+        cursor = interval.start
+        for t_start, t_end, t_power in transfer_spans:
+            if t_end <= interval.start or t_start >= interval.end:
+                continue
+            clipped_start = max(t_start, interval.start)
+            clipped_end = min(t_end, interval.end)
+            if clipped_start > cursor:
+                samples.append(
+                    PowerSample(cursor, clipped_start, base_power,
+                                interval.state.value)
+                )
+            if clipped_end > clipped_start:
+                samples.append(
+                    PowerSample(clipped_start, clipped_end, t_power, "data")
+                )
+                cursor = max(cursor, clipped_end)
+        if interval.end > cursor:
+            samples.append(
+                PowerSample(cursor, interval.end, base_power, interval.state.value)
+            )
+    return PowerTrace(samples)

@@ -1,0 +1,115 @@
+"""Result containers produced by the trace-driven simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..energy.accounting import EnergyBreakdown
+from ..rrc.state_machine import StateInterval, SwitchEvent
+from ..traces.packet import PacketTrace
+
+__all__ = ["GapDecision", "SessionDelay", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class GapDecision:
+    """One inter-packet gap and whether the policy demoted the radio within it.
+
+    These records feed the false-switch / missed-switch analysis of
+    Figure 12: the ground truth is whether the gap exceeds the offline
+    ``t_threshold``, and the policy's decision is whether it actually issued
+    a fast-dormancy demotion before the next packet arrived.
+    """
+
+    time: float
+    gap: float
+    switched: bool
+
+
+@dataclass(frozen=True)
+class SessionDelay:
+    """Delay imposed on one session start that arrived while the radio was Idle."""
+
+    arrival_time: float
+    release_time: float
+    flow_id: int
+
+    @property
+    def delay(self) -> float:
+        """Seconds the session start was held back (0 when promoted immediately)."""
+        return self.release_time - self.arrival_time
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything the metrics and figures need from one simulated run."""
+
+    policy_name: str
+    profile_key: str
+    trace_name: str
+    breakdown: EnergyBreakdown
+    intervals: tuple[StateInterval, ...]
+    switches: tuple[SwitchEvent, ...]
+    effective_trace: PacketTrace
+    gap_decisions: tuple[GapDecision, ...] = field(default=())
+    session_delays: tuple[SessionDelay, ...] = field(default=())
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy of the run in joules."""
+        return self.breakdown.total_j
+
+    @property
+    def switch_count(self) -> int:
+        """Signalling-relevant state switches (promotions + demotions to Idle)."""
+        return self.breakdown.switch_count
+
+    @property
+    def promotion_count(self) -> int:
+        """Number of Idle→Active promotions."""
+        return self.breakdown.promotions
+
+    @property
+    def delays(self) -> tuple[float, ...]:
+        """Per-session delays in seconds (empty when MakeActive is not used)."""
+        return tuple(d.delay for d in self.session_delays)
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean session delay in seconds (0 with no recorded sessions)."""
+        values = self.delays
+        return sum(values) / len(values) if values else 0.0
+
+    @property
+    def median_delay(self) -> float:
+        """Median session delay in seconds (0 with no recorded sessions)."""
+        values = sorted(self.delays)
+        if not values:
+            return 0.0
+        mid = len(values) // 2
+        if len(values) % 2:
+            return values[mid]
+        return (values[mid - 1] + values[mid]) / 2.0
+
+    def energy_saved_vs(self, baseline: "SimulationResult") -> float:
+        """Absolute energy saved relative to ``baseline`` (joules)."""
+        return baseline.total_energy_j - self.total_energy_j
+
+    def energy_saved_fraction(self, baseline: "SimulationResult") -> float:
+        """Fractional energy saving relative to ``baseline`` (may be negative)."""
+        if baseline.total_energy_j <= 0:
+            return 0.0
+        return self.energy_saved_vs(baseline) / baseline.total_energy_j
+
+    def switches_normalized(self, baseline: "SimulationResult") -> float:
+        """This run's switch count divided by the baseline's (>=0)."""
+        if baseline.switch_count == 0:
+            return float(self.switch_count) if self.switch_count else 1.0
+        return self.switch_count / baseline.switch_count
+
+    def energy_saved_per_switch(self, baseline: "SimulationResult") -> float:
+        """Joules saved per state switch performed by this scheme."""
+        if self.switch_count == 0:
+            return 0.0
+        return self.energy_saved_vs(baseline) / self.switch_count

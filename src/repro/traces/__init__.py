@@ -1,0 +1,115 @@
+"""Packet traces: containers, statistics, segmentation, pcap I/O, generators.
+
+This subpackage is the workload substrate of the library.  Everything the
+energy-saving algorithms consume is a :class:`~repro.traces.packet.PacketTrace`,
+whether it came from a real ``tcpdump`` capture (:mod:`repro.traces.pcap`),
+a synthetic application model (:mod:`repro.traces.synthetic`) or a synthetic
+user workload (:mod:`repro.traces.users`).
+"""
+
+from .bursts import (
+    Burst,
+    bursts_per_active_period,
+    segment_bursts,
+    session_start_times,
+)
+from .filters import (
+    add_jitter,
+    clip_sizes,
+    downsample,
+    drop_direction,
+    gap_histogram,
+    interleave,
+    remap_flows,
+    scale_time,
+    slice_windows,
+    split_by_app,
+    split_by_flow,
+    split_train_test,
+    thin_by_fraction,
+)
+from .packet import Direction, Packet, PacketTrace, merge_traces
+from .tcpdump import (
+    TcpdumpParseResult,
+    parse_tcpdump_lines,
+    read_tcpdump,
+    write_tcpdump,
+)
+from .pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
+from .stats import (
+    EmpiricalCdf,
+    SlidingWindowDistribution,
+    TraceSummary,
+    inter_arrival_percentile,
+    summarize_trace,
+)
+from .synthetic import (
+    APPLICATION_NAMES,
+    APPLICATION_PROFILES,
+    ApplicationProfile,
+    PacketTrainSpec,
+    generate_application_trace,
+    generate_mixed_trace,
+    generate_periodic_trace,
+    generate_poisson_trace,
+)
+from .users import (
+    USER_POPULATIONS,
+    UserProfile,
+    population_traces,
+    user_ids,
+    user_profile,
+    user_trace,
+)
+
+__all__ = [
+    "APPLICATION_NAMES",
+    "TcpdumpParseResult",
+    "add_jitter",
+    "clip_sizes",
+    "downsample",
+    "drop_direction",
+    "gap_histogram",
+    "interleave",
+    "parse_tcpdump_lines",
+    "read_tcpdump",
+    "remap_flows",
+    "scale_time",
+    "slice_windows",
+    "split_by_app",
+    "split_by_flow",
+    "split_train_test",
+    "thin_by_fraction",
+    "write_tcpdump",
+    "APPLICATION_PROFILES",
+    "ApplicationProfile",
+    "Burst",
+    "Direction",
+    "EmpiricalCdf",
+    "Packet",
+    "PacketTrace",
+    "PacketTrainSpec",
+    "PcapError",
+    "PcapReader",
+    "PcapWriter",
+    "SlidingWindowDistribution",
+    "TraceSummary",
+    "USER_POPULATIONS",
+    "UserProfile",
+    "bursts_per_active_period",
+    "generate_application_trace",
+    "generate_mixed_trace",
+    "generate_periodic_trace",
+    "generate_poisson_trace",
+    "inter_arrival_percentile",
+    "merge_traces",
+    "population_traces",
+    "read_pcap",
+    "segment_bursts",
+    "session_start_times",
+    "summarize_trace",
+    "user_ids",
+    "user_profile",
+    "user_trace",
+    "write_pcap",
+]

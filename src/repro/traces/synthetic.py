@@ -1,0 +1,365 @@
+"""Synthetic workload generators for the paper's application classes.
+
+The paper evaluates its algorithms on two kinds of traces, neither of which
+is publicly available:
+
+* two-hour ``tcpdump`` traces of seven popular Android applications run in
+  the background (Section 6.1), and
+* 28 days of traces from nine real users on T-Mobile and Verizon phones.
+
+Following the substitution rule documented in ``DESIGN.md``, this module
+regenerates statistically equivalent traces from the paper's own description
+of each application's traffic pattern:
+
+========  =====================================================================
+News      background process fetching breaking news; occasional medium bursts
+IM        heartbeat packets every 5–20 seconds, tiny payloads, rare messages
+MicroBlog automatic tweet fetches every few minutes, medium download bursts
+Game      offline game with an advertisement bar refreshing roughly once/minute
+Email     background sync with the mail server every five minutes
+Social    interactive foreground use: reading feeds, viewing pictures, posting
+Finance   stock ticker updating roughly once per second in the foreground
+========  =====================================================================
+
+All generators are deterministic given a seed (they use
+:class:`random.Random`), so experiments and tests are reproducible.  The
+generators emit bursts as short packet trains with realistic per-packet
+spacing so that MakeIdle's intra-burst/inter-burst distinction is exercised.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .packet import Direction, Packet, PacketTrace, merge_traces
+
+__all__ = [
+    "ApplicationProfile",
+    "APPLICATION_PROFILES",
+    "APPLICATION_NAMES",
+    "generate_application_trace",
+    "generate_poisson_trace",
+    "generate_periodic_trace",
+    "PacketTrainSpec",
+]
+
+
+@dataclass(frozen=True)
+class PacketTrainSpec:
+    """Shape of one traffic burst emitted by a generator.
+
+    A burst is modelled as a request/response exchange: ``uplink_packets``
+    small uplink packets followed by ``downlink_packets`` larger downlink
+    packets, with consecutive packets spaced by an exponential gap of mean
+    ``intra_gap_mean`` seconds (capped at ``intra_gap_max``).
+    """
+
+    uplink_packets: int
+    downlink_packets: int
+    uplink_size: int = 120
+    downlink_size: int = 1200
+    intra_gap_mean: float = 0.05
+    intra_gap_max: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.uplink_packets < 0 or self.downlink_packets < 0:
+            raise ValueError("packet counts must be non-negative")
+        if self.uplink_packets + self.downlink_packets == 0:
+            raise ValueError("a packet train must contain at least one packet")
+        if self.intra_gap_mean <= 0 or self.intra_gap_max <= 0:
+            raise ValueError("intra-burst gaps must be positive")
+
+    def emit(
+        self,
+        rng: random.Random,
+        start: float,
+        flow_id: int,
+        app: str,
+    ) -> list[Packet]:
+        """Materialise the burst starting at time ``start``."""
+        packets: list[Packet] = []
+        time = start
+        for _ in range(self.uplink_packets):
+            packets.append(
+                Packet(time, self.uplink_size, Direction.UPLINK, flow_id, app)
+            )
+            time += min(rng.expovariate(1.0 / self.intra_gap_mean),
+                        self.intra_gap_max)
+        for _ in range(self.downlink_packets):
+            packets.append(
+                Packet(time, self.downlink_size, Direction.DOWNLINK, flow_id, app)
+            )
+            time += min(rng.expovariate(1.0 / self.intra_gap_mean),
+                        self.intra_gap_max)
+        return packets
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """Statistical description of one background application's traffic.
+
+    Sessions (bursts) arrive with inter-session gaps drawn from
+    ``session_gap`` (a callable taking the RNG and returning seconds).  Each
+    session's packet train shape is drawn from ``trains`` with the paired
+    weights.  ``jitter`` adds a uniform offset to each session start so
+    periodic applications do not align perfectly across runs.
+    """
+
+    name: str
+    description: str
+    session_gap: Callable[[random.Random], float]
+    trains: Sequence[PacketTrainSpec]
+    train_weights: Sequence[float] = ()
+    jitter: float = 0.0
+    flows: int = 1
+
+    def draw_gap(self, rng: random.Random) -> float:
+        """Draw one inter-session gap in seconds (always positive)."""
+        gap = self.session_gap(rng)
+        if self.jitter > 0:
+            gap += rng.uniform(-self.jitter, self.jitter)
+        return max(0.05, gap)
+
+    def draw_train(self, rng: random.Random) -> PacketTrainSpec:
+        """Draw the packet-train shape of the next session."""
+        if not self.train_weights:
+            return rng.choice(list(self.trains))
+        return rng.choices(list(self.trains), weights=list(self.train_weights), k=1)[0]
+
+
+def _uniform(low: float, high: float) -> Callable[[random.Random], float]:
+    return lambda rng: rng.uniform(low, high)
+
+
+def _exponential(mean: float) -> Callable[[random.Random], float]:
+    return lambda rng: rng.expovariate(1.0 / mean)
+
+
+def _lognormal(median: float, sigma: float) -> Callable[[random.Random], float]:
+    mu = math.log(median)
+    return lambda rng: rng.lognormvariate(mu, sigma)
+
+
+#: The seven application classes of Section 6.1, in the order of Figure 9.
+APPLICATION_PROFILES: dict[str, ApplicationProfile] = {
+    "news": ApplicationProfile(
+        name="news",
+        description="News reader with a background breaking-news fetcher",
+        session_gap=_lognormal(median=90.0, sigma=0.8),
+        trains=(
+            PacketTrainSpec(uplink_packets=2, downlink_packets=8),
+            PacketTrainSpec(uplink_packets=3, downlink_packets=25,
+                            downlink_size=1400),
+        ),
+        train_weights=(0.7, 0.3),
+        jitter=10.0,
+        flows=2,
+    ),
+    "im": ApplicationProfile(
+        name="im",
+        description="Instant messenger sending heartbeats every 5-20 seconds",
+        session_gap=_uniform(5.0, 20.0),
+        trains=(
+            PacketTrainSpec(uplink_packets=1, downlink_packets=1,
+                            uplink_size=90, downlink_size=90,
+                            intra_gap_mean=0.15, intra_gap_max=0.6),
+            PacketTrainSpec(uplink_packets=2, downlink_packets=3,
+                            uplink_size=200, downlink_size=400),
+        ),
+        train_weights=(0.92, 0.08),
+        flows=1,
+    ),
+    "microblog": ApplicationProfile(
+        name="microblog",
+        description="Micro-blog client automatically fetching new tweets",
+        session_gap=_lognormal(median=150.0, sigma=0.5),
+        trains=(
+            PacketTrainSpec(uplink_packets=2, downlink_packets=12),
+            PacketTrainSpec(uplink_packets=2, downlink_packets=30,
+                            downlink_size=1400),
+        ),
+        train_weights=(0.8, 0.2),
+        jitter=20.0,
+        flows=2,
+    ),
+    "game": ApplicationProfile(
+        name="game",
+        description="Offline game whose advertisement bar refreshes ~once/minute",
+        session_gap=_uniform(50.0, 70.0),
+        trains=(
+            PacketTrainSpec(uplink_packets=1, downlink_packets=4,
+                            downlink_size=800),
+        ),
+        flows=1,
+    ),
+    "email": ApplicationProfile(
+        name="email",
+        description="Email client synchronising with the server every five minutes",
+        session_gap=_uniform(280.0, 320.0),
+        trains=(
+            PacketTrainSpec(uplink_packets=3, downlink_packets=6),
+            PacketTrainSpec(uplink_packets=4, downlink_packets=40,
+                            downlink_size=1400),
+        ),
+        train_weights=(0.75, 0.25),
+        flows=1,
+    ),
+    "social": ApplicationProfile(
+        name="social",
+        description="Interactive social-network use: feeds, pictures, comments",
+        session_gap=_lognormal(median=25.0, sigma=1.0),
+        trains=(
+            PacketTrainSpec(uplink_packets=2, downlink_packets=10),
+            PacketTrainSpec(uplink_packets=3, downlink_packets=60,
+                            downlink_size=1400, intra_gap_mean=0.03),
+            PacketTrainSpec(uplink_packets=5, downlink_packets=2,
+                            uplink_size=600),
+        ),
+        train_weights=(0.5, 0.3, 0.2),
+        flows=3,
+    ),
+    "finance": ApplicationProfile(
+        name="finance",
+        description="Stock ticker updating roughly once per second in the foreground",
+        session_gap=_uniform(0.8, 1.3),
+        trains=(
+            PacketTrainSpec(uplink_packets=1, downlink_packets=1,
+                            uplink_size=150, downlink_size=300,
+                            intra_gap_mean=0.08, intra_gap_max=0.3),
+        ),
+        flows=1,
+    ),
+}
+
+#: Application names in the display order used by Figure 9.
+APPLICATION_NAMES: tuple[str, ...] = (
+    "news", "im", "microblog", "game", "email", "social", "finance",
+)
+
+
+def generate_application_trace(
+    app: str | ApplicationProfile,
+    duration: float = 7200.0,
+    seed: int = 0,
+) -> PacketTrace:
+    """Generate a trace for one application class.
+
+    Parameters
+    ----------
+    app:
+        Either the name of a profile from :data:`APPLICATION_PROFILES`
+        (case-insensitive) or an :class:`ApplicationProfile` instance.
+    duration:
+        Length of the generated trace in seconds.  The paper's application
+        traces were two hours long, which is the default.
+    seed:
+        Seed for the deterministic random generator.
+    """
+    if isinstance(app, str):
+        key = app.lower()
+        if key not in APPLICATION_PROFILES:
+            raise KeyError(
+                f"unknown application {app!r}; known: {sorted(APPLICATION_PROFILES)}"
+            )
+        profile = APPLICATION_PROFILES[key]
+    else:
+        profile = app
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+
+    rng = random.Random(seed)
+    packets: list[Packet] = []
+    time = profile.draw_gap(rng)
+    flow_counter = 0
+    while time < duration:
+        train = profile.draw_train(rng)
+        flow_id = flow_counter % max(1, profile.flows)
+        flow_counter += 1
+        burst = train.emit(rng, time, flow_id, profile.name)
+        packets.extend(p for p in burst if p.timestamp < duration)
+        time += profile.draw_gap(rng)
+    return PacketTrace(packets, name=profile.name)
+
+
+def generate_poisson_trace(
+    rate: float,
+    duration: float,
+    seed: int = 0,
+    size: int = 500,
+    name: str = "poisson",
+) -> PacketTrace:
+    """Generate a memoryless (Poisson) packet arrival trace.
+
+    Useful as a null model in tests and ablations: for exponential
+    inter-arrivals the conditional probability used by MakeIdle is constant
+    in the waiting time, so the predictor's behaviour is easy to verify
+    analytically.
+    """
+    if rate <= 0:
+        raise ValueError(f"rate must be positive, got {rate}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    rng = random.Random(seed)
+    packets: list[Packet] = []
+    time = rng.expovariate(rate)
+    while time < duration:
+        direction = Direction.UPLINK if rng.random() < 0.4 else Direction.DOWNLINK
+        packets.append(Packet(time, size, direction, 0, name))
+        time += rng.expovariate(rate)
+    return PacketTrace(packets, name=name)
+
+
+def generate_periodic_trace(
+    period: float,
+    duration: float,
+    burst_packets: int = 1,
+    size: int = 500,
+    jitter: float = 0.0,
+    seed: int = 0,
+    name: str = "periodic",
+) -> PacketTrace:
+    """Generate a strictly periodic trace (optionally jittered).
+
+    Periodic heartbeats are the regime where fixed inactivity timers waste
+    the most energy, so this generator is used heavily by the unit tests and
+    the ablation benchmarks.
+    """
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if burst_packets < 1:
+        raise ValueError("burst_packets must be at least 1")
+    rng = random.Random(seed)
+    packets: list[Packet] = []
+    time = period
+    while time < duration:
+        start = time + (rng.uniform(-jitter, jitter) if jitter else 0.0)
+        start = max(0.0, start)
+        for i in range(burst_packets):
+            direction = Direction.UPLINK if i == 0 else Direction.DOWNLINK
+            packets.append(Packet(start + i * 0.05, size, direction, 0, name))
+        time += period
+    return PacketTrace(packets, name=name)
+
+
+def generate_mixed_trace(
+    apps: Iterable[str],
+    duration: float = 7200.0,
+    seed: int = 0,
+    name: str = "mixed",
+) -> PacketTrace:
+    """Generate a trace with several applications running concurrently.
+
+    Each application is generated independently (with a distinct derived
+    seed) and the traces are merged; this models a phone with several
+    background applications installed, the situation MakeActive targets.
+    """
+    traces = [
+        generate_application_trace(app, duration=duration, seed=seed + 101 * index)
+        for index, app in enumerate(apps)
+    ]
+    return merge_traces(traces, name=name)

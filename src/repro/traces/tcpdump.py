@@ -1,0 +1,191 @@
+"""Parser for tcpdump text output.
+
+The paper's data collection ran ``tcpdump`` in the background on every
+phone.  Binary captures are handled by :mod:`repro.traces.pcap`; this module
+parses the *text* form produced by ``tcpdump -tt -n -q`` (and the common
+``-ttt``/``-l`` variants people actually have lying around), so existing
+logs can be replayed through the simulator without re-capturing.
+
+A typical line looks like::
+
+    1355241600.123456 IP 10.0.0.2.44312 > 93.184.216.34.443: tcp 1448
+
+The parser extracts the timestamp, the two endpoints, the protocol and the
+payload length, infers the direction from the device address, and assigns a
+flow id per 5-tuple-ish endpoint pair so MakeActive can group sessions.
+Unparseable lines are skipped (and counted) rather than aborting the whole
+import — real tcpdump logs are full of truncated lines and notices.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .packet import Direction, Packet, PacketTrace
+
+__all__ = [
+    "TcpdumpParseResult",
+    "parse_tcpdump_line",
+    "parse_tcpdump_lines",
+    "read_tcpdump",
+    "format_tcpdump_line",
+    "write_tcpdump",
+]
+
+#: ``host.port`` endpoint: IPv4 dotted quad followed by an optional port.
+_ENDPOINT = r"(?P<{side}>\d+\.\d+\.\d+\.\d+)(?:\.(?P<{side}_port>\d+))?"
+
+_LINE_RE = re.compile(
+    r"^(?P<ts>\d+(?:\.\d+)?)\s+IP6?\s+"
+    + _ENDPOINT.format(side="src")
+    + r"\s+>\s+"
+    + _ENDPOINT.format(side="dst")
+    + r":\s*(?P<rest>.*)$"
+)
+
+#: Length extractors tried in order against the part after the colon.
+_LENGTH_RES = (
+    re.compile(r"\blength\s+(?P<len>\d+)"),
+    re.compile(r"\b(?:tcp|udp|UDP|TCP)\s+(?P<len>\d+)\b"),
+    re.compile(r"\((?P<len>\d+)\)\s*$"),
+)
+
+
+@dataclass(frozen=True)
+class TcpdumpParseResult:
+    """Outcome of parsing a tcpdump text log."""
+
+    trace: PacketTrace
+    parsed_lines: int
+    skipped_lines: int
+
+    @property
+    def total_lines(self) -> int:
+        """Lines examined (parsed plus skipped)."""
+        return self.parsed_lines + self.skipped_lines
+
+
+def parse_tcpdump_line(
+    line: str, device_address: str
+) -> tuple[float, str, str, int] | None:
+    """Parse one tcpdump text line.
+
+    Returns ``(timestamp, src, dst, length)`` or ``None`` when the line does
+    not describe an IP packet (comments, truncated lines, link-level
+    notices).  ``src``/``dst`` include the port when present
+    (``"10.0.0.2:443"`` style) so they can serve as flow keys.
+    """
+    match = _LINE_RE.match(line.strip())
+    if match is None:
+        return None
+    timestamp = float(match.group("ts"))
+    src = match.group("src")
+    dst = match.group("dst")
+    if match.group("src_port"):
+        src = f"{src}:{match.group('src_port')}"
+    if match.group("dst_port"):
+        dst = f"{dst}:{match.group('dst_port')}"
+    rest = match.group("rest")
+    length = 0
+    for pattern in _LENGTH_RES:
+        length_match = pattern.search(rest)
+        if length_match:
+            length = int(length_match.group("len"))
+            break
+    del device_address  # direction is decided by the caller, kept for symmetry
+    return timestamp, src, dst, length
+
+
+def parse_tcpdump_lines(
+    lines: Iterable[str],
+    device_address: str = "10.0.0.2",
+    name: str = "tcpdump",
+) -> TcpdumpParseResult:
+    """Parse an iterable of tcpdump text lines into a packet trace.
+
+    Direction is uplink when the source address starts with
+    ``device_address``, downlink otherwise.  Flow ids are assigned per
+    remote endpoint (the non-device side of the conversation), which matches
+    how the synthetic workloads label application sessions.
+    """
+    packets: list[Packet] = []
+    flow_ids: dict[str, int] = {}
+    parsed = 0
+    skipped = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        fields = parse_tcpdump_line(line, device_address)
+        if fields is None:
+            skipped += 1
+            continue
+        timestamp, src, dst, length = fields
+        uplink = src.split(":")[0] == device_address
+        remote = dst if uplink else src
+        flow_id = flow_ids.setdefault(remote, len(flow_ids))
+        packets.append(
+            Packet(
+                timestamp=timestamp,
+                size=length,
+                direction=Direction.UPLINK if uplink else Direction.DOWNLINK,
+                flow_id=flow_id,
+            )
+        )
+        parsed += 1
+    trace = PacketTrace(packets, name=name).normalized()
+    return TcpdumpParseResult(trace=trace, parsed_lines=parsed, skipped_lines=skipped)
+
+
+def read_tcpdump(
+    source: str | Path | TextIO,
+    device_address: str = "10.0.0.2",
+    name: str | None = None,
+) -> TcpdumpParseResult:
+    """Read a tcpdump text log from a path or open file object."""
+    if hasattr(source, "read"):
+        lines: Iterator[str] = iter(source)  # type: ignore[arg-type]
+        label = name or "tcpdump"
+        return parse_tcpdump_lines(lines, device_address, label)
+    path = Path(source)
+    label = name or path.stem
+    with path.open("r", encoding="utf-8", errors="replace") as handle:
+        return parse_tcpdump_lines(handle, device_address, label)
+
+
+def format_tcpdump_line(
+    packet: Packet,
+    device_address: str = "10.0.0.2",
+    remote_address: str = "198.51.100.1",
+    epoch: float = 0.0,
+) -> str:
+    """Render a packet as a tcpdump-style text line (inverse of the parser)."""
+    timestamp = epoch + packet.timestamp
+    device = f"{device_address}.{40000 + packet.flow_id % 10000}"
+    remote = f"{remote_address}.443"
+    if packet.direction is Direction.UPLINK:
+        src, dst = device, remote
+    else:
+        src, dst = remote, device
+    return f"{timestamp:.6f} IP {src} > {dst}: tcp {packet.size}"
+
+
+def write_tcpdump(
+    trace: PacketTrace,
+    path: str | Path,
+    device_address: str = "10.0.0.2",
+    epoch: float = 0.0,
+) -> int:
+    """Write a trace as a tcpdump-style text log; returns the line count.
+
+    The output round-trips through :func:`read_tcpdump` (timestamps are
+    re-based to zero on read because the parser normalises the trace).
+    """
+    lines = [
+        format_tcpdump_line(packet, device_address=device_address, epoch=epoch)
+        for packet in trace
+    ]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return len(lines)

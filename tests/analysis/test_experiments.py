@@ -1,0 +1,131 @@
+"""Tests for the experiment drivers (one per paper figure family)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    application_energy_breakdowns,
+    application_savings,
+    carrier_comparison,
+    headline_savings,
+    learning_curve,
+    run_schemes,
+    twait_series,
+    user_study,
+    window_size_sweep,
+)
+from repro.core import SCHEME_ORDER
+from repro.rrc import get_profile
+from repro.traces import generate_mixed_trace, user_trace
+
+
+class TestRunSchemes:
+    def test_includes_status_quo_and_all_schemes(self, att_profile, heartbeat_trace):
+        results = run_schemes(heartbeat_trace, att_profile, window_size=30)
+        assert "status_quo" in results
+        assert set(SCHEME_ORDER) <= set(results)
+
+    def test_results_keyed_by_policy_name(self, att_profile, heartbeat_trace):
+        results = run_schemes(heartbeat_trace, att_profile, window_size=30)
+        for key, result in results.items():
+            assert result.policy_name == key
+
+
+class TestFigure1Driver:
+    def test_breakdowns_for_all_apps(self, att_profile):
+        breakdowns = application_energy_breakdowns(
+            att_profile, apps=("im", "email"), duration=900.0, seed=0
+        )
+        assert set(breakdowns) == {"im", "email"}
+        for breakdown in breakdowns.values():
+            assert breakdown.total_j > 0.0
+
+    def test_background_apps_are_tail_dominated(self, att_profile):
+        # Figure 1: for background apps, under 30 % of the energy is data.
+        breakdowns = application_energy_breakdowns(
+            att_profile, apps=("im", "email", "news"), duration=1800.0, seed=0
+        )
+        for breakdown in breakdowns.values():
+            assert breakdown.fraction(breakdown.data_j) < 0.35
+
+
+class TestFigure9Driver:
+    def test_savings_table_shape(self, att_profile):
+        table = application_savings(
+            att_profile, apps=("im", "email"), duration=900.0, seed=0, window_size=30
+        )
+        assert set(table) == {"im", "email"}
+        for per_scheme in table.values():
+            assert set(per_scheme) == set(SCHEME_ORDER)
+
+    def test_makeidle_close_to_oracle(self, att_profile):
+        table = application_savings(
+            att_profile, apps=("email",), duration=1800.0, seed=0, window_size=50
+        )
+        email = table["email"]
+        assert email["makeidle"].saved_percent >= 0.6 * email["oracle"].saved_percent
+
+
+class TestUserStudyDriver:
+    def test_user_study_shape(self):
+        profile = get_profile("verizon_lte")
+        study = user_study("verizon_lte", profile, hours_per_day=0.25, seed=0,
+                           window_size=50, users=(1, 2))
+        assert set(study) == {1, 2}
+        for outcome in study.values():
+            assert set(outcome.savings) == set(SCHEME_ORDER)
+            assert set(outcome.confusion) == {"fixed_4.5s", "p95_iat", "makeidle"}
+            assert outcome.status_quo_energy_j > 0.0
+
+    def test_makeidle_saves_energy_for_every_user(self):
+        profile = get_profile("verizon_3g")
+        study = user_study("verizon_3g", profile, hours_per_day=0.25, seed=0,
+                           window_size=50, users=(1, 2))
+        for outcome in study.values():
+            assert outcome.savings["makeidle"].saved_percent > 20.0
+
+
+class TestCarrierComparisonDriver:
+    def test_rows_for_requested_carriers(self):
+        rows = carrier_comparison(carriers=("att_hspa", "verizon_lte"),
+                                  population="verizon_lte",
+                                  hours_per_day=0.25, seed=0, users=(1,))
+        assert set(rows) == {"att_hspa", "verizon_lte"}
+        for row in rows.values():
+            assert set(SCHEME_ORDER) <= set(row.saved_percent)
+            assert "makeidle+makeactive_learn" in row.mean_delay_s
+
+    def test_headline_savings_structure(self):
+        headline = headline_savings(carriers=("verizon_lte",),
+                                    population="verizon_lte",
+                                    hours_per_day=0.25, seed=0, users=(1,))
+        assert "verizon_lte" in headline
+        assert set(headline["verizon_lte"]) == {"makeidle", "makeidle+makeactive"}
+        assert headline["verizon_lte"]["makeidle"] > 0.0
+
+
+class TestSweepDrivers:
+    def test_window_size_sweep(self, att_profile, im_trace):
+        sweep = window_size_sweep(att_profile, im_trace, window_sizes=(10, 100))
+        assert set(sweep) == {10, 100}
+        for counts in sweep.values():
+            assert counts.total == len(im_trace) - 1
+
+    def test_twait_series_bounded_by_threshold(self, verizon3g_profile):
+        trace = user_trace("verizon_3g", 1, hours_per_day=0.25, seed=0)
+        series = twait_series(verizon3g_profile, trace, window_size=50)
+        assert len(series) == len(trace)
+        from repro.energy import TailEnergyModel
+
+        threshold = TailEnergyModel(verizon3g_profile).t_threshold
+        waits = [d.wait for d in series if d.wait is not None]
+        assert waits
+        assert all(0.0 <= w <= threshold + 1e-9 for w in waits)
+
+    def test_learning_curve_records_iterations(self, att_profile):
+        trace = generate_mixed_trace(["im", "email", "news"], duration=1800.0, seed=3)
+        records = learning_curve(att_profile, trace, window_size=50)
+        assert records
+        assert [r.iteration for r in records] == list(range(1, len(records) + 1))
+        assert all(r.buffered_sessions >= 1 for r in records)

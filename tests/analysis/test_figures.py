@@ -1,0 +1,77 @@
+"""Tests for the plain-text table and bar-chart renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_bar_chart, format_grouped_bars, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 2.0]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1]
+        assert "1.50" in text
+        assert "bb" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x", "long_header"], [["val", 1.0]])
+        header, rule, row = text.splitlines()
+        assert len(header) == len(rule)
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_format="{:.4f}")
+        assert "3.1416" in text
+
+    def test_non_float_cells_stringified(self):
+        text = format_table(["a", "b"], [[None, 7]])
+        assert "None" in text
+        assert "7" in text
+
+
+class TestFormatBarChart:
+    def test_bars_scale_with_value(self):
+        text = format_bar_chart({"small": 10.0, "large": 100.0}, width=20)
+        small_line = next(line for line in text.splitlines() if "small" in line)
+        large_line = next(line for line in text.splitlines() if "large" in line)
+        assert large_line.count("#") > small_line.count("#")
+
+    def test_negative_values_have_no_bar(self):
+        text = format_bar_chart({"loss": -5.0, "gain": 5.0})
+        loss_line = next(line for line in text.splitlines() if "loss" in line)
+        assert "#" not in loss_line
+        assert "-5.0" in loss_line
+
+    def test_title_and_unit(self):
+        text = format_bar_chart({"a": 1.0}, title="Energy", unit="%")
+        assert text.splitlines()[0] == "Energy"
+        assert "1.0%" in text
+
+    def test_empty_values(self):
+        assert "(no data)" in format_bar_chart({})
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            format_bar_chart({"a": 1.0}, width=0)
+
+
+class TestFormatGroupedBars:
+    def test_groups_become_rows(self):
+        text = format_grouped_bars(
+            {"user1": {"makeidle": 60.0, "oracle": 70.0},
+             "user2": {"makeidle": 55.0}},
+            title="savings",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "savings"
+        assert any("user1" in line and "60.0" in line for line in lines)
+        # Missing series entries render as '-'.
+        assert any("user2" in line and "-" in line for line in lines)
+
+    def test_series_union_preserved(self):
+        text = format_grouped_bars({"g1": {"a": 1.0}, "g2": {"b": 2.0}})
+        header = text.splitlines()[0]
+        assert "a" in header and "b" in header

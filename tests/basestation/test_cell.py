@@ -1,0 +1,107 @@
+"""Tests for the multi-device cell simulation."""
+
+import pytest
+
+from repro.basestation import (
+    AcceptAllDormancy,
+    CellSimulator,
+    DeviceSpec,
+    RejectAllDormancy,
+)
+from repro.basestation.policies import RateLimitedDormancy
+from repro.core import MakeIdlePolicy, StatusQuoPolicy
+from repro.sim import TraceSimulator
+from repro.traces import generate_application_trace
+
+
+def _devices(count, app="im", policy_factory=MakeIdlePolicy, duration=900.0):
+    return [
+        DeviceSpec(
+            device_id=index,
+            trace=generate_application_trace(app, duration=duration, seed=index),
+            policy=policy_factory(),
+        )
+        for index in range(count)
+    ]
+
+
+class TestDeviceSpec:
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(device_id=-1, trace=generate_application_trace("im", 60.0),
+                       policy=StatusQuoPolicy())
+
+
+class TestCellSimulator:
+    def test_requires_devices_and_unique_ids(self, att_profile):
+        simulator = CellSimulator(att_profile)
+        with pytest.raises(ValueError):
+            simulator.run([])
+        duplicated = _devices(1) + _devices(1)
+        with pytest.raises(ValueError):
+            simulator.run(duplicated)
+
+    def test_accept_all_matches_single_device_simulator_energy(self, att_profile):
+        # With a single device and always-accept dormancy, the cell
+        # simulation should closely track the single-device simulator.
+        trace = generate_application_trace("im", duration=900.0, seed=3)
+        cell = CellSimulator(att_profile, AcceptAllDormancy())
+        cell_result = cell.run(
+            [DeviceSpec(device_id=0, trace=trace, policy=MakeIdlePolicy())]
+        )
+        single = TraceSimulator(att_profile).run(trace, MakeIdlePolicy())
+        assert cell_result.devices[0].total_energy_j == pytest.approx(
+            single.total_energy_j, rel=0.15
+        )
+
+    def test_status_quo_devices_issue_no_requests(self, att_profile):
+        cell = CellSimulator(att_profile)
+        result = cell.run(_devices(3, policy_factory=StatusQuoPolicy, duration=600.0))
+        assert result.dormancy_requests == 0
+        assert result.denial_rate == 0.0
+
+    def test_makeidle_devices_request_dormancy(self, att_profile):
+        cell = CellSimulator(att_profile, AcceptAllDormancy())
+        result = cell.run(_devices(3, duration=600.0))
+        assert result.dormancy_requests > 0
+        assert result.dormancy_denied == 0
+        assert result.dormancy_policy_name == "accept_all"
+
+    def test_reject_all_costs_energy(self, att_profile):
+        devices = _devices(2, duration=600.0)
+        accept = CellSimulator(att_profile, AcceptAllDormancy()).run(devices)
+        reject = CellSimulator(att_profile, RejectAllDormancy()).run(devices)
+        assert reject.dormancy_denied == reject.dormancy_requests
+        assert reject.total_energy_j >= accept.total_energy_j
+
+    def test_rate_limiting_denies_some_requests(self, att_profile):
+        devices = _devices(2, app="finance", duration=300.0)
+        limited = CellSimulator(
+            att_profile, RateLimitedDormancy(min_interval_s=120.0)
+        ).run(devices)
+        accept = CellSimulator(att_profile, AcceptAllDormancy()).run(devices)
+        if accept.dormancy_requests > 1:
+            assert limited.dormancy_denied > 0
+            assert 0.0 < limited.denial_rate <= 1.0
+
+    def test_aggregate_views(self, att_profile):
+        result = CellSimulator(att_profile).run(_devices(3, duration=600.0))
+        assert result.total_energy_j == pytest.approx(
+            sum(d.total_energy_j for d in result.devices)
+        )
+        assert result.peak_active_devices >= 1
+        assert result.peak_active_devices <= 3
+        assert result.signaling.switches == result.total_switches
+        assert result.peak_switches_per_minute >= 1
+        assert result.device(1).device_id == 1
+        with pytest.raises(KeyError):
+            result.device(99)
+
+    def test_per_device_denial_rate(self, att_profile):
+        result = CellSimulator(att_profile, RejectAllDormancy()).run(
+            _devices(1, duration=600.0)
+        )
+        device = result.devices[0]
+        if device.dormancy_requests:
+            assert device.denial_rate == 1.0
+        assert device.policy_name == "makeidle"

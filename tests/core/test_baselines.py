@@ -1,0 +1,80 @@
+"""Tests for the status quo and prior-work baseline policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FixedTimerPolicy, PercentileIatPolicy, StatusQuoPolicy
+from repro.traces import Packet, PacketTrace, inter_arrival_percentile
+
+
+class TestStatusQuo:
+    def test_never_requests_dormancy(self):
+        policy = StatusQuoPolicy()
+        assert policy.dormancy_wait(10.0) is None
+
+    def test_never_delays_activation(self):
+        assert StatusQuoPolicy().activation_delay(10.0) == 0.0
+
+    def test_name(self):
+        assert StatusQuoPolicy().name == "status_quo"
+
+
+class TestFixedTimerPolicy:
+    def test_default_is_4_5_seconds(self):
+        policy = FixedTimerPolicy()
+        assert policy.timeout == pytest.approx(4.5)
+        assert policy.dormancy_wait(0.0) == pytest.approx(4.5)
+
+    def test_custom_timeout(self):
+        assert FixedTimerPolicy(2.0).dormancy_wait(5.0) == pytest.approx(2.0)
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            FixedTimerPolicy(-1.0)
+
+    def test_name_encodes_timeout(self):
+        assert FixedTimerPolicy(4.5).name == "fixed_4.5s"
+
+    def test_never_delays_activation(self):
+        assert FixedTimerPolicy().activation_delay(1.0) == 0.0
+
+
+class TestPercentileIatPolicy:
+    def test_prepare_uses_trace_percentile(self, att_profile, heartbeat_trace):
+        policy = PercentileIatPolicy(95.0)
+        policy.prepare(heartbeat_trace, att_profile)
+        expected = inter_arrival_percentile(heartbeat_trace, 95.0)
+        assert policy.timeout == pytest.approx(expected)
+        assert policy.dormancy_wait(100.0) == pytest.approx(expected)
+
+    def test_short_trace_falls_back(self, att_profile):
+        policy = PercentileIatPolicy(95.0, fallback_timeout=4.5)
+        policy.prepare(PacketTrace([Packet(0.0, 10)]), att_profile)
+        assert policy.timeout == pytest.approx(4.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            PercentileIatPolicy(0.0)
+        with pytest.raises(ValueError):
+            PercentileIatPolicy(150.0)
+        with pytest.raises(ValueError):
+            PercentileIatPolicy(fallback_timeout=-1.0)
+
+    def test_name(self):
+        assert PercentileIatPolicy(95.0).name == "p95_iat"
+        assert PercentileIatPolicy(90.0).name == "p90_iat"
+
+    def test_reset_keeps_prepared_timeout(self, att_profile, heartbeat_trace):
+        policy = PercentileIatPolicy()
+        policy.prepare(heartbeat_trace, att_profile)
+        timeout = policy.timeout
+        policy.reset()
+        assert policy.timeout == pytest.approx(timeout)
+
+    def test_different_percentiles_differ(self, att_profile, email_trace):
+        p50 = PercentileIatPolicy(50.0)
+        p95 = PercentileIatPolicy(95.0)
+        p50.prepare(email_trace, att_profile)
+        p95.prepare(email_trace, att_profile)
+        assert p95.timeout >= p50.timeout

@@ -1,0 +1,156 @@
+"""Tests for interactive-application awareness (registry, schedule, wrapper)."""
+
+import pytest
+
+from repro.core import (
+    ApplicationRegistry,
+    CombinedPolicy,
+    DEFAULT_REGISTRY,
+    FixedDelayMakeActive,
+    InteractiveAwarePolicy,
+    MakeIdlePolicy,
+    StatusQuoPolicy,
+)
+from repro.core.interactive import ForegroundInterval, ForegroundSchedule
+from repro.sim import TraceSimulator
+from repro.traces import Direction, Packet, PacketTrace
+
+
+class TestApplicationRegistry:
+    def test_explicit_classification(self):
+        registry = ApplicationRegistry(interactive=("social",), background=("email",))
+        assert registry.is_interactive("social")
+        assert registry.is_background("email")
+
+    def test_case_insensitive(self):
+        registry = ApplicationRegistry(interactive=("Social",))
+        assert registry.is_interactive("SOCIAL")
+
+    def test_unknown_defaults_to_interactive(self):
+        registry = ApplicationRegistry()
+        assert registry.is_interactive("mystery")
+        lenient = ApplicationRegistry(default_interactive=False)
+        assert lenient.is_background("mystery")
+
+    def test_register_reclassifies(self):
+        registry = ApplicationRegistry(background=("email",))
+        registry.register("email", interactive=True)
+        assert registry.is_interactive("email")
+
+    def test_overlapping_labels_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationRegistry(interactive=("x",), background=("x",))
+
+    def test_default_registry_matches_paper_categories(self):
+        assert DEFAULT_REGISTRY.is_background("email")
+        assert DEFAULT_REGISTRY.is_background("im")
+        assert DEFAULT_REGISTRY.is_interactive("social")
+        assert DEFAULT_REGISTRY.is_interactive("finance")
+
+
+class TestForegroundSchedule:
+    def test_lookup_inside_and_outside_intervals(self):
+        schedule = ForegroundSchedule(
+            [
+                ForegroundInterval(0.0, 10.0, "social"),
+                ForegroundInterval(20.0, 30.0, "finance"),
+            ]
+        )
+        assert schedule.foreground_app(5.0) == "social"
+        assert schedule.foreground_app(15.0) is None
+        assert schedule.foreground_app(25.0) == "finance"
+        assert schedule.foreground_app(-1.0) is None
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ValueError):
+            ForegroundSchedule(
+                [
+                    ForegroundInterval(0.0, 10.0, "a"),
+                    ForegroundInterval(5.0, 15.0, "b"),
+                ]
+            )
+
+    def test_always_helper(self):
+        schedule = ForegroundSchedule.always("social", 100.0)
+        assert schedule.foreground_app(0.0) == "social"
+        assert schedule.foreground_app(99.0) == "social"
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            ForegroundInterval(10.0, 5.0, "a")
+
+
+def _background_trace(app: str = "email") -> PacketTrace:
+    """Sparse background sessions, each a new flow, radio idle in between."""
+    packets = []
+    for index, start in enumerate((0.0, 120.0, 240.0, 360.0)):
+        packets.append(Packet(start, 300, Direction.UPLINK, flow_id=index, app=app))
+        packets.append(
+            Packet(start + 0.3, 1200, Direction.DOWNLINK, flow_id=index, app=app)
+        )
+    return PacketTrace(packets, name=f"bg-{app}")
+
+
+class TestInteractiveAwarePolicy:
+    def _combined(self):
+        return CombinedPolicy(
+            MakeIdlePolicy(), FixedDelayMakeActive(delay_bound=8.0), name="combined"
+        )
+
+    def test_background_app_with_screen_off_still_delayed(self, att_profile):
+        trace = _background_trace("email")
+        policy = InteractiveAwarePolicy(self._combined())
+        result = TraceSimulator(att_profile).run(trace, policy)
+        assert any(d > 0 for d in result.delays)
+        assert policy.suppressed_delays == 0
+
+    def test_interactive_foreground_suppresses_delays(self, att_profile):
+        trace = _background_trace("email")
+        schedule = ForegroundSchedule.always("social", trace.duration + 10.0)
+        policy = InteractiveAwarePolicy(self._combined(), schedule=schedule)
+        result = TraceSimulator(att_profile).run(trace, policy)
+        assert all(d == 0 for d in result.delays)
+        assert policy.suppressed_delays > 0
+
+    def test_interactive_session_itself_never_delayed(self, att_profile):
+        trace = _background_trace("finance")  # finance is interactive
+        policy = InteractiveAwarePolicy(self._combined())
+        result = TraceSimulator(att_profile).run(trace, policy)
+        assert all(d == 0 for d in result.delays)
+
+    def test_protection_can_be_disabled(self, att_profile):
+        trace = _background_trace("finance")
+        policy = InteractiveAwarePolicy(
+            self._combined(), protect_interactive_sessions=False
+        )
+        result = TraceSimulator(att_profile).run(trace, policy)
+        assert any(d > 0 for d in result.delays)
+
+    def test_dormancy_side_passes_through(self, att_profile, im_trace):
+        simulator = TraceSimulator(att_profile)
+        wrapped = InteractiveAwarePolicy(
+            CombinedPolicy(MakeIdlePolicy(), FixedDelayMakeActive(), name="c"),
+            schedule=ForegroundSchedule.always("social", im_trace.duration + 10.0),
+        )
+        plain = simulator.run(im_trace, MakeIdlePolicy())
+        result = simulator.run(im_trace, wrapped)
+        baseline = simulator.run(im_trace, StatusQuoPolicy())
+        # With MakeActive suppressed the wrapper still saves MakeIdle-level energy.
+        assert result.energy_saved_fraction(baseline) == pytest.approx(
+            plain.energy_saved_fraction(baseline), abs=0.1
+        )
+
+    def test_reset_clears_counters(self, att_profile):
+        trace = _background_trace("email")
+        schedule = ForegroundSchedule.always("social", trace.duration + 10.0)
+        policy = InteractiveAwarePolicy(self._combined(), schedule=schedule)
+        TraceSimulator(att_profile).run(trace, policy)
+        # The simulator calls reset() at the start of each run, so a second
+        # run's counter reflects only that run.
+        first_count = policy.suppressed_delays
+        TraceSimulator(att_profile).run(trace, policy)
+        assert policy.suppressed_delays == first_count
+
+    def test_name_mentions_inner_policy(self):
+        policy = InteractiveAwarePolicy(StatusQuoPolicy())
+        assert "status_quo" in policy.name

@@ -1,0 +1,115 @@
+"""Tests for the related-work comparison policies (TOP, TailEnder, TailTheft)."""
+
+import pytest
+
+from repro.core import (
+    MakeIdlePolicy,
+    OraclePolicy,
+    StatusQuoPolicy,
+    TailEnderPolicy,
+    TailTheftPolicy,
+    TopHintPolicy,
+)
+from repro.sim import TraceSimulator
+
+
+class TestTopHintPolicy:
+    def test_perfect_hints_match_oracle(self, att_profile, im_trace):
+        simulator = TraceSimulator(att_profile)
+        oracle = simulator.run(im_trace, OraclePolicy())
+        top = simulator.run(im_trace, TopHintPolicy(hint_accuracy=1.0))
+        assert top.total_energy_j == pytest.approx(oracle.total_energy_j, rel=0.01)
+
+    def test_perfect_hints_save_energy(self, att_profile, im_trace):
+        simulator = TraceSimulator(att_profile)
+        baseline = simulator.run(im_trace, StatusQuoPolicy())
+        top = simulator.run(im_trace, TopHintPolicy(hint_accuracy=1.0))
+        assert top.energy_saved_fraction(baseline) > 0.3
+
+    def test_degrading_hints_do_not_beat_perfect_hints(self, att_profile, im_trace):
+        simulator = TraceSimulator(att_profile)
+        perfect = simulator.run(im_trace, TopHintPolicy(hint_accuracy=1.0, seed=1))
+        poor = simulator.run(im_trace, TopHintPolicy(hint_accuracy=0.1, seed=1))
+        assert poor.total_energy_j >= perfect.total_energy_j - 1e-6
+
+    def test_runs_are_deterministic_per_seed(self, att_profile, im_trace):
+        simulator = TraceSimulator(att_profile)
+        first = simulator.run(im_trace, TopHintPolicy(hint_accuracy=0.5, seed=9))
+        second = simulator.run(im_trace, TopHintPolicy(hint_accuracy=0.5, seed=9))
+        assert first.total_energy_j == pytest.approx(second.total_energy_j)
+
+    def test_invalid_accuracy(self):
+        with pytest.raises(ValueError):
+            TopHintPolicy(hint_accuracy=1.2)
+
+    def test_threshold_exposed_after_prepare(self, att_profile, im_trace):
+        policy = TopHintPolicy()
+        assert policy.t_threshold == 0.0
+        policy.prepare(im_trace, att_profile)
+        assert policy.t_threshold > 0.0
+
+
+class TestTailEnderPolicy:
+    def test_batches_sessions_with_long_deadline(self, att_profile, email_trace):
+        simulator = TraceSimulator(att_profile)
+        baseline = simulator.run(email_trace, StatusQuoPolicy())
+        tailender = simulator.run(email_trace, TailEnderPolicy(deadline_s=600.0))
+        # Deferring transfers into shared promotions must not increase the
+        # number of switches, and the deferred sessions carry real delays.
+        assert tailender.switch_count <= baseline.switch_count
+        delayed = [d for d in tailender.delays if d > 0.0]
+        assert delayed
+        assert max(delayed) <= 600.0 + 1e-9
+
+    def test_saves_energy_on_periodic_background_traffic(
+        self, att_profile, email_trace
+    ):
+        simulator = TraceSimulator(att_profile)
+        baseline = simulator.run(email_trace, StatusQuoPolicy())
+        tailender = simulator.run(email_trace, TailEnderPolicy())
+        assert tailender.energy_saved_fraction(baseline) > 0.0
+
+    def test_delays_are_much_larger_than_makeactive_targets(
+        self, att_profile, email_trace
+    ):
+        # The paper's point about TailEnder: it needs ~10-minute deadlines,
+        # whereas MakeActive targets a few seconds.
+        simulator = TraceSimulator(att_profile)
+        tailender = simulator.run(email_trace, TailEnderPolicy(deadline_s=600.0))
+        delayed = [d for d in tailender.delays if d > 0.0]
+        assert delayed and max(delayed) > 60.0
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            TailEnderPolicy(deadline_s=0.0)
+
+
+class TestTailTheftPolicy:
+    def test_queues_when_radio_idle(self, att_profile, email_trace):
+        simulator = TraceSimulator(att_profile)
+        result = simulator.run(email_trace, TailTheftPolicy(timeout_s=60.0))
+        delayed = [d for d in result.delays if d > 0.0]
+        assert delayed
+        assert max(delayed) <= 60.0 + 1e-9
+
+    def test_recent_activity_releases_immediately(self):
+        # Directly exercise the decision logic: recent traffic -> no delay.
+        from repro.traces import Direction, Packet
+
+        policy = TailTheftPolicy(timeout_s=60.0, recent_activity_s=2.0)
+        policy.reset()
+        policy.observe_packet(100.0, Packet(100.0, 10, Direction.UPLINK))
+        assert policy.activation_delay(101.0) == 0.0
+        assert policy.activation_delay(200.0) == 60.0
+
+    def test_reduces_switches_vs_makeidle_alone(self, att_profile, email_trace):
+        simulator = TraceSimulator(att_profile)
+        makeidle = simulator.run(email_trace, MakeIdlePolicy())
+        tailtheft = simulator.run(email_trace, TailTheftPolicy())
+        assert tailtheft.promotion_count <= max(makeidle.promotion_count, 1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TailTheftPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            TailTheftPolicy(recent_activity_s=-1.0)

@@ -1,0 +1,150 @@
+"""Tests for the energy accountant and the per-packet data-energy model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import DataEnergyModel, EnergyAccountant
+from repro.rrc import RadioState, RrcStateMachine
+from repro.traces import Direction, Packet, PacketTrace
+
+
+class TestDataEnergyModel:
+    def test_validation(self, att_profile):
+        with pytest.raises(ValueError):
+            DataEnergyModel(att_profile, burst_gap=0.0)
+        with pytest.raises(ValueError):
+            DataEnergyModel(att_profile, downlink_rate_mbps=0.0)
+        with pytest.raises(ValueError):
+            DataEnergyModel(att_profile, min_packet_time=0.0)
+
+    def test_intra_burst_packet_charged_by_gap(self, att_profile):
+        model = DataEnergyModel(att_profile, burst_gap=1.0)
+        trace = PacketTrace(
+            [
+                Packet(0.0, 100, Direction.UPLINK),
+                Packet(0.4, 1400, Direction.DOWNLINK),
+            ]
+        )
+        transfers = model.packet_transfers(trace)
+        assert transfers[1].duration_s == pytest.approx(0.4)
+        assert transfers[1].energy_j == pytest.approx(0.4 * att_profile.power_recv_w)
+
+    def test_first_packet_uses_serialisation_time(self, att_profile):
+        model = DataEnergyModel(att_profile, downlink_rate_mbps=8.0)
+        trace = PacketTrace([Packet(0.0, 10_000, Direction.DOWNLINK)])
+        transfers = model.packet_transfers(trace)
+        assert transfers[0].duration_s == pytest.approx(10_000 / 1e6, rel=1e-6)
+
+    def test_burst_start_after_long_gap_not_charged_gap(self, att_profile):
+        model = DataEnergyModel(att_profile, burst_gap=1.0)
+        trace = PacketTrace(
+            [Packet(0.0, 100, Direction.UPLINK), Packet(60.0, 100, Direction.UPLINK)]
+        )
+        transfers = model.packet_transfers(trace)
+        assert transfers[1].duration_s < 1.0
+
+    def test_min_packet_time_floor(self, att_profile):
+        model = DataEnergyModel(att_profile, min_packet_time=0.01)
+        assert model.serialization_time(1, uplink=True) == pytest.approx(0.01)
+
+    def test_uplink_uses_send_power(self, lte_profile):
+        model = DataEnergyModel(lte_profile, burst_gap=1.0)
+        trace = PacketTrace(
+            [Packet(0.0, 100, Direction.DOWNLINK), Packet(0.5, 100, Direction.UPLINK)]
+        )
+        transfers = model.packet_transfers(trace)
+        assert transfers[1].energy_j == pytest.approx(0.5 * lte_profile.power_send_w)
+
+    def test_total_data_energy_sums_packets(self, att_profile, simple_trace):
+        model = DataEnergyModel(att_profile)
+        total_energy, total_time = model.total_data_energy(simple_trace)
+        transfers = model.packet_transfers(simple_trace)
+        assert total_energy == pytest.approx(sum(t.energy_j for t in transfers))
+        assert total_time == pytest.approx(sum(t.duration_s for t in transfers))
+
+    def test_empty_trace(self, att_profile):
+        model = DataEnergyModel(att_profile)
+        assert model.total_data_energy(PacketTrace([])) == (0.0, 0.0)
+
+
+class TestEnergyAccountant:
+    def run_machine(self, profile, trace, trailing=30.0):
+        machine = RrcStateMachine(profile)
+        for packet in trace:
+            machine.notify_activity(packet.timestamp)
+        machine.finish(trace.end_time + trailing)
+        return machine
+
+    def test_breakdown_total_is_sum_of_parts(self, att_profile, simple_trace):
+        machine = self.run_machine(att_profile, simple_trace)
+        accountant = EnergyAccountant(att_profile)
+        breakdown = accountant.account(simple_trace, machine.intervals, machine.switches)
+        assert breakdown.total_j == pytest.approx(
+            breakdown.data_j
+            + breakdown.active_tail_j
+            + breakdown.high_idle_tail_j
+            + breakdown.idle_j
+            + breakdown.switch_j
+        )
+
+    def test_idle_energy_is_zero_with_zero_idle_power(self, att_profile, simple_trace):
+        machine = self.run_machine(att_profile, simple_trace)
+        breakdown = EnergyAccountant(att_profile).account(
+            simple_trace, machine.intervals, machine.switches
+        )
+        assert breakdown.idle_j == 0.0
+        assert breakdown.idle_time_s > 0.0
+
+    def test_single_burst_tail_matches_model(self, att_profile):
+        # One isolated packet: the radio pays exactly the full tail
+        # (t1 at P_t1 plus t2 at P_t2) before going idle.
+        trace = PacketTrace([Packet(0.0, 100, Direction.UPLINK)])
+        machine = self.run_machine(att_profile, trace, trailing=60.0)
+        breakdown = EnergyAccountant(att_profile).account(
+            trace, machine.intervals, machine.switches
+        )
+        from repro.energy import TailEnergyModel
+
+        expected_tail = TailEnergyModel(att_profile).full_tail_energy
+        assert breakdown.tail_j == pytest.approx(expected_tail, rel=0.02)
+
+    def test_switch_energy_counts_promotions(self, att_profile, simple_trace):
+        machine = self.run_machine(att_profile, simple_trace)
+        breakdown = EnergyAccountant(att_profile).account(
+            simple_trace, machine.intervals, machine.switches
+        )
+        # Two promotions (one per burst: the 60 s gap exceeds t1+t2).
+        assert breakdown.promotions == 2
+        assert breakdown.switch_j == pytest.approx(
+            2 * att_profile.promotion_energy_j
+        )
+
+    def test_fraction_helper(self, att_profile, simple_trace):
+        machine = self.run_machine(att_profile, simple_trace)
+        breakdown = EnergyAccountant(att_profile).account(
+            simple_trace, machine.intervals, machine.switches
+        )
+        assert breakdown.fraction(breakdown.data_j) == pytest.approx(
+            breakdown.data_j / breakdown.total_j
+        )
+        assert breakdown.fraction(0.0) == 0.0
+
+    def test_as_dict_round_trip(self, att_profile, simple_trace):
+        machine = self.run_machine(att_profile, simple_trace)
+        breakdown = EnergyAccountant(att_profile).account(
+            simple_trace, machine.intervals, machine.switches
+        )
+        payload = breakdown.as_dict()
+        assert payload["total_j"] == pytest.approx(breakdown.total_j)
+        assert payload["promotions"] == breakdown.promotions
+
+    def test_tail_dominates_for_sparse_background_traffic(self, att_profile, heartbeat_trace):
+        # The paper's Figure 1 observation: for background applications most
+        # of the energy goes to the timers, not the data transfer itself.
+        machine = self.run_machine(att_profile, heartbeat_trace)
+        breakdown = EnergyAccountant(att_profile).account(
+            heartbeat_trace, machine.intervals, machine.switches
+        )
+        assert breakdown.tail_j > breakdown.data_j
+        assert breakdown.fraction(breakdown.data_j) < 0.3

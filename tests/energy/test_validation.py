@@ -1,0 +1,82 @@
+"""Tests for the Figure 8 energy-model validation experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.energy import generate_bulk_transfer, reference_transfer_energy, run_validation
+from repro.energy.validation import TRANSFER_SIZES
+from repro.traces import PacketTrace
+
+
+class TestBulkTransferGenerator:
+    def test_sizes_match_request(self):
+        trace = generate_bulk_transfer(100_000, uplink=False, rate_mbps=6.0, seed=1)
+        downlink_bytes = trace.downlink_bytes
+        assert downlink_bytes == 100_000
+
+    def test_uplink_transfer_direction(self):
+        trace = generate_bulk_transfer(50_000, uplink=True, rate_mbps=2.0, seed=1)
+        assert trace.uplink_bytes == 50_000
+        assert trace.downlink_bytes > 0  # ACKs flow the other way
+
+    def test_duration_roughly_matches_rate(self):
+        trace = generate_bulk_transfer(1_000_000, uplink=False, rate_mbps=8.0, seed=2)
+        expected = 1_000_000 * 8 / 8e6
+        assert trace.duration == pytest.approx(expected, rel=0.2)
+
+    def test_validation_of_arguments(self):
+        with pytest.raises(ValueError):
+            generate_bulk_transfer(0, uplink=False, rate_mbps=1.0)
+        with pytest.raises(ValueError):
+            generate_bulk_transfer(100, uplink=False, rate_mbps=0.0)
+
+    def test_determinism(self):
+        a = generate_bulk_transfer(10_000, False, 6.0, seed=3)
+        b = generate_bulk_transfer(10_000, False, 6.0, seed=3)
+        assert a == b
+
+
+class TestReferenceModel:
+    def test_empty_trace_is_free(self, verizon3g_profile):
+        assert reference_transfer_energy(verizon3g_profile, PacketTrace([])) == 0.0
+
+    def test_larger_transfers_cost_more(self, verizon3g_profile):
+        small = generate_bulk_transfer(10_000, False, 6.0, seed=1)
+        large = generate_bulk_transfer(1_000_000, False, 6.0, seed=1)
+        assert reference_transfer_energy(verizon3g_profile, large, seed=1) > (
+            reference_transfer_energy(verizon3g_profile, small, seed=1)
+        )
+
+    def test_reference_is_deterministic_per_seed(self, lte_profile):
+        trace = generate_bulk_transfer(100_000, False, 6.0, seed=7)
+        a = reference_transfer_energy(lte_profile, trace, seed=7)
+        b = reference_transfer_energy(lte_profile, trace, seed=7)
+        assert a == pytest.approx(b)
+
+
+class TestValidationExperiment:
+    @pytest.mark.parametrize("carrier", ["verizon_3g", "verizon_lte"])
+    def test_errors_within_paper_bound(self, carrier):
+        from repro.rrc import get_profile
+
+        result = run_validation(get_profile(carrier), runs_per_size=3, seed=0)
+        # Section 6.1: the estimation error is within 10 % (we allow 15 % to
+        # absorb the synthetic reference model's noise).
+        assert result.mean_absolute_error <= 0.15
+        assert result.max_absolute_error <= 0.30
+
+    def test_run_count(self, verizon3g_profile):
+        result = run_validation(verizon3g_profile, runs_per_size=2, seed=1)
+        # sizes x runs x {uplink, downlink}
+        assert len(result.runs) == len(TRANSFER_SIZES) * 2 * 2
+
+    def test_errors_centred_near_zero(self, lte_profile):
+        result = run_validation(lte_profile, runs_per_size=4, seed=2)
+        assert abs(result.mean_error) <= 0.12
+
+    def test_relative_error_definition(self, verizon3g_profile):
+        result = run_validation(verizon3g_profile, runs_per_size=1, seed=3)
+        run = result.runs[0]
+        expected = (run.estimated_j - run.reference_j) / run.reference_j
+        assert run.relative_error == pytest.approx(expected)

@@ -1,0 +1,106 @@
+"""End-to-end pipeline tests: config -> simulation -> metrics -> report.
+
+These exercise the path a downstream user takes: describe an experiment as
+an :class:`~repro.config.ExperimentConfig`, run the configured schemes
+through the simulator, and render the outcome with the reporting layer —
+all without touching any module internals.
+"""
+
+import json
+
+import pytest
+
+from repro.config import ExperimentConfig, WorkloadConfig, load_config, save_config
+from repro.core import StatusQuoPolicy, standard_policies
+from repro.metrics import savings_table
+from repro.reporting import csv_rows, format_markdown_table, headline_report
+from repro.rrc import get_profile, signaling_load
+from repro.sim import TraceSimulator
+
+
+def run_experiment(config: ExperimentConfig):
+    """Run one configured experiment and return (baseline, {scheme: result})."""
+    profile = get_profile(config.carrier)
+    trace = config.workload.build_trace()
+    simulator = TraceSimulator(profile)
+    policies = standard_policies(window_size=config.window_size)
+    baseline = simulator.run(trace, StatusQuoPolicy())
+    results = {
+        scheme: simulator.run(trace, policies[scheme])
+        for scheme in config.schemes
+        if scheme != "status_quo"
+    }
+    return baseline, results
+
+
+class TestConfiguredPipeline:
+    @pytest.fixture
+    def config(self):
+        return ExperimentConfig(
+            carrier="att_hspa",
+            workload=WorkloadConfig(kind="application", name="im",
+                                    duration_s=900.0, seed=4),
+            schemes=("status_quo", "makeidle", "oracle"),
+            window_size=50,
+            label="pipeline-test",
+        )
+
+    def test_config_round_trip_then_run(self, tmp_path, config):
+        path = tmp_path / "experiment.json"
+        save_config(config, path)
+        loaded = load_config(path)
+        baseline, results = run_experiment(loaded)
+        assert set(results) == {"makeidle", "oracle"}
+        assert baseline.total_energy_j > 0
+        for result in results.values():
+            assert result.total_energy_j > 0
+
+    def test_metrics_and_report_from_results(self, config):
+        baseline, results = run_experiment(config)
+        table = savings_table(results, baseline)
+        assert table["oracle"].saved_percent >= table["makeidle"].saved_percent - 1.0
+
+        markdown = format_markdown_table(
+            ["scheme", "saved %"],
+            [[scheme, round(report.saved_percent, 1)] for scheme, report in table.items()],
+        )
+        assert "makeidle" in markdown
+
+        records = [
+            {"scheme": scheme, "saved_percent": report.saved_percent}
+            for scheme, report in table.items()
+        ]
+        text = csv_rows(records)
+        assert text.splitlines()[0] == "scheme,saved_percent"
+
+    def test_signaling_load_comparison(self, config):
+        baseline, results = run_experiment(config)
+        profile = get_profile(config.carrier)
+        duration = config.workload.duration_s
+        baseline_load = signaling_load(
+            baseline.switches, duration, technology=profile.technology
+        )
+        makeidle_load = signaling_load(
+            results["makeidle"].switches, duration, technology=profile.technology
+        )
+        # MakeIdle introduces fast-dormancy releases the status quo never does.
+        assert makeidle_load.fast_dormancy_demotions > 0
+        assert baseline_load.fast_dormancy_demotions == 0
+        assert makeidle_load.messages > 0
+
+    def test_headline_report_from_measured_savings(self, config):
+        baseline, results = run_experiment(config)
+        saving = 100.0 * results["makeidle"].energy_saved_fraction(baseline)
+        report = headline_report({"makeidle_3g_savings_high": saving})
+        assert "makeidle_3g_savings_high" in report
+        assert "headline claims reproduced" in report
+
+    def test_config_json_is_human_editable(self, tmp_path, config):
+        path = tmp_path / "experiment.json"
+        save_config(config, path)
+        data = json.loads(path.read_text(encoding="utf-8"))
+        data["carrier"] = "verizon_lte"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        edited = load_config(path)
+        assert edited.carrier == "verizon_lte"
+        assert edited.workload == config.workload

@@ -1,0 +1,88 @@
+"""Tests for the Learn-α two-layer learner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learning import LearnAlpha, default_alpha_grid
+
+
+class TestDefaultAlphaGrid:
+    def test_grid_size(self):
+        assert len(default_alpha_grid(8)) == 8
+        assert len(default_alpha_grid(1)) == 1
+
+    def test_grid_span(self):
+        grid = default_alpha_grid(6)
+        assert grid[0] == pytest.approx(1e-3)
+        assert grid[-1] == pytest.approx(0.5)
+        assert list(grid) == sorted(grid)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            default_alpha_grid(0)
+
+
+class TestLearnAlpha:
+    def test_requires_expert_values(self):
+        with pytest.raises(ValueError):
+            LearnAlpha([])
+
+    def test_requires_valid_alphas(self):
+        with pytest.raises(ValueError):
+            LearnAlpha([1.0], alphas=[1.5])
+        with pytest.raises(ValueError):
+            LearnAlpha([1.0], alphas=[])
+
+    def test_initial_prediction_is_mean(self):
+        learner = LearnAlpha([2.0, 4.0, 6.0])
+        assert learner.predict() == pytest.approx(4.0)
+
+    def test_alpha_weights_normalised(self):
+        learner = LearnAlpha([1.0, 2.0], alphas=[0.01, 0.1, 0.5])
+        for _ in range(10):
+            learner.update([0.2, 0.9])
+            assert sum(learner.alpha_weights) == pytest.approx(1.0)
+
+    def test_converges_to_best_expert(self):
+        learner = LearnAlpha([1.0, 5.0, 9.0])
+        for _ in range(40):
+            learner.update([1.0, 0.0, 1.0])
+        assert learner.predict() == pytest.approx(5.0, abs=1.5)
+
+    def test_update_length_mismatch(self):
+        learner = LearnAlpha([1.0, 2.0])
+        with pytest.raises(ValueError):
+            learner.update([0.1, 0.2, 0.3])
+
+    def test_effective_alpha_tracks_switchiness(self):
+        # Rapidly alternating best expert favours high-α sub-learners.
+        volatile = LearnAlpha([1.0, 10.0], alphas=[0.001, 0.4])
+        for step in range(60):
+            losses = [0.0, 1.0] if step % 2 == 0 else [1.0, 0.0]
+            volatile.update(losses)
+        stationary = LearnAlpha([1.0, 10.0], alphas=[0.001, 0.4])
+        for _ in range(60):
+            stationary.update([0.0, 1.0])
+        assert volatile.effective_alpha > stationary.effective_alpha
+
+    def test_iterations_counter(self):
+        learner = LearnAlpha([1.0, 2.0])
+        learner.update([0.1, 0.2])
+        learner.update([0.1, 0.2])
+        assert learner.iterations == 2
+
+    def test_reset(self):
+        learner = LearnAlpha([1.0, 2.0], alphas=[0.1, 0.3])
+        learner.update([0.0, 5.0])
+        learner.reset()
+        assert learner.iterations == 0
+        assert learner.alpha_weights == (0.5, 0.5)
+        assert learner.predict() == pytest.approx(1.5)
+
+    def test_prediction_stays_within_expert_range(self):
+        learner = LearnAlpha([1.0, 2.0, 3.0, 4.0])
+        for step in range(50):
+            losses = [(step * 7 + i) % 3 * 0.4 for i in range(4)]
+            value = learner.update(losses)
+            assert 1.0 <= value <= 4.0

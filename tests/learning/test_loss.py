@@ -1,0 +1,57 @@
+"""Tests for the MakeActive loss function."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.learning import DEFAULT_GAMMA, MakeActiveLoss, aggregate_delay
+
+
+class TestAggregateDelay:
+    def test_single_session(self):
+        assert aggregate_delay(5.0, [0.0]) == pytest.approx(5.0)
+
+    def test_multiple_sessions(self):
+        # Sessions arriving at offsets 0, 2 and 4 released at T=5 wait
+        # 5 + 3 + 1 = 9 seconds in total.
+        assert aggregate_delay(5.0, [0.0, 2.0, 4.0]) == pytest.approx(9.0)
+
+    def test_sessions_after_bound_ignored(self):
+        assert aggregate_delay(3.0, [0.0, 10.0]) == pytest.approx(3.0)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_delay(-1.0, [0.0])
+
+    def test_empty_offsets(self):
+        assert aggregate_delay(4.0, []) == 0.0
+
+
+class TestMakeActiveLoss:
+    def test_default_gamma_matches_paper(self):
+        assert DEFAULT_GAMMA == pytest.approx(0.008)
+        assert MakeActiveLoss().gamma == pytest.approx(0.008)
+
+    def test_gamma_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MakeActiveLoss(gamma=0.0)
+
+    def test_loss_formula(self):
+        loss = MakeActiveLoss(gamma=0.01)
+        # Delay(T=5) over offsets [0, 2] is 5 + 3 = 8; b = 2.
+        assert loss(5.0, [0.0, 2.0]) == pytest.approx(0.01 * 8.0 + 0.5)
+
+    def test_no_buffered_sessions_gets_worst_case(self):
+        loss = MakeActiveLoss(gamma=0.01)
+        assert loss(5.0, [10.0]) == pytest.approx(0.01 * 5.0 + 1.0)
+
+    def test_batching_more_sessions_reduces_second_term(self):
+        loss = MakeActiveLoss()
+        few = loss(10.0, [0.0])
+        many = loss(10.0, [0.0, 9.0, 9.5, 9.9])
+        # With γ = 0.008 the 1/b reduction dominates the extra delay here.
+        assert many < few
+
+    def test_longer_delay_costs_more_when_batching_is_equal(self):
+        loss = MakeActiveLoss()
+        assert loss(10.0, [0.0, 1.0]) > loss(5.0, [0.0, 1.0])

@@ -1,0 +1,160 @@
+"""Tests for the alternative inter-arrival predictors and the ablation policy."""
+
+import pytest
+
+from repro.core import MakeIdlePolicy, StatusQuoPolicy
+from repro.learning.predictors import (
+    DecayedHistogramPredictor,
+    ExponentialRatePredictor,
+    PredictiveMakeIdlePolicy,
+    SlidingWindowPredictor,
+)
+from repro.sim import TraceSimulator
+
+
+class TestSlidingWindowPredictor:
+    def test_window_evicts_oldest(self):
+        predictor = SlidingWindowPredictor(window_size=3)
+        for gap in (1.0, 2.0, 3.0, 4.0):
+            predictor.observe(gap)
+        gaps, weights = predictor.weighted_gaps()
+        assert gaps == (2.0, 3.0, 4.0)
+        assert weights == (1.0, 1.0, 1.0)
+        assert predictor.sample_count == 4
+
+    def test_reset_clears_state(self):
+        predictor = SlidingWindowPredictor()
+        predictor.observe(1.0)
+        predictor.reset()
+        assert predictor.sample_count == 0
+        assert predictor.weighted_gaps() == ((), ())
+
+    def test_rejects_negative_gap_and_tiny_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowPredictor(window_size=1)
+        with pytest.raises(ValueError):
+            SlidingWindowPredictor().observe(-1.0)
+
+
+class TestDecayedHistogramPredictor:
+    def test_mass_concentrates_on_observed_bin(self):
+        predictor = DecayedHistogramPredictor()
+        for _ in range(50):
+            predictor.observe(5.0)
+        gaps, weights = predictor.weighted_gaps()
+        best = gaps[weights.index(max(weights))]
+        assert best == pytest.approx(5.0, rel=0.5)
+
+    def test_old_mass_decays(self):
+        predictor = DecayedHistogramPredictor(decay=0.5)
+        predictor.observe(1.0)
+        for _ in range(20):
+            predictor.observe(100.0)
+        gaps, weights = predictor.weighted_gaps()
+        weight_of = dict(zip(gaps, weights))
+        near_one = sum(w for g, w in weight_of.items() if g < 5.0)
+        near_hundred = sum(w for g, w in weight_of.items() if g > 50.0)
+        assert near_hundred > 10 * max(near_one, 1e-12)
+
+    def test_underflow_and_overflow_bins(self):
+        predictor = DecayedHistogramPredictor(min_gap=0.1, max_gap=10.0)
+        predictor.observe(0.0001)
+        predictor.observe(500.0)
+        gaps, weights = predictor.weighted_gaps()
+        assert min(gaps) < 0.1
+        assert max(gaps) == pytest.approx(10.0)
+        assert len(weights) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            DecayedHistogramPredictor(decay=1.0)
+        with pytest.raises(ValueError):
+            DecayedHistogramPredictor(min_gap=1.0, max_gap=0.5)
+        with pytest.raises(ValueError):
+            DecayedHistogramPredictor(bins_per_decade=0)
+
+
+class TestExponentialRatePredictor:
+    def test_tracks_mean_gap(self):
+        predictor = ExponentialRatePredictor(smoothing=0.5)
+        predictor.observe(10.0)
+        predictor.observe(20.0)
+        assert predictor.mean_gap == pytest.approx(15.0)
+
+    def test_quantile_grid_mean_matches(self):
+        predictor = ExponentialRatePredictor()
+        for _ in range(10):
+            predictor.observe(8.0)
+        gaps, weights = predictor.weighted_gaps()
+        assert len(gaps) == 16
+        mean = sum(g * w for g, w in zip(gaps, weights)) / sum(weights)
+        # The quantile grid of an Exp(mean=8) has mean close to 8.
+        assert mean == pytest.approx(8.0, rel=0.25)
+
+    def test_no_observations_yields_empty(self):
+        assert ExponentialRatePredictor().weighted_gaps() == ((), ())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExponentialRatePredictor(smoothing=0.0)
+        with pytest.raises(ValueError):
+            ExponentialRatePredictor(quantile_points=2)
+
+
+class TestPredictiveMakeIdlePolicy:
+    @pytest.mark.parametrize(
+        "predictor_factory",
+        [
+            lambda: SlidingWindowPredictor(window_size=100),
+            lambda: DecayedHistogramPredictor(),
+            lambda: ExponentialRatePredictor(),
+        ],
+    )
+    def test_each_predictor_saves_energy_on_heartbeats(
+        self, att_profile, im_trace, predictor_factory
+    ):
+        simulator = TraceSimulator(att_profile)
+        baseline = simulator.run(im_trace, StatusQuoPolicy())
+        policy = PredictiveMakeIdlePolicy(predictor_factory())
+        result = simulator.run(im_trace, policy)
+        # IM heartbeat gaps are far above t_threshold, so every predictor
+        # should find large savings once warmed up.
+        assert result.energy_saved_fraction(baseline) > 0.2
+
+    def test_sliding_window_variant_tracks_reference_makeidle(
+        self, att_profile, im_trace
+    ):
+        simulator = TraceSimulator(att_profile)
+        reference = simulator.run(im_trace, MakeIdlePolicy(window_size=100))
+        variant = simulator.run(
+            im_trace,
+            PredictiveMakeIdlePolicy(SlidingWindowPredictor(window_size=100)),
+        )
+        baseline = simulator.run(im_trace, StatusQuoPolicy())
+        ref_saving = reference.energy_saved_fraction(baseline)
+        var_saving = variant.energy_saved_fraction(baseline)
+        assert var_saving == pytest.approx(ref_saving, abs=0.15)
+
+    def test_cold_policy_behaves_like_status_quo(self, att_profile, simple_trace):
+        simulator = TraceSimulator(att_profile)
+        policy = PredictiveMakeIdlePolicy(
+            SlidingWindowPredictor(window_size=10), min_samples=100
+        )
+        result = simulator.run(simple_trace, policy)
+        baseline = simulator.run(simple_trace, StatusQuoPolicy())
+        assert result.total_energy_j == pytest.approx(baseline.total_energy_j)
+
+    def test_requires_prepare(self):
+        policy = PredictiveMakeIdlePolicy(SlidingWindowPredictor())
+        with pytest.raises(RuntimeError):
+            policy.dormancy_wait(0.0)
+
+    def test_invalid_constructor_arguments(self):
+        with pytest.raises(ValueError):
+            PredictiveMakeIdlePolicy(SlidingWindowPredictor(), candidate_count=1)
+        with pytest.raises(ValueError):
+            PredictiveMakeIdlePolicy(SlidingWindowPredictor(), min_samples=0)
+
+    def test_name_mentions_predictor(self):
+        policy = PredictiveMakeIdlePolicy(DecayedHistogramPredictor())
+        assert "DecayedHistogramPredictor" in policy.name

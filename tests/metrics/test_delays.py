@@ -1,0 +1,62 @@
+"""Tests for the session-delay metrics (Figure 15, Table 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CombinedPolicy, FixedDelayMakeActive, MakeIdlePolicy
+from repro.metrics import DelayStats, delay_stats, delay_stats_for_result
+from repro.sim import TraceSimulator
+
+
+class TestDelayStats:
+    def test_empty(self):
+        stats = delay_stats([])
+        assert stats == DelayStats.empty()
+        assert stats.count == 0
+
+    def test_basic_statistics(self):
+        stats = delay_stats([1.0, 2.0, 3.0, 4.0, 10.0])
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.median == pytest.approx(3.0)
+        assert stats.maximum == pytest.approx(10.0)
+        assert stats.p95 == pytest.approx(10.0)
+
+    def test_even_count_median(self):
+        assert delay_stats([1.0, 3.0]).median == pytest.approx(2.0)
+
+    def test_delayed_fraction(self):
+        stats = delay_stats([0.0, 0.0, 5.0, 5.0])
+        assert stats.delayed_fraction == pytest.approx(0.5)
+
+    def test_p95_with_many_samples(self):
+        stats = delay_stats(list(range(100)))
+        assert stats.p95 == pytest.approx(94.0)
+
+
+class TestDelayStatsForResult:
+    @pytest.fixture
+    def makeactive_result(self, att_profile, email_trace):
+        policy = CombinedPolicy(
+            MakeIdlePolicy(window_size=50), FixedDelayMakeActive(delay_bound=6.0)
+        )
+        return TraceSimulator(att_profile).run(email_trace, policy)
+
+    def test_all_sessions_vs_delayed_only(self, makeactive_result):
+        all_stats = delay_stats_for_result(makeactive_result, only_delayed=False)
+        delayed_stats = delay_stats_for_result(makeactive_result, only_delayed=True)
+        assert delayed_stats.count <= all_stats.count
+        if delayed_stats.count:
+            assert delayed_stats.mean >= all_stats.mean
+
+    def test_delays_bounded_by_fixed_bound(self, makeactive_result):
+        stats = delay_stats_for_result(makeactive_result, only_delayed=True)
+        assert stats.maximum <= 6.0 + 1e-6
+
+    def test_fixed_bound_pushes_sessions_to_the_bound(self, makeactive_result):
+        # Section 5.2's complaint about the fixed bound: a large share of
+        # bursts wait the full T_fix_delay.
+        stats = delay_stats_for_result(makeactive_result, only_delayed=True)
+        assert stats.count > 0
+        assert stats.maximum == pytest.approx(6.0, abs=0.1)

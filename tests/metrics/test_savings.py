@@ -1,0 +1,63 @@
+"""Tests for the energy-savings metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_schemes
+from repro.metrics import compare, energy_saved_percent, savings_table
+
+
+@pytest.fixture
+def scheme_results(att_profile, heartbeat_trace):
+    results = run_schemes(heartbeat_trace, att_profile, window_size=30)
+    baseline = results.pop("status_quo")
+    return results, baseline
+
+
+class TestEnergySavedPercent:
+    def test_matches_result_fraction(self, scheme_results):
+        results, baseline = scheme_results
+        for result in results.values():
+            assert energy_saved_percent(result, baseline) == pytest.approx(
+                100.0 * result.energy_saved_fraction(baseline)
+            )
+
+    def test_heartbeat_savings_are_positive_for_adaptive_schemes(self, scheme_results):
+        results, baseline = scheme_results
+        assert energy_saved_percent(results["makeidle"], baseline) > 30.0
+        assert energy_saved_percent(results["oracle"], baseline) > 30.0
+
+
+class TestCompare:
+    def test_report_fields(self, scheme_results):
+        results, baseline = scheme_results
+        report = compare(results["makeidle"], baseline)
+        assert report.scheme == "makeidle"
+        assert report.energy_j == pytest.approx(results["makeidle"].total_energy_j)
+        assert report.baseline_energy_j == pytest.approx(baseline.total_energy_j)
+        assert report.saved_j == pytest.approx(
+            baseline.total_energy_j - results["makeidle"].total_energy_j
+        )
+        assert report.switches_normalized == pytest.approx(
+            results["makeidle"].switch_count / baseline.switch_count
+        )
+
+    def test_saved_per_switch(self, scheme_results):
+        results, baseline = scheme_results
+        report = compare(results["oracle"], baseline)
+        assert report.saved_per_switch_j == pytest.approx(
+            results["oracle"].energy_saved_per_switch(baseline)
+        )
+
+
+class TestSavingsTable:
+    def test_covers_all_schemes(self, scheme_results):
+        results, baseline = scheme_results
+        table = savings_table(results, baseline)
+        assert set(table) == set(results)
+
+    def test_oracle_at_least_as_good_as_fixed(self, scheme_results):
+        results, baseline = scheme_results
+        table = savings_table(results, baseline)
+        assert table["oracle"].saved_percent >= table["fixed_4.5s"].saved_percent - 1.0

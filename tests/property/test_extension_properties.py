@@ -1,0 +1,171 @@
+"""Property-based tests for the extension modules (filters, predictors, battery, DRX)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy.battery import Battery, DevicePowerBudget, project_lifetime
+from repro.learning.predictors import (
+    DecayedHistogramPredictor,
+    ExponentialRatePredictor,
+    SlidingWindowPredictor,
+)
+from repro.rrc.drx import DrxConfig, effective_tail_power
+from repro.traces import Direction, Packet, PacketTrace
+from repro.traces.filters import (
+    downsample,
+    interleave,
+    scale_time,
+    slice_windows,
+    split_by_flow,
+    thin_by_fraction,
+)
+
+# -- strategies ----------------------------------------------------------------------
+
+timestamps = st.lists(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=60,
+)
+
+
+@st.composite
+def packet_traces(draw):
+    times = draw(timestamps)
+    packets = [
+        Packet(
+            timestamp=t,
+            size=draw(st.integers(min_value=0, max_value=1500)),
+            direction=draw(st.sampled_from([Direction.UPLINK, Direction.DOWNLINK])),
+            flow_id=draw(st.integers(min_value=0, max_value=4)),
+        )
+        for t in times
+    ]
+    return PacketTrace(packets, name="prop")
+
+
+gaps = st.lists(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=0,
+    max_size=80,
+)
+
+
+# -- trace filters --------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(packet_traces(), st.integers(min_value=1, max_value=10))
+def test_downsample_never_grows_and_preserves_order(trace, keep_every):
+    thinned = downsample(trace, keep_every)
+    assert len(thinned) <= len(trace)
+    stamps = [p.timestamp for p in thinned]
+    assert stamps == sorted(stamps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(packet_traces(), st.floats(min_value=0.05, max_value=1.0))
+def test_thinning_is_a_subset(trace, fraction):
+    thinned = thin_by_fraction(trace, fraction, seed=1)
+    original = list(trace)
+    for packet in thinned:
+        assert packet in original
+
+
+@settings(max_examples=60, deadline=None)
+@given(packet_traces(), st.floats(min_value=0.1, max_value=10.0))
+def test_scale_time_preserves_count_and_scales_duration(trace, factor):
+    scaled = scale_time(trace, factor)
+    assert len(scaled) == len(trace)
+    assert math.isclose(scaled.duration, trace.duration * factor, rel_tol=1e-6, abs_tol=1e-6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(packet_traces(), st.floats(min_value=1.0, max_value=500.0))
+def test_slice_windows_partition_packets(trace, window):
+    windows = slice_windows(trace, window)
+    assert sum(len(w) for w in windows) == len(trace)
+
+
+@settings(max_examples=60, deadline=None)
+@given(packet_traces())
+def test_split_by_flow_partitions_trace(trace):
+    groups = split_by_flow(trace)
+    assert sum(len(g) for g in groups.values()) == len(trace)
+    for flow_id, group in groups.items():
+        assert all(p.flow_id == flow_id for p in group)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(packet_traces(), min_size=1, max_size=4))
+def test_interleave_preserves_packet_count(traces):
+    combined = interleave(traces)
+    assert len(combined) == sum(len(t) for t in traces)
+
+
+# -- predictors ------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(gaps)
+def test_sliding_window_weights_match_retained_gaps(gap_values):
+    predictor = SlidingWindowPredictor(window_size=16)
+    for gap in gap_values:
+        predictor.observe(gap)
+    kept, weights = predictor.weighted_gaps()
+    assert len(kept) == len(weights) == min(len(gap_values), 16)
+    assert predictor.sample_count == len(gap_values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(gaps)
+def test_decayed_histogram_mass_is_finite_and_positive(gap_values):
+    predictor = DecayedHistogramPredictor()
+    for gap in gap_values:
+        predictor.observe(gap)
+    kept, weights = predictor.weighted_gaps()
+    assert all(w > 0 for w in weights)
+    assert all(g >= 0 for g in kept)
+    # Total decayed mass can never exceed the number of observations.
+    assert sum(weights) <= len(gap_values) + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e4, allow_nan=False), min_size=1, max_size=40))
+def test_exponential_rate_mean_within_observed_range(gap_values):
+    predictor = ExponentialRatePredictor()
+    for gap in gap_values:
+        predictor.observe(gap)
+    assert min(gap_values) - 1e-9 <= predictor.mean_gap <= max(gap_values) + 1e-9
+
+
+# -- battery ---------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(min_value=100.0, max_value=5000.0),
+    st.floats(min_value=0.01, max_value=3.0),
+    st.floats(min_value=0.01, max_value=3.0),
+    st.floats(min_value=0.0, max_value=0.95),
+)
+def test_lifetime_projection_monotone_in_savings(capacity, radio, platform, saving):
+    battery = Battery(capacity_mah=capacity)
+    budget = DevicePowerBudget(radio_power_w=radio, platform_power_w=platform)
+    projection = project_lifetime(battery, budget, saving)
+    assert projection.scheme_hours >= projection.baseline_hours - 1e-9
+    more = project_lifetime(battery, budget, min(saving + 0.04, 0.99))
+    assert more.scheme_hours >= projection.scheme_hours - 1e-9
+
+
+# -- DRX ---------------------------------------------------------------------------------
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.floats(min_value=0.05, max_value=5.0),
+    st.floats(min_value=0.1, max_value=20.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_effective_tail_power_bounded_by_sleep_and_awake(awake_power, tail, sleep_fraction):
+    config = DrxConfig(sleep_power_fraction=sleep_fraction)
+    average = effective_tail_power(config, awake_power, tail)
+    assert awake_power * sleep_fraction - 1e-9 <= average <= awake_power + 1e-9

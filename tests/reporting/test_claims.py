@@ -1,0 +1,67 @@
+"""Tests for the paper-claims registry and claim checking."""
+
+import pytest
+
+from repro.reporting import PAPER_CLAIMS, ClaimCheck, PaperClaim, check_claims
+
+
+class TestPaperClaim:
+    def test_within_band(self):
+        claim = PaperClaim("k", "d", "s", paper_value=50.0, accept_low=40.0,
+                           accept_high=60.0)
+        assert claim.within_band(45.0)
+        assert claim.within_band(40.0)
+        assert not claim.within_band(39.9)
+
+    def test_invalid_band_rejected(self):
+        with pytest.raises(ValueError):
+            PaperClaim("k", "d", "s", 50.0, accept_low=60.0, accept_high=40.0)
+
+
+class TestClaimsRegistry:
+    def test_headline_claims_present(self):
+        for key in (
+            "makeidle_3g_savings_high",
+            "makeidle_lte_savings",
+            "combined_3g_savings_high",
+            "combined_lte_savings",
+            "makeidle_switch_overhead_max",
+            "combined_switch_overhead",
+            "makeactive_median_delay",
+        ):
+            assert key in PAPER_CLAIMS
+
+    def test_paper_values_match_the_text(self):
+        assert PAPER_CLAIMS["makeidle_lte_savings"].paper_value == 67.0
+        assert PAPER_CLAIMS["combined_3g_savings_high"].paper_value == 75.0
+        assert PAPER_CLAIMS["combined_switch_overhead"].paper_value == pytest.approx(1.33)
+        assert PAPER_CLAIMS["makeactive_median_delay"].paper_value == pytest.approx(4.48)
+
+    def test_bands_contain_paper_values(self):
+        for claim in PAPER_CLAIMS.values():
+            assert claim.within_band(claim.paper_value)
+
+    def test_keys_match_claim_keys(self):
+        for key, claim in PAPER_CLAIMS.items():
+            assert key == claim.key
+
+
+class TestCheckClaims:
+    def test_check_pass_and_fail(self):
+        checks = check_claims(
+            {"makeidle_lte_savings": 60.0, "combined_switch_overhead": 10.0}
+        )
+        by_key = {c.claim.key: c for c in checks}
+        assert by_key["makeidle_lte_savings"].passed
+        assert not by_key["combined_switch_overhead"].passed
+
+    def test_deviation(self):
+        check = ClaimCheck(PAPER_CLAIMS["makeidle_lte_savings"], measured=62.0)
+        assert check.deviation == pytest.approx(-5.0)
+
+    def test_unknown_measurement_rejected(self):
+        with pytest.raises(KeyError):
+            check_claims({"definitely_not_a_claim": 1.0})
+
+    def test_empty_measurements(self):
+        assert check_claims({}) == []

@@ -1,0 +1,84 @@
+"""Tests for the low-level renderers (markdown tables, CSV, formatting)."""
+
+import csv
+import io
+
+import pytest
+
+from repro.reporting import (
+    csv_rows,
+    format_markdown_table,
+    format_percent,
+    format_seconds,
+    write_csv,
+)
+
+
+class TestFormatting:
+    def test_format_percent_from_fraction(self):
+        assert format_percent(0.664) == "66.4%"
+
+    def test_format_percent_from_percentage(self):
+        assert format_percent(66.4) == "66.4%"
+
+    def test_format_percent_decimals(self):
+        assert format_percent(0.5, decimals=0) == "50%"
+
+    def test_format_seconds(self):
+        assert format_seconds(4.481) == "4.48s"
+        assert format_seconds(4.481, decimals=1) == "4.5s"
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        table = format_markdown_table(["a", "b"], [[1, 2.5], ["x", "y"]])
+        lines = table.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1].count("---") == 2
+        assert lines[2] == "| 1 | 2.5 |"
+        assert lines[3] == "| x | y |"
+
+    def test_float_trimming(self):
+        table = format_markdown_table(["v"], [[1.0], [0.3333333]])
+        assert "| 1 |" in table
+        assert "| 0.333 |" in table
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table([], [])
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a", "b"], [[1]])
+
+
+class TestCsv:
+    def test_round_trip_through_csv_reader(self):
+        records = [
+            {"carrier": "att_hspa", "saved": 61.5},
+            {"carrier": "verizon_lte", "saved": 67.0},
+        ]
+        text = csv_rows(records)
+        parsed = list(csv.DictReader(io.StringIO(text)))
+        assert parsed[0]["carrier"] == "att_hspa"
+        assert float(parsed[1]["saved"]) == pytest.approx(67.0)
+
+    def test_missing_fields_become_empty_cells(self):
+        text = csv_rows(
+            [{"a": 1, "b": 2}, {"a": 3}], fieldnames=["a", "b"]
+        )
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[1]["b"] == ""
+
+    def test_extra_fields_rejected(self):
+        with pytest.raises(ValueError):
+            csv_rows([{"a": 1, "surprise": 2}], fieldnames=["a"])
+
+    def test_empty_records(self):
+        assert csv_rows([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        count = write_csv([{"x": 1}, {"x": 2}], path)
+        assert count == 2
+        assert path.read_text(encoding="utf-8").startswith("x")

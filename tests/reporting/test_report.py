@@ -1,0 +1,41 @@
+"""Tests for the markdown report generators."""
+
+from repro.reporting import experiments_report, headline_report
+
+
+class TestHeadlineReport:
+    def test_contains_table_and_summary(self):
+        report = headline_report(
+            {"makeidle_lte_savings": 62.0, "combined_lte_savings": 68.0}
+        )
+        assert "| claim |" in report
+        assert "makeidle_lte_savings" in report
+        assert "2/2 headline claims reproduced" in report
+
+    def test_failures_are_visible(self):
+        report = headline_report({"combined_switch_overhead": 50.0})
+        assert "NO" in report
+        assert "0/1 headline claims" in report
+
+
+class TestExperimentsReport:
+    def test_sections_are_rendered_in_order(self):
+        report = experiments_report(
+            [("Figure 9", "app table"), ("Table 3", "delay table")],
+            title="Repro record",
+        )
+        assert report.startswith("# Repro record")
+        assert report.index("## Figure 9") < report.index("## Table 3")
+        assert "app table" in report
+        assert report.endswith("\n")
+
+    def test_headline_section_prepended_when_measured_given(self):
+        report = experiments_report(
+            [("Figure 9", "body")],
+            measured={"makeidle_lte_savings": 62.0},
+        )
+        assert report.index("## Headline claims") < report.index("## Figure 9")
+
+    def test_no_headline_section_without_measurements(self):
+        report = experiments_report([("Figure 9", "body")])
+        assert "Headline claims" not in report

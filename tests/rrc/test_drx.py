@@ -1,0 +1,116 @@
+"""Tests for the LTE connected-mode DRX extension."""
+
+import pytest
+
+from repro.rrc import Technology, get_profile
+from repro.rrc.drx import (
+    DEFAULT_LTE_DRX,
+    DrxConfig,
+    drx_timeline,
+    effective_tail_power,
+    profile_with_drx,
+)
+
+
+class TestDrxConfig:
+    def test_duty_cycles(self):
+        config = DrxConfig(on_duration=0.01, short_cycle=0.02, long_cycle=0.32)
+        assert config.short_duty_cycle == pytest.approx(0.5)
+        assert config.long_duty_cycle == pytest.approx(0.01 / 0.32)
+
+    def test_awake_fraction_phases(self):
+        config = DrxConfig(
+            inactivity_timer=0.1, on_duration=0.01, short_cycle=0.02,
+            short_cycle_timer=0.4, long_cycle=0.32,
+        )
+        assert config.awake_fraction_at(0.05) == 1.0
+        assert config.awake_fraction_at(0.2) == pytest.approx(0.5)
+        assert config.awake_fraction_at(10.0) == pytest.approx(0.01 / 0.32)
+
+    def test_awake_fraction_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_LTE_DRX.awake_fraction_at(-1.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"on_duration": 0.0},
+            {"short_cycle": 0.001, "on_duration": 0.01},
+            {"long_cycle": 0.001, "on_duration": 0.01},
+            {"sleep_power_fraction": 1.5},
+            {"inactivity_timer": -1.0},
+            {"short_cycle_timer": -0.1},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            DrxConfig(**kwargs)
+
+
+class TestDrxTimeline:
+    def test_full_timeline_has_three_phases(self):
+        phases = drx_timeline(DEFAULT_LTE_DRX, tail_length=10.0)
+        assert [p.name for p in phases] == ["continuous", "short_drx", "long_drx"]
+        assert phases[0].start == 0.0
+        assert phases[-1].end == pytest.approx(10.0)
+        # Phases tile the tail without gaps.
+        for first, second in zip(phases, phases[1:]):
+            assert first.end == pytest.approx(second.start)
+
+    def test_short_tail_truncates_phases(self):
+        phases = drx_timeline(DEFAULT_LTE_DRX, tail_length=0.05)
+        assert len(phases) == 1
+        assert phases[0].name == "continuous"
+        assert phases[0].end == pytest.approx(0.05)
+
+    def test_zero_tail_is_empty(self):
+        assert drx_timeline(DEFAULT_LTE_DRX, 0.0) == []
+
+    def test_rejects_negative_tail(self):
+        with pytest.raises(ValueError):
+            drx_timeline(DEFAULT_LTE_DRX, -1.0)
+
+
+class TestEffectiveTailPower:
+    def test_power_between_sleep_and_awake(self):
+        awake = 1.2
+        average = effective_tail_power(DEFAULT_LTE_DRX, awake, tail_length=10.0)
+        sleep = awake * DEFAULT_LTE_DRX.sleep_power_fraction
+        assert sleep < average < awake
+
+    def test_long_tail_approaches_long_drx_average(self):
+        config = DEFAULT_LTE_DRX
+        awake = 1.0
+        long_average = (
+            config.long_duty_cycle * awake
+            + (1 - config.long_duty_cycle) * awake * config.sleep_power_fraction
+        )
+        average = effective_tail_power(config, awake, tail_length=1000.0)
+        assert average == pytest.approx(long_average, rel=0.01)
+
+    def test_short_tail_is_all_awake(self):
+        average = effective_tail_power(DEFAULT_LTE_DRX, 1.0, tail_length=0.05)
+        assert average == pytest.approx(1.0)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            effective_tail_power(DEFAULT_LTE_DRX, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            effective_tail_power(DEFAULT_LTE_DRX, 1.0, 0.0)
+
+
+class TestProfileWithDrx:
+    def test_lte_profile_tail_power_replaced(self, lte_profile):
+        derived = profile_with_drx(lte_profile)
+        assert derived.technology is Technology.LTE
+        assert derived.power_active_mw != lte_profile.power_active_mw
+        assert 0 < derived.power_active_mw < lte_profile.power_recv_mw
+
+    def test_explicit_awake_power(self, lte_profile):
+        derived = profile_with_drx(lte_profile, awake_power_w=1.0)
+        expected = effective_tail_power(DEFAULT_LTE_DRX, 1.0, lte_profile.t1) * 1000.0
+        assert derived.power_active_mw == pytest.approx(expected)
+
+    def test_rejects_3g_profiles(self):
+        with pytest.raises(ValueError):
+            profile_with_drx(get_profile("att_hspa"))

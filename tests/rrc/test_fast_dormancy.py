@@ -1,0 +1,61 @@
+"""Tests for the fast-dormancy cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rrc import (
+    SENSITIVITY_FRACTIONS,
+    FastDormancyModel,
+    dormancy_fraction_sweep,
+)
+
+
+class TestFastDormancyModel:
+    def test_default_fraction_is_half(self, att_profile):
+        model = FastDormancyModel(att_profile)
+        assert model.fraction == pytest.approx(0.5)
+        assert model.demotion_energy_j == pytest.approx(
+            0.5 * att_profile.radio_off_energy_j
+        )
+        assert model.demotion_delay_s == pytest.approx(
+            0.5 * att_profile.radio_off_delay_s
+        )
+
+    def test_switch_energy_includes_promotion(self, att_profile):
+        model = FastDormancyModel(att_profile)
+        assert model.switch_energy_j == pytest.approx(
+            model.demotion_energy_j + att_profile.promotion_energy_j
+        )
+
+    def test_requests_always_granted_by_default(self, att_profile):
+        assert FastDormancyModel(att_profile).request_granted()
+        assert not FastDormancyModel(att_profile, always_accepted=False).request_granted()
+
+    def test_invalid_fraction(self, att_profile):
+        with pytest.raises(ValueError):
+            FastDormancyModel(att_profile, fraction=0.0)
+        with pytest.raises(ValueError):
+            FastDormancyModel(att_profile, fraction=1.5)
+
+    def test_apply_to_profile(self, att_profile):
+        model = FastDormancyModel(att_profile, fraction=0.2)
+        profile = model.apply_to_profile()
+        assert profile.dormancy_fraction == pytest.approx(0.2)
+        assert profile.demotion_energy_j == pytest.approx(model.demotion_energy_j)
+
+
+class TestSensitivitySweep:
+    def test_paper_fractions(self):
+        assert SENSITIVITY_FRACTIONS == (0.1, 0.2, 0.4, 0.5)
+
+    def test_sweep_produces_one_profile_per_fraction(self, att_profile):
+        sweep = dormancy_fraction_sweep(att_profile)
+        assert set(sweep) == set(SENSITIVITY_FRACTIONS)
+        for fraction, profile in sweep.items():
+            assert profile.dormancy_fraction == pytest.approx(fraction)
+
+    def test_lower_fraction_means_cheaper_switch(self, att_profile):
+        sweep = dormancy_fraction_sweep(att_profile)
+        energies = [sweep[f].switch_energy_j for f in sorted(sweep)]
+        assert energies == sorted(energies)

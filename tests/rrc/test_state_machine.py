@@ -1,0 +1,191 @@
+"""Tests for the RRC state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rrc import RadioState, RrcStateMachine, SwitchKind
+
+
+def total_state_time(machine, state):
+    return sum(i.duration for i in machine.intervals if i.state is state)
+
+
+class TestTimerDemotions:
+    def test_initial_state_is_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        assert machine.state is RadioState.IDLE
+
+    def test_activity_promotes_from_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        promoted = machine.notify_activity(1.0)
+        assert promoted
+        assert machine.state is RadioState.ACTIVE
+        assert machine.promotion_count == 1
+
+    def test_activity_while_active_does_not_promote_again(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(1.0)
+        assert not machine.notify_activity(2.0)
+        assert machine.promotion_count == 1
+
+    def test_t1_demotes_to_high_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.advance_to(att_profile.t1 + 1.0)
+        assert machine.state is RadioState.HIGH_IDLE
+
+    def test_t1_plus_t2_demotes_to_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.advance_to(att_profile.total_inactivity_timeout + 1.0)
+        assert machine.state is RadioState.IDLE
+
+    def test_lte_demotes_directly_to_idle(self, lte_profile):
+        machine = RrcStateMachine(lte_profile)
+        machine.notify_activity(0.0)
+        machine.advance_to(lte_profile.t1 + 0.1)
+        assert machine.state is RadioState.IDLE
+        # No HIGH_IDLE interval should ever appear for LTE.
+        machine.finish(lte_profile.t1 + 1.0)
+        assert total_state_time(machine, RadioState.HIGH_IDLE) == 0.0
+
+    def test_verizon3g_skips_high_idle(self, verizon3g_profile):
+        machine = RrcStateMachine(verizon3g_profile)
+        machine.notify_activity(0.0)
+        machine.advance_to(verizon3g_profile.t1 + 0.5)
+        assert machine.state is RadioState.IDLE
+
+    def test_timer_demotion_times_are_exact(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.finish(100.0)
+        active = total_state_time(machine, RadioState.ACTIVE)
+        fach = total_state_time(machine, RadioState.HIGH_IDLE)
+        assert active == pytest.approx(att_profile.t1)
+        assert fach == pytest.approx(att_profile.t2)
+
+    def test_activity_resets_timer(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.notify_activity(att_profile.t1 - 1.0)
+        machine.advance_to(att_profile.t1 + 1.0)  # only 2 s since last activity
+        assert machine.state is RadioState.ACTIVE
+
+    def test_timer_demotions_cost_no_energy(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.finish(100.0)
+        timer_switches = [
+            s for s in machine.switches if s.kind is SwitchKind.TIMER_DEMOTION
+        ]
+        assert timer_switches
+        assert all(s.energy_j == 0.0 for s in timer_switches)
+
+
+class TestFastDormancy:
+    def test_fast_dormancy_from_active(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        assert machine.request_fast_dormancy(1.0)
+        assert machine.state is RadioState.IDLE
+        assert machine.demotion_count == 1
+
+    def test_fast_dormancy_charges_profile_energy(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.request_fast_dormancy(1.0)
+        event = machine.switches[-1]
+        assert event.kind is SwitchKind.FAST_DORMANCY
+        assert event.energy_j == pytest.approx(att_profile.demotion_energy_j)
+
+    def test_fast_dormancy_noop_when_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        assert not machine.request_fast_dormancy(1.0)
+        assert machine.demotion_count == 0
+
+    def test_fast_dormancy_from_high_idle(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.advance_to(att_profile.t1 + 1.0)
+        assert machine.state is RadioState.HIGH_IDLE
+        assert machine.request_fast_dormancy(att_profile.t1 + 2.0)
+        assert machine.state is RadioState.IDLE
+
+    def test_promotion_after_dormancy_costs_energy(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.request_fast_dormancy(1.0)
+        machine.notify_activity(5.0)
+        promotion = machine.switches[-1]
+        assert promotion.kind is SwitchKind.PROMOTION
+        assert promotion.energy_j == pytest.approx(att_profile.promotion_energy_j)
+
+
+class TestStateAt:
+    def test_state_at_does_not_mutate(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        assert machine.state_at(100.0) is RadioState.IDLE
+        assert machine.state is RadioState.ACTIVE
+        assert machine.switch_count == 1  # only the initial promotion
+
+    def test_state_at_intermediate_times(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        assert machine.state_at(att_profile.t1 - 0.1) is RadioState.ACTIVE
+        assert machine.state_at(att_profile.t1 + 0.1) is RadioState.HIGH_IDLE
+        assert (
+            machine.state_at(att_profile.total_inactivity_timeout + 0.1)
+            is RadioState.IDLE
+        )
+
+    def test_state_at_for_idle_machine(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        assert machine.state_at(50.0) is RadioState.IDLE
+
+
+class TestTimelineIntegrity:
+    def test_intervals_are_contiguous(self, att_profile, heartbeat_trace):
+        machine = RrcStateMachine(att_profile)
+        for packet in heartbeat_trace:
+            machine.notify_activity(packet.timestamp)
+        machine.finish(heartbeat_trace.end_time + 30.0)
+        intervals = machine.intervals
+        for previous, current in zip(intervals, intervals[1:]):
+            assert current.start == pytest.approx(previous.end)
+
+    def test_timeline_covers_whole_run(self, att_profile, heartbeat_trace):
+        machine = RrcStateMachine(att_profile)
+        for packet in heartbeat_trace:
+            machine.notify_activity(packet.timestamp)
+        end = heartbeat_trace.end_time + 30.0
+        machine.finish(end)
+        total = sum(i.duration for i in machine.intervals)
+        assert total == pytest.approx(end)
+
+    def test_time_must_not_go_backwards(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(10.0)
+        with pytest.raises(ValueError):
+            machine.notify_activity(5.0)
+
+    def test_finished_machine_rejects_events(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(0.0)
+        machine.finish(10.0)
+        with pytest.raises(RuntimeError):
+            machine.notify_activity(20.0)
+
+    def test_now_tracks_latest_event(self, att_profile):
+        machine = RrcStateMachine(att_profile)
+        machine.notify_activity(3.0)
+        machine.advance_to(8.0)
+        assert machine.now == pytest.approx(8.0)
+
+    def test_switch_counts_consistent(self, att_profile, heartbeat_trace):
+        machine = RrcStateMachine(att_profile)
+        for packet in heartbeat_trace:
+            machine.notify_activity(packet.timestamp)
+        machine.finish(heartbeat_trace.end_time + 30.0)
+        assert machine.switch_count == machine.promotion_count + machine.demotion_count

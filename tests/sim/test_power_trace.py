@@ -1,0 +1,91 @@
+"""Tests for the power-versus-time reconstruction (Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import StatusQuoPolicy
+from repro.sim import TraceSimulator, build_power_trace
+from repro.traces import Direction, Packet, PacketTrace
+
+
+@pytest.fixture
+def burst_run(att_profile):
+    """One uplink/downlink burst followed by silence, under the status quo."""
+    trace = PacketTrace(
+        [
+            Packet(0.0, 300, Direction.UPLINK),
+            Packet(0.3, 1400, Direction.DOWNLINK),
+            Packet(0.6, 1400, Direction.DOWNLINK),
+        ],
+        name="burst",
+    )
+    result = TraceSimulator(att_profile).run(trace, StatusQuoPolicy())
+    return trace, result
+
+
+class TestBuildPowerTrace:
+    def test_profile_shows_paper_power_levels(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        # During the transfer the power reaches the receive level.
+        assert power.power_at(0.55) == pytest.approx(att_profile.power_recv_w)
+        # During the DCH tail it sits at P_t1.
+        assert power.power_at(3.0) == pytest.approx(att_profile.power_active_w)
+        # During the FACH tail it sits at P_t2.
+        assert power.power_at(att_profile.t1 + 3.0) == pytest.approx(
+            att_profile.power_high_idle_w
+        )
+        # After t1 + t2 the radio is idle and draws nothing.
+        assert power.power_at(att_profile.total_inactivity_timeout + 5.0) == 0.0
+
+    def test_energy_close_to_accounted_total(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        # The integral of the power profile should be close to the accounted
+        # energy minus switch costs (which are instantaneous events).
+        expected = result.total_energy_j - result.breakdown.switch_j
+        assert power.total_energy_j == pytest.approx(expected, rel=0.1)
+
+    def test_samples_are_ordered_and_contiguous_in_time(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        samples = power.samples
+        assert all(s.end >= s.start for s in samples)
+        starts = [s.start for s in samples]
+        assert starts == sorted(starts)
+
+    def test_sample_grid(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        grid = power.sample_grid(step=1.0)
+        assert len(grid) >= int(power.duration)
+        assert all(p >= 0.0 for _, p in grid)
+
+    def test_sample_grid_validation(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        with pytest.raises(ValueError):
+            power.sample_grid(step=0.0)
+
+    def test_power_outside_profile_is_zero(self, att_profile, burst_run):
+        trace, result = burst_run
+        power = build_power_trace(att_profile, result.intervals, result.effective_trace)
+        assert power.power_at(-5.0) == 0.0
+        assert power.power_at(power.samples[-1].end + 100.0) == 0.0
+
+    def test_empty_profile(self, att_profile):
+        power = build_power_trace(att_profile, [], PacketTrace([]))
+        assert len(power) == 0
+        assert power.duration == 0.0
+        assert power.total_energy_j == 0.0
+        assert power.sample_grid(1.0) == []
+
+    def test_lte_has_no_fach_plateau(self, lte_profile):
+        trace = PacketTrace([Packet(0.0, 500, Direction.DOWNLINK)])
+        result = TraceSimulator(lte_profile).run(trace, StatusQuoPolicy())
+        power = build_power_trace(lte_profile, result.intervals, result.effective_trace)
+        levels = {round(s.power_w, 4) for s in power.samples}
+        assert round(lte_profile.power_high_idle_w, 4) not in levels or (
+            lte_profile.power_high_idle_w == 0.0
+        )

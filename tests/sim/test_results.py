@@ -1,0 +1,106 @@
+"""Tests for the simulation result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FixedTimerPolicy, StatusQuoPolicy
+from repro.sim import SessionDelay, SimulationResult, TraceSimulator
+from repro.sim.results import GapDecision
+
+
+@pytest.fixture
+def pair(att_profile, heartbeat_trace):
+    simulator = TraceSimulator(att_profile)
+    baseline = simulator.run(heartbeat_trace, StatusQuoPolicy())
+    scheme = simulator.run(heartbeat_trace, FixedTimerPolicy(2.0))
+    return baseline, scheme
+
+
+class TestSessionDelay:
+    def test_delay_computation(self):
+        delay = SessionDelay(arrival_time=10.0, release_time=14.5, flow_id=3)
+        assert delay.delay == pytest.approx(4.5)
+
+    def test_zero_delay(self):
+        assert SessionDelay(5.0, 5.0, 1).delay == 0.0
+
+
+class TestGapDecision:
+    def test_fields(self):
+        decision = GapDecision(time=1.0, gap=3.0, switched=True)
+        assert decision.gap == 3.0
+        assert decision.switched
+
+
+class TestSimulationResult:
+    def test_total_energy_matches_breakdown(self, pair):
+        baseline, _ = pair
+        assert baseline.total_energy_j == pytest.approx(baseline.breakdown.total_j)
+
+    def test_energy_saved_vs(self, pair):
+        baseline, scheme = pair
+        saved = scheme.energy_saved_vs(baseline)
+        assert saved == pytest.approx(
+            baseline.total_energy_j - scheme.total_energy_j
+        )
+        assert scheme.energy_saved_fraction(baseline) == pytest.approx(
+            saved / baseline.total_energy_j
+        )
+
+    def test_saving_is_positive_for_heartbeat_workload(self, pair):
+        baseline, scheme = pair
+        assert scheme.energy_saved_fraction(baseline) > 0.0
+
+    def test_switches_normalized(self, pair):
+        baseline, scheme = pair
+        assert scheme.switches_normalized(baseline) == pytest.approx(
+            scheme.switch_count / baseline.switch_count
+        )
+
+    def test_energy_saved_per_switch(self, pair):
+        baseline, scheme = pair
+        assert scheme.energy_saved_per_switch(baseline) == pytest.approx(
+            scheme.energy_saved_vs(baseline) / scheme.switch_count
+        )
+
+    def test_delay_statistics_empty(self, pair):
+        baseline, _ = pair
+        assert baseline.mean_delay == 0.0
+        assert baseline.median_delay == 0.0
+
+    def test_median_delay_odd_and_even(self, pair):
+        baseline, _ = pair
+        odd = SimulationResult(
+            policy_name="x", profile_key="p", trace_name="t",
+            breakdown=baseline.breakdown, intervals=baseline.intervals,
+            switches=baseline.switches, effective_trace=baseline.effective_trace,
+            session_delays=(
+                SessionDelay(0.0, 1.0, 1),
+                SessionDelay(0.0, 3.0, 2),
+                SessionDelay(0.0, 10.0, 3),
+            ),
+        )
+        assert odd.median_delay == pytest.approx(3.0)
+        even = SimulationResult(
+            policy_name="x", profile_key="p", trace_name="t",
+            breakdown=baseline.breakdown, intervals=baseline.intervals,
+            switches=baseline.switches, effective_trace=baseline.effective_trace,
+            session_delays=(SessionDelay(0.0, 2.0, 1), SessionDelay(0.0, 4.0, 2)),
+        )
+        assert even.median_delay == pytest.approx(3.0)
+
+    def test_zero_baseline_energy_guard(self, pair):
+        baseline, scheme = pair
+        empty = SimulationResult(
+            policy_name="x", profile_key="p", trace_name="t",
+            breakdown=type(baseline.breakdown)(
+                data_j=0, active_tail_j=0, high_idle_tail_j=0, idle_j=0,
+                switch_j=0, data_time_s=0, active_time_s=0, high_idle_time_s=0,
+                idle_time_s=0, promotions=0, demotions=0,
+            ),
+            intervals=(), switches=(), effective_trace=baseline.effective_trace,
+        )
+        assert scheme.energy_saved_fraction(empty) == 0.0
+        assert scheme.switches_normalized(empty) == scheme.switch_count
+        assert empty.energy_saved_per_switch(baseline) == 0.0

@@ -1,0 +1,225 @@
+"""Tests for the trace-driven simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    CombinedPolicy,
+    FixedDelayMakeActive,
+    FixedTimerPolicy,
+    MakeIdlePolicy,
+    OraclePolicy,
+    RadioPolicy,
+    StatusQuoPolicy,
+)
+from repro.energy import TailEnergyModel
+from repro.rrc import RadioState, SwitchKind
+from repro.sim import TraceSimulator
+from repro.traces import Direction, Packet, PacketTrace
+
+
+class TestStatusQuoSemantics:
+    def test_empty_trace(self, att_profile):
+        result = TraceSimulator(att_profile).run(PacketTrace([]), StatusQuoPolicy())
+        assert result.total_energy_j >= 0.0
+        assert result.switch_count == 0
+        assert len(result.effective_trace) == 0
+
+    def test_single_packet_pays_full_tail(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100, Direction.UPLINK)])
+        result = TraceSimulator(att_profile).run(trace, StatusQuoPolicy())
+        expected_tail = TailEnergyModel(att_profile).full_tail_energy
+        assert result.breakdown.tail_j == pytest.approx(expected_tail, rel=0.02)
+
+    def test_status_quo_never_uses_fast_dormancy(self, att_profile, heartbeat_trace):
+        result = TraceSimulator(att_profile).run(heartbeat_trace, StatusQuoPolicy())
+        assert all(s.kind is not SwitchKind.FAST_DORMANCY for s in result.switches)
+
+    def test_effective_trace_equals_input_without_makeactive(
+        self, att_profile, heartbeat_trace
+    ):
+        result = TraceSimulator(att_profile).run(heartbeat_trace, StatusQuoPolicy())
+        assert result.effective_trace == heartbeat_trace
+
+    def test_two_packets_within_t1_no_demotion(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100), Packet(att_profile.t1 / 2, 100)])
+        result = TraceSimulator(att_profile).run(trace, StatusQuoPolicy())
+        demotions_between = [
+            s for s in result.switches
+            if s.is_demotion and 0.0 < s.time < att_profile.t1 / 2
+        ]
+        assert not demotions_between
+
+    def test_gap_energy_matches_piecewise_model(self, att_profile):
+        """Status-quo tail energy over one gap equals E(t) from Section 4.1."""
+        gap = att_profile.t1 + att_profile.t2 / 2  # lands in the FACH region
+        trace = PacketTrace([Packet(0.0, 100), Packet(gap, 100)])
+        simulator = TraceSimulator(att_profile, trailing_time=0.0)
+        result = simulator.run(trace, StatusQuoPolicy())
+        model = TailEnergyModel(att_profile)
+        expected = model.wait_energy(gap)
+        assert result.breakdown.tail_j == pytest.approx(expected, rel=0.05)
+
+
+class TestDormancySemantics:
+    def test_fixed_timer_switch_time(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100), Packet(100.0, 100)])
+        result = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        assert dormancy
+        assert dormancy[0].time == pytest.approx(2.0)
+
+    def test_wait_cancelled_by_earlier_packet(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100), Packet(1.0, 100), Packet(100.0, 100)])
+        result = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        # Only after the 1.0 s packet (at 3.0 s) and after the last packet.
+        assert [pytest.approx(3.0), pytest.approx(102.0)] == [s.time for s in dormancy]
+
+    def test_oracle_switches_immediately(self, att_profile, simple_trace):
+        result = TraceSimulator(att_profile).run(simple_trace, OraclePolicy())
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        assert dormancy[0].time == pytest.approx(0.2)
+
+    def test_negative_activation_delay_rejected(self, att_profile, simple_trace):
+        class BadPolicy(RadioPolicy):
+            name = "bad"
+
+            def activation_delay(self, now):
+                return -1.0
+
+        with pytest.raises(ValueError):
+            TraceSimulator(att_profile).run(simple_trace, BadPolicy())
+
+    def test_pending_dormancy_applied_after_trace_end(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100)])
+        result = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        assert len(dormancy) == 1
+        assert dormancy[0].time == pytest.approx(2.0)
+
+
+class TestMakeActiveSemantics:
+    def make_policy(self, bound):
+        return CombinedPolicy(
+            MakeIdlePolicy(window_size=20), FixedDelayMakeActive(delay_bound=bound)
+        )
+
+    def test_buffered_sessions_released_together(self, att_profile):
+        trace = PacketTrace(
+            [
+                Packet(0.0, 100, flow_id=1),
+                Packet(100.0, 100, flow_id=2),
+                Packet(102.0, 100, flow_id=3),
+            ]
+        )
+        result = TraceSimulator(att_profile).run(trace, self.make_policy(5.0))
+        # Both late sessions are promoted in one go at 105.0.
+        released = [p.timestamp for p in result.effective_trace if p.timestamp > 50.0]
+        assert released == [pytest.approx(105.0), pytest.approx(105.0)]
+        promotions = [s for s in result.switches if s.is_promotion and s.time > 50.0]
+        assert len(promotions) == 1
+
+    def test_delays_recorded_per_session(self, att_profile):
+        trace = PacketTrace(
+            [
+                Packet(0.0, 100, flow_id=1),
+                Packet(100.0, 100, flow_id=2),
+                Packet(102.0, 100, flow_id=3),
+            ]
+        )
+        result = TraceSimulator(att_profile).run(trace, self.make_policy(5.0))
+        late = sorted(d.delay for d in result.session_delays if d.arrival_time > 50.0)
+        assert late == [pytest.approx(3.0), pytest.approx(5.0)]
+
+    def test_effective_times_never_precede_originals(self, att_profile, email_trace):
+        result = TraceSimulator(att_profile).run(email_trace, self.make_policy(6.0))
+        assert len(result.effective_trace) == len(email_trace)
+        for original, effective in zip(email_trace, result.effective_trace):
+            assert effective.timestamp >= original.timestamp - 1e-9
+
+    def test_effective_trace_is_monotone(self, att_profile, email_trace):
+        result = TraceSimulator(att_profile).run(email_trace, self.make_policy(6.0))
+        times = result.effective_trace.timestamps
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_ongoing_unbuffered_session_forces_release(self, att_profile):
+        # Flow 1's continuation packet arrives while flow 2 is being buffered:
+        # the buffer must be released immediately and the continuation packet
+        # must not be delayed at all.
+        trace = PacketTrace(
+            [
+                Packet(0.0, 100, flow_id=1),
+                Packet(100.0, 100, flow_id=2),
+                Packet(103.0, 100, flow_id=1),
+            ]
+        )
+        policy = CombinedPolicy(FixedTimerPolicy(0.5), FixedDelayMakeActive(8.0))
+        result = TraceSimulator(att_profile, session_idle_gap=200.0).run(trace, policy)
+        times = [p.timestamp for p in result.effective_trace]
+        assert times[1] == pytest.approx(103.0)  # flow 2 released early
+        assert times[2] == pytest.approx(103.0)  # continuation not delayed
+        flow2_delay = [d for d in result.session_delays if d.flow_id == 2][0]
+        assert flow2_delay.delay == pytest.approx(3.0)
+
+    def test_buffer_drained_at_end_of_trace(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100, flow_id=1), Packet(100.0, 100, flow_id=2)])
+        result = TraceSimulator(att_profile).run(trace, self.make_policy(8.0))
+        assert len(result.effective_trace) == 2
+        assert result.effective_trace.timestamps[-1] == pytest.approx(108.0)
+
+
+class TestResultConsistency:
+    @pytest.mark.parametrize("scheme_key", ["fixed_4.5s", "makeidle", "oracle"])
+    def test_intervals_partition_simulated_time(
+        self, att_profile, heartbeat_trace, scheme_key
+    ):
+        from repro.core import standard_policies
+
+        policy = standard_policies(window_size=30)[scheme_key]
+        result = TraceSimulator(att_profile).run(heartbeat_trace, policy)
+        total = sum(i.duration for i in result.intervals)
+        assert total == pytest.approx(result.intervals[-1].end)
+        for previous, current in zip(result.intervals, result.intervals[1:]):
+            assert current.start == pytest.approx(previous.end)
+
+    def test_gap_decisions_cover_every_gap(self, att_profile, heartbeat_trace):
+        result = TraceSimulator(att_profile).run(heartbeat_trace, FixedTimerPolicy(2.0))
+        assert len(result.gap_decisions) == len(heartbeat_trace) - 1
+
+    def test_oracle_gap_decisions_match_threshold_rule(self, att_profile, heartbeat_trace):
+        threshold = TailEnergyModel(att_profile).t_threshold
+        result = TraceSimulator(att_profile).run(heartbeat_trace, OraclePolicy())
+        for decision in result.gap_decisions:
+            assert decision.switched == (decision.gap > threshold)
+
+    def test_energy_non_negative(self, att_profile, email_trace):
+        from repro.core import standard_policies
+
+        simulator = TraceSimulator(att_profile)
+        for policy in standard_policies(window_size=30).values():
+            result = simulator.run(email_trace, policy)
+            breakdown = result.breakdown
+            for value in (
+                breakdown.data_j,
+                breakdown.active_tail_j,
+                breakdown.high_idle_tail_j,
+                breakdown.idle_j,
+                breakdown.switch_j,
+            ):
+                assert value >= 0.0
+
+    def test_simulator_validation(self, att_profile):
+        with pytest.raises(ValueError):
+            TraceSimulator(att_profile, session_idle_gap=-1.0)
+        with pytest.raises(ValueError):
+            TraceSimulator(att_profile, trailing_time=-1.0)
+
+    def test_policy_reuse_is_safe(self, att_profile, heartbeat_trace):
+        simulator = TraceSimulator(att_profile)
+        policy = MakeIdlePolicy(window_size=30)
+        first = simulator.run(heartbeat_trace, policy)
+        second = simulator.run(heartbeat_trace, policy)
+        assert first.total_energy_j == pytest.approx(second.total_energy_j)
+        assert first.switch_count == second.switch_count

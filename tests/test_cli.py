@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces import Direction, Packet, PacketTrace, write_pcap
+from repro.traces.tcpdump import write_tcpdump
+
+
+class TestParser:
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in (
+            "carriers", "simulate", "apps", "compare-carriers", "validate",
+            "trace-info",
+        ):
+            assert command in text
+
+    def test_command_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_sources_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--app", "email", "--pcap", "x"])
+
+
+class TestCarriersCommand:
+    def test_lists_all_four_carriers(self, capsys):
+        assert main(["carriers"]) == 0
+        output = capsys.readouterr().out
+        for key in ("tmobile_3g", "att_hspa", "verizon_3g", "verizon_lte"):
+            assert key in output
+
+
+class TestSimulateCommand:
+    def test_synthetic_app_run(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "simulate", "--app", "im", "--duration", "600",
+                "--carrier", "att_hspa", "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "makeidle" in output
+        assert "status quo energy" in output
+        assert csv_path.exists()
+        assert "saved_percent" in csv_path.read_text(encoding="utf-8")
+
+    def test_tcpdump_source(self, capsys, tmp_path):
+        trace = PacketTrace(
+            [
+                Packet(float(i) * 20.0, 400, Direction.DOWNLINK, flow_id=i)
+                for i in range(12)
+            ],
+            name="cap",
+        )
+        log = tmp_path / "cap.txt"
+        write_tcpdump(trace, log)
+        assert main(["simulate", "--tcpdump", str(log), "--carrier", "verizon_lte"]) == 0
+        assert "oracle" in capsys.readouterr().out
+
+
+class TestValidateCommand:
+    def test_prints_error_summary(self, capsys):
+        assert main(["validate", "--carrier", "verizon_lte"]) == 0
+        output = capsys.readouterr().out
+        assert "mean absolute error" in output
+        assert "10% bound" in output
+
+
+class TestTraceInfoCommand:
+    def test_pcap_summary(self, capsys, tmp_path):
+        trace = PacketTrace(
+            [Packet(0.0, 500, Direction.UPLINK), Packet(3.0, 900, Direction.DOWNLINK)],
+            name="two",
+        )
+        path = tmp_path / "two.pcap"
+        write_pcap(path, trace)
+        assert main(["trace-info", str(path)]) == 0
+        output = capsys.readouterr().out
+        assert "packets:        2" in output
+
+    def test_tcpdump_summary(self, capsys, tmp_path):
+        trace = PacketTrace(
+            [Packet(0.0, 500, Direction.UPLINK), Packet(5.0, 900, Direction.DOWNLINK)],
+        )
+        path = tmp_path / "two.txt"
+        write_tcpdump(trace, path)
+        assert main(["trace-info", str(path), "--format", "tcpdump"]) == 0
+        assert "duration" in capsys.readouterr().out

@@ -1,0 +1,119 @@
+"""Tests for experiment configuration objects and their JSON round-trip."""
+
+import pytest
+
+from repro.config import (
+    KNOWN_SCHEMES,
+    ExperimentConfig,
+    WorkloadConfig,
+    load_config,
+    save_config,
+)
+
+
+class TestWorkloadConfig:
+    def test_default_is_valid_application_workload(self):
+        workload = WorkloadConfig()
+        assert workload.kind == "application"
+        trace = workload.build_trace()
+        assert len(trace) > 0
+
+    def test_application_workload_is_deterministic(self):
+        first = WorkloadConfig(name="im", duration_s=600.0, seed=5).build_trace()
+        second = WorkloadConfig(name="im", duration_s=600.0, seed=5).build_trace()
+        assert first == second
+
+    def test_user_workload_builds(self):
+        workload = WorkloadConfig(kind="user", name="verizon_3g", user_id=1,
+                                  duration_s=1800.0)
+        trace = workload.build_trace()
+        assert len(trace) > 0
+
+    def test_tcpdump_workload_builds(self, tmp_path):
+        log = tmp_path / "log.txt"
+        log.write_text(
+            "0.0 IP 10.0.0.2.1 > 8.8.8.8.53: tcp 100\n"
+            "5.0 IP 8.8.8.8.53 > 10.0.0.2.1: tcp 200\n",
+            encoding="utf-8",
+        )
+        workload = WorkloadConfig(kind="tcpdump", path=str(log))
+        assert len(workload.build_trace()) == 2
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(kind="carrier-pigeon")
+
+    def test_unknown_application(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(kind="application", name="netflix")
+
+    def test_unknown_population(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(kind="user", name="mars_base")
+
+    def test_capture_requires_path(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(kind="pcap", path="")
+
+    def test_invalid_duration_and_user(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(duration_s=0.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(kind="user", name="verizon_3g", user_id=0)
+
+
+class TestExperimentConfig:
+    def test_defaults_are_valid(self):
+        config = ExperimentConfig()
+        assert config.carrier == "att_hspa"
+        assert "status_quo" in config.schemes
+
+    def test_known_schemes_include_all_standard_policies(self):
+        from repro.core import standard_policies
+
+        for scheme in standard_policies():
+            assert scheme in KNOWN_SCHEMES
+
+    def test_unknown_carrier_and_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(carrier="sprint_5g")
+        with pytest.raises(ValueError):
+            ExperimentConfig(schemes=("status_quo", "magic"))
+
+    def test_baseline_scheme_required(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(schemes=("makeidle",))
+        with pytest.raises(ValueError):
+            ExperimentConfig(schemes=())
+
+    def test_window_size_validated(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(window_size=1)
+
+    def test_with_carrier(self):
+        config = ExperimentConfig().with_carrier("verizon_lte")
+        assert config.carrier == "verizon_lte"
+
+    def test_dict_round_trip(self):
+        config = ExperimentConfig(
+            carrier="verizon_3g",
+            workload=WorkloadConfig(kind="user", name="verizon_3g", user_id=2,
+                                    duration_s=7200.0, seed=11),
+            schemes=("status_quo", "makeidle", "oracle"),
+            window_size=50,
+            label="figure-10",
+        )
+        restored = ExperimentConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_json_round_trip(self, tmp_path):
+        config = ExperimentConfig(label="headline")
+        path = tmp_path / "config.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_load_rejects_non_object(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_config(path)

@@ -1,0 +1,107 @@
+"""Tests for burst and session segmentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import (
+    Burst,
+    Packet,
+    PacketTrace,
+    bursts_per_active_period,
+    segment_bursts,
+    session_start_times,
+)
+from repro.traces.bursts import iter_burst_gaps
+
+
+def make_trace(times, flow_id=0):
+    return PacketTrace([Packet(t, 100, flow_id=flow_id) for t in times])
+
+
+class TestBurst:
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Burst(start=5.0, end=4.0, packet_count=1, total_bytes=0)
+
+    def test_requires_packet(self):
+        with pytest.raises(ValueError):
+            Burst(start=0.0, end=1.0, packet_count=0, total_bytes=0)
+
+    def test_duration_and_gap(self):
+        a = Burst(0.0, 1.0, 2, 100)
+        b = Burst(5.0, 6.0, 1, 50)
+        assert a.duration == pytest.approx(1.0)
+        assert a.gap_to(b) == pytest.approx(4.0)
+
+
+class TestSegmentBursts:
+    def test_empty_trace(self):
+        assert segment_bursts(PacketTrace([]), 1.0) == []
+
+    def test_negative_threshold_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            segment_bursts(simple_trace, -1.0)
+
+    def test_single_burst(self):
+        bursts = segment_bursts(make_trace([0.0, 0.1, 0.2]), 1.0)
+        assert len(bursts) == 1
+        assert bursts[0].packet_count == 3
+
+    def test_splits_on_long_gap(self, simple_trace):
+        bursts = segment_bursts(simple_trace, 1.0)
+        assert len(bursts) == 2
+        assert bursts[0].packet_count == 3
+        assert bursts[1].packet_count == 2
+
+    def test_threshold_is_inclusive(self):
+        bursts = segment_bursts(make_trace([0.0, 1.0, 2.0]), 1.0)
+        assert len(bursts) == 1
+
+    def test_burst_metadata(self, simple_trace):
+        bursts = segment_bursts(simple_trace, 1.0)
+        assert bursts[0].total_bytes == 2600
+        assert bursts[0].flow_ids == (1,)
+        assert bursts[1].flow_ids == (2,)
+
+    def test_iter_burst_gaps(self, simple_trace):
+        bursts = segment_bursts(simple_trace, 1.0)
+        gaps = list(iter_burst_gaps(bursts))
+        assert gaps == [pytest.approx(59.8)]
+
+
+class TestBurstsPerActivePeriod:
+    def test_empty_trace(self):
+        assert bursts_per_active_period(PacketTrace([]), 1.0, 10.0) == 0.0
+
+    def test_isolated_bursts(self):
+        # Bursts 100 s apart, active window 10 s: one burst per period.
+        trace = make_trace([0.0, 0.1, 100.0, 100.1, 200.0])
+        assert bursts_per_active_period(trace, 1.0, 10.0) == pytest.approx(1.0)
+
+    def test_clustered_bursts(self):
+        # Three bursts 5 s apart (inside the 10 s window), then a lone burst.
+        trace = make_trace([0.0, 5.0, 10.0, 200.0])
+        k = bursts_per_active_period(trace, 1.0, 10.0)
+        assert k == pytest.approx(2.0)  # periods of 3 and 1 bursts
+
+
+class TestSessionStartTimes:
+    def test_new_flow_is_session_start(self, simple_trace):
+        starts = session_start_times(simple_trace, idle_gap=10.0)
+        assert (0.0, 1) in starts
+        assert (60.0, 2) in starts
+
+    def test_continuation_not_a_start(self):
+        trace = make_trace([0.0, 1.0, 2.0], flow_id=5)
+        starts = session_start_times(trace, idle_gap=10.0)
+        assert starts == [(0.0, 5)]
+
+    def test_long_gap_restarts_session(self):
+        trace = make_trace([0.0, 100.0], flow_id=5)
+        starts = session_start_times(trace, idle_gap=10.0)
+        assert len(starts) == 2
+
+    def test_negative_idle_gap_rejected(self, simple_trace):
+        with pytest.raises(ValueError):
+            session_start_times(simple_trace, idle_gap=-1.0)

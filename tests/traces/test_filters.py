@@ -1,0 +1,183 @@
+"""Tests for the trace-transformation helpers."""
+
+import pytest
+
+from repro.traces import Direction, Packet, PacketTrace
+from repro.traces.filters import (
+    add_jitter,
+    clip_sizes,
+    downsample,
+    drop_direction,
+    gap_histogram,
+    interleave,
+    remap_flows,
+    scale_time,
+    slice_windows,
+    split_by_app,
+    split_by_flow,
+    split_train_test,
+    thin_by_fraction,
+)
+
+
+@pytest.fixture
+def mixed_trace():
+    return PacketTrace(
+        [
+            Packet(0.0, 100, Direction.UPLINK, flow_id=0, app="email"),
+            Packet(1.0, 1400, Direction.DOWNLINK, flow_id=0, app="email"),
+            Packet(10.0, 200, Direction.UPLINK, flow_id=1, app="im"),
+            Packet(11.0, 2200, Direction.DOWNLINK, flow_id=1, app="im"),
+            Packet(25.0, 300, Direction.UPLINK, flow_id=2, app="email"),
+        ],
+        name="mixed",
+    )
+
+
+class TestSliceWindows:
+    def test_windows_cover_all_packets(self, mixed_trace):
+        windows = slice_windows(mixed_trace, 10.0)
+        assert sum(len(w) for w in windows) == len(mixed_trace)
+
+    def test_empty_windows_dropped_by_default(self, mixed_trace):
+        windows = slice_windows(mixed_trace, 5.0)
+        assert all(len(w) > 0 for w in windows)
+
+    def test_keep_empty_windows(self, mixed_trace):
+        windows = slice_windows(mixed_trace, 5.0, keep_empty=True)
+        assert any(len(w) == 0 for w in windows)
+
+    def test_empty_trace(self):
+        assert slice_windows(PacketTrace(), 10.0) == []
+
+    def test_rejects_bad_window(self, mixed_trace):
+        with pytest.raises(ValueError):
+            slice_windows(mixed_trace, 0.0)
+
+
+class TestSplitters:
+    def test_split_by_app(self, mixed_trace):
+        groups = split_by_app(mixed_trace)
+        assert set(groups) == {"email", "im"}
+        assert len(groups["email"]) == 3
+        assert len(groups["im"]) == 2
+
+    def test_split_by_flow(self, mixed_trace):
+        groups = split_by_flow(mixed_trace)
+        assert set(groups) == {0, 1, 2}
+        assert all(
+            all(p.flow_id == flow for p in sub) for flow, sub in groups.items()
+        )
+
+    def test_split_train_test_is_chronological(self, mixed_trace):
+        train, test = split_train_test(mixed_trace, 0.5)
+        assert len(train) + len(test) == len(mixed_trace)
+        if train and test:
+            assert train.end_time <= test.start_time
+
+    def test_split_train_test_rejects_bad_fraction(self, mixed_trace):
+        with pytest.raises(ValueError):
+            split_train_test(mixed_trace, 1.0)
+
+
+class TestThinning:
+    def test_downsample_keeps_every_other(self, mixed_trace):
+        thinned = downsample(mixed_trace, 2)
+        assert len(thinned) == 3
+        assert thinned[0].timestamp == 0.0
+
+    def test_downsample_identity(self, mixed_trace):
+        assert downsample(mixed_trace, 1) == mixed_trace
+
+    def test_downsample_rejects_zero(self, mixed_trace):
+        with pytest.raises(ValueError):
+            downsample(mixed_trace, 0)
+
+    def test_thin_by_fraction_deterministic(self, mixed_trace):
+        first = thin_by_fraction(mixed_trace, 0.6, seed=4)
+        second = thin_by_fraction(mixed_trace, 0.6, seed=4)
+        assert first == second
+        assert len(first) <= len(mixed_trace)
+
+    def test_thin_full_fraction_keeps_all(self, mixed_trace):
+        assert len(thin_by_fraction(mixed_trace, 1.0)) == len(mixed_trace)
+
+    def test_thin_rejects_zero_fraction(self, mixed_trace):
+        with pytest.raises(ValueError):
+            thin_by_fraction(mixed_trace, 0.0)
+
+
+class TestTimeTransforms:
+    def test_add_jitter_bounded(self, mixed_trace):
+        jittered = add_jitter(mixed_trace, 0.5, seed=1)
+        assert len(jittered) == len(mixed_trace)
+        for original, moved in zip(sorted(p.timestamp for p in mixed_trace),
+                                   sorted(p.timestamp for p in jittered)):
+            assert abs(moved - original) <= 0.5 + 1e-9
+
+    def test_zero_jitter_is_identity(self, mixed_trace):
+        assert add_jitter(mixed_trace, 0.0) == mixed_trace
+
+    def test_jitter_rejects_negative(self, mixed_trace):
+        with pytest.raises(ValueError):
+            add_jitter(mixed_trace, -1.0)
+
+    def test_scale_time_stretches_duration(self, mixed_trace):
+        stretched = scale_time(mixed_trace, 2.0)
+        assert stretched.duration == pytest.approx(2.0 * mixed_trace.duration)
+        assert stretched.start_time == pytest.approx(mixed_trace.start_time)
+
+    def test_scale_time_compresses(self, mixed_trace):
+        squeezed = scale_time(mixed_trace, 0.5)
+        assert squeezed.duration == pytest.approx(0.5 * mixed_trace.duration)
+
+    def test_scale_time_rejects_non_positive(self, mixed_trace):
+        with pytest.raises(ValueError):
+            scale_time(mixed_trace, 0.0)
+
+
+class TestStructureTransforms:
+    def test_remap_flows(self, mixed_trace):
+        collapsed = remap_flows(mixed_trace, lambda p: 0)
+        assert set(collapsed.flow_ids) == {0}
+
+    def test_interleave_offsets_flows(self, mixed_trace):
+        combined = interleave([mixed_trace, mixed_trace])
+        assert len(combined) == 2 * len(mixed_trace)
+        # The second copy's flows must not collide with the first's.
+        assert len(set(combined.flow_ids)) == 2 * len(set(mixed_trace.flow_ids))
+
+    def test_interleave_without_flow_separation(self, mixed_trace):
+        combined = interleave([mixed_trace, mixed_trace], separate_flows=False)
+        assert set(combined.flow_ids) == set(mixed_trace.flow_ids)
+
+    def test_clip_sizes(self, mixed_trace):
+        clipped = clip_sizes(mixed_trace, mtu=1500)
+        assert max(p.size for p in clipped) <= 1500
+        assert len(clipped) == len(mixed_trace)
+
+    def test_clip_sizes_rejects_bad_mtu(self, mixed_trace):
+        with pytest.raises(ValueError):
+            clip_sizes(mixed_trace, 0)
+
+    def test_drop_direction(self, mixed_trace):
+        downlink_only = drop_direction(mixed_trace, Direction.UPLINK)
+        assert all(p.direction is Direction.DOWNLINK for p in downlink_only)
+        assert len(downlink_only) == 2
+
+
+class TestGapHistogram:
+    def test_counts_sum_to_gap_count(self, mixed_trace):
+        counts = gap_histogram(mixed_trace, [1.0, 10.0, 100.0])
+        assert sum(counts) == len(mixed_trace) - 1
+
+    def test_overflow_goes_to_last_bin(self):
+        trace = PacketTrace([Packet(0.0), Packet(1000.0)])
+        counts = gap_histogram(trace, [1.0, 2.0])
+        assert counts == [0, 1]
+
+    def test_rejects_non_increasing_edges(self, mixed_trace):
+        with pytest.raises(ValueError):
+            gap_histogram(mixed_trace, [2.0, 1.0])
+        with pytest.raises(ValueError):
+            gap_histogram(mixed_trace, [])

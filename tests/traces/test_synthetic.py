@@ -1,0 +1,126 @@
+"""Tests for the synthetic workload generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces import (
+    APPLICATION_NAMES,
+    APPLICATION_PROFILES,
+    PacketTrainSpec,
+    generate_application_trace,
+    generate_mixed_trace,
+    generate_periodic_trace,
+    generate_poisson_trace,
+    summarize_trace,
+)
+
+
+class TestPacketTrainSpec:
+    def test_requires_at_least_one_packet(self):
+        with pytest.raises(ValueError):
+            PacketTrainSpec(uplink_packets=0, downlink_packets=0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrainSpec(uplink_packets=-1, downlink_packets=1)
+
+    def test_invalid_gaps_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrainSpec(1, 1, intra_gap_mean=0.0)
+
+    def test_emit_counts_and_order(self):
+        import random
+
+        spec = PacketTrainSpec(uplink_packets=2, downlink_packets=3)
+        packets = spec.emit(random.Random(0), start=10.0, flow_id=4, app="x")
+        assert len(packets) == 5
+        assert all(p.flow_id == 4 and p.app == "x" for p in packets)
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+        assert packets[0].direction.is_uplink
+        assert packets[-1].direction.is_downlink
+
+
+class TestApplicationProfiles:
+    def test_all_seven_categories_present(self):
+        assert set(APPLICATION_NAMES) == set(APPLICATION_PROFILES)
+        assert len(APPLICATION_NAMES) == 7
+
+    @pytest.mark.parametrize("app", APPLICATION_NAMES)
+    def test_each_profile_generates_packets(self, app):
+        trace = generate_application_trace(app, duration=600.0, seed=1)
+        assert len(trace) > 0
+        assert trace.name == app
+        assert trace.end_time < 600.0
+
+    def test_unknown_application_rejected(self):
+        with pytest.raises(KeyError):
+            generate_application_trace("does-not-exist", duration=100.0)
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            generate_application_trace("im", duration=0.0)
+
+    def test_determinism(self):
+        a = generate_application_trace("news", duration=1200.0, seed=42)
+        b = generate_application_trace("news", duration=1200.0, seed=42)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = generate_application_trace("news", duration=1200.0, seed=1)
+        b = generate_application_trace("news", duration=1200.0, seed=2)
+        assert a != b
+
+    def test_im_heartbeat_cadence(self):
+        # IM heartbeats are described as every 5-20 seconds; the median
+        # inter-burst gap of the generated trace must fall in that band.
+        trace = generate_application_trace("im", duration=1800.0, seed=5)
+        gaps = [g for g in trace.inter_arrival_times if g > 2.0]
+        assert gaps, "IM trace should contain inter-heartbeat gaps"
+        gaps.sort()
+        median = gaps[len(gaps) // 2]
+        assert 4.0 <= median <= 21.0
+
+    def test_email_sync_cadence(self):
+        trace = generate_application_trace("email", duration=3600.0, seed=5)
+        gaps = [g for g in trace.inter_arrival_times if g > 60.0]
+        assert gaps
+        mean = sum(gaps) / len(gaps)
+        assert 240.0 <= mean <= 330.0
+
+    def test_finance_is_dense(self):
+        trace = generate_application_trace("finance", duration=300.0, seed=5)
+        summary = summarize_trace(trace)
+        assert summary.packet_count > 300
+        assert summary.p95_inter_arrival < 2.0
+
+
+class TestGenericGenerators:
+    def test_poisson_rate(self):
+        trace = generate_poisson_trace(rate=1.0, duration=2000.0, seed=3)
+        assert 1700 < len(trace) < 2300
+
+    def test_poisson_validation(self):
+        with pytest.raises(ValueError):
+            generate_poisson_trace(rate=0.0, duration=10.0)
+        with pytest.raises(ValueError):
+            generate_poisson_trace(rate=1.0, duration=-1.0)
+
+    def test_periodic_burst_structure(self):
+        trace = generate_periodic_trace(period=10.0, duration=100.0, burst_packets=3)
+        assert len(trace) == 9 * 3
+        bursts = [g for g in trace.inter_arrival_times if g > 1.0]
+        assert all(abs(g - 10.0) < 0.2 for g in bursts)
+
+    def test_periodic_validation(self):
+        with pytest.raises(ValueError):
+            generate_periodic_trace(period=0.0, duration=10.0)
+        with pytest.raises(ValueError):
+            generate_periodic_trace(period=1.0, duration=10.0, burst_packets=0)
+
+    def test_mixed_trace_merges_apps(self):
+        trace = generate_mixed_trace(["im", "email"], duration=1200.0, seed=0)
+        assert trace.apps == ("email", "im")
+        assert len(trace) > 0
+        assert trace.timestamps == tuple(sorted(trace.timestamps))

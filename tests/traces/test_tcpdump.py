@@ -1,0 +1,125 @@
+"""Tests for the tcpdump text-log parser and writer."""
+
+import io
+
+import pytest
+
+from repro.traces import Direction, Packet, PacketTrace
+from repro.traces.tcpdump import (
+    format_tcpdump_line,
+    parse_tcpdump_line,
+    parse_tcpdump_lines,
+    read_tcpdump,
+    write_tcpdump,
+)
+
+DEVICE = "10.0.0.2"
+
+SAMPLE_LOG = """\
+1355241600.000000 IP 10.0.0.2.44312 > 93.184.216.34.443: tcp 120
+1355241600.100000 IP 93.184.216.34.443 > 10.0.0.2.44312: tcp 1448
+1355241600.200000 IP 93.184.216.34.443 > 10.0.0.2.44312: tcp 1448
+garbage line that tcpdump sometimes prints
+1355241615.000000 IP 10.0.0.2.51000 > 198.51.100.7.80: UDP, length 96
+1355241615.500000 IP 198.51.100.7.80 > 10.0.0.2.51000: tcp 0
+"""
+
+
+class TestParseLine:
+    def test_basic_tcp_line(self):
+        fields = parse_tcpdump_line(
+            "1355241600.0 IP 10.0.0.2.44312 > 93.184.216.34.443: tcp 1448", DEVICE
+        )
+        assert fields is not None
+        timestamp, src, dst, length = fields
+        assert timestamp == pytest.approx(1355241600.0)
+        assert src == "10.0.0.2:44312"
+        assert dst == "93.184.216.34:443"
+        assert length == 1448
+
+    def test_length_keyword_form(self):
+        fields = parse_tcpdump_line(
+            "100.5 IP 10.0.0.2.1 > 8.8.8.8.53: UDP, length 64", DEVICE
+        )
+        assert fields is not None
+        assert fields[3] == 64
+
+    def test_endpoints_without_ports(self):
+        fields = parse_tcpdump_line(
+            "7.0 IP 10.0.0.2 > 8.8.8.8: ICMP echo request (84)", DEVICE
+        )
+        assert fields is not None
+        assert fields[1] == "10.0.0.2"
+        assert fields[3] == 84
+
+    def test_unparseable_line_returns_none(self):
+        assert parse_tcpdump_line("listening on rmnet0, link-type RAW", DEVICE) is None
+        assert parse_tcpdump_line("", DEVICE) is None
+
+
+class TestParseLines:
+    def test_parses_and_counts(self):
+        result = parse_tcpdump_lines(SAMPLE_LOG.splitlines(), DEVICE)
+        assert result.parsed_lines == 5
+        assert result.skipped_lines == 1
+        assert result.total_lines == 6
+        assert len(result.trace) == 5
+
+    def test_directions_inferred_from_device_address(self):
+        result = parse_tcpdump_lines(SAMPLE_LOG.splitlines(), DEVICE)
+        directions = [p.direction for p in result.trace]
+        assert directions[0] is Direction.UPLINK
+        assert directions[1] is Direction.DOWNLINK
+
+    def test_flow_ids_per_remote_endpoint(self):
+        result = parse_tcpdump_lines(SAMPLE_LOG.splitlines(), DEVICE)
+        flows = {p.flow_id for p in result.trace}
+        assert len(flows) == 2  # two remote endpoints in the sample
+
+    def test_trace_is_normalised_to_zero(self):
+        result = parse_tcpdump_lines(SAMPLE_LOG.splitlines(), DEVICE)
+        assert result.trace.start_time == pytest.approx(0.0)
+        assert result.trace.duration == pytest.approx(15.5)
+
+
+class TestReadWrite:
+    def test_read_from_file_object(self):
+        result = read_tcpdump(io.StringIO(SAMPLE_LOG), DEVICE)
+        assert len(result.trace) == 5
+
+    def test_read_from_path(self, tmp_path):
+        path = tmp_path / "capture.txt"
+        path.write_text(SAMPLE_LOG, encoding="utf-8")
+        result = read_tcpdump(path, DEVICE)
+        assert result.trace.name == "capture"
+        assert len(result.trace) == 5
+
+    def test_round_trip_through_writer(self, tmp_path):
+        original = PacketTrace(
+            [
+                Packet(0.0, 120, Direction.UPLINK, flow_id=0),
+                Packet(0.5, 1400, Direction.DOWNLINK, flow_id=0),
+                Packet(20.0, 96, Direction.UPLINK, flow_id=1),
+            ],
+            name="round",
+        )
+        path = tmp_path / "round.txt"
+        lines = write_tcpdump(original, path, device_address=DEVICE)
+        assert lines == 3
+        parsed = read_tcpdump(path, DEVICE).trace
+        assert len(parsed) == 3
+        assert [p.size for p in parsed] == [120, 1400, 96]
+        assert [p.direction for p in parsed] == [p.direction for p in original]
+        assert parsed.duration == pytest.approx(original.duration)
+
+    def test_write_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        assert write_tcpdump(PacketTrace(), path) == 0
+        assert read_tcpdump(path).trace == PacketTrace()
+
+    def test_format_line_uplink_and_downlink(self):
+        up = format_tcpdump_line(Packet(1.0, 99, Direction.UPLINK, flow_id=3), DEVICE)
+        down = format_tcpdump_line(Packet(1.0, 99, Direction.DOWNLINK, flow_id=3), DEVICE)
+        assert up.startswith("1.000000 IP 10.0.0.2.")
+        assert "> 10.0.0.2." in down
+        assert up.endswith("tcp 99")

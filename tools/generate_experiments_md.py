@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper-reported vs measured, for every artefact.
+
+The benchmark harness (``pytest benchmarks/ --benchmark-only``) prints each
+reproduced table and figure; this script runs the same experiment drivers at
+a moderate scale, checks the headline numbers against the paper's claims
+(:mod:`repro.reporting.claims`) and writes the whole record to
+``EXPERIMENTS.md``.
+
+Run it from the repository root::
+
+    python tools/generate_experiments_md.py [--hours 0.75] [--out EXPERIMENTS.md]
+
+It takes a few minutes: the cross-carrier comparison replays every user
+trace under six schemes on four carrier profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.analysis.experiments import (
+    application_energy_breakdowns,
+    application_savings,
+    carrier_comparison,
+    user_study,
+    window_size_sweep,
+)
+from repro.core import MakeIdlePolicy
+from repro.energy.sensitivity import dormancy_cost_sensitivity
+from repro.energy.validation import run_validation
+from repro.reporting import experiments_report, format_markdown_table
+from repro.rrc import CARRIER_ORDER, get_profile
+from repro.traces import generate_application_trace, user_trace
+
+SCHEME_LABELS = {
+    "fixed_4.5s": "4.5-second",
+    "p95_iat": "95% IAT",
+    "makeidle": "MakeIdle",
+    "oracle": "Oracle",
+    "makeidle+makeactive_learn": "MakeIdle+MakeActive (learn)",
+    "makeidle+makeactive_fixed": "MakeIdle+MakeActive (fixed)",
+}
+
+
+def figure1_section() -> tuple[str, str, float]:
+    """Figure 1: share of energy spent outside data transfer, per application."""
+    profile = get_profile("att_hspa")
+    breakdowns = application_energy_breakdowns(profile, duration=1800.0, seed=0)
+    rows = []
+    background_fractions = []
+    for app, breakdown in breakdowns.items():
+        non_data = breakdown.total_j - breakdown.data_j
+        fraction = 100.0 * breakdown.fraction(non_data)
+        if app not in ("social", "finance"):  # foreground apps in the paper
+            background_fractions.append(fraction)
+        rows.append(
+            [
+                app,
+                round(100.0 * breakdown.fraction(breakdown.data_j), 1),
+                round(100.0 * breakdown.fraction(breakdown.active_tail_j), 1),
+                round(100.0 * breakdown.fraction(breakdown.high_idle_tail_j), 1),
+                round(100.0 * breakdown.fraction(breakdown.switch_j), 1),
+            ]
+        )
+    body = (
+        "Paper: for most background applications less than 30% of the 3G energy"
+        " goes to actual data transfer; about 60% or more is tail energy.\n\n"
+        + format_markdown_table(
+            ["app", "data %", "DCH tail %", "FACH tail %", "switch %"], rows
+        )
+    )
+    mean_tail = (
+        sum(background_fractions) / len(background_fractions)
+        if background_fractions
+        else 0.0
+    )
+    return "Figure 1 — energy breakdown per application (AT&T 3G)", body, mean_tail
+
+
+def figure8_section() -> tuple[str, str, float]:
+    """Figure 8: energy-estimator error for Verizon 3G and LTE."""
+    rows = []
+    worst = 0.0
+    for carrier in ("verizon_3g", "verizon_lte"):
+        outcome = run_validation(get_profile(carrier), seed=0)
+        worst = max(worst, 100.0 * outcome.mean_absolute_error)
+        rows.append(
+            [
+                carrier,
+                round(100.0 * outcome.mean_error, 2),
+                round(100.0 * outcome.mean_absolute_error, 2),
+                round(100.0 * outcome.max_absolute_error, 2),
+            ]
+        )
+    body = (
+        "Paper: the per-second energy estimator is within 10% of the measured"
+        " energy on average.\n\n"
+        + format_markdown_table(
+            ["carrier", "mean error %", "mean |error| %", "max |error| %"], rows
+        )
+    )
+    return "Figure 8 — simulation energy-model error", body, worst
+
+
+def figure9_section() -> tuple[str, str]:
+    """Figure 9: per-application savings of every scheme."""
+    table = application_savings(get_profile("att_hspa"), duration=1800.0, seed=0)
+    schemes = [s for s in SCHEME_LABELS if s in next(iter(table.values()))]
+    rows = [
+        [app] + [round(per_app[s].saved_percent, 1) for s in schemes]
+        for app, per_app in table.items()
+    ]
+    body = (
+        "Paper: MakeIdle tracks the Oracle and beats the 4.5-second and 95% IAT"
+        " baselines; the 95% IAT scheme is not robust (little or negative savings"
+        " on News/IM).\n\n"
+        + format_markdown_table(["app"] + [SCHEME_LABELS[s] for s in schemes], rows)
+    )
+    return "Figure 9 — energy savings per application (AT&T 3G)", body
+
+
+def user_study_section(population: str, carrier: str, hours: float,
+                       users: tuple[int, ...]) -> tuple[str, str]:
+    """Figures 10/11/12/15 for one population."""
+    outcome = user_study(
+        population, get_profile(carrier), hours_per_day=hours, users=users
+    )
+    rows = []
+    for uid, result in outcome.items():
+        makeidle = result.savings.get("makeidle")
+        combined = result.savings.get("makeidle+makeactive_learn")
+        confusion = result.confusion.get("makeidle")
+        delays = result.delays.get("makeidle+makeactive_learn")
+        rows.append(
+            [
+                uid,
+                round(makeidle.saved_percent, 1) if makeidle else "-",
+                round(combined.saved_percent, 1) if combined else "-",
+                round(confusion.false_switch_percent, 1) if confusion else "-",
+                round(confusion.missed_switch_percent, 1) if confusion else "-",
+                round(delays.median, 2) if delays else "-",
+            ]
+        )
+    body = format_markdown_table(
+        [
+            "user",
+            "MakeIdle saved %",
+            "MI+MA saved %",
+            "MakeIdle FP %",
+            "MakeIdle FN %",
+            "MA median delay (s)",
+        ],
+        rows,
+    )
+    title = (
+        f"Figures 10/12/15 — per-user study ({carrier})"
+        if carrier == "verizon_3g"
+        else f"Figures 11/12/15 — per-user study ({carrier})"
+    )
+    return title, body
+
+
+def figure13_section() -> tuple[str, str]:
+    """Figure 13: FP/FN versus MakeIdle window size."""
+    trace = user_trace("verizon_3g", 1, hours_per_day=0.5, seed=0)
+    sweep = window_size_sweep(get_profile("verizon_3g"), trace,
+                              window_sizes=(10, 50, 100, 200, 400))
+    rows = [
+        [n, round(c.false_switch_percent, 2), round(c.missed_switch_percent, 2)]
+        for n, c in sweep.items()
+    ]
+    body = (
+        "Paper: the false-positive rate falls as the window grows while the"
+        " false-negative rate stays roughly flat; n = 100 is the operating point.\n\n"
+        + format_markdown_table(["window n", "false switch %", "missed switch %"], rows)
+    )
+    return "Figure 13 — MakeIdle window-size sweep", body
+
+
+def carriers_section(hours: float, users: tuple[int, ...]):
+    """Figures 17/18 + Table 3 + the headline claims."""
+    comparison = carrier_comparison(hours_per_day=hours, users=users)
+    schemes = list(SCHEME_LABELS)
+    energy_rows = []
+    switch_rows = []
+    delay_rows = []
+    for carrier in CARRIER_ORDER:
+        row = comparison[carrier]
+        energy_rows.append(
+            [carrier] + [round(row.saved_percent.get(s, 0.0), 1) for s in schemes]
+        )
+        switch_rows.append(
+            [carrier]
+            + [round(row.switches_normalized.get(s, 0.0), 2) for s in schemes]
+        )
+        delay_rows.append(
+            [
+                carrier,
+                round(row.mean_delay_s.get("makeidle+makeactive_learn", 0.0), 2),
+                round(row.median_delay_s.get("makeidle+makeactive_learn", 0.0), 2),
+                round(row.mean_delay_s.get("makeidle+makeactive_fixed", 0.0), 2),
+                round(row.median_delay_s.get("makeidle+makeactive_fixed", 0.0), 2),
+            ]
+        )
+    headers = ["carrier"] + [SCHEME_LABELS[s] for s in schemes]
+    fig17 = (
+        "Paper: MakeIdle saves 51-66% on 3G and 67% on LTE; MakeIdle+MakeActive"
+        " reaches 62-75% (3G) and 71% (LTE).\n\n"
+        + format_markdown_table(headers, energy_rows)
+    )
+    fig18 = (
+        "Paper: MakeIdle alone stays below ~3.1x the status-quo switch count;"
+        " adding MakeActive brings it down to ~1.33x or less; 95% IAT explodes"
+        " (up to 35x on LTE).\n\n"
+        + format_markdown_table(headers, switch_rows)
+    )
+    table3 = (
+        "Paper (Table 3): mean/median MakeActive session delays of roughly"
+        " 4.4-5.1 seconds across carriers.\n\n"
+        + format_markdown_table(
+            [
+                "carrier",
+                "learn mean (s)",
+                "learn median (s)",
+                "fixed mean (s)",
+                "fixed median (s)",
+            ],
+            delay_rows,
+        )
+    )
+
+    makeidle_3g = [
+        comparison[c].saved_percent.get("makeidle", 0.0)
+        for c in CARRIER_ORDER
+        if c != "verizon_lte"
+    ]
+    combined_3g = [
+        comparison[c].saved_percent.get("makeidle+makeactive_learn", 0.0)
+        for c in CARRIER_ORDER
+        if c != "verizon_lte"
+    ]
+    lte = comparison["verizon_lte"]
+    measured = {
+        "makeidle_3g_savings_low": min(makeidle_3g),
+        "makeidle_3g_savings_high": max(makeidle_3g),
+        "makeidle_lte_savings": lte.saved_percent.get("makeidle", 0.0),
+        "combined_3g_savings_high": max(combined_3g),
+        "combined_lte_savings": lte.saved_percent.get(
+            "makeidle+makeactive_learn", 0.0
+        ),
+        "makeidle_switch_overhead_max": max(
+            comparison[c].switches_normalized.get("makeidle", 0.0)
+            for c in CARRIER_ORDER
+        ),
+        "combined_switch_overhead": sum(
+            comparison[c].switches_normalized.get("makeidle+makeactive_learn", 0.0)
+            for c in CARRIER_ORDER
+        ) / len(CARRIER_ORDER),
+        "makeactive_median_delay": comparison["verizon_3g"].median_delay_s.get(
+            "makeidle+makeactive_learn", 0.0
+        ),
+    }
+    return fig17, fig18, table3, measured
+
+
+def ablation_section() -> tuple[str, str]:
+    """Section 6.1 ablation: dormancy-cost fraction."""
+    trace = generate_application_trace("im", duration=1800.0, seed=0)
+    sweep = dormancy_cost_sensitivity(trace, get_profile("att_hspa"), MakeIdlePolicy)
+    rows = [
+        [f"{p.parameter:.0%}", round(100.0 * p.energy_saved_fraction, 1)]
+        for p in sweep.points
+    ]
+    body = (
+        "Paper: evaluating at 10/20/40% instead of 50% 'did not change the results"
+        " appreciably'.\n\n"
+        + format_markdown_table(["dormancy cost fraction", "MakeIdle saved %"], rows)
+        + f"\n\nMeasured spread: {100.0 * sweep.max_savings_spread:.1f} percentage points."
+    )
+    return "Section 6.1 ablation — fast-dormancy cost fraction", body
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--hours", type=float, default=0.75,
+                        help="hours of synthetic trace per user (default 0.75)")
+    parser.add_argument("--users", type=int, nargs="*", default=[1, 2],
+                        help="user ids to include (default 1 2)")
+    parser.add_argument("--out", default="EXPERIMENTS.md")
+    args = parser.parse_args()
+    users = tuple(args.users)
+
+    print("Figure 1 ...")
+    fig1_title, fig1_body, tail_fraction = figure1_section()
+    print("Figure 8 ...")
+    fig8_title, fig8_body, model_error = figure8_section()
+    print("Figure 9 ...")
+    fig9 = figure9_section()
+    print("Figures 10/12/15 (Verizon 3G users) ...")
+    users3g = user_study_section("verizon_3g", "verizon_3g", args.hours, users)
+    print("Figures 11/12/15 (Verizon LTE users) ...")
+    userslte = user_study_section("verizon_lte", "verizon_lte", args.hours, users)
+    print("Figure 13 ...")
+    fig13 = figure13_section()
+    print("Figures 17/18, Table 3, headline claims ...")
+    fig17, fig18, table3, measured = carriers_section(args.hours, users)
+    print("Section 6.1 ablation ...")
+    ablation = ablation_section()
+
+    measured["tail_energy_fraction"] = tail_fraction
+    measured["energy_model_error"] = model_error
+
+    preamble = (
+        "This file is generated by `python tools/generate_experiments_md.py`.\n"
+        "Workloads are synthetic reconstructions of the traces described in the\n"
+        f"paper ({args.hours:.2f} h per user, users {list(users)}), so the\n"
+        "comparison targets the shape of each result rather than exact values.\n"
+        "Paper-reported numbers are quoted at the top of every section."
+    )
+    sections = [
+        ("How to read this record", preamble),
+        (fig1_title, fig1_body),
+        ("Figure 3 — power profile over a state-switch cycle",
+         "Reproduced by `benchmarks/test_fig03_power_profile.py`: the simulated "
+         "power trace steps through transfer power, P_t1, P_t2 and idle exactly "
+         "as Figure 3 does; see the benchmark output for the series."),
+        (fig8_title, fig8_body),
+        fig9,
+        users3g,
+        userslte,
+        fig13,
+        ("Figure 14 — MakeIdle waiting-time series",
+         "Reproduced by `benchmarks/test_fig14_twait_series.py`: the chosen "
+         "t_wait varies packet-by-packet within [0, t_threshold], as in the "
+         "paper's example trace."),
+        ("Figure 16 — MakeActive learning curve",
+         "Reproduced by `benchmarks/test_fig16_learning_curve.py`: the learned "
+         "delay bound falls as the number of buffered bursts grows, mirroring "
+         "the loss-function trade-off of Figure 16."),
+        ("Figure 17 — energy saved across carriers", fig17),
+        ("Figure 18 — state switches normalised by status quo", fig18),
+        ("Table 3 — MakeActive session delays", table3),
+        ablation,
+    ]
+    report = experiments_report(sections, measured=measured,
+                                title="Experiment reproduction record")
+    Path(args.out).write_text(report, encoding="utf-8")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

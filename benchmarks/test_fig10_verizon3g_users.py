@@ -4,42 +4,48 @@ Three panels: (a) energy saved per user, (b) number of state switches
 normalised by the status quo, and (c) energy saved per state switch, for the
 six Verizon 3G users.  MakeIdle's gains are substantial for every user and
 MakeIdle+MakeActive keeps the switch count near the status quo.
+
+Ported to the unified experiment API: the whole study is one
+``repro.api`` plan (6 users x 1 carrier x 7 policies), and the three panels
+are views over the resulting run set's per-cell savings reports.
 """
 
 from __future__ import annotations
 
 from conftest import print_figure, run_once
 
-from repro.analysis import format_grouped_bars, user_study
+from repro.analysis import format_grouped_bars
+from repro.api import SerialRunner, plan
 from repro.core import SCHEME_ORDER
-from repro.rrc import get_profile
 
 HOURS_PER_DAY = 0.5
 
 
 def test_fig10_verizon3g_users(benchmark):
-    profile = get_profile("verizon_3g")
-    study = run_once(
-        benchmark,
-        user_study,
-        "verizon_3g",
-        profile,
-        hours_per_day=HOURS_PER_DAY,
-        seed=0,
-        window_size=100,
-    )
+    study_plan = (plan()
+                  .users("verizon_3g", hours_per_day=HOURS_PER_DAY, seed=0)
+                  .carriers("verizon_3g")
+                  .policies("status_quo", *SCHEME_ORDER)
+                  .window_size(100))
+    runs = run_once(benchmark, SerialRunner().run, study_plan)
+
+    # One savings table per (user trace, carrier, seed) cell; re-key by user.
+    reports = {
+        trace.split(":")[-1]: table
+        for (trace, _carrier, _seed), table in runs.savings().items()
+    }
 
     savings = {
-        f"user{uid}": {s: outcome.savings[s].saved_percent for s in SCHEME_ORDER}
-        for uid, outcome in study.items()
+        user: {s: table[s].saved_percent for s in SCHEME_ORDER}
+        for user, table in reports.items()
     }
     switches = {
-        f"user{uid}": {s: outcome.savings[s].switches_normalized for s in SCHEME_ORDER}
-        for uid, outcome in study.items()
+        user: {s: table[s].switches_normalized for s in SCHEME_ORDER}
+        for user, table in reports.items()
     }
     per_switch = {
-        f"user{uid}": {s: outcome.savings[s].saved_per_switch_j for s in SCHEME_ORDER}
-        for uid, outcome in study.items()
+        user: {s: table[s].saved_per_switch_j for s in SCHEME_ORDER}
+        for user, table in reports.items()
     }
     print_figure(
         "Figure 10(a) — energy saved per user (%, Verizon 3G)",
@@ -54,16 +60,12 @@ def test_fig10_verizon3g_users(benchmark):
         format_grouped_bars(per_switch, unit="J"),
     )
 
-    for outcome in study.values():
+    for table in reports.values():
         # MakeIdle substantially beats the fixed 4.5 s tail for every user
         # and stays within reach of the Oracle.
-        assert outcome.savings["makeidle"].saved_percent > (
-            outcome.savings["fixed_4.5s"].saved_percent
-        )
-        assert outcome.savings["makeidle"].saved_percent >= (
-            0.7 * outcome.savings["oracle"].saved_percent
-        )
+        assert table["makeidle"].saved_percent > table["fixed_4.5s"].saved_percent
+        assert table["makeidle"].saved_percent >= 0.7 * table["oracle"].saved_percent
         # MakeActive pulls the switch count back down towards the status quo.
-        assert outcome.savings["makeidle+makeactive_fixed"].switches_normalized <= (
-            outcome.savings["makeidle"].switches_normalized
+        assert table["makeidle+makeactive_fixed"].switches_normalized <= (
+            table["makeidle"].switches_normalized
         )

@@ -1,0 +1,97 @@
+"""Micro-benchmark: runner backends and baseline caching of the sweep API.
+
+Two claims of the unified experiment API are measured here:
+
+* **Parallel execution** — the same fixed-seed plan executed by
+  ``SerialRunner`` and ``ProcessPoolRunner`` yields byte-identical records;
+  both wall-times are printed so the speed-up (on multi-core hosts) is part
+  of the recorded perf trajectory.  On single-core CI boxes the pool merely
+  breaks even, so the assertion is equivalence, not speed.
+* **Baseline caching** — successive sweeps sharing a runner never
+  re-simulate the status-quo baseline (or any other duplicated cell): the
+  second driver's status-quo rows are all cache hits, with zero duplicate
+  simulations, asserted via the cache's hit/miss counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import print_figure
+
+from repro.api import ProcessPoolRunner, ResultCache, SerialRunner, plan
+
+APPS = ("im", "email", "news")
+CARRIERS = ("att_hspa", "verizon_lte")
+DURATION = 900.0
+
+
+def _grid():
+    return (plan()
+            .apps(*APPS, duration=DURATION)
+            .carriers(*CARRIERS)
+            .policies("status_quo", "makeidle", "oracle"))
+
+
+def test_serial_vs_parallel_equivalence_and_walltime(benchmark):
+    sweep = _grid()
+
+    start = time.perf_counter()
+    serial_runs = SerialRunner().run(sweep)
+    serial_s = time.perf_counter() - start
+
+    jobs = max(2, min(4, os.cpu_count() or 1))
+    start = time.perf_counter()
+    parallel_runs = ProcessPoolRunner(jobs=jobs).run(sweep)
+    parallel_s = time.perf_counter() - start
+
+    # Identical down to the byte: same records, same order, same floats.
+    assert (json.dumps(serial_runs.to_records())
+            == json.dumps(parallel_runs.to_records()))
+
+    print_figure(
+        "Runner scaling — serial vs process pool",
+        f"grid cells:      {len(serial_runs)}\n"
+        f"serial:          {serial_s:.2f} s\n"
+        f"pool (jobs={jobs}):  {parallel_s:.2f} s\n"
+        f"speedup:         {serial_s / parallel_s:.2f}x "
+        f"(cores: {os.cpu_count()})",
+    )
+
+    # Keep one timed run in the benchmark report for the perf trajectory.
+    benchmark.pedantic(
+        SerialRunner().run, args=(sweep,), rounds=1, iterations=1
+    )
+
+
+def test_cache_eliminates_duplicate_status_quo_runs():
+    cache = ResultCache()
+    runner = SerialRunner(cache=cache)
+
+    # Driver 1: compare MakeIdle against the status quo.
+    first = runner.run(_grid())
+    cells = len(APPS) * len(CARRIERS)
+    assert first.cache_stats.misses == cells * 3
+    assert first.cache_stats.hits == 0
+
+    # Driver 2: a different scheme comparison over the same traces/carriers.
+    # Every status-quo and makeidle cell is served from the cache — the
+    # baseline is simulated once per (trace, carrier), not once per driver.
+    second_plan = (plan()
+                   .apps(*APPS, duration=DURATION)
+                   .carriers(*CARRIERS)
+                   .policies("status_quo", "makeidle", "fixed_4.5s"))
+    second = runner.run(second_plan)
+    assert second.cache_stats.hits == cells * 2          # status_quo + makeidle
+    assert second.cache_stats.misses == cells            # only fixed_4.5s is new
+    duplicate_status_quo = [
+        r for r in second if r.scheme == "status_quo" and not r.from_cache
+    ]
+    assert duplicate_status_quo == []
+
+    # Replaying either plan is now pure cache: zero new simulations.
+    replay = runner.run(_grid())
+    assert replay.cache_stats.misses == 0
+    assert replay.cache_stats.hits == len(replay)

@@ -1,14 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: how much 3G energy does a traffic-aware radio policy save?
 
-This example walks through the library's core loop in a few lines:
+The library's core loop is a three-step lifecycle:
 
-1. pick a carrier profile (measured RRC constants from the paper's Table 2),
-2. generate a background-application workload (or load your own pcap),
-3. replay it through the trace-driven simulator under several radio
-   control policies, and
-4. compare energy, signalling overhead and session delays against the
-   status quo (the carrier's default inactivity timers).
+1. **declare a plan** — an immutable grid of workloads × carriers ×
+   policies (``repro.api.plan``),
+2. **execute it with a runner** — serially or on a process pool, with the
+   status-quo baseline simulated once per (trace, carrier) and cached, and
+3. **analyse the run set** — normalise every scheme against the status quo
+   (the carrier's default inactivity timers) and export the records.
 
 Run it with::
 
@@ -17,21 +17,16 @@ Run it with::
 
 from __future__ import annotations
 
-from repro import (
-    MakeIdlePolicy,
-    OraclePolicy,
-    StatusQuoPolicy,
-    TraceSimulator,
-    generate_application_trace,
-    get_profile,
-)
 from repro.analysis import format_table
-from repro.core import CombinedPolicy, FixedTimerPolicy, LearningMakeActive
+from repro.api import SerialRunner, plan
 from repro.energy import TailEnergyModel
+from repro.rrc import get_profile
 
 
 def main() -> None:
-    # 1. A carrier profile: AT&T's HSPA+ network as measured in the paper.
+    # 1. Declare the sweep: a one-hour synthetic e-mail workload (background
+    #    sync every ~5 min) replayed on AT&T's HSPA+ network, under the
+    #    status quo and three traffic-aware policies plus the offline Oracle.
     profile = get_profile("att_hspa")
     model = TailEnergyModel(profile)
     print(f"Carrier: {profile.name}")
@@ -40,40 +35,36 @@ def main() -> None:
           f"P_t2={profile.power_high_idle_mw:.0f}mW")
     print(f"  offline-optimal switch threshold t_threshold={model.t_threshold:.2f}s\n")
 
-    # 2. A one-hour synthetic e-mail workload (background sync every ~5 min).
-    trace = generate_application_trace("email", duration=3600.0, seed=7)
-    print(f"Workload: {trace!r}\n")
+    p = (plan()
+         .apps("email", duration=3600.0, seed=7)
+         .carriers("att_hspa")
+         .policies("status_quo", "fixed_4.5s", "makeidle",
+                   "makeidle+makeactive_learn", "oracle")
+         .window_size(100))
+    print(p.describe(), "\n")
 
-    # 3. Replay under the status quo and three traffic-aware policies.
-    simulator = TraceSimulator(profile)
-    baseline = simulator.run(trace, StatusQuoPolicy())
-    policies = [
-        FixedTimerPolicy(4.5),                       # prior work: fixed 4.5 s tail
-        MakeIdlePolicy(window_size=100),             # the paper's MakeIdle
-        CombinedPolicy(MakeIdlePolicy(window_size=100),
-                       LearningMakeActive()),        # MakeIdle + learning MakeActive
-        OraclePolicy(),                              # offline upper bound
+    # 2. Execute.  Swap in ProcessPoolRunner(jobs=4) for parallel sweeps —
+    #    the records come back byte-identical, just faster.
+    runs = SerialRunner().run(p)
+
+    # 3. Analyse: every record is normalised against the status-quo run of
+    #    its own (trace, carrier) cell.
+    rows = [
+        [
+            r["scheme"],
+            r["energy_j"],
+            r["saved_percent"],
+            r["switches_normalized"],
+            r["mean_delay_s"],
+        ]
+        for r in runs.to_records()
     ]
-
-    rows = [["status_quo", baseline.total_energy_j, 0.0, 1.0, 0.0]]
-    for policy in policies:
-        result = simulator.run(trace, policy)
-        rows.append(
-            [
-                policy.name,
-                result.total_energy_j,
-                100.0 * result.energy_saved_fraction(baseline),
-                result.switches_normalized(baseline),
-                result.mean_delay,
-            ]
-        )
-
-    # 4. Report.
     print(
         format_table(
             ["policy", "energy (J)", "saved (%)", "switches / status quo",
              "mean session delay (s)"],
             rows,
+            float_format="{:.2f}",
         )
     )
 

@@ -14,9 +14,25 @@ The library reproduces the paper's system end to end:
   and learning), the Oracle and the prior-work baselines;
 * :mod:`repro.sim` — the trace-driven simulator;
 * :mod:`repro.metrics` and :mod:`repro.analysis` — evaluation metrics and
-  per-figure experiment drivers.
+  per-figure experiment drivers;
+* :mod:`repro.api` — the unified experiment API: declare a workload ×
+  carrier × policy sweep as an immutable plan, execute it serially or on a
+  process pool with baseline caching, analyse the structured run set.
 
-Quickstart::
+Quickstart — declare a sweep, execute it, normalise against the status quo::
+
+    from repro.api import plan, SerialRunner
+
+    p = (plan()
+         .apps("email", duration=1800.0, seed=1)
+         .carriers("att_hspa")
+         .policies("status_quo", "makeidle", "oracle"))
+    runs = SerialRunner().run(p)          # ProcessPoolRunner(jobs=4) scales it
+    for row in runs.to_records():
+        print(row["scheme"], f"{row['saved_percent']:.1f}%")
+
+Single runs remain a direct simulator call when you need live policy
+objects::
 
     from repro import get_profile, generate_application_trace
     from repro import TraceSimulator, MakeIdlePolicy, StatusQuoPolicy
@@ -27,9 +43,27 @@ Quickstart::
     baseline = sim.run(trace, StatusQuoPolicy())
     makeidle = sim.run(trace, MakeIdlePolicy())
     print(makeidle.energy_saved_fraction(baseline))
+
+See ``docs/api.md`` for the full plan → runner → runset lifecycle.
 """
 
-from .config import ExperimentConfig, WorkloadConfig, load_config, save_config
+from .api import (
+    ExperimentPlan,
+    ProcessPoolRunner,
+    ResultCache,
+    RunRecord,
+    RunSet,
+    RunSpec,
+    SerialRunner,
+)
+from .config import (
+    ExperimentConfig,
+    WorkloadConfig,
+    load_config,
+    load_plan,
+    save_config,
+    save_plan,
+)
 from .core import (
     ApplicationRegistry,
     CombinedPolicy,
@@ -93,6 +127,13 @@ __all__ = [
     "CombinedPolicy",
     "DevicePowerBudget",
     "ExperimentConfig",
+    "ExperimentPlan",
+    "ProcessPoolRunner",
+    "ResultCache",
+    "RunRecord",
+    "RunSet",
+    "RunSpec",
+    "SerialRunner",
     "InteractiveAwarePolicy",
     "SignalingLoad",
     "TailEnderPolicy",
@@ -126,10 +167,12 @@ __all__ = [
     "get_profile",
     "lifetime_extension",
     "load_config",
+    "load_plan",
     "project_lifetime",
     "read_pcap",
     "read_tcpdump",
     "save_config",
+    "save_plan",
     "signaling_load",
     "standard_policies",
     "user_trace",

@@ -1,10 +1,24 @@
-"""Experiment drivers: one function per paper table/figure family.
+"""Experiment drivers: one thin plan declaration per paper table/figure family.
 
-These drivers glue the workload generators, the simulator, the policies and
-the metrics into the exact experiments of the paper's evaluation section.
-The benchmark files under ``benchmarks/`` are thin wrappers that call these
-functions and render their output; the functions are also usable directly
-from notebooks or scripts.
+These drivers used to hand-roll their own simulation loops; they are now
+declarative wrappers over the unified experiment API of :mod:`repro.api` —
+each builds an :class:`~repro.api.plan.ExperimentPlan` over the workload ×
+carrier × policy grid of its figure, hands it to a runner, and reshapes the
+resulting :class:`~repro.api.runset.RunSet` into the result types the
+benchmarks and figures consume.  Their signatures and return shapes are
+unchanged, so they remain usable directly from notebooks and scripts.
+
+All drivers share one process-wide :func:`~repro.api.runner.default_runner`
+(pass ``runner=`` to override, e.g. with a
+:class:`~repro.api.runner.ProcessPoolRunner`), so the status-quo baseline of
+a given (trace, carrier) pair is simulated once and reused across drivers
+instead of once per figure.
+
+Two drivers remain direct simulator calls by design: :func:`twait_series`
+and :func:`learning_curve` inspect the *internal state* of one policy
+instance after its run (MakeIdle's wait history, MakeActive's learning
+iterations), which a declarative grid of reconstructable specs cannot
+expose.
 
 Every driver takes explicit duration/seed arguments so benchmarks can trade
 runtime for fidelity; the defaults are sized to finish in seconds on a
@@ -16,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
+from ..api import PolicySpec, Runner, default_runner, inline, plan
+from ..api.runset import RunSet
 from ..core.controller import SCHEME_ORDER, standard_policies
 from ..core.makeactive import LearningMakeActive, LearningRecord
 from ..core.makeidle import MakeIdlePolicy, WaitDecision
@@ -29,8 +45,8 @@ from ..rrc.profiles import CARRIER_ORDER, CarrierProfile, get_profile
 from ..sim.simulator import TraceSimulator
 from ..sim.results import SimulationResult
 from ..traces.packet import PacketTrace
-from ..traces.synthetic import APPLICATION_NAMES, generate_application_trace
-from ..traces.users import population_traces, user_ids, user_trace
+from ..traces.synthetic import APPLICATION_NAMES
+from ..traces.users import user_ids
 
 __all__ = [
     "run_schemes",
@@ -50,11 +66,39 @@ __all__ = [
 #: Schemes whose demotion behaviour is compared against the Oracle in Fig. 12.
 CONFUSION_SCHEMES: tuple[str, ...] = ("fixed_4.5s", "p95_iat", "makeidle")
 
+#: Every compared scheme plus the normalisation baseline, in display order.
+_ALL_SCHEMES: tuple[str, ...] = ("status_quo",) + SCHEME_ORDER
 
-def run_status_quo(trace: PacketTrace, profile: CarrierProfile) -> SimulationResult:
+
+def _registered_key(profile: CarrierProfile) -> str | None:
+    """The profile's carrier key if it matches the registered table, else ``None``.
+
+    Drivers accept arbitrary (possibly ablated) :class:`CarrierProfile`
+    objects; only profiles identical to a registered one can be described by
+    a plan's carrier axis, so anything else falls back to direct simulation.
+    """
+    try:
+        registered = get_profile(profile.key)
+    except KeyError:
+        return None
+    return profile.key if registered == profile else None
+
+
+def _runner(runner: Runner | None) -> Runner:
+    return runner if runner is not None else default_runner()
+
+
+def run_status_quo(
+    trace: PacketTrace,
+    profile: CarrierProfile,
+    runner: Runner | None = None,
+) -> SimulationResult:
     """Simulate ``trace`` under the carrier's default inactivity timers."""
-    simulator = TraceSimulator(profile)
-    return simulator.run(trace, StatusQuoPolicy())
+    key = _registered_key(profile)
+    if key is None:
+        return TraceSimulator(profile).run(trace, StatusQuoPolicy())
+    p = plan().traces(inline(trace)).carriers(key).policies("status_quo")
+    return _runner(runner).run(p).records[0].result
 
 
 def run_schemes(
@@ -62,20 +106,31 @@ def run_schemes(
     profile: CarrierProfile,
     schemes: Mapping[str, RadioPolicy] | None = None,
     window_size: int = 100,
+    runner: Runner | None = None,
 ) -> dict[str, SimulationResult]:
     """Simulate ``trace`` under the status quo plus every compared scheme.
 
     Returns a dict keyed by scheme name, with ``"status_quo"`` always
-    included first so callers can normalise against it.
+    included first so callers can normalise against it.  An explicit
+    ``schemes`` mapping of live policy instances bypasses the plan API (the
+    instances may be stateful or unreconstructable from a spec).
     """
-    simulator = TraceSimulator(profile)
-    results: dict[str, SimulationResult] = {
-        "status_quo": simulator.run(trace, StatusQuoPolicy())
-    }
-    policies = schemes if schemes is not None else standard_policies(window_size)
-    for name, policy in policies.items():
-        results[name] = simulator.run(trace, policy)
-    return results
+    key = _registered_key(profile)
+    if schemes is not None or key is None:
+        simulator = TraceSimulator(profile)
+        results: dict[str, SimulationResult] = {
+            "status_quo": simulator.run(trace, StatusQuoPolicy())
+        }
+        policies = schemes if schemes is not None else standard_policies(window_size)
+        for name, policy in policies.items():
+            results[name] = simulator.run(trace, policy)
+        return results
+    p = (plan()
+         .traces(inline(trace))
+         .carriers(key)
+         .policies(*_ALL_SCHEMES)
+         .window_size(window_size))
+    return {r.scheme: r.result for r in _runner(runner).run(p)}
 
 
 # ----------------------------------------------------------------------------------
@@ -87,14 +142,26 @@ def application_energy_breakdowns(
     apps: Sequence[str] = APPLICATION_NAMES,
     duration: float = 3600.0,
     seed: int = 0,
+    runner: Runner | None = None,
 ) -> dict[str, EnergyBreakdown]:
     """Status-quo energy breakdown (data / DCH tail / FACH tail / switch) per app."""
-    breakdowns: dict[str, EnergyBreakdown] = {}
-    for app in apps:
-        trace = generate_application_trace(app, duration=duration, seed=seed)
-        result = run_status_quo(trace, profile)
-        breakdowns[app] = result.breakdown
-    return breakdowns
+    key = _registered_key(profile)
+    if key is None:
+        simulator = TraceSimulator(profile)
+        from ..traces.synthetic import generate_application_trace
+
+        return {
+            a: simulator.run(
+                generate_application_trace(a, duration=duration, seed=seed),
+                StatusQuoPolicy(),
+            ).breakdown
+            for a in apps
+        }
+    p = (plan()
+         .apps(*apps, duration=duration, seed=seed)
+         .carriers(key)
+         .policies("status_quo"))
+    return {r.trace_label: r.result.breakdown for r in _runner(runner).run(p)}
 
 
 # ----------------------------------------------------------------------------------
@@ -107,15 +174,27 @@ def application_savings(
     duration: float = 3600.0,
     seed: int = 0,
     window_size: int = 100,
+    runner: Runner | None = None,
 ) -> dict[str, dict[str, SavingsReport]]:
     """Energy saved by each scheme on each application trace (Figure 9)."""
-    table: dict[str, dict[str, SavingsReport]] = {}
-    for app in apps:
-        trace = generate_application_trace(app, duration=duration, seed=seed)
-        results = run_schemes(trace, profile, window_size=window_size)
-        baseline = results.pop("status_quo")
-        table[app] = savings_table(results, baseline)
-    return table
+    key = _registered_key(profile)
+    if key is None:
+        from ..traces.synthetic import generate_application_trace
+
+        table: dict[str, dict[str, SavingsReport]] = {}
+        for a in apps:
+            trace = generate_application_trace(a, duration=duration, seed=seed)
+            results = run_schemes(trace, profile, window_size=window_size)
+            baseline = results.pop("status_quo")
+            table[a] = savings_table(results, baseline)
+        return table
+    p = (plan()
+         .apps(*apps, duration=duration, seed=seed)
+         .carriers(key)
+         .policies(*_ALL_SCHEMES)
+         .window_size(window_size))
+    savings = _runner(runner).run(p).savings()
+    return {trace: table for (trace, _carrier, _seed), table in savings.items()}
 
 
 # ----------------------------------------------------------------------------------
@@ -134,6 +213,33 @@ class UserStudyResult:
     status_quo_switches: int
 
 
+def _study_outcome(
+    uid: int, cell: RunSet, threshold: float
+) -> UserStudyResult:
+    """Shape one (user, carrier) cell of a run set into a study result."""
+    results = {r.scheme: r.result for r in cell}
+    baseline = results.pop("status_quo")
+    savings = savings_table(results, baseline)
+    confusion = {
+        scheme: confusion_for_result(results[scheme], threshold)
+        for scheme in CONFUSION_SCHEMES
+        if scheme in results
+    }
+    delays = {
+        scheme: delay_stats_for_result(results[scheme], only_delayed=True)
+        for scheme in ("makeidle+makeactive_learn", "makeidle+makeactive_fixed")
+        if scheme in results
+    }
+    return UserStudyResult(
+        user_id=uid,
+        savings=savings,
+        confusion=confusion,
+        delays=delays,
+        status_quo_energy_j=baseline.total_energy_j,
+        status_quo_switches=baseline.switch_count,
+    )
+
+
 def user_study(
     population: str,
     profile: CarrierProfile,
@@ -141,6 +247,7 @@ def user_study(
     seed: int = 0,
     window_size: int = 100,
     users: Iterable[int] | None = None,
+    runner: Runner | None = None,
 ) -> dict[int, UserStudyResult]:
     """Run the full scheme comparison for every user in a population.
 
@@ -150,32 +257,45 @@ def user_study(
     Section 6.5.
     """
     threshold = TailEnergyModel(profile).t_threshold
-    outcome: dict[int, UserStudyResult] = {}
     selected = tuple(users) if users is not None else user_ids(population)
-    for uid in selected:
-        trace = user_trace(population, uid, hours_per_day=hours_per_day, seed=seed)
-        results = run_schemes(trace, profile, window_size=window_size)
-        baseline = results.pop("status_quo")
-        savings = savings_table(results, baseline)
-        confusion = {
-            scheme: confusion_for_result(results[scheme], threshold)
-            for scheme in CONFUSION_SCHEMES
-            if scheme in results
-        }
-        delays = {
-            scheme: delay_stats_for_result(results[scheme], only_delayed=True)
-            for scheme in ("makeidle+makeactive_learn", "makeidle+makeactive_fixed")
-            if scheme in results
-        }
-        outcome[uid] = UserStudyResult(
-            user_id=uid,
-            savings=savings,
-            confusion=confusion,
-            delays=delays,
-            status_quo_energy_j=baseline.total_energy_j,
-            status_quo_switches=baseline.switch_count,
-        )
-    return outcome
+    key = _registered_key(profile)
+    if key is None:
+        from ..traces.users import user_trace
+
+        outcome: dict[int, UserStudyResult] = {}
+        for uid in selected:
+            trace = user_trace(population, uid, hours_per_day=hours_per_day,
+                               seed=seed)
+            results = run_schemes(trace, profile, window_size=window_size)
+            baseline = results.pop("status_quo")
+            outcome[uid] = UserStudyResult(
+                user_id=uid,
+                savings=savings_table(results, baseline),
+                confusion={
+                    s: confusion_for_result(results[s], threshold)
+                    for s in CONFUSION_SCHEMES if s in results
+                },
+                delays={
+                    s: delay_stats_for_result(results[s], only_delayed=True)
+                    for s in ("makeidle+makeactive_learn",
+                              "makeidle+makeactive_fixed")
+                    if s in results
+                },
+                status_quo_energy_j=baseline.total_energy_j,
+                status_quo_switches=baseline.switch_count,
+            )
+        return outcome
+    p = (plan()
+         .users(population, selected, hours_per_day=hours_per_day, seed=seed)
+         .carriers(key)
+         .policies(*_ALL_SCHEMES)
+         .window_size(window_size))
+    runs = _runner(runner).run(p)
+    cells = runs.group_by("trace")
+    return {
+        uid: _study_outcome(uid, cells[f"{population}:user{uid}"], threshold)
+        for uid in selected
+    }
 
 
 # ----------------------------------------------------------------------------------
@@ -193,6 +313,68 @@ class CarrierComparisonRow:
     median_delay_s: dict[str, float]
 
 
+def _comparison_row(carrier_key: str, runs: RunSet) -> CarrierComparisonRow:
+    """Aggregate one carrier's user runs into a Figure 17/18 row.
+
+    Savings are energy-weighted over users and delays pooled over sessions,
+    exactly as the paper's Section 6.5 aggregates.
+    """
+    total_baseline = 0.0
+    total_baseline_switches = 0
+    per_scheme_energy: dict[str, float] = {}
+    per_scheme_switches: dict[str, int] = {}
+    pooled_delays: dict[str, list[float]] = {}
+    for cell in runs.group_by("trace").values():
+        results = {r.scheme: r.result for r in cell}
+        baseline = results.pop("status_quo")
+        total_baseline += baseline.total_energy_j
+        total_baseline_switches += baseline.switch_count
+        for scheme, result in results.items():
+            per_scheme_energy[scheme] = (
+                per_scheme_energy.get(scheme, 0.0) + result.total_energy_j
+            )
+            per_scheme_switches[scheme] = (
+                per_scheme_switches.get(scheme, 0) + result.switch_count
+            )
+            if scheme.startswith("makeidle+makeactive"):
+                pooled_delays.setdefault(scheme, []).extend(
+                    d for d in result.delays if d > 0.01
+                )
+    saved_percent = {
+        scheme: 100.0 * (total_baseline - energy) / total_baseline
+        if total_baseline > 0
+        else 0.0
+        for scheme, energy in per_scheme_energy.items()
+    }
+    switches_normalized = {
+        scheme: (count / total_baseline_switches
+                 if total_baseline_switches else float(count))
+        for scheme, count in per_scheme_switches.items()
+    }
+    mean_delay = {}
+    median_delay = {}
+    for scheme, values in pooled_delays.items():
+        ordered = sorted(values)
+        if ordered:
+            mean_delay[scheme] = sum(ordered) / len(ordered)
+            mid = len(ordered) // 2
+            median_delay[scheme] = (
+                ordered[mid]
+                if len(ordered) % 2
+                else (ordered[mid - 1] + ordered[mid]) / 2.0
+            )
+        else:
+            mean_delay[scheme] = 0.0
+            median_delay[scheme] = 0.0
+    return CarrierComparisonRow(
+        carrier_key=carrier_key,
+        saved_percent=saved_percent,
+        switches_normalized=switches_normalized,
+        mean_delay_s=mean_delay,
+        median_delay_s=median_delay,
+    )
+
+
 def carrier_comparison(
     carriers: Sequence[str] = CARRIER_ORDER,
     population: str = "verizon_3g",
@@ -200,6 +382,7 @@ def carrier_comparison(
     seed: int = 0,
     window_size: int = 100,
     users: Iterable[int] | None = None,
+    runner: Runner | None = None,
 ) -> dict[str, CarrierComparisonRow]:
     """Run the scheme comparison across carrier profiles (Figures 17/18, Table 3).
 
@@ -208,68 +391,18 @@ def carrier_comparison(
     MakeActive delays are aggregated over users (energy-weighted for the
     savings, delay-pooled for Table 3).
     """
-    rows: dict[str, CarrierComparisonRow] = {}
     selected = tuple(users) if users is not None else user_ids(population)
-    traces = {
-        uid: user_trace(population, uid, hours_per_day=hours_per_day, seed=seed)
-        for uid in selected
-    }
-    for carrier_key in carriers:
-        profile = get_profile(carrier_key)
-        total_baseline = 0.0
-        total_baseline_switches = 0
-        per_scheme_energy: dict[str, float] = {}
-        per_scheme_switches: dict[str, int] = {}
-        pooled_delays: dict[str, list[float]] = {}
-        for uid, trace in traces.items():
-            results = run_schemes(trace, profile, window_size=window_size)
-            baseline = results.pop("status_quo")
-            total_baseline += baseline.total_energy_j
-            total_baseline_switches += baseline.switch_count
-            for scheme, result in results.items():
-                per_scheme_energy[scheme] = (
-                    per_scheme_energy.get(scheme, 0.0) + result.total_energy_j
-                )
-                per_scheme_switches[scheme] = (
-                    per_scheme_switches.get(scheme, 0) + result.switch_count
-                )
-                if scheme.startswith("makeidle+makeactive"):
-                    pooled_delays.setdefault(scheme, []).extend(
-                        d for d in result.delays if d > 0.01
-                    )
-        saved_percent = {
-            scheme: 100.0 * (total_baseline - energy) / total_baseline
-            if total_baseline > 0
-            else 0.0
-            for scheme, energy in per_scheme_energy.items()
-        }
-        switches_normalized = {
-            scheme: (count / total_baseline_switches
-                     if total_baseline_switches else float(count))
-            for scheme, count in per_scheme_switches.items()
-        }
-        mean_delay = {}
-        median_delay = {}
-        for scheme, values in pooled_delays.items():
-            ordered = sorted(values)
-            if ordered:
-                mean_delay[scheme] = sum(ordered) / len(ordered)
-                mid = len(ordered) // 2
-                median_delay[scheme] = (
-                    ordered[mid]
-                    if len(ordered) % 2
-                    else (ordered[mid - 1] + ordered[mid]) / 2.0
-                )
-            else:
-                mean_delay[scheme] = 0.0
-                median_delay[scheme] = 0.0
-        rows[carrier_key] = CarrierComparisonRow(
-            carrier_key=carrier_key,
-            saved_percent=saved_percent,
-            switches_normalized=switches_normalized,
-            mean_delay_s=mean_delay,
-            median_delay_s=median_delay,
-        )
+    p = (plan()
+         .users(population, selected, hours_per_day=hours_per_day, seed=seed)
+         .carriers(*carriers)
+         .policies(*_ALL_SCHEMES)
+         .window_size(window_size))
+    runs = _runner(runner).run(p)
+    by_carrier = runs.group_by("carrier")
+    rows: dict[str, CarrierComparisonRow] = {}
+    for carrier in carriers:
+        carrier_key = get_profile(carrier).key
+        rows[carrier_key] = _comparison_row(carrier_key, by_carrier[carrier_key])
     return rows
 
 
@@ -281,15 +414,28 @@ def window_size_sweep(
     profile: CarrierProfile,
     trace: PacketTrace,
     window_sizes: Sequence[int] = (10, 25, 50, 100, 200, 400),
+    runner: Runner | None = None,
 ) -> dict[int, ConfusionCounts]:
     """False/missed switch rates of MakeIdle as a function of window size ``n``."""
     threshold = TailEnergyModel(profile).t_threshold
-    simulator = TraceSimulator(profile)
-    sweep: dict[int, ConfusionCounts] = {}
-    for n in window_sizes:
-        result = simulator.run(trace, MakeIdlePolicy(window_size=n))
-        sweep[n] = confusion_for_result(result, threshold)
-    return sweep
+    key = _registered_key(profile)
+    if key is None:
+        simulator = TraceSimulator(profile)
+        return {
+            n: confusion_for_result(
+                simulator.run(trace, MakeIdlePolicy(window_size=n)), threshold
+            )
+            for n in window_sizes
+        }
+    p = (plan()
+         .traces(inline(trace))
+         .carriers(key)
+         .policies(*(PolicySpec("makeidle", window_size=n) for n in window_sizes)))
+    runs = _runner(runner).run(p)
+    return {
+        r.spec.policy.window_size: confusion_for_result(r.result, threshold)
+        for r in runs
+    }
 
 
 # ----------------------------------------------------------------------------------
@@ -301,7 +447,12 @@ def twait_series(
     trace: PacketTrace,
     window_size: int = 100,
 ) -> list[WaitDecision]:
-    """The sequence of MakeIdle waiting-time decisions over one trace."""
+    """The sequence of MakeIdle waiting-time decisions over one trace.
+
+    Runs the simulator directly (not through the plan API): the figure plots
+    the *policy instance's* recorded wait history, which only exists on the
+    live object after its run.
+    """
     simulator = TraceSimulator(profile)
     policy = MakeIdlePolicy(window_size=window_size)
     simulator.run(trace, policy)
@@ -317,7 +468,11 @@ def learning_curve(
     trace: PacketTrace,
     window_size: int = 100,
 ) -> list[LearningRecord]:
-    """Learned delay and buffered-burst count per MakeActive iteration."""
+    """Learned delay and buffered-burst count per MakeActive iteration.
+
+    Like :func:`twait_series`, this inspects the live learner's history and
+    therefore drives the simulator directly.
+    """
     from ..core.controller import CombinedPolicy  # local import avoids a cycle at module load
 
     simulator = TraceSimulator(profile)
@@ -340,6 +495,7 @@ def headline_savings(
     hours_per_day: float = 2.0,
     seed: int = 0,
     users: Iterable[int] | None = None,
+    runner: Runner | None = None,
 ) -> dict[str, dict[str, float]]:
     """Per-carrier savings of MakeIdle alone and MakeIdle+MakeActive (learning).
 
@@ -353,6 +509,7 @@ def headline_savings(
         hours_per_day=hours_per_day,
         seed=seed,
         users=users,
+        runner=runner,
     )
     headline: dict[str, dict[str, float]] = {}
     for carrier_key, row in comparison.items():

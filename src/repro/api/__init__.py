@@ -1,0 +1,71 @@
+"""Unified experiment API: declare a plan, execute it, analyse the run set.
+
+Every evaluation result in the paper is a sweep over workload × carrier ×
+policy.  This package gives that sweep a first-class lifecycle::
+
+    from repro.api import plan, SerialRunner, ProcessPoolRunner
+
+    p = (plan()
+         .apps("email", "im", duration=1800.0)
+         .carriers("att_hspa", "verizon_lte")
+         .policies("status_quo", "makeidle", "oracle"))
+
+    runs = ProcessPoolRunner(jobs=4).run(p)      # or SerialRunner().run(p)
+    for cell, table in runs.savings().items():
+        print(cell, {s: f"{r.saved_percent:.1f}%" for s, r in table.items()})
+    runs.to_csv("sweep.csv")
+
+* :func:`plan` / :class:`ExperimentPlan` — fluent, immutable grid declaration;
+* :class:`TraceSpec` / :class:`PolicySpec` / :class:`RunSpec` — picklable
+  descriptions of each grid cell (helpers :func:`app`, :func:`user`,
+  :func:`pcap`, :func:`tcpdump`, :func:`inline`, :func:`scheme`);
+* :class:`SerialRunner` / :class:`ProcessPoolRunner` — execution backends
+  with a shared, hit/miss-counting :class:`ResultCache` so the status-quo
+  baseline is simulated once per (trace, carrier);
+* :class:`RunSet` / :class:`RunRecord` — structured results with grouping,
+  baseline normalisation and CSV/JSON export.
+
+The legacy drivers in :mod:`repro.analysis.experiments` are thin wrappers
+over this API, and ``repro-rrc sweep`` exposes it on the command line.
+"""
+
+from .cache import CacheStats, ResultCache
+from .plan import EmptyAxisError, ExperimentPlan, plan
+from .runner import ProcessPoolRunner, Runner, SerialRunner, default_runner
+from .runset import RunRecord, RunSet
+from .spec import (
+    PolicySpec,
+    RunSpec,
+    TraceSpec,
+    app,
+    execute,
+    inline,
+    pcap,
+    scheme,
+    tcpdump,
+    user,
+)
+
+__all__ = [
+    "CacheStats",
+    "EmptyAxisError",
+    "ExperimentPlan",
+    "PolicySpec",
+    "ProcessPoolRunner",
+    "ResultCache",
+    "RunRecord",
+    "RunSet",
+    "RunSpec",
+    "Runner",
+    "SerialRunner",
+    "TraceSpec",
+    "app",
+    "default_runner",
+    "execute",
+    "inline",
+    "pcap",
+    "plan",
+    "scheme",
+    "tcpdump",
+    "user",
+]

@@ -1,0 +1,145 @@
+"""Deduplicating result cache shared by the runner backends.
+
+Every cell of a sweep grid is keyed by
+``(trace fingerprint, carrier key, policy key)`` — see
+:attr:`~repro.api.spec.RunSpec.cache_key`.  Because the status-quo baseline
+appears in every scheme comparison, a sweep that would naively simulate it
+once per driver (or once per scheme column) instead simulates it exactly
+once per (trace, carrier) pair and serves every further request from here.
+The hit/miss counters make that claim testable: a correct sweep shows zero
+duplicate status-quo simulations.
+
+The cache is deliberately a plain in-memory mapping: simulation results are
+immutable dataclasses, so sharing them between callers is safe, and the
+process-pool runner deduplicates *before* submitting work so the cache never
+needs to be shared across processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterator
+
+from ..sim.results import SimulationResult
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+class CacheStats:
+    """A point-in-time snapshot of a cache's counters."""
+
+    __slots__ = ("hits", "misses", "size")
+
+    def __init__(self, hits: int, misses: int, size: int) -> None:
+        self.hits = hits
+        self.misses = misses
+        self.size = size
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"size={self.size})"
+        )
+
+
+class ResultCache:
+    """In-memory map from run cache keys to simulation results, with counters.
+
+    A *miss* is recorded when a result is first computed and stored; a *hit*
+    whenever a later lookup is served without simulating.  ``get_or_run`` is
+    the serial fast path; the process-pool runner uses ``lookup`` / ``put``
+    so it can batch the misses into one executor submission.
+
+    ``max_entries`` bounds the cache with FIFO eviction (oldest stored entry
+    first), so open-ended sweeps over ever-new traces cannot grow memory
+    without limit; ``None`` (the default) keeps everything.
+    """
+
+    def __init__(self, max_entries: int | None = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self._entries: dict[Hashable, SimulationResult] = {}
+        self._max_entries = max_entries
+        self._hits = 0
+        self._misses = 0
+
+    def _evict_overflow(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._entries) > self._max_entries:
+            self._entries.pop(next(iter(self._entries)))
+
+    # -- counters --------------------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache so far."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Results that had to be simulated and stored so far."""
+        return self._misses
+
+    @property
+    def stats(self) -> CacheStats:
+        """Snapshot of the current counters and size."""
+        return CacheStats(self._hits, self._misses, len(self._entries))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._entries)
+
+    # -- access ----------------------------------------------------------------------
+
+    def get_or_run(
+        self, key: Hashable, run: Callable[[], SimulationResult]
+    ) -> SimulationResult:
+        """Return the cached result for ``key``, computing it via ``run`` once."""
+        try:
+            result = self._entries[key]
+        except KeyError:
+            result = run()
+            self._entries[key] = result
+            self._misses += 1
+            self._evict_overflow()
+            return result
+        self._hits += 1
+        return result
+
+    def peek(self, key: Hashable) -> SimulationResult | None:
+        """Return the cached result without touching the counters."""
+        return self._entries.get(key)
+
+    def lookup(self, key: Hashable) -> SimulationResult | None:
+        """Return the cached result and count a hit, or ``None`` without counting."""
+        result = self._entries.get(key)
+        if result is not None:
+            self._hits += 1
+        return result
+
+    def put(self, key: Hashable, result: SimulationResult) -> None:
+        """Store a freshly computed result, counting one miss."""
+        self._entries[key] = result
+        self._misses += 1
+        self._evict_overflow()
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0

@@ -1,0 +1,227 @@
+"""The fluent, immutable :class:`ExperimentPlan` builder.
+
+Every result in the paper's evaluation is a sweep over the same axes —
+workload × carrier × policy, sometimes repeated over seeds.  A plan declares
+those axes once and expands them into the full grid of
+:class:`~repro.api.spec.RunSpec` cells::
+
+    from repro.api import plan
+
+    p = (plan()
+         .apps("email", "im", duration=1800.0)
+         .carriers("att_hspa", "verizon_lte")
+         .policies("status_quo", "makeidle", "oracle")
+         .window_size(100)
+         .repeat(seeds=(0, 1)))
+    specs = p.build()          # 2 apps x 2 carriers x 3 policies x 2 seeds = 24
+
+Plans are frozen dataclasses: every fluent method returns a *new* plan, so a
+partially built plan can be reused as a template.  A plan never runs
+anything itself — hand it to a :class:`~repro.api.runner.SerialRunner` or
+:class:`~repro.api.runner.ProcessPoolRunner` to obtain a
+:class:`~repro.api.runset.RunSet`.
+
+Plans round-trip through plain dicts (:meth:`ExperimentPlan.to_dict` /
+:meth:`ExperimentPlan.from_dict`); :mod:`repro.config` builds JSON file
+persistence on top of that so a sweep is reproducible from a config file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..rrc.profiles import get_profile
+from ..traces.packet import PacketTrace
+from .spec import PolicySpec, RunSpec, TraceSpec, user as user_spec
+
+__all__ = ["EmptyAxisError", "ExperimentPlan", "plan"]
+
+
+class EmptyAxisError(ValueError):
+    """Raised when a plan is expanded while one of its axes is still empty."""
+
+    def __init__(self, axis: str) -> None:
+        super().__init__(
+            f"cannot expand an ExperimentPlan with an empty {axis} axis; "
+            f"declare at least one entry with .{axis}(...)"
+        )
+        self.axis = axis
+
+
+def _as_trace_spec(entry: TraceSpec | PacketTrace) -> TraceSpec:
+    if isinstance(entry, TraceSpec):
+        return entry
+    if isinstance(entry, PacketTrace):
+        return TraceSpec(kind="inline", trace=entry)
+    raise TypeError(
+        f"trace axis entries must be TraceSpec or PacketTrace, got {type(entry).__name__}"
+    )
+
+
+def _as_policy_spec(entry: PolicySpec | str) -> PolicySpec:
+    if isinstance(entry, PolicySpec):
+        return entry
+    if isinstance(entry, str):
+        return PolicySpec(scheme=entry)
+    raise TypeError(
+        f"policy axis entries must be PolicySpec or str, got {type(entry).__name__}"
+    )
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An immutable declaration of a sweep grid.
+
+    Use the fluent methods (:meth:`traces`, :meth:`carriers`,
+    :meth:`policies`, :meth:`repeat`, ...) rather than the constructor; each
+    returns a new plan with that axis extended or replaced.
+    """
+
+    trace_specs: tuple[TraceSpec, ...] = ()
+    carrier_keys: tuple[str, ...] = ()
+    policy_specs: tuple[PolicySpec, ...] = ()
+    seeds: tuple[int, ...] = ()
+    default_window: int = 100
+    name: str = ""
+
+    # -- axis declaration ------------------------------------------------------------
+
+    def traces(self, *entries: TraceSpec | PacketTrace) -> "ExperimentPlan":
+        """Append workload axis entries (:class:`TraceSpec` or concrete traces)."""
+        new = tuple(_as_trace_spec(e) for e in entries)
+        return replace(self, trace_specs=self.trace_specs + new)
+
+    def apps(self, *names: str, duration: float = 3600.0,
+             seed: int = 0) -> "ExperimentPlan":
+        """Append one synthetic application workload per name."""
+        new = tuple(
+            TraceSpec(kind="application", name=n, duration_s=duration, seed=seed)
+            for n in names
+        )
+        return replace(self, trace_specs=self.trace_specs + new)
+
+    def users(self, population: str, users: Iterable[int] | None = None,
+              hours_per_day: float = 2.0, seed: int = 0) -> "ExperimentPlan":
+        """Append one synthetic user-day workload per user of ``population``.
+
+        ``users=None`` selects the population's whole roster.
+        """
+        from ..traces.users import user_ids
+
+        selected = tuple(users) if users is not None else user_ids(population)
+        new = tuple(
+            user_spec(population, uid, hours_per_day=hours_per_day, seed=seed)
+            for uid in selected
+        )
+        return replace(self, trace_specs=self.trace_specs + new)
+
+    def carriers(self, *keys: str) -> "ExperimentPlan":
+        """Append carrier axis entries (keys or aliases, validated eagerly)."""
+        normalized = tuple(get_profile(k).key for k in keys)
+        return replace(self, carrier_keys=self.carrier_keys + normalized)
+
+    def policies(self, *entries: PolicySpec | str) -> "ExperimentPlan":
+        """Append policy axis entries (scheme names or :class:`PolicySpec`)."""
+        new = tuple(_as_policy_spec(e) for e in entries)
+        return replace(self, policy_specs=self.policy_specs + new)
+
+    #: ``schemes`` reads more naturally when entries are plain scheme names.
+    schemes = policies
+
+    def repeat(self, seeds: Sequence[int]) -> "ExperimentPlan":
+        """Repeat the whole grid once per seed, re-seeding generated workloads."""
+        return replace(self, seeds=tuple(seeds))
+
+    def window_size(self, n: int) -> "ExperimentPlan":
+        """Set the MakeIdle window used by policies that did not fix their own."""
+        if n < 2:
+            raise ValueError(f"window_size must be >= 2, got {n}")
+        return replace(self, default_window=n)
+
+    def labelled(self, name: str) -> "ExperimentPlan":
+        """Attach a human-readable name (kept through serialisation)."""
+        return replace(self, name=name)
+
+    # -- expansion -------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Grid size: traces x carriers x policies x seed repetitions."""
+        repetitions = len(self.seeds) if self.seeds else 1
+        return (len(self.trace_specs) * len(self.carrier_keys)
+                * len(self.policy_specs) * repetitions)
+
+    def build(self) -> tuple[RunSpec, ...]:
+        """Expand the plan into its full grid of :class:`RunSpec` cells.
+
+        Expansion order is deterministic — seed, then trace, then carrier,
+        then policy — so two builds of the same plan yield the same sequence.
+        """
+        if not self.trace_specs:
+            raise EmptyAxisError("traces")
+        if not self.carrier_keys:
+            raise EmptyAxisError("carriers")
+        if not self.policy_specs:
+            raise EmptyAxisError("policies")
+        seeds: Sequence[int | None] = self.seeds if self.seeds else (None,)
+        specs: list[RunSpec] = []
+        for seed in seeds:
+            for trace in self.trace_specs:
+                seeded = trace if seed is None else trace.with_seed(seed)
+                run_seed = seed if seed is not None else trace.seed
+                for carrier in self.carrier_keys:
+                    for policy in self.policy_specs:
+                        specs.append(
+                            RunSpec(
+                                trace=seeded,
+                                carrier=carrier,
+                                policy=policy.resolved(self.default_window),
+                                seed=run_seed,
+                            )
+                        )
+        return tuple(specs)
+
+    def describe(self) -> str:
+        """One-line summary of the declared axes."""
+        repetitions = len(self.seeds) if self.seeds else 1
+        label = f"{self.name!r}: " if self.name else ""
+        return (
+            f"ExperimentPlan {label}{len(self.trace_specs)} trace(s) x "
+            f"{len(self.carrier_keys)} carrier(s) x "
+            f"{len(self.policy_specs)} policy(ies) x {repetitions} seed(s) "
+            f"= {len(self)} runs"
+        )
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form suitable for JSON (inline traces / factories refuse)."""
+        return {
+            "name": self.name,
+            "traces": [t.to_dict() for t in self.trace_specs],
+            "carriers": list(self.carrier_keys),
+            "policies": [p.to_dict() for p in self.policy_specs],
+            "seeds": list(self.seeds),
+            "window_size": self.default_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentPlan":
+        """Re-create a plan from :meth:`to_dict` output."""
+        return cls(
+            trace_specs=tuple(
+                TraceSpec.from_dict(t) for t in data.get("traces", ())
+            ),
+            carrier_keys=tuple(data.get("carriers", ())),
+            policy_specs=tuple(
+                PolicySpec.from_dict(p) for p in data.get("policies", ())
+            ),
+            seeds=tuple(data.get("seeds", ())),
+            default_window=int(data.get("window_size", 100)),
+            name=str(data.get("name", "")),
+        )
+
+
+def plan() -> ExperimentPlan:
+    """Start a fresh, empty :class:`ExperimentPlan`."""
+    return ExperimentPlan()

@@ -1,0 +1,194 @@
+"""Runner backends: execute a plan's grid serially or on a process pool.
+
+A *runner* turns an :class:`~repro.api.plan.ExperimentPlan` (or an explicit
+spec sequence) into a :class:`~repro.api.runset.RunSet`.  Both built-in
+backends share one contract:
+
+* results are **deterministic and order-preserving** — the run set's records
+  are in plan expansion order, and a fixed-seed plan yields byte-identical
+  records from :class:`SerialRunner` and :class:`ProcessPoolRunner`;
+* duplicated grid cells (most importantly the status-quo baseline shared by
+  every scheme comparison) are **simulated once** and served from the
+  runner's :class:`~repro.api.cache.ResultCache` thereafter.  The cache
+  lives on the runner, so successive ``run()`` calls — e.g. several thin
+  experiment drivers in one report — keep sharing baselines.
+
+:class:`ProcessPoolRunner` deduplicates *before* submitting, so each unique
+(trace, carrier, policy) cell crosses the process boundary exactly once; the
+workers rebuild traces and policies from the picklable specs via
+:func:`repro.api.spec.execute`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Hashable, Protocol, Sequence, runtime_checkable
+
+from ..sim.results import SimulationResult
+from .cache import CacheStats, ResultCache
+from .plan import ExperimentPlan
+from .runset import RunRecord, RunSet
+from .spec import RunSpec, execute
+
+__all__ = ["Runner", "SerialRunner", "ProcessPoolRunner", "default_runner"]
+
+
+@runtime_checkable
+class Runner(Protocol):
+    """Anything that can execute a plan into a :class:`RunSet`."""
+
+    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+        """Execute every grid cell and return the ordered results."""
+        ...
+
+
+def _as_specs(plan: ExperimentPlan | Sequence[RunSpec]) -> tuple[RunSpec, ...]:
+    if isinstance(plan, ExperimentPlan):
+        return plan.build()
+    return tuple(plan)
+
+
+class _BaseRunner:
+    """Shared cache plumbing of the concrete backends."""
+
+    def __init__(self, cache: ResultCache | None = None) -> None:
+        self._cache = cache if cache is not None else ResultCache()
+
+    @property
+    def cache(self) -> ResultCache:
+        """The runner's result cache (shared across its ``run()`` calls)."""
+        return self._cache
+
+    def _delta(self, before: CacheStats) -> CacheStats:
+        after = self._cache.stats
+        return CacheStats(
+            after.hits - before.hits, after.misses - before.misses, after.size
+        )
+
+
+class SerialRunner(_BaseRunner):
+    """Execute every spec in order in the calling process.
+
+    The reference backend: simplest, always available, and the semantics
+    yardstick the parallel backend is tested against.
+    """
+
+    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+        """Execute the plan's cells one after another."""
+        specs = _as_specs(plan)
+        before = self._cache.stats
+        records: list[RunRecord] = []
+        for spec in specs:
+            key = spec.cache_key
+            cached = key in self._cache
+            result = self._cache.get_or_run(key, lambda s=spec: execute(s))
+            records.append(RunRecord(spec=spec, result=result, from_cache=cached))
+        return RunSet(records, self._delta(before))
+
+
+class ProcessPoolRunner(_BaseRunner):
+    """Execute the plan's unique cells concurrently on worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count; defaults to ``os.cpu_count()``.
+    cache:
+        Optional shared :class:`ResultCache`; results computed by the pool
+        land in it exactly as serial results would.
+
+    Records come back in plan expansion order regardless of completion
+    order, and each unique cell is submitted at most once, so the backend
+    is byte-for-byte equivalent to :class:`SerialRunner` on the same plan.
+    """
+
+    def __init__(self, jobs: int | None = None,
+                 cache: ResultCache | None = None) -> None:
+        super().__init__(cache)
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self._jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    @property
+    def jobs(self) -> int:
+        """The worker process count this runner was configured with."""
+        return self._jobs
+
+    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+        """Execute the plan, fanning unique uncached cells out to the pool."""
+        specs = _as_specs(plan)
+        before = self._cache.stats
+
+        # Phase 1: one representative spec per unique, uncached cell.  Holding
+        # a reference to each pre-cached result keeps it reachable for phase 3
+        # even if a bounded cache evicts it while this run stores new entries.
+        pending: dict[Hashable, RunSpec] = {}
+        held: dict[Hashable, SimulationResult] = {}
+        for spec in specs:
+            key = spec.cache_key
+            if key in pending or key in held:
+                continue
+            existing = self._cache.peek(key)
+            if existing is not None:
+                held[key] = existing
+            else:
+                pending[key] = spec
+
+        # Phase 2: simulate the misses (pool only when it can actually help).
+        fresh: dict[Hashable, SimulationResult] = {}
+        if len(pending) == 1 or self._jobs == 1:
+            for key, spec in pending.items():
+                fresh[key] = execute(spec)
+        elif pending:
+            workers = min(self._jobs, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    key: pool.submit(execute, spec)
+                    for key, spec in pending.items()
+                }
+                for key, future in futures.items():
+                    fresh[key] = future.result()
+        for key, result in fresh.items():
+            self._cache.put(key, result)
+
+        # Phase 3: assemble records in plan order.  The first appearance of a
+        # freshly simulated cell is the miss already counted by put(); every
+        # other lookup — duplicates within the plan or pre-cached cells — is
+        # a hit, exactly as the serial backend would count it.  The local
+        # `fresh` map keeps this run's results reachable even if a bounded
+        # cache evicted them mid-run.
+        records: list[RunRecord] = []
+        first_use = set(fresh)
+        for spec in specs:
+            key = spec.cache_key
+            if key in first_use:
+                first_use.discard(key)
+                result = fresh[key]
+                from_cache = False
+            else:
+                result = self._cache.lookup(key)
+                if result is None:  # evicted mid-run by a bounded cache
+                    result = fresh[key] if key in fresh else held[key]
+                from_cache = True
+            records.append(RunRecord(spec=spec, result=result, from_cache=from_cache))
+        return RunSet(records, self._delta(before))
+
+
+#: Module-level runner shared by the thin experiment drivers, so repeated
+#: driver calls in one process (e.g. several figures of one report) reuse
+#: each other's baselines instead of re-simulating them.  Its cache is
+#: FIFO-bounded so long-lived processes sweeping ever-new traces (notebooks,
+#: services) cannot grow memory without limit.
+_SHARED_RUNNER: SerialRunner | None = None
+_SHARED_CACHE_MAX_ENTRIES = 512
+
+
+def default_runner() -> SerialRunner:
+    """The process-wide shared :class:`SerialRunner` used by the legacy drivers."""
+    global _SHARED_RUNNER
+    if _SHARED_RUNNER is None:
+        _SHARED_RUNNER = SerialRunner(
+            cache=ResultCache(max_entries=_SHARED_CACHE_MAX_ENTRIES)
+        )
+    return _SHARED_RUNNER

@@ -1,0 +1,252 @@
+"""Structured results of an executed plan: :class:`RunRecord` and :class:`RunSet`.
+
+A runner turns every :class:`~repro.api.spec.RunSpec` of a plan into a
+:class:`RunRecord` — the spec, its full
+:class:`~repro.sim.results.SimulationResult`, and whether the result came
+out of the cache.  The :class:`RunSet` wraps the ordered record sequence
+with the operations every consumer of a sweep needs:
+
+* axis filtering (:meth:`RunSet.only`) and grouping (:meth:`RunSet.group_by`);
+* normalising each scheme against the status-quo baseline of its own
+  (trace, carrier, seed) cell (:meth:`RunSet.savings`), reusing the
+  :class:`~repro.metrics.savings.SavingsReport` machinery;
+* flat export for storage and plotting (:meth:`RunSet.to_records`,
+  :meth:`RunSet.to_csv`, :meth:`RunSet.to_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Sequence
+
+from ..metrics.savings import SavingsReport, compare
+from ..sim.results import SimulationResult
+from .cache import CacheStats
+from .spec import RunSpec
+
+__all__ = ["RunRecord", "RunSet"]
+
+#: Scheme name of the normalisation baseline used throughout the paper.
+BASELINE_SCHEME = "status_quo"
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One executed grid cell: its spec, its result, and its provenance."""
+
+    spec: RunSpec
+    result: SimulationResult
+    from_cache: bool = False
+
+    @property
+    def trace_label(self) -> str:
+        """The workload axis value (application name, population:user, path...)."""
+        return self.spec.trace.label
+
+    @property
+    def carrier(self) -> str:
+        """The carrier axis value."""
+        return self.spec.carrier
+
+    @property
+    def scheme(self) -> str:
+        """The policy axis value."""
+        return self.spec.scheme
+
+    @property
+    def seed(self) -> int:
+        """The repetition seed this record belongs to."""
+        return self.spec.seed
+
+    @property
+    def group_key(self) -> tuple[str, str, int]:
+        """The (trace, carrier, seed) cell this record's schemes compete in."""
+        return (self.trace_label, self.carrier, self.seed)
+
+
+class RunSet(Sequence[RunRecord]):
+    """The ordered, immutable results of one executed plan."""
+
+    def __init__(self, records: Sequence[RunRecord],
+                 cache_stats: CacheStats | None = None) -> None:
+        self._records: tuple[RunRecord, ...] = tuple(records)
+        self._cache_stats = cache_stats
+
+    # -- sequence protocol -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[RunRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return RunSet(self._records[index], self._cache_stats)
+        return self._records[index]
+
+    def __repr__(self) -> str:
+        stats = f" cache={self._cache_stats!r}" if self._cache_stats else ""
+        return f"<RunSet records={len(self)}{stats}>"
+
+    @property
+    def records(self) -> tuple[RunRecord, ...]:
+        """The underlying record tuple, in plan expansion order."""
+        return self._records
+
+    @property
+    def cache_stats(self) -> CacheStats | None:
+        """Cache counters observed by the runner over this execution, if any."""
+        return self._cache_stats
+
+    # -- filtering and grouping ------------------------------------------------------
+
+    def only(self, trace: str | None = None, carrier: str | None = None,
+             scheme: str | None = None, seed: int | None = None) -> "RunSet":
+        """The sub-set of records matching every given axis value."""
+        selected = tuple(
+            r for r in self._records
+            if (trace is None or r.trace_label == trace)
+            and (carrier is None or r.carrier == carrier)
+            and (scheme is None or r.scheme == scheme)
+            and (seed is None or r.seed == seed)
+        )
+        return RunSet(selected, self._cache_stats)
+
+    def group_by(self, *axes: str) -> dict[Any, "RunSet"]:
+        """Partition the records by one or more axes.
+
+        ``axes`` entries are ``"trace"``, ``"carrier"``, ``"scheme"`` or
+        ``"seed"``.  With one axis the dict is keyed by that axis value; with
+        several, by the tuple of values.  Insertion order follows the record
+        order, so iterating the groups preserves the plan's axis order.
+        """
+        getters = {
+            "trace": lambda r: r.trace_label,
+            "carrier": lambda r: r.carrier,
+            "scheme": lambda r: r.scheme,
+            "seed": lambda r: r.seed,
+        }
+        unknown = [a for a in axes if a not in getters]
+        if unknown or not axes:
+            raise ValueError(
+                f"group_by axes must be among {sorted(getters)}, got {list(axes)}"
+            )
+        grouped: dict[Any, list[RunRecord]] = {}
+        for record in self._records:
+            values = tuple(getters[a](record) for a in axes)
+            key = values[0] if len(axes) == 1 else values
+            grouped.setdefault(key, []).append(record)
+        return {k: RunSet(v, self._cache_stats) for k, v in grouped.items()}
+
+    # -- baseline normalisation ------------------------------------------------------
+
+    def baseline_for(self, record: RunRecord,
+                     baseline_scheme: str = BASELINE_SCHEME) -> RunRecord | None:
+        """The baseline record sharing ``record``'s (trace, carrier, seed) cell."""
+        for candidate in self._records:
+            if (candidate.scheme == baseline_scheme
+                    and candidate.group_key == record.group_key):
+                return candidate
+        return None
+
+    def savings(self, baseline_scheme: str = BASELINE_SCHEME,
+                ) -> dict[tuple[str, str, int], dict[str, SavingsReport]]:
+        """Per-cell savings of every scheme against that cell's baseline run.
+
+        Returns ``{(trace, carrier, seed): {scheme: SavingsReport}}``; cells
+        without a baseline record raise, since the comparison the paper makes
+        is undefined without a status-quo run on the same trace and carrier.
+        """
+        table: dict[tuple[str, str, int], dict[str, SavingsReport]] = {}
+        for cell_key, cell in self.group_by("trace", "carrier", "seed").items():
+            baseline = next(
+                (r for r in cell if r.scheme == baseline_scheme), None
+            )
+            if baseline is None:
+                raise ValueError(
+                    f"no {baseline_scheme!r} record for cell {cell_key}; "
+                    "include the baseline scheme in the plan's policy axis"
+                )
+            table[cell_key] = {
+                r.scheme: compare(r.result, baseline.result)
+                for r in cell
+                if r.scheme != baseline_scheme
+            }
+        return table
+
+    # -- export ----------------------------------------------------------------------
+
+    def to_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
+                   ) -> list[dict[str, Any]]:
+        """Flatten the run set into plain dicts, one per record.
+
+        When ``baseline_scheme`` is given and the matching baseline record
+        exists in the set, each row also carries ``saved_percent`` and
+        ``switches_normalized`` against it; pass ``None`` to skip
+        normalisation entirely.
+        """
+        baselines: dict[tuple[str, str, int], RunRecord] = {}
+        if baseline_scheme is not None:
+            for record in self._records:
+                if record.scheme == baseline_scheme:
+                    baselines.setdefault(record.group_key, record)
+        rows: list[dict[str, Any]] = []
+        for record in self._records:
+            result = record.result
+            row: dict[str, Any] = {
+                "trace": record.trace_label,
+                "carrier": record.carrier,
+                "scheme": record.scheme,
+                "seed": record.seed,
+                "energy_j": result.total_energy_j,
+                "switch_count": result.switch_count,
+                "promotion_count": result.promotion_count,
+                "mean_delay_s": result.mean_delay,
+                "median_delay_s": result.median_delay,
+                "from_cache": record.from_cache,
+            }
+            baseline = baselines.get(record.group_key)
+            if baseline is not None:
+                row["saved_percent"] = 100.0 * result.energy_saved_fraction(
+                    baseline.result
+                )
+                row["switches_normalized"] = result.switches_normalized(
+                    baseline.result
+                )
+            rows.append(row)
+        return rows
+
+    def to_csv(self, path: str | Path,
+               baseline_scheme: str | None = BASELINE_SCHEME) -> None:
+        """Write :meth:`to_records` rows as CSV."""
+        from ..reporting.render import write_csv
+
+        rows = self.to_records(baseline_scheme)
+        fieldnames: list[str] = []
+        for row in rows:
+            for name in row:
+                if name not in fieldnames:
+                    fieldnames.append(name)
+        write_csv(rows, path, fieldnames=fieldnames)
+
+    def to_json(self, path: str | Path | None = None,
+                baseline_scheme: str | None = BASELINE_SCHEME) -> str:
+        """Serialise the run set (records + cache counters) to JSON.
+
+        Returns the JSON text; when ``path`` is given it is also written
+        there.
+        """
+        payload: dict[str, Any] = {"records": self.to_records(baseline_scheme)}
+        if self._cache_stats is not None:
+            payload["cache"] = {
+                "hits": self._cache_stats.hits,
+                "misses": self._cache_stats.misses,
+                "size": self._cache_stats.size,
+            }
+        text = json.dumps(payload, indent=2, sort_keys=True)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text

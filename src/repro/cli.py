@@ -7,6 +7,9 @@ writing any Python:
 * ``repro-rrc carriers`` — list the built-in carrier profiles (Table 2).
 * ``repro-rrc simulate`` — run one workload under one or more schemes on one
   carrier and print the energy/switch/delay comparison.
+* ``repro-rrc sweep`` — declare and execute a full workload × carrier ×
+  scheme grid through :mod:`repro.api`, optionally on a process pool
+  (``--jobs N``) and optionally from/to a JSON plan file.
 * ``repro-rrc apps`` — the per-application comparison of Figure 9.
 * ``repro-rrc compare-carriers`` — the cross-carrier comparison of
   Figures 17/18 and Table 3.
@@ -14,7 +17,8 @@ writing any Python:
 * ``repro-rrc trace-info`` — summarise a pcap/tcpdump capture.
 
 Every command prints plain text to stdout; ``--csv PATH`` additionally
-writes machine-readable output where it makes sense.
+writes machine-readable output where it makes sense, and ``sweep --json``
+emits the full record set as JSON.
 """
 
 from __future__ import annotations
@@ -76,6 +80,46 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--window-size", type=int, default=100)
     simulate.add_argument("--csv", help="also write the comparison as CSV")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a declarative workload x carrier x scheme grid (repro.api)",
+    )
+    sweep_source = sweep.add_mutually_exclusive_group()
+    sweep_source.add_argument(
+        "--apps", help="comma-separated synthetic application workloads"
+    )
+    sweep_source.add_argument(
+        "--population", help="user population (sweeps its users; see --users)"
+    )
+    sweep_source.add_argument(
+        "--plan", help="load the whole plan from a JSON file (see --save-plan)"
+    )
+    sweep.add_argument(
+        "--users", type=int, nargs="*",
+        help="user ids within --population (default: the whole roster)",
+    )
+    sweep.add_argument(
+        "--carriers", default="att_hspa",
+        help="comma-separated carrier keys or aliases (default att_hspa)",
+    )
+    sweep.add_argument(
+        "--schemes", default="status_quo,makeidle,oracle",
+        help="comma-separated schemes; status_quo is required for normalisation",
+    )
+    sweep.add_argument("--duration", type=float, default=1800.0,
+                       help="seconds per application trace / per user-day")
+    sweep.add_argument("--seeds", type=int, nargs="*",
+                       help="repeat the grid once per seed")
+    sweep.add_argument("--window-size", type=int, default=100)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial)")
+    sweep.add_argument("--csv", help="write the record table as CSV")
+    sweep.add_argument(
+        "--json", nargs="?", const="-", default=None, metavar="PATH",
+        help="emit records as JSON to PATH (or stdout with no PATH)",
+    )
+    sweep.add_argument("--save-plan", help="also write the plan as a JSON file")
 
     apps = sub.add_parser("apps", help="per-application savings (Figure 9)")
     apps.add_argument(
@@ -200,6 +244,104 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Friendly scheme-name aliases accepted by ``sweep --schemes``.
+_SCHEME_ALIASES = {
+    "learning": "makeidle+makeactive_learn",
+    "makeactive": "makeidle+makeactive_learn",
+    "makeactive_learn": "makeidle+makeactive_learn",
+    "makeactive_fixed": "makeidle+makeactive_fixed",
+    "fixed": "fixed_4.5s",
+}
+
+
+def _split_csv_arg(value: str) -> list[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _build_sweep_plan(args: argparse.Namespace):
+    """Translate the ``sweep`` arguments into an ExperimentPlan."""
+    from .api import plan as new_plan
+    from .config import load_plan
+
+    if args.plan:
+        return load_plan(args.plan)
+    p = new_plan()
+    if args.population:
+        p = p.users(args.population, args.users or None,
+                    hours_per_day=args.duration / 3600.0)
+    else:
+        apps = _split_csv_arg(args.apps) if args.apps else ["email", "im"]
+        p = p.apps(*apps, duration=args.duration)
+    p = p.carriers(*_split_csv_arg(args.carriers))
+    schemes = [_SCHEME_ALIASES.get(s, s) for s in _split_csv_arg(args.schemes)]
+    if "status_quo" not in schemes:
+        schemes.insert(0, "status_quo")  # the normalisation baseline is implied
+    p = p.policies(*schemes).window_size(args.window_size)
+    if args.seeds:
+        p = p.repeat(seeds=args.seeds)
+    return p
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .api import ProcessPoolRunner, SerialRunner
+    from .config import save_plan
+
+    try:
+        sweep_plan = _build_sweep_plan(args)
+        if args.save_plan:
+            save_plan(sweep_plan, args.save_plan)
+            print(f"wrote plan to {args.save_plan}", file=sys.stderr)
+        runner = (ProcessPoolRunner(jobs=args.jobs) if args.jobs > 1
+                  else SerialRunner())
+        print(sweep_plan.describe(), file=sys.stderr)
+        runs = runner.run(sweep_plan)
+    except (KeyError, ValueError, OSError) as exc:
+        # Bad workloads/carriers/schemes, an unreadable --plan file, or a
+        # plan with an empty axis: report cleanly instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    records = runs.to_records()
+
+    if args.json is not None:
+        text = runs.to_json(None if args.json == "-" else args.json)
+        if args.json == "-":
+            print(text)
+        else:
+            print(f"wrote {args.json}", file=sys.stderr)
+    else:
+        rows = [
+            [
+                r["trace"],
+                r["carrier"],
+                r["scheme"],
+                str(r["seed"]),
+                f"{r['energy_j']:.1f}",
+                f"{r.get('saved_percent', 0.0):.1f}",
+                f"{r.get('switches_normalized', 1.0):.2f}",
+                f"{r['mean_delay_s']:.2f}",
+            ]
+            for r in records
+        ]
+        print(
+            format_table(
+                ["trace", "carrier", "scheme", "seed", "energy (J)",
+                 "saved %", "switches/SQ", "mean delay (s)"],
+                rows,
+            )
+        )
+    stats = runs.cache_stats
+    if stats is not None:
+        print(
+            f"runs: {len(runs)}  simulated: {stats.misses}  "
+            f"cache hits: {stats.hits}",
+            file=sys.stderr,
+        )
+    if args.csv:
+        runs.to_csv(args.csv)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    return 0
+
+
 def _cmd_apps(args: argparse.Namespace) -> int:
     profile = get_profile(args.carrier)
     table = application_savings(
@@ -317,6 +459,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_carriers()
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     if args.command == "apps":
         return _cmd_apps(args)
     if args.command == "compare-carriers":

@@ -19,7 +19,14 @@ from .rrc.profiles import CARRIER_PROFILES
 from .traces.synthetic import APPLICATION_NAMES
 from .traces.users import USER_POPULATIONS
 
-__all__ = ["WorkloadConfig", "ExperimentConfig", "load_config", "save_config"]
+__all__ = [
+    "WorkloadConfig",
+    "ExperimentConfig",
+    "load_config",
+    "save_config",
+    "load_plan",
+    "save_plan",
+]
 
 #: Scheme names understood by :func:`repro.core.controller.standard_policies`,
 #: plus the status-quo baseline.
@@ -130,6 +137,34 @@ class ExperimentConfig:
         """Return a copy of this configuration targeting a different carrier."""
         return replace(self, carrier=carrier)
 
+    def to_plan(self):
+        """Lift this single-cell configuration into an ExperimentPlan.
+
+        The plan has one trace, one carrier and this config's scheme list as
+        its policy axis, so legacy config files plug straight into the
+        plan → runner → runset lifecycle of :mod:`repro.api`.
+        """
+        # Imported lazily: repro.api uses this module's KNOWN_SCHEMES.
+        from .api import ExperimentPlan, PolicySpec, TraceSpec
+
+        workload = self.workload
+        if workload.kind == "user":
+            trace = TraceSpec(kind="user", name=workload.name,
+                              user_id=workload.user_id,
+                              duration_s=workload.duration_s, seed=workload.seed)
+        elif workload.kind == "application":
+            trace = TraceSpec(kind="application", name=workload.name,
+                              duration_s=workload.duration_s, seed=workload.seed)
+        else:
+            trace = TraceSpec(kind=workload.kind, path=workload.path)
+        return ExperimentPlan(
+            trace_specs=(trace,),
+            carrier_keys=(self.carrier,),
+            policy_specs=tuple(PolicySpec(scheme=s) for s in self.schemes),
+            default_window=self.window_size,
+            name=self.label,
+        )
+
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON serialisation."""
         data = asdict(self)
@@ -147,6 +182,29 @@ class ExperimentConfig:
             schemes=tuple(schemes),
             **payload,
         )
+
+
+def save_plan(plan: Any, path: str | Path) -> None:
+    """Write an :class:`~repro.api.plan.ExperimentPlan` to a JSON file.
+
+    Together with :func:`load_plan` this makes a whole sweep reproducible
+    from a config file: the plan's axes, seeds and window size round-trip
+    exactly (inline traces and custom policy factories refuse serialisation).
+    """
+    Path(path).write_text(
+        json.dumps(plan.to_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_plan(path: str | Path):
+    """Read an :class:`~repro.api.plan.ExperimentPlan` from a JSON file."""
+    from .api import ExperimentPlan
+
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object at the top level")
+    return ExperimentPlan.from_dict(data)
 
 
 def save_config(config: ExperimentConfig, path: str | Path) -> None:

@@ -286,6 +286,9 @@ def get_profile(key: str) -> CarrierProfile:
         "t_mobile_3g": "tmobile_3g",
         "t_mobile": "tmobile_3g",
         "verizon": "verizon_3g",
+        "vzw": "verizon_3g",
+        "vzw_3g": "verizon_3g",
+        "vzw_lte": "verizon_lte",
         "lte": "verizon_lte",
     }
     normalized = aliases.get(normalized, normalized)

@@ -32,6 +32,19 @@ Semantics
 * **Trailing tail.** After the last packet the simulation keeps running for
   ``t1 + t2`` plus one second so that the final tail (which the status quo
   pays and the proposed schemes mostly avoid) is charged fairly.
+
+Tie-breaks and degenerate inputs
+--------------------------------
+
+* A fast-dormancy demotion scheduled at *exactly* a packet's arrival time
+  fires **strictly before** the packet is processed: the demotion was
+  scheduled first (the policy's wait elapsed), so the radio demotes to Idle
+  at that instant and the packet immediately promotes it again, paying the
+  promotion cost.  Only a packet arriving *strictly before* the scheduled
+  time cancels the demotion.
+* An **empty trace** produces a well-defined zero run: a zero-duration
+  timeline, no switches, no energy.  No trailing tail is charged, because a
+  radio that never left Idle has no tail to pay.
 """
 
 from __future__ import annotations
@@ -102,6 +115,26 @@ class TraceSimulator:
         policy.prepare(trace, self._profile)
         policy.reset()
 
+        if not trace:
+            # A never-promoted radio has no tail: close the timeline at t=0
+            # rather than charging trailing time from an Idle machine.
+            machine = RrcStateMachine(self._profile, start_time=0.0)
+            machine.finish(0.0)
+            empty = PacketTrace((), name=trace.name)
+            return SimulationResult(
+                policy_name=policy.name,
+                profile_key=self._profile.key,
+                trace_name=trace.name,
+                breakdown=self._accountant.account(
+                    empty, machine.intervals, machine.switches
+                ),
+                intervals=tuple(machine.intervals),
+                switches=(),
+                effective_trace=empty,
+                gap_decisions=(),
+                session_delays=(),
+            )
+
         machine = RrcStateMachine(self._profile, start_time=0.0)
         effective_packets: list[Packet] = []
         session_delays: list[SessionDelay] = []
@@ -156,9 +189,12 @@ class TraceSimulator:
             if buffering and now >= release_time:
                 release_buffer(release_time)
 
-            # 2. A scheduled fast-dormancy demotion that fires before this packet.
+            # 2. A scheduled fast-dormancy demotion that fires at or before this
+            #    packet.  Ties go to the demotion: it was scheduled first, so it
+            #    fires strictly before the packet is processed and the packet
+            #    then promotes the freshly idled radio (see module docstring).
             if not buffering and pending_dormancy is not None:
-                if pending_dormancy < now:
+                if pending_dormancy <= now:
                     machine.request_fast_dormancy(pending_dormancy)
                     pending_dormancy = None
                 else:

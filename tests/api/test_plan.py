@@ -1,0 +1,182 @@
+"""Tests for the fluent ExperimentPlan builder and its grid expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    EmptyAxisError,
+    ExperimentPlan,
+    PolicySpec,
+    TraceSpec,
+    inline,
+    plan,
+)
+from repro.core import SCHEME_ORDER
+from repro.traces import Packet, PacketTrace
+
+
+class TestFluentBuilder:
+    def test_plan_starts_empty(self):
+        p = plan()
+        assert len(p) == 0
+        assert p.trace_specs == ()
+
+    def test_methods_return_new_plans(self):
+        base = plan().apps("email")
+        extended = base.carriers("att_hspa")
+        assert base.carrier_keys == ()
+        assert extended.carrier_keys == ("att_hspa",)
+
+    def test_template_reuse(self):
+        template = plan().apps("email").policies("status_quo", "makeidle")
+        att = template.carriers("att_hspa")
+        lte = template.carriers("verizon_lte")
+        assert att.carrier_keys == ("att_hspa",)
+        assert lte.carrier_keys == ("verizon_lte",)
+
+    def test_carrier_aliases_normalised_eagerly(self):
+        p = plan().carriers("lte", "vzw_3g", "att")
+        assert p.carrier_keys == ("verizon_lte", "verizon_3g", "att_hspa")
+
+    def test_unknown_carrier_rejected_at_declaration(self):
+        with pytest.raises(KeyError):
+            plan().carriers("sprint_5g")
+
+    def test_unknown_scheme_rejected_at_declaration(self):
+        with pytest.raises(ValueError):
+            plan().policies("quantum_idle")
+
+    def test_packet_trace_auto_wrapped_inline(self):
+        trace = PacketTrace([Packet(0.0, 100)], name="tiny")
+        p = plan().traces(trace)
+        assert p.trace_specs[0].kind == "inline"
+        assert p.trace_specs[0].label == "tiny"
+
+
+class TestExpansion:
+    def test_grid_size_is_axis_product(self):
+        p = (plan()
+             .apps("email", "im", "news")
+             .carriers("att_hspa", "verizon_lte")
+             .policies("status_quo", "makeidle"))
+        assert len(p) == 12
+        assert len(p.build()) == 12
+
+    def test_seed_repeats_multiply_grid_and_reseed_traces(self):
+        p = (plan()
+             .apps("email")
+             .carriers("att_hspa")
+             .policies("status_quo")
+             .repeat(seeds=(3, 4, 5)))
+        specs = p.build()
+        assert len(specs) == 3
+        assert [s.seed for s in specs] == [3, 4, 5]
+        assert [s.trace.seed for s in specs] == [3, 4, 5]
+
+    def test_inline_trace_is_not_reseeded(self):
+        trace = PacketTrace([Packet(0.0, 100)], name="tiny")
+        p = (plan().traces(trace).carriers("att_hspa")
+             .policies("status_quo").repeat(seeds=(1, 2)))
+        specs = p.build()
+        assert specs[0].trace.fingerprint == specs[1].trace.fingerprint
+
+    def test_empty_axis_raises_with_axis_name(self):
+        with pytest.raises(EmptyAxisError) as err:
+            plan().carriers("att_hspa").policies("status_quo").build()
+        assert err.value.axis == "traces"
+        with pytest.raises(EmptyAxisError) as err:
+            plan().apps("email").policies("status_quo").build()
+        assert err.value.axis == "carriers"
+        with pytest.raises(EmptyAxisError) as err:
+            plan().apps("email").carriers("att_hspa").build()
+        assert err.value.axis == "policies"
+
+    def test_window_size_fills_unset_policy_windows(self):
+        p = (plan().apps("email").carriers("att_hspa")
+             .policies("makeidle", PolicySpec("makeidle", window_size=25))
+             .window_size(50))
+        windows = [s.policy.window_size for s in p.build()]
+        assert windows == [50, 25]
+
+    def test_expansion_is_deterministic(self):
+        p = (plan().apps("email", "im").carriers("att_hspa", "verizon_lte")
+             .policies("status_quo", "makeidle").repeat(seeds=(0, 1)))
+        assert p.build() == p.build()
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        p = (plan()
+             .apps("email", duration=1800.0, seed=2)
+             .users("verizon_3g", (1, 2), hours_per_day=0.5)
+             .carriers("att_hspa", "verizon_lte")
+             .policies("status_quo", "makeidle")
+             .window_size(50)
+             .repeat(seeds=(0, 1))
+             .labelled("round-trip"))
+        restored = ExperimentPlan.from_dict(p.to_dict())
+        assert restored == p
+        assert restored.build() == p.build()
+
+    def test_inline_trace_refuses_serialisation(self):
+        trace = PacketTrace([Packet(0.0, 100)])
+        p = plan().traces(trace).carriers("att_hspa").policies("status_quo")
+        with pytest.raises(ValueError):
+            p.to_dict()
+
+
+class TestPaperSweepDeclarations:
+    """The acceptance criterion: paper sweeps in <= 10 lines each."""
+
+    def test_fig9_per_app_savings_plan(self):
+        fig9 = (plan()
+                .apps("news", "im", "microblog", "game", "email", "social",
+                      "finance", duration=1800.0)
+                .carriers("att_hspa")
+                .policies("status_quo", *SCHEME_ORDER)
+                .window_size(100))
+        assert len(fig9) == 7 * 1 * 7
+
+    def test_fig17_18_cross_carrier_plan(self):
+        fig17 = (plan()
+                 .users("verizon_3g", hours_per_day=2.0)
+                 .carriers("tmobile_3g", "att_hspa", "verizon_3g", "verizon_lte")
+                 .policies("status_quo", *SCHEME_ORDER)
+                 .window_size(100))
+        assert len(fig17) == 6 * 4 * 7
+
+    def test_trace_spec_validation(self):
+        with pytest.raises(ValueError):
+            TraceSpec(kind="pcap")  # no path
+        with pytest.raises(ValueError):
+            TraceSpec(kind="teleport")
+        with pytest.raises(ValueError):
+            inline(None)  # type: ignore[arg-type]
+
+
+def _tail_free_policy():
+    from repro.core import FixedTimerPolicy
+
+    return FixedTimerPolicy(1.0)
+
+
+class TestFactoryPolicies:
+    def test_factory_gets_its_own_scheme_label(self):
+        spec = PolicySpec(factory=_tail_free_policy)
+        assert spec.scheme == "_tail_free_policy"
+        assert spec.key[0] == "factory"
+
+    def test_factory_never_masquerades_as_baseline(self):
+        from repro.api import SerialRunner
+
+        p = (plan().apps("im", duration=600.0).carriers("att_hspa")
+             .policies("status_quo", PolicySpec(factory=_tail_free_policy)))
+        runs = SerialRunner().run(p)
+        table = runs.savings()
+        per_scheme = next(iter(table.values()))
+        assert set(per_scheme) == {"_tail_free_policy"}
+
+    def test_explicit_factory_label_kept(self):
+        spec = PolicySpec(scheme="tail_free", factory=_tail_free_policy)
+        assert spec.scheme == "tail_free"

@@ -1,0 +1,100 @@
+"""Tests for the runner backends: serial/pool equivalence and cache wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    ProcessPoolRunner,
+    ResultCache,
+    Runner,
+    SerialRunner,
+    default_runner,
+    plan,
+)
+
+
+@pytest.fixture
+def small_plan():
+    """A fixed-seed grid small enough to pool-execute in a test."""
+    return (plan()
+            .apps("im", "email", duration=600.0, seed=5)
+            .carriers("att_hspa", "verizon_lte")
+            .policies("status_quo", "makeidle", "oracle")
+            .window_size(30))
+
+
+class TestSerialRunner:
+    def test_records_in_plan_order(self, small_plan):
+        runs = SerialRunner().run(small_plan)
+        assert len(runs) == len(small_plan)
+        assert [r.spec for r in runs] == list(small_plan.build())
+
+    def test_runner_satisfies_protocol(self):
+        assert isinstance(SerialRunner(), Runner)
+        assert isinstance(ProcessPoolRunner(jobs=2), Runner)
+
+    def test_accepts_explicit_spec_sequence(self, small_plan):
+        specs = small_plan.build()[:3]
+        runs = SerialRunner().run(specs)
+        assert [r.spec for r in runs] == list(specs)
+
+    def test_results_keyed_consistently(self, small_plan):
+        runs = SerialRunner().run(small_plan)
+        for record in runs:
+            assert record.result.policy_name == record.scheme
+            assert record.result.profile_key == record.carrier
+
+
+class TestProcessPoolRunner:
+    def test_byte_identical_to_serial_on_fixed_seed(self, small_plan):
+        serial = SerialRunner().run(small_plan)
+        pooled = ProcessPoolRunner(jobs=2).run(small_plan)
+        assert (json.dumps(serial.to_records())
+                == json.dumps(pooled.to_records()))
+        assert serial.to_json() == pooled.to_json()
+
+    def test_duplicate_cells_submitted_once(self, small_plan):
+        specs = small_plan.build()
+        doubled = specs + specs  # every cell duplicated
+        runs = ProcessPoolRunner(jobs=2).run(doubled)
+        assert len(runs) == 2 * len(specs)
+        assert runs.cache_stats.misses == len(specs)
+        assert runs.cache_stats.hits == len(specs)
+        # The duplicate half is flagged as served from cache.
+        assert all(r.from_cache for r in runs.records[len(specs):])
+
+    def test_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(jobs=0)
+
+    def test_single_pending_cell_runs_inline(self):
+        # One unique cell: the pool path is skipped but semantics hold.
+        p = plan().apps("email", duration=600.0).carriers("att_hspa").policies(
+            "status_quo"
+        )
+        runs = ProcessPoolRunner(jobs=4).run(p)
+        assert len(runs) == 1
+        assert runs.cache_stats.misses == 1
+
+
+class TestSharedCache:
+    def test_cache_shared_across_run_calls(self, small_plan):
+        runner = SerialRunner()
+        first = runner.run(small_plan)
+        second = runner.run(small_plan)
+        assert first.cache_stats.misses == len(small_plan)
+        assert second.cache_stats.misses == 0
+        assert second.cache_stats.hits == len(small_plan)
+        assert all(r.from_cache for r in second)
+
+    def test_cache_shared_between_backends(self, small_plan):
+        cache = ResultCache()
+        SerialRunner(cache=cache).run(small_plan)
+        runs = ProcessPoolRunner(jobs=2, cache=cache).run(small_plan)
+        assert runs.cache_stats.misses == 0
+
+    def test_default_runner_is_process_wide(self):
+        assert default_runner() is default_runner()

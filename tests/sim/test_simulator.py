@@ -223,3 +223,42 @@ class TestResultConsistency:
         second = simulator.run(heartbeat_trace, policy)
         assert first.total_energy_j == pytest.approx(second.total_energy_j)
         assert first.switch_count == second.switch_count
+
+
+class TestBoundaryCases:
+    """Tie-breaks and degenerate inputs documented in the module docstring."""
+
+    def test_dormancy_at_exact_packet_arrival_fires(self, att_profile):
+        # The wait elapses at t=2.0, exactly when the next packet arrives:
+        # the demotion fires strictly before the packet, which then pays a
+        # fresh promotion instead of silently cancelling the demotion.
+        trace = PacketTrace([Packet(0.0, 100), Packet(2.0, 100)])
+        result = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        assert [s.time for s in dormancy] == [pytest.approx(2.0), pytest.approx(4.0)]
+        promotions = [s for s in result.switches if s.is_promotion]
+        assert any(s.time == pytest.approx(2.0) for s in promotions)
+
+    def test_packet_strictly_before_wait_cancels(self, att_profile):
+        trace = PacketTrace([Packet(0.0, 100), Packet(1.999, 100)])
+        result = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        dormancy = [s for s in result.switches if s.kind is SwitchKind.FAST_DORMANCY]
+        # Only the post-trace demotion of the second packet's wait remains.
+        assert [s.time for s in dormancy] == [pytest.approx(3.999)]
+
+    def test_empty_trace_is_a_zero_run(self, att_profile):
+        result = TraceSimulator(att_profile).run(PacketTrace([]), StatusQuoPolicy())
+        assert result.total_energy_j == 0.0
+        assert result.switch_count == 0
+        assert result.switches == ()
+        assert result.session_delays == ()
+        assert len(result.effective_trace) == 0
+        # The timeline is zero-duration: no trailing tail is charged.
+        assert sum(i.duration for i in result.intervals) == 0.0
+
+    def test_empty_trace_consistent_across_policies(self, att_profile):
+        for policy in (StatusQuoPolicy(), FixedTimerPolicy(2.0), OraclePolicy(),
+                       MakeIdlePolicy(window_size=10)):
+            result = TraceSimulator(att_profile).run(PacketTrace([]), policy)
+            assert result.total_energy_j == 0.0
+            assert result.switch_count == 0

@@ -92,3 +92,91 @@ class TestTraceInfoCommand:
         write_tcpdump(trace, path)
         assert main(["trace-info", str(path), "--format", "tcpdump"]) == 0
         assert "duration" in capsys.readouterr().out
+
+
+class TestSweepCommand:
+    def test_basic_grid_with_aliases(self, capsys):
+        code = main(
+            [
+                "sweep", "--apps", "email,im", "--carriers", "att_hspa,vzw_lte",
+                "--schemes", "makeidle,learning", "--duration", "600",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        # Aliases resolved; status_quo implied as the baseline row.
+        assert "verizon_lte" in output
+        assert "makeidle+makeactive_learn" in output
+        assert "status_quo" in output
+
+    def test_process_pool_jobs(self, capsys):
+        code = main(
+            [
+                "sweep", "--apps", "im", "--carriers", "att_hspa",
+                "--schemes", "makeidle", "--duration", "600", "--jobs", "2",
+            ]
+        )
+        assert code == 0
+        assert "makeidle" in capsys.readouterr().out
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "sweep", "--apps", "im", "--carriers", "lte",
+                "--schemes", "makeidle", "--duration", "600", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {r["scheme"] for r in payload["records"]} == {
+            "status_quo", "makeidle"
+        }
+        assert payload["cache"]["misses"] == 2
+
+    def test_csv_output(self, capsys, tmp_path):
+        path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep", "--apps", "im", "--carriers", "att_hspa",
+                "--duration", "600", "--csv", str(path),
+            ]
+        )
+        assert code == 0
+        assert "saved_percent" in path.read_text(encoding="utf-8")
+
+    def test_plan_save_and_reload(self, capsys, tmp_path):
+        plan_path = tmp_path / "plan.json"
+        assert main(
+            [
+                "sweep", "--apps", "im", "--carriers", "att_hspa",
+                "--schemes", "makeidle", "--duration", "600",
+                "--seeds", "0", "1", "--save-plan", str(plan_path),
+            ]
+        ) == 0
+        first = capsys.readouterr().out
+        assert plan_path.exists()
+        assert main(["sweep", "--plan", str(plan_path)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_app_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--apps", "webmail", "--carriers", "att_hspa"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_sources_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--apps", "im", "--population", "verizon_3g"]
+            )
+
+    def test_missing_plan_file_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--plan", "/nonexistent/plan.json"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_empty_axis_is_a_clean_error(self, capsys):
+        code = main(["sweep", "--apps", "im", "--carriers", ","])
+        assert code == 2
+        assert "carriers" in capsys.readouterr().err

@@ -117,3 +117,54 @@ class TestExperimentConfig:
         path.write_text("[1, 2, 3]", encoding="utf-8")
         with pytest.raises(ValueError):
             load_config(path)
+
+
+class TestPlanPersistence:
+    def test_save_and_load_plan_round_trip(self, tmp_path):
+        from repro.api import plan
+        from repro.config import load_plan, save_plan
+
+        original = (plan()
+                    .apps("email", duration=900.0, seed=3)
+                    .carriers("att_hspa", "verizon_lte")
+                    .policies("status_quo", "makeidle")
+                    .window_size(40)
+                    .repeat(seeds=(0, 1))
+                    .labelled("persisted"))
+        path = tmp_path / "plan.json"
+        save_plan(original, path)
+        restored = load_plan(path)
+        assert restored == original
+        assert restored.build() == original.build()
+
+    def test_load_plan_rejects_non_object(self, tmp_path):
+        import pytest
+
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        from repro.config import load_plan
+
+        with pytest.raises(ValueError):
+            load_plan(path)
+
+    def test_experiment_config_lifts_to_plan(self):
+        from repro.config import ExperimentConfig, WorkloadConfig
+
+        config = ExperimentConfig(
+            carrier="verizon_lte",
+            workload=WorkloadConfig(kind="user", name="verizon_3g",
+                                    user_id=2, duration_s=1800.0, seed=4),
+            schemes=("status_quo", "makeidle", "oracle"),
+            window_size=60,
+            label="legacy",
+        )
+        lifted = config.to_plan()
+        assert len(lifted) == 3
+        specs = lifted.build()
+        assert {s.carrier for s in specs} == {"verizon_lte"}
+        assert specs[0].trace.kind == "user"
+        assert specs[0].trace.user_id == 2
+        assert {s.policy.scheme for s in specs} == {
+            "status_quo", "makeidle", "oracle"
+        }
+        assert all(s.policy.window_size in (None, 60) for s in specs)

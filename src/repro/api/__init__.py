@@ -30,8 +30,22 @@ over this API, and ``repro-rrc sweep`` exposes it on the command line.
 """
 
 from .cache import CacheStats, ResultCache
+from .cells import (
+    CellRunSpec,
+    CellSpec,
+    DormancySpec,
+    cell,
+    dormancy,
+    execute_cell,
+)
 from .plan import EmptyAxisError, ExperimentPlan, plan
-from .runner import ProcessPoolRunner, Runner, SerialRunner, default_runner
+from .runner import (
+    ProcessPoolRunner,
+    Runner,
+    SerialRunner,
+    default_runner,
+    execute_spec,
+)
 from .runset import RunRecord, RunSet
 from .spec import (
     PolicySpec,
@@ -48,6 +62,9 @@ from .spec import (
 
 __all__ = [
     "CacheStats",
+    "CellRunSpec",
+    "CellSpec",
+    "DormancySpec",
     "EmptyAxisError",
     "ExperimentPlan",
     "PolicySpec",
@@ -60,8 +77,12 @@ __all__ = [
     "SerialRunner",
     "TraceSpec",
     "app",
+    "cell",
     "default_runner",
+    "dormancy",
     "execute",
+    "execute_cell",
+    "execute_spec",
     "inline",
     "pcap",
     "plan",

@@ -2,7 +2,9 @@
 
 Every cell of a sweep grid is keyed by
 ``(trace fingerprint, carrier key, policy key)`` — see
-:attr:`~repro.api.spec.RunSpec.cache_key`.  Because the status-quo baseline
+:attr:`~repro.api.spec.RunSpec.cache_key` — or, for cell-scale sweeps,
+``(population fingerprint, carrier, device policy, dormancy policy)`` — see
+:attr:`~repro.api.cells.CellRunSpec.cache_key`.  Because the status-quo baseline
 appears in every scheme comparison, a sweep that would naively simulate it
 once per driver (or once per scheme column) instead simulates it exactly
 once per (trace, carrier) pair and serves every further request from here.
@@ -17,9 +19,16 @@ needs to be shared across processes.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Iterator
+from typing import TYPE_CHECKING, Callable, Hashable, Iterator, Union
 
 from ..sim.results import SimulationResult
+
+if TYPE_CHECKING:  # avoid a basestation import at runtime for type hints only
+    from ..basestation.cell import CellResult
+
+    CachedResult = Union[SimulationResult, "CellResult"]
+else:
+    CachedResult = SimulationResult
 
 __all__ = ["CacheStats", "ResultCache"]
 
@@ -67,7 +76,7 @@ class ResultCache:
     def __init__(self, max_entries: int | None = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
-        self._entries: dict[Hashable, SimulationResult] = {}
+        self._entries: dict[Hashable, CachedResult] = {}
         self._max_entries = max_entries
         self._hits = 0
         self._misses = 0
@@ -107,8 +116,8 @@ class ResultCache:
     # -- access ----------------------------------------------------------------------
 
     def get_or_run(
-        self, key: Hashable, run: Callable[[], SimulationResult]
-    ) -> SimulationResult:
+        self, key: Hashable, run: Callable[[], CachedResult]
+    ) -> CachedResult:
         """Return the cached result for ``key``, computing it via ``run`` once."""
         try:
             result = self._entries[key]
@@ -121,18 +130,18 @@ class ResultCache:
         self._hits += 1
         return result
 
-    def peek(self, key: Hashable) -> SimulationResult | None:
+    def peek(self, key: Hashable) -> CachedResult | None:
         """Return the cached result without touching the counters."""
         return self._entries.get(key)
 
-    def lookup(self, key: Hashable) -> SimulationResult | None:
+    def lookup(self, key: Hashable) -> CachedResult | None:
         """Return the cached result and count a hit, or ``None`` without counting."""
         result = self._entries.get(key)
         if result is not None:
             self._hits += 1
         return result
 
-    def put(self, key: Hashable, result: SimulationResult) -> None:
+    def put(self, key: Hashable, result: CachedResult) -> None:
         """Store a freshly computed result, counting one miss."""
         self._entries[key] = result
         self._misses += 1

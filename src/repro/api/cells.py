@@ -1,0 +1,324 @@
+"""Cell-scale sweep specs: the population axis of an :class:`ExperimentPlan`.
+
+The paper's §8 future-work question — what happens at the base station when
+*many* phones run these schemes — becomes a first-class sweep axis here.  A
+:class:`CellSpec` describes a reproducible device population (how many
+devices, which application mix, how much traffic, streamed or materialised);
+a :class:`DormancySpec` describes the base-station policy arbitrating
+fast-dormancy requests; and a :class:`CellRunSpec` is one cell of the
+expanded grid: population × carrier × device policy × dormancy policy.
+
+Like their single-UE counterparts in :mod:`repro.api.spec`, these are
+small, immutable, picklable *descriptions*: the process-pool runner ships
+them to workers, and the result cache keys on
+``(population fingerprint, carrier, device-policy key, dormancy key)`` so a
+sweep never simulates the same cell twice.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+from ..basestation.cell import CellResult, CellSimulator, DeviceSpec
+from ..basestation.policies import (
+    AcceptAllDormancy,
+    DormancyPolicy,
+    LoadAwareDormancy,
+    RateLimitedDormancy,
+    RejectAllDormancy,
+)
+from ..rrc.profiles import get_profile
+from ..traces.streaming import stream_application_packets
+from .spec import PolicySpec
+
+__all__ = [
+    "DORMANCY_SCHEMES",
+    "CellRunSpec",
+    "CellSpec",
+    "DormancySpec",
+    "cell",
+    "dormancy",
+    "execute_cell",
+]
+
+#: Base-station dormancy schemes selectable by name; the optional spec
+#: parameter feeds the scheme's single knob.
+DORMANCY_SCHEMES: tuple[str, ...] = (
+    "accept_all",
+    "reject_all",
+    "rate_limited",
+    "load_aware",
+)
+
+#: Seed stride between devices of one cell, so every device's workload is
+#: distinct but the whole population is reproducible from one seed.
+_DEVICE_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class DormancySpec:
+    """How to build one base-station dormancy policy.
+
+    ``param`` feeds the scheme's knob: ``min_interval_s`` for
+    ``rate_limited``, ``max_switches_per_minute`` for ``load_aware``;
+    unused (and refused) for the parameterless schemes.
+    """
+
+    scheme: str = "accept_all"
+    param: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.scheme not in DORMANCY_SCHEMES:
+            raise ValueError(
+                f"unknown dormancy scheme {self.scheme!r}; "
+                f"known: {list(DORMANCY_SCHEMES)}"
+            )
+        if self.param is not None and self.scheme in ("accept_all", "reject_all"):
+            raise ValueError(f"{self.scheme!r} takes no parameter")
+        if (self.scheme == "load_aware" and self.param is not None
+                and self.param != int(self.param)):
+            # A fractional budget would be silently truncated by build(),
+            # leaving the label/cache key claiming a policy never in effect.
+            raise ValueError(
+                "load_aware takes a whole switches-per-minute budget, "
+                f"got {self.param}"
+            )
+
+    @property
+    def key(self) -> tuple:
+        """Stable cache-key component identifying the built policy."""
+        return (self.scheme, self.param)
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity used in result tables."""
+        if self.param is None:
+            return self.scheme
+        return f"{self.scheme}({self.param:g})"
+
+    def build(self) -> DormancyPolicy:
+        """Construct a fresh dormancy policy instance."""
+        if self.scheme == "accept_all":
+            return AcceptAllDormancy()
+        if self.scheme == "reject_all":
+            return RejectAllDormancy()
+        if self.scheme == "rate_limited":
+            if self.param is not None:
+                return RateLimitedDormancy(min_interval_s=self.param)
+            return RateLimitedDormancy()
+        if self.param is not None:
+            return LoadAwareDormancy(max_switches_per_minute=int(self.param))
+        return LoadAwareDormancy()
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {"scheme": self.scheme, "param": self.param}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DormancySpec":
+        """Re-create a spec from :meth:`to_dict` output."""
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """A reproducible device population: the cell-sweep workload axis entry.
+
+    Device ``i`` of the population runs the application
+    ``apps[i % len(apps)]`` with a seed derived from ``seed`` and ``i``, so
+    the whole population regenerates exactly from the spec.  With
+    ``streaming=True`` (the default) each device's workload is produced
+    lazily in ``chunk_s``-second chunks, keeping a sweep's memory bounded
+    by the device count rather than the total packet count.
+    """
+
+    devices: int = 100
+    apps: tuple[str, ...] = ("im", "email", "news")
+    duration_s: float = 900.0
+    seed: int = 0
+    name: str = ""
+    streaming: bool = True
+    chunk_s: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if not self.apps:
+            raise ValueError("at least one application is required")
+        if self.duration_s <= 0:
+            raise ValueError(f"duration_s must be positive, got {self.duration_s}")
+        if self.chunk_s <= 0:
+            raise ValueError(f"chunk_s must be positive, got {self.chunk_s}")
+        from ..traces.synthetic import APPLICATION_PROFILES
+
+        for app in self.apps:
+            if app.lower() not in APPLICATION_PROFILES:
+                raise ValueError(
+                    f"unknown application {app!r}; known: "
+                    f"{sorted(APPLICATION_PROFILES)}"
+                )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity used in result tables and grouping.
+
+        Unnamed populations carry a digest of their seed-independent
+        identity (apps, duration, generation mode), so two different
+        populations of the same size never share a label — and therefore
+        never share a :class:`~repro.api.runset.RunRecord` group, which
+        would cross their baselines.  The seed stays out of the digest so
+        ``repeat(seeds=...)`` repetitions of one population group together.
+        """
+        if self.name:
+            return self.name
+        identity = repr((self.apps, self.duration_s, self.streaming,
+                         self.chunk_s if self.streaming else None))
+        digest = zlib.crc32(identity.encode("utf-8"))
+        return f"cell{self.devices}-{digest:08x}"
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Stable cache-key component identifying the population this builds.
+
+        Chunked (streaming) generation samples the workload differently
+        than single-shot generation, so ``streaming``/``chunk_s`` are part
+        of the identity.
+        """
+        return (
+            "cell",
+            self.devices,
+            self.apps,
+            self.duration_s,
+            self.seed,
+            self.streaming,
+            self.chunk_s if self.streaming else None,
+        )
+
+    def with_seed(self, seed: int) -> "CellSpec":
+        """Return a copy regenerated under ``seed``."""
+        return replace(self, seed=seed)
+
+    def build_devices(self, policy: PolicySpec) -> list[DeviceSpec]:
+        """Materialise the population, one fresh policy instance per device."""
+        specs: list[DeviceSpec] = []
+        for index in range(self.devices):
+            app = self.apps[index % len(self.apps)]
+            device_seed = self.seed * _DEVICE_SEED_STRIDE + index
+            if self.streaming:
+                source = stream_application_packets(
+                    app,
+                    duration=self.duration_s,
+                    seed=device_seed,
+                    chunk_s=self.chunk_s,
+                )
+            else:
+                from ..traces.synthetic import generate_application_trace
+
+                source = generate_application_trace(
+                    app, duration=self.duration_s, seed=device_seed
+                )
+            specs.append(
+                DeviceSpec(device_id=index, trace=source, policy=policy.build())
+            )
+        return specs
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form."""
+        return {
+            "devices": self.devices,
+            "apps": list(self.apps),
+            "duration_s": self.duration_s,
+            "seed": self.seed,
+            "name": self.name,
+            "streaming": self.streaming,
+            "chunk_s": self.chunk_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
+        """Re-create a spec from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["apps"] = tuple(payload.get("apps", ()))
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class CellRunSpec:
+    """One cell of the cell-sweep grid: population × carrier × policies.
+
+    The single-UE :class:`~repro.api.spec.RunSpec`'s cell-scale sibling;
+    ``policy`` is the *device-side* scheme every device runs and
+    ``dormancy`` the base-station arbiter.
+    """
+
+    cell: CellSpec
+    carrier: str
+    policy: PolicySpec
+    dormancy: DormancySpec
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        get_profile(self.carrier)  # validate the key early, with a clear error
+
+    @property
+    def cache_key(self) -> tuple:
+        """Key under which this cell run's result is cached and deduplicated.
+
+        Status-quo devices never issue fast-dormancy requests, so the
+        base-station policy cannot influence their result: the dormancy
+        component is dropped from the key and the (most expensive, most
+        repeated) baseline population is simulated once per
+        (population, carrier) regardless of how many dormancy policies the
+        plan sweeps.
+        """
+        dormancy_key = (
+            None if self.policy.factory is None
+            and self.policy.scheme == "status_quo"
+            else self.dormancy.key
+        )
+        return (
+            self.cell.fingerprint,
+            self.carrier,
+            self.policy.key,
+            dormancy_key,
+        )
+
+    @property
+    def scheme(self) -> str:
+        """The device-side policy's scheme name."""
+        return self.policy.scheme
+
+    @property
+    def label(self) -> str:
+        """The population label (the workload-axis value of this run)."""
+        return self.cell.label
+
+
+# -- axis declaration helpers --------------------------------------------------------
+
+def cell(devices: int, apps: tuple[str, ...] | list[str] = ("im", "email", "news"),
+         duration: float = 900.0, seed: int = 0, name: str = "",
+         streaming: bool = True, chunk_s: float = 300.0) -> CellSpec:
+    """A device-population axis entry for cell sweeps."""
+    return CellSpec(
+        devices=devices, apps=tuple(apps), duration_s=duration, seed=seed,
+        name=name, streaming=streaming, chunk_s=chunk_s,
+    )
+
+
+def dormancy(scheme: str, param: float | None = None) -> DormancySpec:
+    """A base-station dormancy axis entry by scheme name."""
+    return DormancySpec(scheme=scheme, param=param)
+
+
+def execute_cell(spec: CellRunSpec) -> CellResult:
+    """Materialise and run one cell spec — the cell analogue of ``execute``.
+
+    Module-level so :class:`~repro.api.runner.ProcessPoolRunner` can send
+    it to worker processes by reference.
+    """
+    profile = get_profile(spec.carrier)
+    simulator = CellSimulator(profile, spec.dormancy.build())
+    return simulator.run(spec.cell.build_devices(spec.policy))

@@ -24,6 +24,12 @@ anything itself — hand it to a :class:`~repro.api.runner.SerialRunner` or
 Plans round-trip through plain dicts (:meth:`ExperimentPlan.to_dict` /
 :meth:`ExperimentPlan.from_dict`); :mod:`repro.config` builds JSON file
 persistence on top of that so a sweep is reproducible from a config file.
+
+A plan can instead sweep *device populations* against a base station: the
+cell axes (:meth:`ExperimentPlan.cells` / :meth:`ExperimentPlan.dormancy`)
+expand to :class:`~repro.api.cells.CellRunSpec` cells — population ×
+carrier × device policy × dormancy policy — run by the same runners with
+the same cache (see :mod:`repro.api.cells`).
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from ..rrc.profiles import get_profile
 from ..traces.packet import PacketTrace
+from .cells import CellRunSpec, CellSpec, DormancySpec
 from .spec import PolicySpec, RunSpec, TraceSpec, user as user_spec
 
 __all__ = ["EmptyAxisError", "ExperimentPlan", "plan"]
@@ -69,6 +76,17 @@ def _as_policy_spec(entry: PolicySpec | str) -> PolicySpec:
     )
 
 
+def _as_dormancy_spec(entry: DormancySpec | str) -> DormancySpec:
+    if isinstance(entry, DormancySpec):
+        return entry
+    if isinstance(entry, str):
+        return DormancySpec(scheme=entry)
+    raise TypeError(
+        f"dormancy axis entries must be DormancySpec or str, "
+        f"got {type(entry).__name__}"
+    )
+
+
 @dataclass(frozen=True)
 class ExperimentPlan:
     """An immutable declaration of a sweep grid.
@@ -84,6 +102,8 @@ class ExperimentPlan:
     seeds: tuple[int, ...] = ()
     default_window: int = 100
     name: str = ""
+    cell_specs: tuple[CellSpec, ...] = ()
+    dormancy_specs: tuple[DormancySpec, ...] = ()
 
     # -- axis declaration ------------------------------------------------------------
 
@@ -116,6 +136,31 @@ class ExperimentPlan:
         )
         return replace(self, trace_specs=self.trace_specs + new)
 
+    def cells(self, *entries: CellSpec) -> "ExperimentPlan":
+        """Append device-population axis entries (switches the plan to cell mode).
+
+        A plan with a cell axis expands to :class:`CellRunSpec` cells —
+        population × carrier × device policy × dormancy policy — instead of
+        single-UE runs; the two workload axes are mutually exclusive.
+        """
+        for entry in entries:
+            if not isinstance(entry, CellSpec):
+                raise TypeError(
+                    f"cell axis entries must be CellSpec, got {type(entry).__name__}"
+                )
+        return replace(self, cell_specs=self.cell_specs + tuple(entries))
+
+    def dormancy(self, *entries: DormancySpec | str) -> "ExperimentPlan":
+        """Append base-station dormancy axis entries (cell mode only).
+
+        Entries are scheme names (``"accept_all"``, ``"reject_all"``,
+        ``"rate_limited"``, ``"load_aware"``) or :class:`DormancySpec`s;
+        cell plans without this axis default to the paper's always-accept
+        assumption.
+        """
+        new = tuple(_as_dormancy_spec(e) for e in entries)
+        return replace(self, dormancy_specs=self.dormancy_specs + new)
+
     def carriers(self, *keys: str) -> "ExperimentPlan":
         """Append carrier axis entries (keys or aliases, validated eagerly)."""
         normalized = tuple(get_profile(k).key for k in keys)
@@ -145,18 +190,36 @@ class ExperimentPlan:
 
     # -- expansion -------------------------------------------------------------------
 
+    @property
+    def is_cell_plan(self) -> bool:
+        """Whether this plan sweeps device populations instead of single UEs."""
+        return bool(self.cell_specs)
+
     def __len__(self) -> int:
-        """Grid size: traces x carriers x policies x seed repetitions."""
+        """Grid size: workloads x carriers x policies (x dormancy) x seeds."""
         repetitions = len(self.seeds) if self.seeds else 1
+        if self.is_cell_plan:
+            dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
+            return (len(self.cell_specs) * len(self.carrier_keys)
+                    * len(self.policy_specs) * dormancy * repetitions)
         return (len(self.trace_specs) * len(self.carrier_keys)
                 * len(self.policy_specs) * repetitions)
 
-    def build(self) -> tuple[RunSpec, ...]:
-        """Expand the plan into its full grid of :class:`RunSpec` cells.
+    def build(self) -> tuple[RunSpec, ...] | tuple[CellRunSpec, ...]:
+        """Expand the plan into its full grid of run specs.
 
-        Expansion order is deterministic — seed, then trace, then carrier,
-        then policy — so two builds of the same plan yield the same sequence.
+        Expansion order is deterministic — seed, then workload, then
+        carrier, then policy (then dormancy for cell plans) — so two builds
+        of the same plan yield the same sequence.  A plan with a cell axis
+        yields :class:`CellRunSpec` cells; otherwise :class:`RunSpec`s.
         """
+        if self.is_cell_plan:
+            return self._build_cells()
+        if self.dormancy_specs:
+            raise ValueError(
+                "a dormancy axis only applies to cell plans; declare a "
+                "device population with .cells(...) or drop .dormancy(...)"
+            )
         if not self.trace_specs:
             raise EmptyAxisError("traces")
         if not self.carrier_keys:
@@ -181,10 +244,50 @@ class ExperimentPlan:
                         )
         return tuple(specs)
 
+    def _build_cells(self) -> tuple[CellRunSpec, ...]:
+        if self.trace_specs:
+            raise ValueError(
+                "a plan cannot mix single-UE trace axes with a cell axis; "
+                "declare one workload kind per plan"
+            )
+        if not self.carrier_keys:
+            raise EmptyAxisError("carriers")
+        if not self.policy_specs:
+            raise EmptyAxisError("policies")
+        dormancy = self.dormancy_specs if self.dormancy_specs else (DormancySpec(),)
+        seeds: Sequence[int | None] = self.seeds if self.seeds else (None,)
+        specs: list[CellRunSpec] = []
+        for seed in seeds:
+            for cell in self.cell_specs:
+                seeded = cell if seed is None else cell.with_seed(seed)
+                run_seed = seed if seed is not None else cell.seed
+                for carrier in self.carrier_keys:
+                    for policy in self.policy_specs:
+                        for station in dormancy:
+                            specs.append(
+                                CellRunSpec(
+                                    cell=seeded,
+                                    carrier=carrier,
+                                    policy=policy.resolved(self.default_window),
+                                    dormancy=station,
+                                    seed=run_seed,
+                                )
+                            )
+        return tuple(specs)
+
     def describe(self) -> str:
         """One-line summary of the declared axes."""
         repetitions = len(self.seeds) if self.seeds else 1
         label = f"{self.name!r}: " if self.name else ""
+        if self.is_cell_plan:
+            dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
+            return (
+                f"ExperimentPlan {label}{len(self.cell_specs)} cell(s) x "
+                f"{len(self.carrier_keys)} carrier(s) x "
+                f"{len(self.policy_specs)} policy(ies) x "
+                f"{dormancy} dormancy policy(ies) x {repetitions} seed(s) "
+                f"= {len(self)} runs"
+            )
         return (
             f"ExperimentPlan {label}{len(self.trace_specs)} trace(s) x "
             f"{len(self.carrier_keys)} carrier(s) x "
@@ -196,7 +299,7 @@ class ExperimentPlan:
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form suitable for JSON (inline traces / factories refuse)."""
-        return {
+        data = {
             "name": self.name,
             "traces": [t.to_dict() for t in self.trace_specs],
             "carriers": list(self.carrier_keys),
@@ -204,6 +307,11 @@ class ExperimentPlan:
             "seeds": list(self.seeds),
             "window_size": self.default_window,
         }
+        if self.cell_specs:
+            data["cells"] = [c.to_dict() for c in self.cell_specs]
+        if self.dormancy_specs:
+            data["dormancy"] = [d.to_dict() for d in self.dormancy_specs]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentPlan":
@@ -219,6 +327,12 @@ class ExperimentPlan:
             seeds=tuple(data.get("seeds", ())),
             default_window=int(data.get("window_size", 100)),
             name=str(data.get("name", "")),
+            cell_specs=tuple(
+                CellSpec.from_dict(c) for c in data.get("cells", ())
+            ),
+            dormancy_specs=tuple(
+                DormancySpec.from_dict(d) for d in data.get("dormancy", ())
+            ),
         )
 
 

@@ -23,27 +23,52 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Hashable, Protocol, Sequence, runtime_checkable
+from typing import Hashable, Protocol, Sequence, Union, runtime_checkable
 
+from ..basestation.cell import CellResult
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
+from .cells import CellRunSpec, execute_cell
 from .plan import ExperimentPlan
 from .runset import RunRecord, RunSet
 from .spec import RunSpec, execute
 
-__all__ = ["Runner", "SerialRunner", "ProcessPoolRunner", "default_runner"]
+__all__ = [
+    "Runner",
+    "SerialRunner",
+    "ProcessPoolRunner",
+    "default_runner",
+    "execute_spec",
+]
+
+#: One cell of either sweep grid: single-UE or cell-scale.
+AnySpec = Union[RunSpec, CellRunSpec]
+AnyResult = Union[SimulationResult, CellResult]
+
+
+def execute_spec(spec: AnySpec) -> AnyResult:
+    """Materialise and run one grid cell of either kind.
+
+    The single entry point of both runner backends (module-level so the
+    process pool can send it to workers by reference): single-UE
+    :class:`RunSpec`s go through the trace simulator, :class:`CellRunSpec`s
+    through the cell simulator — both riding the same event kernel.
+    """
+    if isinstance(spec, CellRunSpec):
+        return execute_cell(spec)
+    return execute(spec)
 
 
 @runtime_checkable
 class Runner(Protocol):
     """Anything that can execute a plan into a :class:`RunSet`."""
 
-    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+    def run(self, plan: ExperimentPlan | Sequence[AnySpec]) -> RunSet:
         """Execute every grid cell and return the ordered results."""
         ...
 
 
-def _as_specs(plan: ExperimentPlan | Sequence[RunSpec]) -> tuple[RunSpec, ...]:
+def _as_specs(plan: ExperimentPlan | Sequence[AnySpec]) -> tuple[AnySpec, ...]:
     if isinstance(plan, ExperimentPlan):
         return plan.build()
     return tuple(plan)
@@ -74,7 +99,7 @@ class SerialRunner(_BaseRunner):
     yardstick the parallel backend is tested against.
     """
 
-    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+    def run(self, plan: ExperimentPlan | Sequence[AnySpec]) -> RunSet:
         """Execute the plan's cells one after another."""
         specs = _as_specs(plan)
         before = self._cache.stats
@@ -82,7 +107,7 @@ class SerialRunner(_BaseRunner):
         for spec in specs:
             key = spec.cache_key
             cached = key in self._cache
-            result = self._cache.get_or_run(key, lambda s=spec: execute(s))
+            result = self._cache.get_or_run(key, lambda s=spec: execute_spec(s))
             records.append(RunRecord(spec=spec, result=result, from_cache=cached))
         return RunSet(records, self._delta(before))
 
@@ -115,7 +140,7 @@ class ProcessPoolRunner(_BaseRunner):
         """The worker process count this runner was configured with."""
         return self._jobs
 
-    def run(self, plan: ExperimentPlan | Sequence[RunSpec]) -> RunSet:
+    def run(self, plan: ExperimentPlan | Sequence[AnySpec]) -> RunSet:
         """Execute the plan, fanning unique uncached cells out to the pool."""
         specs = _as_specs(plan)
         before = self._cache.stats
@@ -123,8 +148,8 @@ class ProcessPoolRunner(_BaseRunner):
         # Phase 1: one representative spec per unique, uncached cell.  Holding
         # a reference to each pre-cached result keeps it reachable for phase 3
         # even if a bounded cache evicts it while this run stores new entries.
-        pending: dict[Hashable, RunSpec] = {}
-        held: dict[Hashable, SimulationResult] = {}
+        pending: dict[Hashable, AnySpec] = {}
+        held: dict[Hashable, AnyResult] = {}
         for spec in specs:
             key = spec.cache_key
             if key in pending or key in held:
@@ -136,15 +161,15 @@ class ProcessPoolRunner(_BaseRunner):
                 pending[key] = spec
 
         # Phase 2: simulate the misses (pool only when it can actually help).
-        fresh: dict[Hashable, SimulationResult] = {}
+        fresh: dict[Hashable, AnyResult] = {}
         if len(pending) == 1 or self._jobs == 1:
             for key, spec in pending.items():
-                fresh[key] = execute(spec)
+                fresh[key] = execute_spec(spec)
         elif pending:
             workers = min(self._jobs, len(pending))
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures = {
-                    key: pool.submit(execute, spec)
+                    key: pool.submit(execute_spec, spec)
                     for key, spec in pending.items()
                 }
                 for key, future in futures.items():

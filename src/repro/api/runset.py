@@ -19,11 +19,13 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator, Sequence
+from typing import Any, Iterator, Sequence, Union
 
+from ..basestation.cell import CellResult
 from ..metrics.savings import SavingsReport, compare
 from ..sim.results import SimulationResult
 from .cache import CacheStats
+from .cells import CellRunSpec
 from .spec import RunSpec
 
 __all__ = ["RunRecord", "RunSet"]
@@ -34,15 +36,28 @@ BASELINE_SCHEME = "status_quo"
 
 @dataclass(frozen=True)
 class RunRecord:
-    """One executed grid cell: its spec, its result, and its provenance."""
+    """One executed grid cell: its spec, its result, and its provenance.
 
-    spec: RunSpec
-    result: SimulationResult
+    A record is either a single-UE run (:class:`RunSpec` →
+    :class:`SimulationResult`) or a cell-scale run (:class:`CellRunSpec` →
+    :class:`~repro.basestation.cell.CellResult`); :attr:`is_cell`
+    distinguishes them, and the axis accessors work uniformly on both.
+    """
+
+    spec: Union[RunSpec, CellRunSpec]
+    result: Union[SimulationResult, CellResult]
     from_cache: bool = False
 
     @property
+    def is_cell(self) -> bool:
+        """Whether this record is a cell-scale run."""
+        return isinstance(self.spec, CellRunSpec)
+
+    @property
     def trace_label(self) -> str:
-        """The workload axis value (application name, population:user, path...)."""
+        """The workload axis value (application, population:user, cell label...)."""
+        if isinstance(self.spec, CellRunSpec):
+            return self.spec.label
         return self.spec.trace.label
 
     @property
@@ -52,8 +67,15 @@ class RunRecord:
 
     @property
     def scheme(self) -> str:
-        """The policy axis value."""
+        """The (device-side) policy axis value."""
         return self.spec.scheme
+
+    @property
+    def dormancy(self) -> str:
+        """The base-station dormancy axis value ("" for single-UE runs)."""
+        if isinstance(self.spec, CellRunSpec):
+            return self.spec.dormancy.label
+        return ""
 
     @property
     def seed(self) -> int:
@@ -61,8 +83,15 @@ class RunRecord:
         return self.spec.seed
 
     @property
-    def group_key(self) -> tuple[str, str, int]:
-        """The (trace, carrier, seed) cell this record's schemes compete in."""
+    def group_key(self) -> tuple:
+        """The cell this record's schemes compete in.
+
+        ``(trace, carrier, seed)`` for single-UE runs; cell-scale runs add
+        the dormancy policy — schemes are only comparable under the same
+        base-station behaviour.
+        """
+        if self.is_cell:
+            return (self.trace_label, self.carrier, self.dormancy, self.seed)
         return (self.trace_label, self.carrier, self.seed)
 
 
@@ -118,15 +147,17 @@ class RunSet(Sequence[RunRecord]):
     def group_by(self, *axes: str) -> dict[Any, "RunSet"]:
         """Partition the records by one or more axes.
 
-        ``axes`` entries are ``"trace"``, ``"carrier"``, ``"scheme"`` or
-        ``"seed"``.  With one axis the dict is keyed by that axis value; with
-        several, by the tuple of values.  Insertion order follows the record
-        order, so iterating the groups preserves the plan's axis order.
+        ``axes`` entries are ``"trace"``, ``"carrier"``, ``"scheme"``,
+        ``"dormancy"`` or ``"seed"``.  With one axis the dict is keyed by
+        that axis value; with several, by the tuple of values.  Insertion
+        order follows the record order, so iterating the groups preserves
+        the plan's axis order.
         """
         getters = {
             "trace": lambda r: r.trace_label,
             "carrier": lambda r: r.carrier,
             "scheme": lambda r: r.scheme,
+            "dormancy": lambda r: r.dormancy,
             "seed": lambda r: r.seed,
         }
         unknown = [a for a in axes if a not in getters]
@@ -153,14 +184,22 @@ class RunSet(Sequence[RunRecord]):
         return None
 
     def savings(self, baseline_scheme: str = BASELINE_SCHEME,
-                ) -> dict[tuple[str, str, int], dict[str, SavingsReport]]:
+                ) -> dict[tuple, dict[str, SavingsReport]]:
         """Per-cell savings of every scheme against that cell's baseline run.
 
         Returns ``{(trace, carrier, seed): {scheme: SavingsReport}}``; cells
         without a baseline record raise, since the comparison the paper makes
         is undefined without a status-quo run on the same trace and carrier.
+        Single-UE records only — for cell sweeps use :meth:`to_records`,
+        whose rows carry ``denial_rate``, ``peak_switches_per_minute`` and
+        ``saved_percent`` against the same group's baseline scheme.
         """
-        table: dict[tuple[str, str, int], dict[str, SavingsReport]] = {}
+        if any(r.is_cell for r in self._records):
+            raise TypeError(
+                "savings() builds per-run SavingsReports for single-UE "
+                "sweeps; cell-scale records aggregate via to_records()"
+            )
+        table: dict[tuple, dict[str, SavingsReport]] = {}
         for cell_key, cell in self.group_by("trace", "carrier", "seed").items():
             baseline = next(
                 (r for r in cell if r.scheme == baseline_scheme), None
@@ -186,9 +225,12 @@ class RunSet(Sequence[RunRecord]):
         When ``baseline_scheme`` is given and the matching baseline record
         exists in the set, each row also carries ``saved_percent`` and
         ``switches_normalized`` against it; pass ``None`` to skip
-        normalisation entirely.
+        normalisation entirely.  Cell-scale records additionally carry the
+        base-station aggregates: ``dormancy``, ``devices``,
+        ``dormancy_requests``, ``denial_rate``, ``peak_active_devices`` and
+        ``peak_switches_per_minute``.
         """
-        baselines: dict[tuple[str, str, int], RunRecord] = {}
+        baselines: dict[tuple, RunRecord] = {}
         if baseline_scheme is not None:
             for record in self._records:
                 if record.scheme == baseline_scheme:
@@ -196,7 +238,40 @@ class RunSet(Sequence[RunRecord]):
         rows: list[dict[str, Any]] = []
         for record in self._records:
             result = record.result
-            row: dict[str, Any] = {
+            if record.is_cell:
+                row = {
+                    "trace": record.trace_label,
+                    "carrier": record.carrier,
+                    "scheme": record.scheme,
+                    "dormancy": record.dormancy,
+                    "seed": record.seed,
+                    "devices": len(result.devices),
+                    "energy_j": result.total_energy_j,
+                    "switch_count": result.total_switches,
+                    "rrc_messages": result.signaling.messages,
+                    "dormancy_requests": result.dormancy_requests,
+                    "denial_rate": result.denial_rate,
+                    "peak_active_devices": result.peak_active_devices,
+                    "peak_switches_per_minute": result.peak_switches_per_minute,
+                    "from_cache": record.from_cache,
+                }
+                baseline = baselines.get(record.group_key)
+                if baseline is not None:
+                    base = baseline.result
+                    if base.total_energy_j > 0:
+                        row["saved_percent"] = 100.0 * (
+                            (base.total_energy_j - result.total_energy_j)
+                            / base.total_energy_j
+                        )
+                    else:
+                        row["saved_percent"] = 0.0
+                    if base.total_switches:
+                        row["switches_normalized"] = (
+                            result.total_switches / base.total_switches
+                        )
+                rows.append(row)
+                continue
+            row = {
                 "trace": record.trace_label,
                 "carrier": record.carrier,
                 "scheme": record.scheme,

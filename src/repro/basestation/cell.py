@@ -7,30 +7,52 @@ against its own RRC state machine and device-side policy, while a single
 :class:`~repro.basestation.policies.DormancyPolicy` arbitrates every
 fast-dormancy request using a live snapshot of cell load.
 
+Since the kernel refactor, :class:`CellSimulator` is a thin façade over
+:class:`~repro.sim.engine.SimulationEngine` — the same heap-based event
+kernel behind the single-device :class:`~repro.sim.TraceSimulator` — so
+devices get the *full* device-side semantics, including the MakeActive
+promotion-delaying path that the pre-kernel cell simulator did not model:
+a device running a combined MakeIdle+MakeActive policy buffers and batches
+sessions exactly as it does in a single-UE run, while the base station
+still arbitrates its fast-dormancy requests.
+
 Scope and simplifications
 -------------------------
 
-* Devices use the MakeIdle side of their policy (``dormancy_wait``); the
-  MakeActive buffering path is not modelled here — batching is a purely
-  device-local decision that the base station never sees, so it can be
-  studied with the single-device :class:`~repro.sim.TraceSimulator`.
 * Channel capacity is not modelled; the cell tracks occupancy and
   signalling load but never blocks a promotion.  This matches the paper's
   scope (energy and signalling, not throughput).
+* Device traces may be materialised :class:`~repro.traces.packet.PacketTrace`
+  objects *or* lazy packet iterables (see :mod:`repro.traces.streaming`).
+  With lazy sources the kernel holds one pending packet per device and the
+  per-device energy accounting folds incrementally, so memory is bounded by
+  the number of attached devices — 10k+-device cells are practical.
+  Offline policies that inspect the whole trace in ``prepare`` (the Oracle,
+  trace-trained baselines) need materialised traces; online policies work
+  with either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence, Union
 
 from ..core.policy import RadioPolicy
-from ..energy.accounting import EnergyAccountant, EnergyBreakdown
+from ..energy.accounting import EnergyBreakdown
+from ..metrics.switches import peak_per_window
 from ..rrc.profiles import CarrierProfile
-from ..rrc.signaling import SignalingLoad, signaling_load
-from ..rrc.state_machine import RrcStateMachine
-from ..rrc.states import RadioState
-from ..traces.packet import PacketTrace
+from ..rrc.signaling import SignalingLoad, signaling_costs_for
+from ..rrc.state_machine import SwitchKind
+from ..sim.engine import (
+    CellLoad,
+    DormancyStation,
+    LoadSample,
+    SimulationEngine,
+    UeContext,
+)
+from ..sim.results import SessionDelay
+from ..traces.packet import Packet, PacketTrace
 from .policies import (
     AcceptAllDormancy,
     CellLoadSnapshot,
@@ -42,13 +64,22 @@ __all__ = ["DeviceSpec", "DeviceResult", "CellResult", "CellSimulator"]
 #: Length of the sliding window used for the cell's switches-per-minute load.
 _LOAD_WINDOW_S = 60.0
 
+#: A device workload: a materialised trace or a lazy time-ordered source.
+TraceSource = Union[PacketTrace, Iterable[Packet]]
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
-    """One device attached to the cell: its identity, trace and policy."""
+    """One device attached to the cell: its identity, trace and policy.
+
+    ``trace`` may be a :class:`~repro.traces.packet.PacketTrace` or any
+    iterable of packets in non-decreasing timestamp order (a generator from
+    :mod:`repro.traces.streaming`); lazy sources keep cell memory bounded by
+    the device count.
+    """
 
     device_id: int
-    trace: PacketTrace
+    trace: TraceSource
     policy: RadioPolicy
 
     def __post_init__(self) -> None:
@@ -66,6 +97,12 @@ class DeviceResult:
     dormancy_requests: int
     dormancy_granted: int
     dormancy_denied: int
+    packets: int = 0
+    #: Sample of this device's delayed-session records (capped per UE so
+    #: long MakeActive runs stay bounded); totals are in the counters below.
+    session_delays: tuple[SessionDelay, ...] = field(default=(), repr=False)
+    delayed_sessions: int = 0
+    total_session_delay_s: float = 0.0
 
     @property
     def total_energy_j(self) -> float:
@@ -79,6 +116,13 @@ class DeviceResult:
             return 0.0
         return self.dormancy_denied / self.dormancy_requests
 
+    @property
+    def mean_session_delay_s(self) -> float:
+        """Mean MakeActive delay over this device's *delayed* sessions."""
+        if self.delayed_sessions == 0:
+            return 0.0
+        return self.total_session_delay_s / self.delayed_sessions
+
 
 @dataclass(frozen=True)
 class CellResult:
@@ -90,6 +134,7 @@ class CellResult:
     duration_s: float
     peak_active_devices: int
     switch_times: tuple[float, ...] = field(default=(), repr=False)
+    load_samples: tuple[LoadSample, ...] = field(default=(), repr=False)
 
     @property
     def total_energy_j(self) -> float:
@@ -100,6 +145,11 @@ class CellResult:
     def total_switches(self) -> int:
         """State switches summed over every device."""
         return self.signaling.switches
+
+    @property
+    def total_packets(self) -> int:
+        """Packets transferred summed over every device."""
+        return sum(d.packets for d in self.devices)
 
     @property
     def dormancy_requests(self) -> int:
@@ -117,24 +167,48 @@ class CellResult:
         requests = self.dormancy_requests
         return self.dormancy_denied / requests if requests else 0.0
 
-    @property
+    @cached_property
+    def _sorted_switch_times(self) -> tuple[float, ...]:
+        """Switch timestamps sorted once and reused by windowed metrics."""
+        return tuple(sorted(self.switch_times))
+
+    @cached_property
     def peak_switches_per_minute(self) -> int:
-        """Largest number of switches observed in any 60-second window."""
-        times = sorted(self.switch_times)
-        best = 0
-        start = 0
-        for end, time in enumerate(times):
-            while time - times[start] > _LOAD_WINDOW_S:
-                start += 1
-            best = max(best, end - start + 1)
-        return best
+        """Largest number of switches observed in any 60-second window.
+
+        Computed (and the underlying timestamps sorted) once on first
+        access; repeated reads are O(1).
+        """
+        return peak_per_window(self._sorted_switch_times, _LOAD_WINDOW_S,
+                               presorted=True)
+
+    @cached_property
+    def _devices_by_id(self) -> Mapping[int, DeviceResult]:
+        """Device-id index built once on first lookup."""
+        return {result.device_id: result for result in self.devices}
 
     def device(self, device_id: int) -> DeviceResult:
-        """Return the result for one device id."""
-        for result in self.devices:
-            if result.device_id == device_id:
-                return result
-        raise KeyError(f"no device with id {device_id}")
+        """Return the result for one device id (O(1) after the first call)."""
+        try:
+            return self._devices_by_id[device_id]
+        except KeyError:
+            raise KeyError(f"no device with id {device_id}") from None
+
+
+class _NetworkStation(DormancyStation):
+    """Adapts a :class:`DormancyPolicy` to the kernel's station hook."""
+
+    def __init__(self, policy: DormancyPolicy) -> None:
+        self._policy = policy
+
+    def decide(self, ue_id: int, time: float, load: CellLoad) -> bool:
+        snapshot = CellLoadSnapshot(
+            time=time,
+            active_devices=load.active_devices,
+            total_devices=load.total_devices,
+            switches_last_minute=load.switches_within_window(time),
+        )
+        return self._policy.decide(ue_id, time, snapshot).granted
 
 
 class CellSimulator:
@@ -147,28 +221,37 @@ class CellSimulator:
     dormancy_policy:
         Base-station policy answering fast-dormancy requests; defaults to
         the paper's always-accept assumption.
+    load_sample_interval_s:
+        When set, the kernel records a cell-load sample every this many
+        seconds (``CellResult.load_samples``).
     """
 
     def __init__(
         self,
         profile: CarrierProfile,
         dormancy_policy: DormancyPolicy | None = None,
+        load_sample_interval_s: float | None = None,
     ) -> None:
-        self._profile = profile
+        self._engine = SimulationEngine(profile)
         self._dormancy_policy = (
             dormancy_policy if dormancy_policy is not None else AcceptAllDormancy()
         )
-        self._accountant = EnergyAccountant(profile)
+        self._sample_interval = load_sample_interval_s
 
     @property
     def profile(self) -> CarrierProfile:
         """The carrier profile shared by all devices."""
-        return self._profile
+        return self._engine.profile
 
     @property
     def dormancy_policy(self) -> DormancyPolicy:
         """The base-station dormancy policy."""
         return self._dormancy_policy
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The shared event kernel this façade drives."""
+        return self._engine
 
     def run(self, devices: Sequence[DeviceSpec]) -> CellResult:
         """Simulate all devices and return per-device and aggregate results."""
@@ -178,123 +261,82 @@ class CellSimulator:
         if len(set(ids)) != len(ids):
             raise ValueError("device ids must be unique")
 
+        profile = self._engine.profile
         self._dormancy_policy.reset()
-        machines: dict[int, RrcStateMachine] = {}
-        pending: dict[int, float | None] = {}
-        requests: dict[int, int] = {}
-        granted: dict[int, int] = {}
-        denied: dict[int, int] = {}
-        switch_times: list[float] = []
-        peak_active = 0
 
+        contexts: dict[int, UeContext] = {}
+        streams: dict[int, Iterable[Packet]] = {}
         for spec in devices:
-            spec.policy.prepare(spec.trace, self._profile)
-            spec.policy.reset()
-            machines[spec.device_id] = RrcStateMachine(self._profile, start_time=0.0)
-            pending[spec.device_id] = None
-            requests[spec.device_id] = 0
-            granted[spec.device_id] = 0
-            denied[spec.device_id] = 0
-
-        events = sorted(
-            (
-                (packet.timestamp, spec.device_id, packet)
-                for spec in devices
-                for packet in spec.trace
-            ),
-            key=lambda item: (item[0], item[1]),
-        )
-        specs: Mapping[int, DeviceSpec] = {d.device_id: d for d in devices}
-
-        def snapshot(time: float) -> CellLoadSnapshot:
-            active = sum(
-                1
-                for machine in machines.values()
-                if machine.state is not RadioState.IDLE
-            )
-            recent = sum(1 for t in switch_times if time - t <= _LOAD_WINDOW_S)
-            return CellLoadSnapshot(
-                time=time,
-                active_devices=active,
-                total_devices=len(machines),
-                switches_last_minute=recent,
-            )
-
-        def handle_pending(device_id: int, now: float, cancel: bool) -> None:
-            """Fire or cancel the device's scheduled dormancy request."""
-            scheduled = pending[device_id]
-            if scheduled is None:
-                return
-            pending[device_id] = None
-            if cancel or scheduled >= now:
-                return
-            requests[device_id] += 1
-            decision = self._dormancy_policy.decide(
-                device_id, scheduled, snapshot(scheduled)
-            )
-            if decision.granted:
-                granted[device_id] += 1
-                before = len(machines[device_id].switches)
-                machines[device_id].request_fast_dormancy(scheduled)
-                if len(machines[device_id].switches) > before:
-                    switch_times.append(scheduled)
+            if isinstance(spec.trace, PacketTrace):
+                prepared = spec.trace
+            elif getattr(spec.policy, "requires_trace", False):
+                # Offline policies (oracle, trace-trained baselines) read
+                # the whole trace in prepare(); feeding them an empty one
+                # would yield silently wrong results.
+                raise ValueError(
+                    f"device {spec.device_id}: policy {spec.policy.name!r} "
+                    "requires the full trace in prepare() and cannot run "
+                    "on a lazy packet source; materialise the trace "
+                    "(PacketTrace) for this device instead"
+                )
             else:
-                denied[device_id] += 1
+                prepared = PacketTrace(())
+            spec.policy.prepare(prepared, profile)
+            spec.policy.reset()
+            contexts[spec.device_id] = UeContext(
+                spec.device_id, profile, spec.policy, collect=False
+            )
+            streams[spec.device_id] = spec.trace
 
-        for now, device_id, packet in events:
-            machine = machines[device_id]
-            scheduled = pending[device_id]
-            # A packet arriving before the scheduled wait elapses cancels it.
-            handle_pending(device_id, now, cancel=scheduled is not None and scheduled >= now)
+        load = CellLoad(total_devices=len(devices), window_s=_LOAD_WINDOW_S)
+        outcome = self._engine.run(
+            streams,
+            contexts,
+            station=_NetworkStation(self._dormancy_policy),
+            load=load,
+            sample_interval_s=self._sample_interval,
+        )
 
-            was_idle = machine.state_at(now) is RadioState.IDLE
-            machine.notify_activity(now)
-            if was_idle:
-                switch_times.append(now)
-            specs[device_id].policy.observe_packet(now, packet)
-            wait = specs[device_id].policy.dormancy_wait(now)
-            pending[device_id] = now + wait if wait is not None else None
-            peak_active = max(peak_active, snapshot(now).active_devices)
-
-        # Drain pending requests after the last packet of each device.
-        end_time = max((t for t, _, _ in events), default=0.0)
-        end_time += self._profile.total_inactivity_timeout + 1.0
-        for spec in devices:
-            handle_pending(spec.device_id, end_time, cancel=False)
-            machines[spec.device_id].finish(end_time)
-
+        costs = signaling_costs_for(profile.technology)
+        promotions = timer_demotions = fast_demotions = 0
         device_results = []
         for spec in devices:
-            machine = machines[spec.device_id]
-            breakdown = self._accountant.account(
-                spec.trace, machine.intervals, machine.switches
-            )
+            ue = contexts[spec.device_id]
+            promotions += ue.promotions
+            timer_demotions += ue.timer_demotions
+            fast_demotions += ue.fast_demotions
             device_results.append(
                 DeviceResult(
                     device_id=spec.device_id,
                     policy_name=spec.policy.name,
-                    breakdown=breakdown,
-                    dormancy_requests=requests[spec.device_id],
-                    dormancy_granted=granted[spec.device_id],
-                    dormancy_denied=denied[spec.device_id],
+                    breakdown=ue.build_breakdown(profile),
+                    dormancy_requests=ue.dormancy_requests,
+                    dormancy_granted=ue.dormancy_granted,
+                    dormancy_denied=ue.dormancy_denied,
+                    packets=ue.packet_count,
+                    session_delays=tuple(ue.session_delays),
+                    delayed_sessions=ue.delayed_sessions,
+                    total_session_delay_s=ue.total_delay_s,
                 )
             )
 
-        all_switches = [
-            event
-            for machine in machines.values()
-            for event in machine.switches
-        ]
-        load = signaling_load(
-            all_switches,
-            duration_s=end_time,
-            technology=self._profile.technology,
+        signaling = SignalingLoad(
+            promotions=promotions,
+            timer_demotions=timer_demotions,
+            fast_dormancy_demotions=fast_demotions,
+            messages=(
+                promotions * costs.messages_for(SwitchKind.PROMOTION)
+                + timer_demotions * costs.messages_for(SwitchKind.TIMER_DEMOTION)
+                + fast_demotions * costs.messages_for(SwitchKind.FAST_DORMANCY)
+            ),
+            duration_s=outcome.end_time,
         )
         return CellResult(
             dormancy_policy_name=self._dormancy_policy.name,
             devices=tuple(device_results),
-            signaling=load,
-            duration_s=end_time,
-            peak_active_devices=peak_active,
-            switch_times=tuple(sorted(switch_times)),
+            signaling=signaling,
+            duration_s=outcome.end_time,
+            peak_active_devices=load.peak_active_devices,
+            switch_times=tuple(load.switch_times),
+            load_samples=outcome.samples,
         )

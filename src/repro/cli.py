@@ -9,7 +9,10 @@ writing any Python:
   carrier and print the energy/switch/delay comparison.
 * ``repro-rrc sweep`` — declare and execute a full workload × carrier ×
   scheme grid through :mod:`repro.api`, optionally on a process pool
-  (``--jobs N``) and optionally from/to a JSON plan file.
+  (``--jobs N``) and optionally from/to a JSON plan file.  With ``--cell``
+  the grid sweeps a multi-device cell (population × carrier × device
+  scheme × base-station dormancy policy) with streamed traces, so
+  10k+-device cells run in bounded memory.
 * ``repro-rrc apps`` — the per-application comparison of Figure 9.
 * ``repro-rrc compare-carriers`` — the cross-carrier comparison of
   Figures 17/18 and Table 3.
@@ -96,6 +99,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--plan", help="load the whole plan from a JSON file (see --save-plan)"
     )
     sweep.add_argument(
+        "--cell", action="store_true",
+        help="sweep a multi-device cell (streamed traces) instead of single UEs",
+    )
+    sweep.add_argument(
+        "--devices", type=int, default=None,
+        help="devices per cell for --cell (default 100; workloads cycle "
+             "over --apps)",
+    )
+    sweep.add_argument(
+        "--dormancy", default=None,
+        help="comma-separated base-station dormancy policies for --cell "
+             "(accept_all, reject_all, rate_limited, load_aware; "
+             "default accept_all)",
+    )
+    sweep.add_argument(
         "--users", type=int, nargs="*",
         help="user ids within --population (default: the whole roster)",
     )
@@ -104,8 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated carrier keys or aliases (default att_hspa)",
     )
     sweep.add_argument(
-        "--schemes", default="status_quo,makeidle,oracle",
-        help="comma-separated schemes; status_quo is required for normalisation",
+        "--schemes", default=None,
+        help="comma-separated schemes; status_quo is required for "
+             "normalisation (default status_quo,makeidle,oracle — without "
+             "oracle under --cell, whose streamed traces cannot feed "
+             "offline policies)",
     )
     sweep.add_argument("--duration", type=float, default=1800.0,
                        help="seconds per application trace / per user-day")
@@ -260,20 +281,43 @@ def _split_csv_arg(value: str) -> list[str]:
 
 def _build_sweep_plan(args: argparse.Namespace):
     """Translate the ``sweep`` arguments into an ExperimentPlan."""
-    from .api import plan as new_plan
+    from .api import cell as cell_spec, plan as new_plan
     from .config import load_plan
 
     if args.plan:
         return load_plan(args.plan)
     p = new_plan()
-    if args.population:
+    if not args.cell and (args.devices is not None or args.dormancy is not None):
+        raise ValueError(
+            "--devices and --dormancy configure a cell sweep; add --cell "
+            "(they would otherwise be silently ignored)"
+        )
+    if args.cell:
+        if args.population:
+            raise ValueError(
+                "--cell sweeps synthetic application mixes (--apps); "
+                "--population applies to single-UE sweeps only"
+            )
+        apps = _split_csv_arg(args.apps) if args.apps else ["im", "email", "news"]
+        p = p.cells(
+            cell_spec(devices=args.devices if args.devices is not None else 100,
+                      apps=tuple(apps), duration=args.duration)
+        ).dormancy(*_split_csv_arg(args.dormancy or "accept_all"))
+    elif args.population:
         p = p.users(args.population, args.users or None,
                     hours_per_day=args.duration / 3600.0)
     else:
         apps = _split_csv_arg(args.apps) if args.apps else ["email", "im"]
         p = p.apps(*apps, duration=args.duration)
     p = p.carriers(*_split_csv_arg(args.carriers))
-    schemes = [_SCHEME_ALIASES.get(s, s) for s in _split_csv_arg(args.schemes)]
+    if args.schemes is None:
+        # Streamed cell traces cannot feed the offline oracle (see
+        # RadioPolicy.requires_trace), so the cell default leaves it out.
+        default_schemes = ("status_quo,makeidle" if args.cell
+                           else "status_quo,makeidle,oracle")
+    else:
+        default_schemes = args.schemes
+    schemes = [_SCHEME_ALIASES.get(s, s) for s in _split_csv_arg(default_schemes)]
     if "status_quo" not in schemes:
         schemes.insert(0, "status_quo")  # the normalisation baseline is implied
     p = p.policies(*schemes).window_size(args.window_size)
@@ -308,6 +352,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(text)
         else:
             print(f"wrote {args.json}", file=sys.stderr)
+    elif records and "dormancy" in records[0]:
+        rows = [
+            [
+                r["trace"],
+                r["carrier"],
+                r["scheme"],
+                r["dormancy"],
+                f"{r['energy_j']:.1f}",
+                f"{r.get('saved_percent', 0.0):.1f}",
+                f"{100.0 * r['denial_rate']:.1f}",
+                str(r["peak_switches_per_minute"]),
+                str(r["peak_active_devices"]),
+            ]
+            for r in records
+        ]
+        print(
+            format_table(
+                ["cell", "carrier", "scheme", "dormancy", "energy (J)",
+                 "saved %", "denied %", "peak sw/min", "peak active"],
+                rows,
+            )
+        )
     else:
         rows = [
             [

@@ -90,6 +90,9 @@ class PercentileIatPolicy(RadioPolicy):
         """The timeout currently in effect (set by :meth:`prepare`)."""
         return self._timeout
 
+    #: The timeout is trained on the trace's inter-arrival distribution.
+    requires_trace = True
+
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
         if len(trace) < 2:
             self._timeout = self._fallback

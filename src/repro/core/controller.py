@@ -50,6 +50,9 @@ class CombinedPolicy(RadioPolicy):
         self._idle = idle_policy
         self._active = active_policy
         self.name = name or f"{idle_policy.name}+{active_policy.name}"
+        self.requires_trace = bool(
+            idle_policy.requires_trace or active_policy.requires_trace
+        )
 
     @property
     def idle_policy(self) -> RadioPolicy:

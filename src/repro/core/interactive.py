@@ -195,6 +195,9 @@ class InteractiveAwarePolicy(RadioPolicy):
         """How many activation delays were forced to zero so far."""
         return self._suppressed
 
+    #: Indexes the trace's per-packet application labels ahead of time.
+    requires_trace = True
+
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
         # Index which application label is waking the radio at each arrival
         # time (the socket-layer knowledge a real control module has).

@@ -90,6 +90,8 @@ class FixedDelayMakeActive(RadioPolicy):
             raise ValueError(f"delay_bound must be non-negative, got {delay_bound}")
         self._explicit_bound = delay_bound
         self._bound = delay_bound if delay_bound is not None else 0.0
+        # Without an explicit bound, prepare() derives one from the trace.
+        self.requires_trace = delay_bound is None
 
     @property
     def delay_bound(self) -> float:

@@ -45,6 +45,9 @@ class OraclePolicy(RadioPolicy):
         """The offline-optimal gap threshold for the prepared profile."""
         return self._threshold
 
+    #: The oracle reads the whole trace ahead of time, by definition.
+    requires_trace = True
+
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
         self._timestamps = trace.timestamps
         self._threshold = TailEnergyModel(profile).t_threshold

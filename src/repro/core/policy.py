@@ -1,7 +1,13 @@
 """Radio control policy interface.
 
 A *policy* is the decision-making part of the paper's control module
-(Figure 4).  The trace-driven simulator asks the policy two questions:
+(Figure 4).  Policies are driven by the event kernel
+(:mod:`repro.sim.engine`) — identically whether the policy's device is the
+only UE of a :class:`~repro.sim.TraceSimulator` run or one of thousands in
+a :class:`~repro.basestation.cell.CellSimulator` cell (where a granted
+``dormancy_wait`` additionally passes through the base station's
+:class:`~repro.basestation.policies.DormancyPolicy`).  The kernel asks the
+policy two questions:
 
 * **After a packet** — should the radio be demoted early via fast dormancy,
   and if so after how long a silent wait?  (:meth:`RadioPolicy.dormancy_wait`)
@@ -40,6 +46,14 @@ class RadioPolicy:
 
     #: Human-readable policy name used in result tables.
     name: str = "policy"
+
+    #: Whether :meth:`prepare` reads the *trace* (offline/oracle policies) —
+    #: as opposed to only the profile.  Streaming consumers (the cell
+    #: simulator feeding lazy packet sources) refuse such policies rather
+    #: than silently preparing them on an empty trace.  May be overridden
+    #: per instance (e.g. a policy that only falls back to trace statistics
+    #: when no explicit parameter was given).
+    requires_trace: bool = False
 
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
         """Inspect the full trace and carrier profile before the run starts.

@@ -81,6 +81,9 @@ class TopHintPolicy(RadioPolicy):
         """Offline demotion threshold of the prepared profile."""
         return self._threshold
 
+    #: Hints are oracle-derived: the true next-gap table is read off the trace.
+    requires_trace = True
+
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
         self._threshold = TailEnergyModel(profile).t_threshold
         timestamps = trace.timestamps

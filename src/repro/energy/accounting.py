@@ -32,6 +32,7 @@ __all__ = [
     "EnergyBreakdown",
     "EnergyAccountant",
     "PacketTransfer",
+    "assemble_breakdown",
 ]
 
 
@@ -192,6 +193,43 @@ class DataEnergyModel:
         )
 
 
+def assemble_breakdown(
+    profile: CarrierProfile,
+    *,
+    data_j: float,
+    data_time_s: float,
+    active_time_s: float,
+    high_idle_time_s: float,
+    idle_time_s: float,
+    switch_j: float,
+    promotions: int,
+    demotions: int,
+) -> EnergyBreakdown:
+    """Build an :class:`EnergyBreakdown` from pre-summed time/energy totals.
+
+    This is the single place the tail/idle power formulas live: the batch
+    :meth:`EnergyAccountant.account` path and the simulation kernel's
+    streaming accumulation both call it, so their results agree exactly.
+    Transfer time is attributed to the Active state (data can only flow
+    while the radio is connected), so the Active tail time is the total
+    Active-state time minus the transfer time, clamped at zero.
+    """
+    active_tail_time = max(0.0, active_time_s - data_time_s)
+    return EnergyBreakdown(
+        data_j=data_j,
+        active_tail_j=active_tail_time * profile.power_active_w,
+        high_idle_tail_j=high_idle_time_s * profile.power_high_idle_w,
+        idle_j=idle_time_s * profile.power_idle_w,
+        switch_j=switch_j,
+        data_time_s=data_time_s,
+        active_time_s=active_time_s,
+        high_idle_time_s=high_idle_time_s,
+        idle_time_s=idle_time_s,
+        promotions=promotions,
+        demotions=demotions,
+    )
+
+
 class EnergyAccountant:
     """Combines a trace, a radio timeline and switch events into a breakdown."""
 
@@ -237,25 +275,18 @@ class EnergyAccountant:
         idle_time = sum(
             i.duration for i in intervals if i.state is RadioState.IDLE
         )
-
-        active_tail_time = max(0.0, active_time - data_time)
-        active_tail_j = active_tail_time * self._profile.power_active_w
-        high_idle_tail_j = high_idle_time * self._profile.power_high_idle_w
-        idle_j = idle_time * self._profile.power_idle_w
         switch_j = sum(s.energy_j for s in switches)
         promotions = sum(1 for s in switches if s.is_promotion)
         demotions = sum(1 for s in switches if s.is_demotion)
 
-        return EnergyBreakdown(
+        return assemble_breakdown(
+            self._profile,
             data_j=data_j,
-            active_tail_j=active_tail_j,
-            high_idle_tail_j=high_idle_tail_j,
-            idle_j=idle_j,
-            switch_j=switch_j,
             data_time_s=data_time,
             active_time_s=active_time,
             high_idle_time_s=high_idle_time,
             idle_time_s=idle_time,
+            switch_j=switch_j,
             promotions=promotions,
             demotions=demotions,
         )

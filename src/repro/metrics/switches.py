@@ -11,12 +11,39 @@ Figures 10(c)/11(c).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from ..rrc.state_machine import SwitchKind
 from ..sim.results import SimulationResult
 
-__all__ = ["SwitchStats", "switch_stats", "switches_normalized_table"]
+__all__ = [
+    "SwitchStats",
+    "peak_per_window",
+    "switch_stats",
+    "switches_normalized_table",
+]
+
+
+def peak_per_window(
+    times: Sequence[float], window_s: float, presorted: bool = False
+) -> int:
+    """Largest number of events falling in any ``window_s``-second window.
+
+    The cell simulation uses this for its peak-switches-per-minute load
+    metric.  ``times`` is sorted once unless the caller promises
+    ``presorted=True``; the sweep itself is a linear two-pointer pass.
+    """
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    ordered = times if presorted else sorted(times)
+    best = 0
+    start = 0
+    for end, time in enumerate(ordered):
+        while time - ordered[start] > window_s:
+            start += 1
+        if end - start + 1 > best:
+            best = end - start + 1
+    return best
 
 
 @dataclass(frozen=True)

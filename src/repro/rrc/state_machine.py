@@ -256,6 +256,23 @@ class RrcStateMachine:
         self._transition(time, RadioState.IDLE)
         return True
 
+    def drain_history(
+        self,
+    ) -> tuple[tuple[StateInterval, ...], tuple[SwitchEvent, ...]]:
+        """Return and clear the completed intervals and switches recorded so far.
+
+        Streaming consumers (the cell-scale simulation kernel) fold the
+        history into running totals after every event so the machine's
+        memory stays O(1) regardless of trace length.  Do not mix with the
+        :attr:`intervals` / :attr:`switches` accessors for final results:
+        drained history is gone.
+        """
+        intervals = tuple(self._intervals)
+        switches = tuple(self._switches)
+        self._intervals.clear()
+        self._switches.clear()
+        return intervals, switches
+
     def finish(self, end_time: float) -> None:
         """Close the timeline at ``end_time`` (applying any pending timers)."""
         self._check_time(end_time)

@@ -1,15 +1,31 @@
-"""Trace-driven simulation: the simulator, its results, and power profiles."""
+"""Trace-driven simulation: the event kernel, façades, results, power profiles."""
 
+from .engine import (
+    CellLoad,
+    DormancyStation,
+    EventKind,
+    KernelResult,
+    LoadSample,
+    SimulationEngine,
+    UeContext,
+)
 from .power_trace import PowerSample, PowerTrace, build_power_trace
 from .results import GapDecision, SessionDelay, SimulationResult
 from .simulator import TraceSimulator
 
 __all__ = [
+    "CellLoad",
+    "DormancyStation",
+    "EventKind",
     "GapDecision",
+    "KernelResult",
+    "LoadSample",
     "PowerSample",
     "PowerTrace",
     "SessionDelay",
+    "SimulationEngine",
     "SimulationResult",
     "TraceSimulator",
+    "UeContext",
     "build_power_trace",
 ]

@@ -1,0 +1,771 @@
+"""Event-driven simulation kernel shared by the single-UE and cell simulators.
+
+Both of the library's replay engines — the single-device
+:class:`~repro.sim.simulator.TraceSimulator` and the multi-device
+:class:`~repro.basestation.cell.CellSimulator` — are thin façades over the
+:class:`SimulationEngine` defined here: a heap-based event queue with typed
+events (packet arrival, scheduled fast-dormancy, MakeActive buffer release,
+inactivity-timer expiry, cell-load sampling) driving one-or-many per-UE
+contexts against one shared clock.  Each :class:`UeContext` bundles an
+:class:`~repro.rrc.state_machine.RrcStateMachine`, a
+:class:`~repro.core.policy.RadioPolicy` and an energy accumulator.
+
+The per-UE semantics (demotion scheduling, MakeActive buffering, tie-breaks,
+trailing tail) are exactly those documented in ``docs/DESIGN.md`` and the
+:mod:`repro.sim.simulator` module docstring; the event ordering encodes
+them structurally:
+
+* at equal times, a scheduled **buffer release** fires before a scheduled
+  **fast dormancy**, which fires before a **packet arrival** (the demotion
+  was scheduled first, so it fires strictly before the packet and the
+  packet pays a fresh promotion);
+* a packet arriving *strictly before* a scheduled demotion or release
+  cancels it (lazy invalidation via per-UE sequence numbers).
+
+Running one UE through the kernel is byte-identical to the pre-kernel
+``TraceSimulator`` loop (asserted by the equivalence property tests in
+``tests/sim/test_engine_equivalence.py``).
+
+Streaming
+---------
+
+The kernel consumes packet *iterators*, not materialised traces: at any
+moment it holds one pending packet per UE (plus whatever the source
+generator buffers), so a cell simulation's memory is bounded by the number
+of attached UEs rather than the total packet count.  In streaming mode
+(``collect_effective=False``) each context also folds its energy accounting
+incrementally — per-packet data energy as packets are emitted, state/switch
+totals by periodically draining the state machine's history — so 10k+-device
+cells run in bounded memory (see :mod:`repro.traces.streaming` for lazy
+workload generators).
+
+Cell mode
+---------
+
+Passing a :class:`DormancyStation` puts the kernel in cell mode: every
+scheduled fast-dormancy event becomes a *request* that the station may deny
+(3GPP Release 8 network-controlled fast dormancy), the kernel maintains a
+live :class:`CellLoad` (active-device count via inactivity-timer-expiry
+events, switch timestamps in a sliding window) and can record a
+:class:`LoadSample` time series at a fixed cadence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, replace
+from enum import IntEnum
+from itertools import count
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.policy import RadioPolicy
+from ..energy.accounting import (
+    DataEnergyModel,
+    EnergyAccountant,
+    EnergyBreakdown,
+    assemble_breakdown,
+)
+from ..rrc.profiles import CarrierProfile
+from ..rrc.state_machine import RrcStateMachine, SwitchKind
+from ..rrc.states import RadioState
+from ..traces.packet import Packet, PacketTrace
+from .results import SessionDelay, SimulationResult
+
+__all__ = [
+    "CellLoad",
+    "DormancyStation",
+    "EventKind",
+    "KernelResult",
+    "LoadSample",
+    "SimulationEngine",
+    "UeContext",
+]
+
+
+#: Streaming mode keeps at most this many SessionDelay records per UE (a
+#: sample; totals are tracked in counters), so MakeActive cells stay O(1)
+#: memory per UE.  Collect mode (single-UE runs) keeps everything.
+_SESSION_DELAY_SAMPLE_CAP = 512
+
+#: Prune a UE's per-flow last-activity table once it reaches this size.
+#: Entries older than the session idle gap classify identically to absent
+#: ones, so pruning never changes behaviour.
+_FLOW_TABLE_PRUNE_SIZE = 256
+
+
+class EventKind(IntEnum):
+    """Typed kernel events; the integer value is the tie-break priority.
+
+    At equal times a buffer release fires before a scheduled fast dormancy,
+    which fires before an inactivity-timer expiry, which fires before a
+    packet arrival — the ordering that reproduces the documented tie-break
+    semantics (a demotion scheduled at exactly a packet's arrival time fires
+    strictly before the packet).
+    """
+
+    RELEASE = 0        # MakeActive buffered-session release
+    DORMANCY = 1       # scheduled fast-dormancy request
+    TIMER = 2          # inactivity-timer expiry (cell-load tracking)
+    ARRIVAL = 3        # packet arrival
+    SAMPLE = 4         # periodic cell-load sample
+
+
+@dataclass(frozen=True)
+class LoadSample:
+    """One point of the cell-load time series recorded by SAMPLE events."""
+
+    time: float
+    active_devices: int
+    switches_last_minute: int
+
+
+class CellLoad:
+    """Live cell-load bookkeeping maintained by the kernel in cell mode.
+
+    Tracks the number of non-Idle devices (kept exact by inactivity-timer
+    expiry events), the running peak, and the timestamps of
+    signalling-relevant switches (promotions and granted fast dormancies)
+    with a sliding window for switches-per-minute style queries.
+    """
+
+    __slots__ = (
+        "total_devices",
+        "active_devices",
+        "peak_active_devices",
+        "switch_times",
+        "window_s",
+        "_recent",
+        "_recent_start",
+    )
+
+    def __init__(self, total_devices: int, window_s: float = 60.0) -> None:
+        if total_devices < 0:
+            raise ValueError("total_devices must be non-negative")
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.total_devices = total_devices
+        self.active_devices = 0
+        self.peak_active_devices = 0
+        self.switch_times: list[float] = []
+        self.window_s = window_s
+        # The recent-switch window is a list pruned by advancing a start
+        # index (cheaper than a deque for the append-mostly access pattern).
+        self._recent: list[float] = []
+        self._recent_start = 0
+
+    def note_switch(self, time: float) -> None:
+        """Record one signalling-relevant switch at ``time``."""
+        self.switch_times.append(time)
+        self._recent.append(time)
+
+    def switches_within_window(self, time: float) -> int:
+        """Switches recorded in the last ``window_s`` seconds before ``time``."""
+        recent = self._recent
+        start = self._recent_start
+        while start < len(recent) and time - recent[start] > self.window_s:
+            start += 1
+        self._recent_start = start
+        # Compact occasionally so the pruned prefix cannot grow unbounded.
+        if start > 4096:
+            del recent[:start]
+            self._recent_start = 0
+            start = 0
+        return len(recent) - start
+
+    def activate(self) -> None:
+        """One device left Idle."""
+        self.active_devices += 1
+        if self.active_devices > self.peak_active_devices:
+            self.peak_active_devices = self.active_devices
+
+    def deactivate(self) -> None:
+        """One device reached Idle."""
+        self.active_devices -= 1
+
+
+class DormancyStation:
+    """Base-station hook arbitrating fast-dormancy requests in cell mode.
+
+    The kernel calls :meth:`decide` once per fired fast-dormancy request,
+    passing the live :class:`CellLoad`; returning ``False`` denies the
+    request (the device stays on its inactivity timers until its next
+    scheduled request).  The default grants everything — the paper's
+    simplified assumption.
+    """
+
+    def decide(self, ue_id: int, time: float, load: CellLoad) -> bool:
+        """Grant (``True``) or deny (``False``) one fast-dormancy request."""
+        return True
+
+
+class UeContext:
+    """Per-UE kernel state: RRC machine + policy + buffer + energy accumulator.
+
+    In *collect* mode (single-UE runs) the context records every effective
+    packet and session delay so the façade can build a full
+    :class:`~repro.sim.results.SimulationResult`.  In *streaming* mode
+    (cells) it accumulates the energy breakdown incrementally, keeps no
+    per-packet state, caps the stored session-delay records at a fixed
+    sample (full totals live in :attr:`delayed_sessions` /
+    :attr:`total_delay_s`) and prunes its per-flow activity table, so
+    memory stays O(1) per UE regardless of trace length.
+    """
+
+    __slots__ = (
+        "ue_id",
+        "machine",
+        "policy",
+        "last_flow_activity",
+        "buffering",
+        "release_time",
+        "buffered_packets",
+        "buffered_arrivals",
+        "buffered_flows",
+        "dormancy_seq",
+        "release_seq",
+        "timer_seq",
+        "collect",
+        "effective_packets",
+        "session_delays",
+        "delayed_sessions",
+        "total_delay_s",
+        "flow_prune_at",
+        "last_effective",
+        "packet_count",
+        "was_active",
+        "dormancy_requests",
+        "dormancy_granted",
+        "dormancy_denied",
+        "_prev_transfer_ts",
+        "_data_j",
+        "_data_time_s",
+        "_active_time_s",
+        "_high_idle_time_s",
+        "_idle_time_s",
+        "_switch_j",
+        "_promotions",
+        "_timer_demotions",
+        "_fast_demotions",
+    )
+
+    def __init__(
+        self,
+        ue_id: int,
+        profile: CarrierProfile,
+        policy: RadioPolicy,
+        collect: bool,
+    ) -> None:
+        self.ue_id = ue_id
+        self.machine = RrcStateMachine(profile, start_time=0.0)
+        self.policy = policy
+        self.last_flow_activity: dict[int, float] = {}
+        self.buffering = False
+        self.release_time = 0.0
+        self.buffered_packets: list[Packet] = []
+        self.buffered_arrivals: list[SessionDelay] = []
+        self.buffered_flows: set[int] = set()
+        self.dormancy_seq = 0
+        self.release_seq = 0
+        self.timer_seq = 0
+        self.collect = collect
+        self.effective_packets: list[Packet] = []
+        self.session_delays: list[SessionDelay] = []
+        self.delayed_sessions = 0
+        self.total_delay_s = 0.0
+        self.flow_prune_at = _FLOW_TABLE_PRUNE_SIZE
+        self.last_effective: float | None = None
+        self.packet_count = 0
+        self.was_active = False
+        self.dormancy_requests = 0
+        self.dormancy_granted = 0
+        self.dormancy_denied = 0
+        # Streaming-mode incremental accounting.
+        self._prev_transfer_ts: float | None = None
+        self._data_j = 0.0
+        self._data_time_s = 0.0
+        self._active_time_s = 0.0
+        self._high_idle_time_s = 0.0
+        self._idle_time_s = 0.0
+        self._switch_j = 0.0
+        self._promotions = 0
+        self._timer_demotions = 0
+        self._fast_demotions = 0
+
+    # -- streaming accounting ----------------------------------------------------------
+
+    def account_transfer(self, model: DataEnergyModel, packet: Packet,
+                         time: float) -> None:
+        """Fold one emitted packet into the incremental data-energy totals.
+
+        Mirrors :meth:`~repro.energy.accounting.DataEnergyModel.packet_transfers`
+        packet by packet so the folded totals are float-identical to the
+        batch computation over the same effective sequence.
+        """
+        uplink = packet.direction.is_uplink
+        if self._prev_transfer_ts is None:
+            duration = model.serialization_time(packet.size, uplink)
+        else:
+            gap = time - self._prev_transfer_ts
+            if gap <= model.burst_gap:
+                duration = gap
+            else:
+                duration = model.serialization_time(packet.size, uplink)
+        self._data_j += duration * model.profile.transfer_power_w(uplink)
+        self._data_time_s += duration
+        self._prev_transfer_ts = time
+
+    def drain_account(self) -> None:
+        """Fold the machine's completed history into the running totals.
+
+        Called after every kernel event in streaming mode, so the machine's
+        interval/switch lists never grow beyond a handful of entries and the
+        context's memory stays O(1) regardless of trace length.
+        """
+        intervals, switches = self.machine.drain_history()
+        for interval in intervals:
+            duration = interval.duration
+            state = interval.state
+            if state in (RadioState.ACTIVE, RadioState.PROMOTING):
+                self._active_time_s += duration
+            elif state is RadioState.HIGH_IDLE:
+                self._high_idle_time_s += duration
+            elif state is RadioState.IDLE:
+                self._idle_time_s += duration
+        for switch in switches:
+            self._switch_j += switch.energy_j
+            if switch.kind is SwitchKind.PROMOTION:
+                self._promotions += 1
+            elif switch.kind is SwitchKind.TIMER_DEMOTION:
+                self._timer_demotions += 1
+            else:
+                self._fast_demotions += 1
+
+    @property
+    def promotions(self) -> int:
+        """Promotions folded so far (streaming mode)."""
+        return self._promotions
+
+    @property
+    def timer_demotions(self) -> int:
+        """Timer demotions folded so far (streaming mode)."""
+        return self._timer_demotions
+
+    @property
+    def fast_demotions(self) -> int:
+        """Fast-dormancy demotions folded so far (streaming mode)."""
+        return self._fast_demotions
+
+    def build_breakdown(self, profile: CarrierProfile) -> EnergyBreakdown:
+        """Assemble the folded totals into an :class:`EnergyBreakdown`."""
+        return assemble_breakdown(
+            profile,
+            data_j=self._data_j,
+            data_time_s=self._data_time_s,
+            active_time_s=self._active_time_s,
+            high_idle_time_s=self._high_idle_time_s,
+            idle_time_s=self._idle_time_s,
+            switch_j=self._switch_j,
+            promotions=self._promotions,
+            demotions=self._timer_demotions + self._fast_demotions,
+        )
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """What one kernel execution produced, before façade-specific assembly."""
+
+    contexts: Mapping[int, UeContext]
+    end_time: float
+    load: CellLoad | None = None
+    samples: tuple[LoadSample, ...] = ()
+
+
+class SimulationEngine:
+    """Heap-based event kernel driving one-or-many UEs against one clock.
+
+    Parameters
+    ----------
+    profile:
+        Carrier profile shared by every UE (timers, powers, switch costs).
+    data_model:
+        Optional custom :class:`~repro.energy.accounting.DataEnergyModel`.
+    session_idle_gap:
+        Quiet time after which a flow's next packet counts as a new session
+        (MakeActive eligibility); defaults to the carrier's ``t1 + t2``.
+    trailing_time:
+        Extra simulated time after the last emitted packet so the final
+        tail is charged; defaults to ``t1 + t2 + 1`` seconds.
+    """
+
+    def __init__(
+        self,
+        profile: CarrierProfile,
+        data_model: DataEnergyModel | None = None,
+        session_idle_gap: float | None = None,
+        trailing_time: float | None = None,
+    ) -> None:
+        self._profile = profile
+        self._accountant = EnergyAccountant(profile, data_model)
+        self._session_idle_gap = (
+            session_idle_gap
+            if session_idle_gap is not None
+            else profile.total_inactivity_timeout
+        )
+        self._trailing_time = (
+            trailing_time
+            if trailing_time is not None
+            else profile.total_inactivity_timeout + 1.0
+        )
+        if self._session_idle_gap < 0:
+            raise ValueError("session_idle_gap must be non-negative")
+        if self._trailing_time < 0:
+            raise ValueError("trailing_time must be non-negative")
+
+    @property
+    def profile(self) -> CarrierProfile:
+        """The carrier profile every UE runs against."""
+        return self._profile
+
+    @property
+    def accountant(self) -> EnergyAccountant:
+        """The energy accountant shared by all of this engine's runs."""
+        return self._accountant
+
+    # -- single-UE façade entry point --------------------------------------------------
+
+    def run_single(self, trace: PacketTrace, policy: RadioPolicy) -> SimulationResult:
+        """Replay ``trace`` under ``policy`` — the TraceSimulator semantics.
+
+        ``policy.prepare``/``reset`` must already have been called (the
+        façade owns policy lifecycle).  Produces results byte-identical to
+        the pre-kernel single-UE loop.
+        """
+        if not trace:
+            # A never-promoted radio has no tail: close the timeline at t=0
+            # rather than charging trailing time from an Idle machine.
+            machine = RrcStateMachine(self._profile, start_time=0.0)
+            machine.finish(0.0)
+            empty = PacketTrace((), name=trace.name)
+            return SimulationResult(
+                policy_name=policy.name,
+                profile_key=self._profile.key,
+                trace_name=trace.name,
+                breakdown=self._accountant.account(
+                    empty, machine.intervals, machine.switches
+                ),
+                intervals=tuple(machine.intervals),
+                switches=(),
+                effective_trace=empty,
+                gap_decisions=(),
+                session_delays=(),
+            )
+
+        ue = UeContext(0, self._profile, policy, collect=True)
+        outcome = self.run({0: iter(trace)}, {0: ue})
+        machine = ue.machine
+        effective_trace = PacketTrace(ue.effective_packets, name=trace.name)
+        breakdown = self._accountant.account(
+            effective_trace, machine.intervals, machine.switches
+        )
+        from .simulator import _gap_decisions  # façade-level derived metric
+
+        return SimulationResult(
+            policy_name=policy.name,
+            profile_key=self._profile.key,
+            trace_name=trace.name,
+            breakdown=breakdown,
+            intervals=tuple(machine.intervals),
+            switches=tuple(machine.switches),
+            effective_trace=effective_trace,
+            gap_decisions=tuple(_gap_decisions(effective_trace, machine.switches)),
+            session_delays=tuple(ue.session_delays),
+        )
+
+    # -- the kernel --------------------------------------------------------------------
+
+    def run(
+        self,
+        streams: Mapping[int, Iterator[Packet] | Iterable[Packet]],
+        contexts: Mapping[int, UeContext],
+        station: DormancyStation | None = None,
+        load: CellLoad | None = None,
+        sample_interval_s: float | None = None,
+    ) -> KernelResult:
+        """Drive every UE's packet stream through the shared event queue.
+
+        Parameters
+        ----------
+        streams:
+            Per-UE packet sources (iterators or iterables), each yielding
+            packets in non-decreasing timestamp order.  Only the next
+            pending packet of each stream is held in memory.
+        contexts:
+            Per-UE :class:`UeContext` keyed like ``streams``.
+        station:
+            Optional base-station arbiter; presence switches the kernel to
+            cell mode (dormancy arbitration + load tracking via timer
+            events).
+        load:
+            The :class:`CellLoad` to maintain; required when ``station`` is
+            given (the cell façade owns it so it can also snapshot it).
+        sample_interval_s:
+            When set (cell mode), record a :class:`LoadSample` every this
+            many seconds while packet/timer events remain.
+        """
+        if station is not None and load is None:
+            raise ValueError("cell mode (station=...) requires a CellLoad")
+        if sample_interval_s is not None and sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+
+        profile = self._profile
+        data_model = self._accountant.data_model
+        session_idle_gap = self._session_idle_gap
+        cell_mode = station is not None
+        # Time for an untouched radio to demote all the way to Idle — when
+        # an inactivity-timer-expiry event is scheduled after each activity.
+        idle_after = (
+            profile.total_inactivity_timeout
+            if profile.has_high_idle_state
+            else profile.t1
+        )
+
+        heap: list[tuple[float, int, int, int, object]] = []
+        serial = count()
+        iterators: dict[int, Iterator[Packet]] = {}
+        real_events = 0  # non-SAMPLE events still queued
+        samples: list[LoadSample] = []
+
+        def push(time: float, kind: EventKind, ue_id: int, payload: object) -> None:
+            nonlocal real_events
+            if kind is not EventKind.SAMPLE:
+                real_events += 1
+            heapq.heappush(heap, (time, int(kind), ue_id, next(serial), payload))
+
+        def pull_arrival(ue_id: int, after: float) -> None:
+            """Queue the next packet of one UE's stream, validating order."""
+            packet = next(iterators[ue_id], None)
+            if packet is None:
+                return
+            if packet.timestamp < after:
+                raise ValueError(
+                    f"packet stream for UE {ue_id} is not time-ordered: "
+                    f"{packet.timestamp} after {after}"
+                )
+            push(packet.timestamp, EventKind.ARRIVAL, ue_id, packet)
+
+        def sync_load(ue: UeContext) -> None:
+            """Reconcile the cell's active-device count with ``ue``'s state."""
+            active = ue.machine.state is not RadioState.IDLE
+            if active and not ue.was_active:
+                load.activate()
+            elif not active and ue.was_active:
+                load.deactivate()
+            ue.was_active = active
+
+        def emit(ue: UeContext, packet: Packet, time: float) -> None:
+            """Transfer one packet at effective time ``time``."""
+            promoted = ue.machine.notify_activity(time)
+            effective = packet if packet.timestamp == time else replace(
+                packet, timestamp=time
+            )
+            if ue.collect:
+                ue.effective_packets.append(effective)
+            else:
+                ue.account_transfer(data_model, effective, time)
+            ue.packet_count += 1
+            ue.last_effective = time
+            ue.policy.observe_packet(time, effective)
+            if cell_mode:
+                if promoted:
+                    load.note_switch(time)
+                sync_load(ue)
+                ue.timer_seq += 1
+                push(time + idle_after, EventKind.TIMER, ue.ue_id, ue.timer_seq)
+
+        def ask_dormancy(ue: UeContext, time: float) -> None:
+            """Ask the policy for a demotion wait after activity at ``time``."""
+            wait = ue.policy.dormancy_wait(time)
+            ue.dormancy_seq += 1
+            if wait is not None:
+                push(time + wait, EventKind.DORMANCY, ue.ue_id, ue.dormancy_seq)
+
+        def release_buffer(ue: UeContext, time: float) -> None:
+            """Promote once and emit every buffered packet at ``time``."""
+            for buffered in ue.buffered_packets:
+                emit(ue, buffered, time)
+            for pending in ue.buffered_arrivals:
+                ue.delayed_sessions += 1
+                ue.total_delay_s += time - pending.arrival_time
+                if (ue.collect
+                        or len(ue.session_delays) < _SESSION_DELAY_SAMPLE_CAP):
+                    ue.session_delays.append(
+                        SessionDelay(pending.arrival_time, time, pending.flow_id)
+                    )
+            if ue.buffered_arrivals:
+                ue.policy.on_release(
+                    time, [d.arrival_time for d in ue.buffered_arrivals]
+                )
+            ask_dormancy(ue, time)
+            ue.buffering = False
+            ue.buffered_packets = []
+            ue.buffered_arrivals = []
+            ue.buffered_flows = set()
+
+        def on_arrival(ue: UeContext, packet: Packet) -> None:
+            now = packet.timestamp
+            # A packet arriving strictly before a scheduled demotion cancels
+            # it; one scheduled at exactly ``now`` already fired (heap order).
+            ue.dormancy_seq += 1
+
+            previous_activity = ue.last_flow_activity.get(packet.flow_id)
+            is_session_start = (
+                previous_activity is None
+                or now - previous_activity > session_idle_gap
+            )
+            ue.last_flow_activity[packet.flow_id] = now
+            if len(ue.last_flow_activity) >= ue.flow_prune_at:
+                # Entries older than the idle gap classify exactly like
+                # absent ones (strict '>' above), so dropping them changes
+                # nothing; doubling the threshold keeps this amortised O(1).
+                stale = now - session_idle_gap
+                for flow_id in [f for f, t in ue.last_flow_activity.items()
+                                if t < stale]:
+                    del ue.last_flow_activity[flow_id]
+                ue.flow_prune_at = max(
+                    _FLOW_TABLE_PRUNE_SIZE, 2 * len(ue.last_flow_activity)
+                )
+
+            if ue.buffering:
+                if is_session_start or packet.flow_id in ue.buffered_flows:
+                    # Either a further new session joining the batch, or a
+                    # later packet of a session that is already being held.
+                    ue.buffered_packets.append(packet)
+                    if is_session_start:
+                        ue.buffered_arrivals.append(
+                            SessionDelay(now, ue.release_time, packet.flow_id)
+                        )
+                    ue.buffered_flows.add(packet.flow_id)
+                    return
+                # A packet of an ongoing, *unbuffered* session must not be
+                # delayed: release right away and let it go through normally.
+                ue.release_seq += 1  # invalidate the scheduled release event
+                release_buffer(ue, now)
+            elif ue.machine.state_at(now) is RadioState.IDLE and is_session_start:
+                delay = ue.policy.activation_delay(now)
+                if delay < 0:
+                    raise ValueError(
+                        f"policy {ue.policy.name!r} returned a negative "
+                        "activation delay"
+                    )
+                if delay > 0:
+                    ue.buffering = True
+                    ue.release_time = now + delay
+                    ue.buffered_packets = [packet]
+                    ue.buffered_arrivals = [
+                        SessionDelay(now, ue.release_time, packet.flow_id)
+                    ]
+                    ue.buffered_flows = {packet.flow_id}
+                    ue.dormancy_seq += 1  # buffering clears any pending demotion
+                    ue.release_seq += 1
+                    push(ue.release_time, EventKind.RELEASE, ue.ue_id, ue.release_seq)
+                    return
+                if ue.collect:
+                    ue.session_delays.append(SessionDelay(now, now, packet.flow_id))
+
+            emit(ue, packet, now)
+            ask_dormancy(ue, now)
+
+        def on_dormancy(ue: UeContext, time: float, seq: int) -> None:
+            if seq != ue.dormancy_seq or ue.buffering:
+                return  # cancelled by a later packet or superseded
+            if cell_mode:
+                ue.dormancy_requests += 1
+                granted = station.decide(
+                    ue.ue_id, time, load
+                )
+                if granted:
+                    ue.dormancy_granted += 1
+                else:
+                    ue.dormancy_denied += 1
+                    return
+            if ue.machine.request_fast_dormancy(time) and cell_mode:
+                load.note_switch(time)
+            if cell_mode:
+                sync_load(ue)
+
+        def on_timer(ue: UeContext, time: float, seq: int) -> None:
+            if seq != ue.timer_seq:
+                return  # superseded by later activity
+            ue.machine.advance_to(time)
+            sync_load(ue)
+
+        # Prime one arrival per UE and (optionally) the first load sample.
+        for ue_id, source in streams.items():
+            iterators[ue_id] = iter(source)
+            pull_arrival(ue_id, 0.0)
+        if sample_interval_s is not None and heap:
+            push(sample_interval_s, EventKind.SAMPLE, -1, None)
+
+        while heap:
+            time, kind, ue_id, _, payload = heapq.heappop(heap)
+            if kind != int(EventKind.SAMPLE):
+                real_events -= 1
+            if kind == int(EventKind.ARRIVAL):
+                ue = contexts[ue_id]
+                on_arrival(ue, payload)
+                pull_arrival(ue_id, time)
+            elif kind == int(EventKind.DORMANCY):
+                ue = contexts[ue_id]
+                on_dormancy(ue, time, payload)
+            elif kind == int(EventKind.RELEASE):
+                ue = contexts[ue_id]
+                if payload == ue.release_seq:
+                    release_buffer(ue, time)
+            elif kind == int(EventKind.TIMER):
+                ue = contexts[ue_id]
+                on_timer(ue, time, payload)
+            else:  # SAMPLE
+                samples.append(
+                    LoadSample(
+                        time=time,
+                        active_devices=load.active_devices if load else 0,
+                        switches_last_minute=(
+                            load.switches_within_window(time) if load else 0
+                        ),
+                    )
+                )
+                if real_events > 0 and sample_interval_s is not None:
+                    push(time + sample_interval_s, EventKind.SAMPLE, -1, None)
+                continue
+            if not contexts[ue_id].collect:
+                contexts[ue_id].drain_account()
+
+        # Close every timeline: charge the trailing tail after the last
+        # emitted packet (a run that never emitted anything has no tail).
+        last_emitted = max(
+            (ue.last_effective for ue in contexts.values()
+             if ue.last_effective is not None),
+            default=None,
+        )
+        if last_emitted is None:
+            end_time = max(
+                (ue.machine.now for ue in contexts.values()), default=0.0
+            )
+        else:
+            end_time = last_emitted + self._trailing_time
+            for ue in contexts.values():
+                if ue.machine.now > end_time:
+                    end_time = ue.machine.now
+        for ue in contexts.values():
+            ue.machine.finish(end_time)
+            if cell_mode:
+                sync_load(ue)
+            if not ue.collect:
+                ue.drain_account()
+
+        return KernelResult(
+            contexts=contexts,
+            end_time=end_time,
+            load=load,
+            samples=tuple(samples),
+        )

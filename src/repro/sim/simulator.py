@@ -1,4 +1,4 @@
-"""Trace-driven RRC simulator.
+"""Trace-driven RRC simulator (single-UE façade over the event kernel).
 
 The simulator replays a packet trace against an
 :class:`~repro.rrc.state_machine.RrcStateMachine` under the control of a
@@ -8,6 +8,12 @@ breakdown, per-gap demotion decisions and per-session delays that the
 evaluation metrics consume.  This mirrors the paper's methodology: all
 results in Section 6 come from trace-driven simulation over collected
 packet traces with the measured carrier constants.
+
+Since the kernel refactor, :class:`TraceSimulator` is a thin façade over
+:class:`~repro.sim.engine.SimulationEngine` — the same heap-based event
+kernel that powers the multi-device
+:class:`~repro.basestation.cell.CellSimulator` — so the replay semantics
+below are implemented exactly once.
 
 Semantics
 ---------
@@ -28,13 +34,16 @@ Semantics
   originally fall after the release time keep their own timestamps, so a
   delayed session is compressed toward its release rather than shifted as a
   rigid block; the difference only affects intra-burst spacing, which the
-  per-second energy model is insensitive to (documented in DESIGN.md).
+  per-second energy model is insensitive to (documented in
+  ``docs/DESIGN.md``).
 * **Trailing tail.** After the last packet the simulation keeps running for
   ``t1 + t2`` plus one second so that the final tail (which the status quo
   pays and the proposed schemes mostly avoid) is charged fairly.
 
 Tie-breaks and degenerate inputs
 --------------------------------
+
+(See ``docs/DESIGN.md`` for the rationale behind each rule.)
 
 * A fast-dormancy demotion scheduled at *exactly* a packet's arrival time
   fires **strictly before** the packet is processed: the demotion was
@@ -49,15 +58,14 @@ Tie-breaks and degenerate inputs
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..core.policy import RadioPolicy
-from ..energy.accounting import DataEnergyModel, EnergyAccountant
+from ..energy.accounting import DataEnergyModel
 from ..rrc.profiles import CarrierProfile
-from ..rrc.state_machine import RrcStateMachine, SwitchEvent
+from ..rrc.state_machine import SwitchEvent
 from ..rrc.states import RadioState
-from ..traces.packet import Packet, PacketTrace
-from .results import GapDecision, SessionDelay, SimulationResult
+from ..traces.packet import PacketTrace
+from .engine import SimulationEngine
+from .results import GapDecision, SimulationResult
 
 __all__ = ["TraceSimulator"]
 
@@ -88,187 +96,28 @@ class TraceSimulator:
         session_idle_gap: float | None = None,
         trailing_time: float | None = None,
     ) -> None:
-        self._profile = profile
-        self._accountant = EnergyAccountant(profile, data_model)
-        self._session_idle_gap = (
-            session_idle_gap
-            if session_idle_gap is not None
-            else profile.total_inactivity_timeout
+        self._engine = SimulationEngine(
+            profile,
+            data_model=data_model,
+            session_idle_gap=session_idle_gap,
+            trailing_time=trailing_time,
         )
-        self._trailing_time = (
-            trailing_time
-            if trailing_time is not None
-            else profile.total_inactivity_timeout + 1.0
-        )
-        if self._session_idle_gap < 0:
-            raise ValueError("session_idle_gap must be non-negative")
-        if self._trailing_time < 0:
-            raise ValueError("trailing_time must be non-negative")
 
     @property
     def profile(self) -> CarrierProfile:
         """The carrier profile this simulator uses."""
-        return self._profile
+        return self._engine.profile
+
+    @property
+    def engine(self) -> SimulationEngine:
+        """The shared event kernel this façade drives."""
+        return self._engine
 
     def run(self, trace: PacketTrace, policy: RadioPolicy) -> SimulationResult:
         """Simulate ``trace`` under ``policy`` and return the run's results."""
-        policy.prepare(trace, self._profile)
+        policy.prepare(trace, self._engine.profile)
         policy.reset()
-
-        if not trace:
-            # A never-promoted radio has no tail: close the timeline at t=0
-            # rather than charging trailing time from an Idle machine.
-            machine = RrcStateMachine(self._profile, start_time=0.0)
-            machine.finish(0.0)
-            empty = PacketTrace((), name=trace.name)
-            return SimulationResult(
-                policy_name=policy.name,
-                profile_key=self._profile.key,
-                trace_name=trace.name,
-                breakdown=self._accountant.account(
-                    empty, machine.intervals, machine.switches
-                ),
-                intervals=tuple(machine.intervals),
-                switches=(),
-                effective_trace=empty,
-                gap_decisions=(),
-                session_delays=(),
-            )
-
-        machine = RrcStateMachine(self._profile, start_time=0.0)
-        effective_packets: list[Packet] = []
-        session_delays: list[SessionDelay] = []
-        last_flow_activity: dict[int, float] = {}
-
-        pending_dormancy: float | None = None
-        buffering = False
-        release_time = 0.0
-        buffered_packets: list[Packet] = []
-        buffered_arrivals: list[SessionDelay] = []
-        buffered_flows: set[int] = set()
-
-        def emit(packet: Packet, time: float) -> None:
-            """Transfer one packet at effective time ``time``."""
-            nonlocal pending_dormancy
-            machine.notify_activity(time)
-            effective = packet if packet.timestamp == time else replace(
-                packet, timestamp=time
-            )
-            effective_packets.append(effective)
-            policy.observe_packet(time, effective)
-
-        def ask_dormancy(time: float) -> None:
-            """Ask the policy for a demotion wait after activity at ``time``."""
-            nonlocal pending_dormancy
-            wait = policy.dormancy_wait(time)
-            pending_dormancy = time + wait if wait is not None else None
-
-        def release_buffer(time: float) -> None:
-            """Promote once and emit every buffered packet at ``time``."""
-            nonlocal buffering, buffered_packets, buffered_arrivals, buffered_flows
-            for buffered in buffered_packets:
-                emit(buffered, time)
-            for pending in buffered_arrivals:
-                session_delays.append(
-                    SessionDelay(pending.arrival_time, time, pending.flow_id)
-                )
-            if buffered_arrivals:
-                policy.on_release(
-                    time, [d.arrival_time for d in buffered_arrivals]
-                )
-            ask_dormancy(time)
-            buffering = False
-            buffered_packets = []
-            buffered_arrivals = []
-            buffered_flows = set()
-
-        for packet in trace:
-            now = packet.timestamp
-
-            # 1. A scheduled buffer release that falls before this packet.
-            if buffering and now >= release_time:
-                release_buffer(release_time)
-
-            # 2. A scheduled fast-dormancy demotion that fires at or before this
-            #    packet.  Ties go to the demotion: it was scheduled first, so it
-            #    fires strictly before the packet is processed and the packet
-            #    then promotes the freshly idled radio (see module docstring).
-            if not buffering and pending_dormancy is not None:
-                if pending_dormancy <= now:
-                    machine.request_fast_dormancy(pending_dormancy)
-                    pending_dormancy = None
-                else:
-                    # The packet arrived before the wait elapsed: cancel.
-                    pending_dormancy = None
-
-            previous_activity = last_flow_activity.get(packet.flow_id)
-            is_session_start = (
-                previous_activity is None
-                or now - previous_activity > self._session_idle_gap
-            )
-            last_flow_activity[packet.flow_id] = now
-
-            if buffering:
-                if is_session_start or packet.flow_id in buffered_flows:
-                    # Either a further new session joining the batch, or a
-                    # later packet of a session that is already being held.
-                    buffered_packets.append(packet)
-                    if is_session_start:
-                        buffered_arrivals.append(
-                            SessionDelay(now, release_time, packet.flow_id)
-                        )
-                    buffered_flows.add(packet.flow_id)
-                    continue
-                # A packet of an ongoing, *unbuffered* session must not be
-                # delayed: release right away and let it go through normally.
-                release_buffer(now)
-            elif machine.state_at(now) is RadioState.IDLE and is_session_start:
-                delay = policy.activation_delay(now)
-                if delay < 0:
-                    raise ValueError(
-                        f"policy {policy.name!r} returned a negative activation delay"
-                    )
-                if delay > 0:
-                    buffering = True
-                    release_time = now + delay
-                    buffered_packets = [packet]
-                    buffered_arrivals = [SessionDelay(now, release_time, packet.flow_id)]
-                    buffered_flows = {packet.flow_id}
-                    pending_dormancy = None
-                    continue
-                session_delays.append(SessionDelay(now, now, packet.flow_id))
-
-            emit(packet, now)
-            ask_dormancy(now)
-
-        # Drain any remaining buffered sessions and pending demotion.
-        if buffering:
-            release_buffer(release_time)
-        if pending_dormancy is not None:
-            machine.request_fast_dormancy(pending_dormancy)
-            pending_dormancy = None
-
-        last_time = effective_packets[-1].timestamp if effective_packets else 0.0
-        end_time = max(last_time + self._trailing_time, machine.now)
-        machine.finish(end_time)
-
-        effective_trace = PacketTrace(effective_packets, name=trace.name)
-        breakdown = self._accountant.account(
-            effective_trace, machine.intervals, machine.switches
-        )
-        gap_decisions = _gap_decisions(effective_trace, machine.switches)
-
-        return SimulationResult(
-            policy_name=policy.name,
-            profile_key=self._profile.key,
-            trace_name=trace.name,
-            breakdown=breakdown,
-            intervals=tuple(machine.intervals),
-            switches=tuple(machine.switches),
-            effective_trace=effective_trace,
-            gap_decisions=tuple(gap_decisions),
-            session_delays=tuple(session_delays),
-        )
+        return self._engine.run_single(trace, policy)
 
 
 def _gap_decisions(

@@ -36,6 +36,11 @@ from .tcpdump import (
     write_tcpdump,
 )
 from .pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
+from .streaming import (
+    merge_packet_streams,
+    stream_application_packets,
+    stream_user_day_packets,
+)
 from .stats import (
     EmpiricalCdf,
     SlidingWindowDistribution,
@@ -79,6 +84,8 @@ __all__ = [
     "split_by_app",
     "split_by_flow",
     "split_train_test",
+    "stream_application_packets",
+    "stream_user_day_packets",
     "thin_by_fraction",
     "write_tcpdump",
     "APPLICATION_PROFILES",
@@ -102,6 +109,7 @@ __all__ = [
     "generate_periodic_trace",
     "generate_poisson_trace",
     "inter_arrival_percentile",
+    "merge_packet_streams",
     "merge_traces",
     "population_traces",
     "read_pcap",

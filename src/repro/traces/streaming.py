@@ -1,0 +1,117 @@
+"""Lazy, bounded-memory packet sources for cell-scale simulation.
+
+The simulation kernel (:mod:`repro.sim.engine`) consumes packet
+*iterators*: it holds one pending packet per UE, so a cell's memory is
+bounded by the number of attached devices — provided the workloads
+themselves are generated lazily.  This module supplies those lazy sources.
+
+A streamed workload is produced **chunk by chunk**: each chunk of
+``chunk_s`` seconds is synthesised with the existing (deterministic)
+generators, yielded packet by packet, and discarded before the next chunk
+is built.  Peak memory is therefore one chunk per *currently generating*
+device rather than one full trace per device, and a 10k-device cell over
+hours of traffic streams in a few megabytes.
+
+Chunked generation is deterministic given ``(name, duration, seed,
+chunk_s)`` but is a *different* sample of the application's traffic model
+than the equivalent single-shot :func:`generate_application_trace` call —
+bursts do not straddle chunk boundaries.  The statistics that matter to
+the energy model (inter-arrival mix, burst shapes) are unchanged; see
+``docs/DESIGN.md`` ("substitution rule") for why statistically equivalent
+regeneration is the contract throughout this library.
+"""
+
+from __future__ import annotations
+
+import heapq
+import zlib
+from typing import Iterable, Iterator
+
+from .packet import Packet
+from .synthetic import generate_application_trace
+
+__all__ = [
+    "merge_packet_streams",
+    "stream_application_packets",
+    "stream_user_day_packets",
+]
+
+
+def _chunk_seed(seed: int, index: int) -> int:
+    """Derive chunk ``index``'s generator seed from the stream seed.
+
+    Hashed rather than strided: cell populations hand out *consecutive*
+    per-device seeds, so any linear ``seed + K * index`` rule would make
+    device ``i``'s chunk ``k`` collide with device ``i + K*k``'s chunk 0,
+    replaying identical traffic across devices at scale.
+    """
+    return zlib.crc32(f"{seed}/{index}".encode("ascii"))
+
+
+def stream_application_packets(
+    name: str,
+    duration: float = 3600.0,
+    seed: int = 0,
+    chunk_s: float = 600.0,
+) -> Iterator[Packet]:
+    """Yield one application's packets lazily, ``chunk_s`` seconds at a time.
+
+    Equivalent in distribution to
+    :func:`~repro.traces.synthetic.generate_application_trace` but with
+    peak memory of one chunk instead of the whole trace.  Packets are
+    yielded in non-decreasing timestamp order, as the kernel requires.
+    """
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+    if chunk_s <= 0:
+        raise ValueError(f"chunk_s must be positive, got {chunk_s}")
+    offset = 0.0
+    index = 0
+    while offset < duration:
+        length = min(chunk_s, duration - offset)
+        chunk = generate_application_trace(
+            name, duration=length, seed=_chunk_seed(seed, index)
+        )
+        for packet in chunk:
+            yield packet.shifted(offset)
+        offset += length
+        index += 1
+
+
+def stream_user_day_packets(
+    apps: Iterable[str],
+    duration: float = 3600.0,
+    seed: int = 0,
+    chunk_s: float = 600.0,
+) -> Iterator[Packet]:
+    """Yield a multi-application device workload lazily.
+
+    One stream per application (flow ids remapped so applications never
+    collide), merged in time order — the streaming analogue of building a
+    user trace with :func:`~repro.traces.packet.merge_traces`.
+    """
+    streams = [
+        _remap_flows(
+            stream_application_packets(
+                app, duration=duration, seed=seed + 13 * index, chunk_s=chunk_s
+            ),
+            offset=index * 1_000_000,
+        )
+        for index, app in enumerate(apps)
+    ]
+    return merge_packet_streams(*streams)
+
+
+def _remap_flows(stream: Iterator[Packet], offset: int) -> Iterator[Packet]:
+    for packet in stream:
+        yield packet.with_flow(packet.flow_id + offset)
+
+
+def merge_packet_streams(*streams: Iterable[Packet]) -> Iterator[Packet]:
+    """Merge time-ordered packet streams into one, lazily.
+
+    Holds one pending packet per input stream (``heapq.merge``), so merging
+    many lazy sources stays bounded-memory.  Inputs must each be in
+    non-decreasing timestamp order.
+    """
+    return heapq.merge(*streams, key=lambda p: p.timestamp)

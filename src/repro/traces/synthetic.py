@@ -7,7 +7,7 @@ is publicly available:
   the background (Section 6.1), and
 * 28 days of traces from nine real users on T-Mobile and Verizon phones.
 
-Following the substitution rule documented in ``DESIGN.md``, this module
+Following the substitution rule documented in ``docs/DESIGN.md``, this module
 regenerates statistically equivalent traces from the paper's own description
 of each application's traffic pattern:
 

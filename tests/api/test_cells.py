@@ -1,0 +1,218 @@
+"""Tests for the cell-sweep axis of the experiment API."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import (
+    CellRunSpec,
+    CellSpec,
+    DormancySpec,
+    EmptyAxisError,
+    ProcessPoolRunner,
+    SerialRunner,
+    cell,
+    dormancy,
+    execute_spec,
+    plan,
+)
+from repro.basestation.cell import CellResult
+from repro.config import load_plan, save_plan
+
+
+def _small_plan():
+    return (plan()
+            .cells(cell(devices=6, apps=("im",), duration=180.0, name="tiny"))
+            .carriers("att_hspa")
+            .policies("status_quo", "makeidle")
+            .dormancy("accept_all", "reject_all"))
+
+
+class TestCellSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CellSpec(devices=0)
+        with pytest.raises(ValueError):
+            CellSpec(apps=())
+        with pytest.raises(ValueError):
+            CellSpec(apps=("no_such_app",))
+        with pytest.raises(ValueError):
+            CellSpec(duration_s=0.0)
+
+    def test_unnamed_labels_distinguish_populations(self):
+        # Two different unnamed populations of the same size must not share
+        # a label: a shared label would merge their RunRecord groups and
+        # normalise one population against the other's baseline.
+        im = cell(devices=3, apps=("im",), duration=300.0)
+        email = cell(devices=3, apps=("email",), duration=300.0)
+        assert im.label != email.label
+        # ...but repetitions of one population under different seeds do
+        # share it, so repeat(seeds=...) groups correctly.
+        assert im.label == im.with_seed(5).label
+        assert cell(devices=3, apps=("im",), duration=300.0,
+                    name="x").label == "x"
+
+    def test_fingerprint_distinguishes_populations(self):
+        base = cell(devices=10, apps=("im",), duration=300.0)
+        assert base.fingerprint == cell(devices=10, apps=("im",),
+                                        duration=300.0).fingerprint
+        assert base.fingerprint != base.with_seed(1).fingerprint
+        assert base.fingerprint != cell(devices=11, apps=("im",),
+                                        duration=300.0).fingerprint
+        materialised = CellSpec(devices=10, apps=("im",), duration_s=300.0,
+                                streaming=False)
+        assert base.fingerprint != materialised.fingerprint
+
+    def test_build_devices_cycles_apps_and_seeds(self):
+        spec = cell(devices=4, apps=("im", "email"), duration=60.0)
+        devices = spec.build_devices(_policy_spec("makeidle"))
+        assert [d.device_id for d in devices] == [0, 1, 2, 3]
+        # Fresh policy instance per device, never shared.
+        assert len({id(d.policy) for d in devices}) == 4
+
+    def test_dormancy_spec_validation(self):
+        with pytest.raises(ValueError):
+            DormancySpec(scheme="nope")
+        with pytest.raises(ValueError):
+            DormancySpec(scheme="accept_all", param=3.0)
+        with pytest.raises(ValueError):
+            DormancySpec(scheme="load_aware", param=2.5)  # would truncate
+        assert dormancy("rate_limited", 30.0).build().min_interval_s == 30.0
+        assert dormancy("load_aware", 50).build().max_switches_per_minute == 50
+
+
+def _policy_spec(scheme):
+    from repro.api import PolicySpec
+
+    return PolicySpec(scheme=scheme, window_size=20)
+
+
+class TestCellPlan:
+    def test_expansion_order_and_size(self):
+        p = _small_plan()
+        specs = p.build()
+        assert len(specs) == len(p) == 4
+        assert all(isinstance(s, CellRunSpec) for s in specs)
+        # policy-major, dormancy-minor expansion
+        assert [(s.scheme, s.dormancy.scheme) for s in specs] == [
+            ("status_quo", "accept_all"),
+            ("status_quo", "reject_all"),
+            ("makeidle", "accept_all"),
+            ("makeidle", "reject_all"),
+        ]
+
+    def test_cell_axis_excludes_trace_axis(self):
+        p = _small_plan().apps("im")
+        with pytest.raises(ValueError):
+            p.build()
+
+    def test_dormancy_axis_on_trace_plan_is_rejected(self):
+        p = (plan().apps("im").carriers("att_hspa")
+             .policies("status_quo").dormancy("reject_all"))
+        with pytest.raises(ValueError, match="cell plans"):
+            p.build()
+
+    def test_offline_policy_refused_on_streamed_cells(self):
+        p = (plan().cells(cell(devices=2, apps=("im",), duration=120.0))
+             .carriers("att_hspa").policies("oracle"))
+        (spec,) = p.build()
+        with pytest.raises(ValueError, match="lazy packet source"):
+            execute_spec(spec)
+
+    def test_offline_policy_allowed_on_materialised_cells(self):
+        materialised = CellSpec(devices=2, apps=("im",), duration_s=120.0,
+                                streaming=False)
+        p = (plan().cells(materialised).carriers("att_hspa")
+             .policies("oracle"))
+        (spec,) = p.build()
+        result = execute_spec(spec)
+        assert isinstance(result, CellResult)
+        assert result.dormancy_requests > 0  # the oracle did demote
+
+    def test_missing_axes_raise(self):
+        with pytest.raises(EmptyAxisError):
+            plan().cells(cell(devices=2)).policies("makeidle").build()
+        with pytest.raises(EmptyAxisError):
+            plan().cells(cell(devices=2)).carriers("att_hspa").build()
+
+    def test_default_dormancy_is_accept_all(self):
+        p = (plan().cells(cell(devices=2, apps=("im",), duration=60.0))
+             .carriers("att_hspa").policies("makeidle"))
+        (spec,) = p.build()
+        assert spec.dormancy == DormancySpec("accept_all")
+
+    def test_json_round_trip(self, tmp_path):
+        p = _small_plan().repeat(seeds=(0, 1)).labelled("cells")
+        path = tmp_path / "plan.json"
+        save_plan(p, path)
+        assert load_plan(path) == p
+
+    def test_describe_mentions_cells(self):
+        assert "cell(s)" in _small_plan().describe()
+
+
+class TestCellRunners:
+    def test_serial_runner_runs_and_caches(self):
+        runner = SerialRunner()
+        runs = runner.run(_small_plan())
+        assert len(runs) == 4
+        assert all(isinstance(r.result, CellResult) for r in runs)
+        # status_quo devices never request dormancy, so the baseline cell
+        # is simulated once and reused across both dormancy policies.
+        assert runs.cache_stats.misses == 3
+        assert runs.cache_stats.hits == 1
+        status_quo = [r for r in runs if r.scheme == "status_quo"]
+        assert [r.from_cache for r in status_quo] == [False, True]
+        replay = runner.run(_small_plan())
+        assert replay.cache_stats.misses == 0
+        assert replay.cache_stats.hits == 4
+
+    def test_pool_matches_serial_byte_for_byte(self):
+        serial = SerialRunner().run(_small_plan())
+        pooled = ProcessPoolRunner(jobs=2).run(_small_plan())
+        assert (json.dumps(serial.to_records())
+                == json.dumps(pooled.to_records()))
+
+    def test_execute_spec_dispatches_cells(self):
+        (spec, *_rest) = _small_plan().build()
+        result = execute_spec(spec)
+        assert isinstance(result, CellResult)
+
+    def test_records_carry_cell_metrics(self):
+        runs = SerialRunner().run(_small_plan())
+        rows = runs.to_records()
+        reject_row = next(
+            r for r in rows
+            if r["scheme"] == "makeidle" and r["dormancy"] == "reject_all"
+        )
+        assert reject_row["devices"] == 6
+        assert reject_row["denial_rate"] == 1.0
+        assert reject_row["peak_switches_per_minute"] >= 1
+        assert "saved_percent" in reject_row  # vs status_quo, same dormancy
+        accept_row = next(
+            r for r in rows
+            if r["scheme"] == "makeidle" and r["dormancy"] == "accept_all"
+        )
+        # Always-accept dormancy saves at least as much as reject-all.
+        assert accept_row["saved_percent"] >= reject_row["saved_percent"]
+
+    def test_group_by_dormancy(self):
+        runs = SerialRunner().run(_small_plan())
+        groups = runs.group_by("dormancy")
+        assert set(groups) == {"accept_all", "reject_all"}
+        assert all(len(g) == 2 for g in groups.values())
+
+    def test_savings_refuses_cell_records(self):
+        runs = SerialRunner().run(_small_plan())
+        with pytest.raises(TypeError):
+            runs.savings()
+
+    def test_to_csv_includes_cell_columns(self, tmp_path):
+        runs = SerialRunner().run(_small_plan())
+        path = tmp_path / "cells.csv"
+        runs.to_csv(path)
+        header = path.read_text().splitlines()[0]
+        assert "denial_rate" in header
+        assert "peak_switches_per_minute" in header

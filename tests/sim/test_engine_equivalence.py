@@ -1,0 +1,237 @@
+"""Kernel equivalence: the event engine reproduces the seed replay semantics.
+
+``_reference_run`` below is a faithful port of the pre-kernel
+``TraceSimulator.run`` loop (the seed semantics: demotion-at-arrival
+tie-break, MakeActive buffering/compression, trailing tail, empty-trace
+zero run).  The property tests assert that the kernel-backed
+:class:`~repro.sim.TraceSimulator` produces **identical** results — same
+floats, same event times, same effective packets — on randomly generated
+traces under every standard policy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.core import FixedTimerPolicy, StatusQuoPolicy, standard_policies
+from repro.energy.accounting import EnergyAccountant
+from repro.rrc.profiles import CARRIER_PROFILES
+from repro.rrc.state_machine import RrcStateMachine
+from repro.rrc.states import RadioState
+from repro.sim import TraceSimulator
+from repro.sim.results import SessionDelay, SimulationResult
+from repro.sim.simulator import _gap_decisions
+from repro.traces import Direction, Packet, PacketTrace
+
+
+def _reference_run(profile, trace, policy, session_idle_gap=None,
+                   trailing_time=None) -> SimulationResult:
+    """The seed (pre-kernel) single-UE replay loop, verbatim semantics."""
+    accountant = EnergyAccountant(profile)
+    session_idle_gap = (session_idle_gap if session_idle_gap is not None
+                        else profile.total_inactivity_timeout)
+    trailing_time = (trailing_time if trailing_time is not None
+                     else profile.total_inactivity_timeout + 1.0)
+    policy.prepare(trace, profile)
+    policy.reset()
+
+    if not trace:
+        machine = RrcStateMachine(profile, start_time=0.0)
+        machine.finish(0.0)
+        empty = PacketTrace((), name=trace.name)
+        return SimulationResult(
+            policy_name=policy.name, profile_key=profile.key,
+            trace_name=trace.name,
+            breakdown=accountant.account(empty, machine.intervals,
+                                         machine.switches),
+            intervals=tuple(machine.intervals), switches=(),
+            effective_trace=empty, gap_decisions=(), session_delays=(),
+        )
+
+    machine = RrcStateMachine(profile, start_time=0.0)
+    effective_packets: list[Packet] = []
+    session_delays: list[SessionDelay] = []
+    last_flow_activity: dict[int, float] = {}
+    pending_dormancy: float | None = None
+    buffering = False
+    release_time = 0.0
+    buffered_packets: list[Packet] = []
+    buffered_arrivals: list[SessionDelay] = []
+    buffered_flows: set[int] = set()
+
+    def emit(packet, time):
+        machine.notify_activity(time)
+        effective = packet if packet.timestamp == time else replace(
+            packet, timestamp=time)
+        effective_packets.append(effective)
+        policy.observe_packet(time, effective)
+
+    def ask_dormancy(time):
+        nonlocal pending_dormancy
+        wait = policy.dormancy_wait(time)
+        pending_dormancy = time + wait if wait is not None else None
+
+    def release_buffer(time):
+        nonlocal buffering, buffered_packets, buffered_arrivals, buffered_flows
+        for buffered in buffered_packets:
+            emit(buffered, time)
+        for pending in buffered_arrivals:
+            session_delays.append(
+                SessionDelay(pending.arrival_time, time, pending.flow_id))
+        if buffered_arrivals:
+            policy.on_release(time, [d.arrival_time for d in buffered_arrivals])
+        ask_dormancy(time)
+        buffering = False
+        buffered_packets = []
+        buffered_arrivals = []
+        buffered_flows = set()
+
+    for packet in trace:
+        now = packet.timestamp
+        if buffering and now >= release_time:
+            release_buffer(release_time)
+        if not buffering and pending_dormancy is not None:
+            if pending_dormancy <= now:
+                machine.request_fast_dormancy(pending_dormancy)
+            pending_dormancy = None
+        previous_activity = last_flow_activity.get(packet.flow_id)
+        is_session_start = (previous_activity is None
+                            or now - previous_activity > session_idle_gap)
+        last_flow_activity[packet.flow_id] = now
+        if buffering:
+            if is_session_start or packet.flow_id in buffered_flows:
+                buffered_packets.append(packet)
+                if is_session_start:
+                    buffered_arrivals.append(
+                        SessionDelay(now, release_time, packet.flow_id))
+                buffered_flows.add(packet.flow_id)
+                continue
+            release_buffer(now)
+        elif machine.state_at(now) is RadioState.IDLE and is_session_start:
+            delay = policy.activation_delay(now)
+            if delay > 0:
+                buffering = True
+                release_time = now + delay
+                buffered_packets = [packet]
+                buffered_arrivals = [SessionDelay(now, release_time,
+                                                  packet.flow_id)]
+                buffered_flows = {packet.flow_id}
+                pending_dormancy = None
+                continue
+            session_delays.append(SessionDelay(now, now, packet.flow_id))
+        emit(packet, now)
+        ask_dormancy(now)
+
+    if buffering:
+        release_buffer(release_time)
+    if pending_dormancy is not None:
+        machine.request_fast_dormancy(pending_dormancy)
+        pending_dormancy = None
+
+    last_time = effective_packets[-1].timestamp if effective_packets else 0.0
+    machine.finish(max(last_time + trailing_time, machine.now))
+    effective_trace = PacketTrace(effective_packets, name=trace.name)
+    return SimulationResult(
+        policy_name=policy.name, profile_key=profile.key,
+        trace_name=trace.name,
+        breakdown=accountant.account(effective_trace, machine.intervals,
+                                     machine.switches),
+        intervals=tuple(machine.intervals),
+        switches=tuple(machine.switches),
+        effective_trace=effective_trace,
+        gap_decisions=tuple(_gap_decisions(effective_trace, machine.switches)),
+        session_delays=tuple(session_delays),
+    )
+
+
+def _random_trace(rng: random.Random, packets: int) -> PacketTrace:
+    """A random multi-flow trace mixing dense bursts and long quiet gaps."""
+    time = 0.0
+    out = []
+    for _ in range(packets):
+        # Mix sub-second burst spacing with gaps around the demotion timers
+        # so tie-breaks, cancellations and session starts all get exercised.
+        gap = rng.choice([
+            rng.uniform(0.0, 0.5),
+            rng.uniform(0.5, 5.0),
+            rng.uniform(5.0, 30.0),
+            float(rng.randint(0, 10)),  # integral gaps force exact ties
+        ])
+        time += gap
+        out.append(Packet(
+            timestamp=round(time, 3),
+            size=rng.randint(40, 1500),
+            direction=rng.choice((Direction.UPLINK, Direction.DOWNLINK)),
+            flow_id=rng.randint(0, 3),
+        ))
+    return PacketTrace(out, name="random")
+
+
+def _assert_identical(kernel: SimulationResult, reference: SimulationResult):
+    assert kernel.breakdown == reference.breakdown
+    assert kernel.intervals == reference.intervals
+    assert kernel.switches == reference.switches
+    assert tuple(kernel.effective_trace) == tuple(reference.effective_trace)
+    assert kernel.gap_decisions == reference.gap_decisions
+    assert kernel.session_delays == reference.session_delays
+
+
+CARRIERS = ("att_hspa", "verizon_lte", "verizon_3g")
+SCHEMES = ("fixed_4.5s", "makeidle", "oracle",
+           "makeidle+makeactive_learn", "makeidle+makeactive_fixed")
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("carrier", CARRIERS)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_random_traces_identical_under_every_scheme(self, carrier, scheme):
+        profile = CARRIER_PROFILES[carrier]
+        for seed in range(3):
+            rng = random.Random(1000 * seed + hash(carrier) % 997)
+            trace = _random_trace(rng, packets=120)
+            kernel = TraceSimulator(profile).run(
+                trace, standard_policies(window_size=20)[scheme])
+            reference = _reference_run(
+                profile, trace, standard_policies(window_size=20)[scheme])
+            _assert_identical(kernel, reference)
+
+    def test_demotion_at_arrival_tie_break(self, att_profile):
+        # The wait elapses at exactly the next packet's arrival: the seed
+        # semantics fire the demotion strictly before the packet.
+        trace = PacketTrace([Packet(0.0, 100), Packet(2.0, 100)])
+        kernel = TraceSimulator(att_profile).run(trace, FixedTimerPolicy(2.0))
+        reference = _reference_run(att_profile, trace, FixedTimerPolicy(2.0))
+        _assert_identical(kernel, reference)
+        assert any(s.time == 2.0 and s.is_demotion for s in kernel.switches)
+
+    def test_empty_trace_zero_run(self, att_profile):
+        for policy in (StatusQuoPolicy(), FixedTimerPolicy(1.0)):
+            kernel = TraceSimulator(att_profile).run(PacketTrace([]), policy)
+            reference = _reference_run(att_profile, PacketTrace([]), policy)
+            _assert_identical(kernel, reference)
+            assert kernel.total_energy_j == 0.0
+
+    def test_trailing_tail_identical(self, att_profile):
+        # A single packet leaves the whole trailing tail to be charged.
+        trace = PacketTrace([Packet(0.0, 500)])
+        kernel = TraceSimulator(att_profile).run(trace, StatusQuoPolicy())
+        reference = _reference_run(att_profile, trace, StatusQuoPolicy())
+        _assert_identical(kernel, reference)
+        assert kernel.intervals[-1].end == pytest.approx(
+            att_profile.total_inactivity_timeout + 1.0)
+
+    def test_custom_gap_and_trailing_parameters(self, att_profile):
+        rng = random.Random(7)
+        trace = _random_trace(rng, packets=60)
+        policy = standard_policies(window_size=20)["makeidle+makeactive_fixed"]
+        kernel = TraceSimulator(
+            att_profile, session_idle_gap=30.0, trailing_time=2.0
+        ).run(trace, policy)
+        reference = _reference_run(
+            att_profile, trace,
+            standard_policies(window_size=20)["makeidle+makeactive_fixed"],
+            session_idle_gap=30.0, trailing_time=2.0)
+        _assert_identical(kernel, reference)

@@ -180,3 +180,79 @@ class TestSweepCommand:
         code = main(["sweep", "--apps", "im", "--carriers", ","])
         assert code == 2
         assert "carriers" in capsys.readouterr().err
+
+
+class TestCellSweepCommand:
+    def test_cell_grid_prints_cell_metrics(self, capsys):
+        code = main(
+            [
+                "sweep", "--cell", "--devices", "8", "--apps", "im",
+                "--carriers", "att_hspa", "--schemes", "makeidle",
+                "--dormancy", "accept_all,reject_all", "--duration", "180",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "dormancy" in output
+        assert "reject_all" in output
+        assert "peak sw/min" in output
+
+    def test_cell_json_carries_denial_rate(self, capsys):
+        import json
+
+        code = main(
+            [
+                "sweep", "--cell", "--devices", "4", "--apps", "im",
+                "--carriers", "att_hspa", "--schemes", "makeidle",
+                "--dormancy", "reject_all", "--duration", "180", "--json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        makeidle_rows = [r for r in payload["records"]
+                         if r["scheme"] == "makeidle"]
+        assert makeidle_rows
+        assert all(r["denial_rate"] == 1.0 for r in makeidle_rows)
+
+    def test_cell_plan_round_trips(self, capsys, tmp_path):
+        plan_path = tmp_path / "cellplan.json"
+        assert main(
+            [
+                "sweep", "--cell", "--devices", "4", "--apps", "im",
+                "--carriers", "att_hspa", "--schemes", "makeidle",
+                "--duration", "180", "--save-plan", str(plan_path),
+            ]
+        ) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "--plan", str(plan_path)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_cell_with_population_is_a_clean_error(self, capsys):
+        code = main(
+            ["sweep", "--cell", "--population", "verizon_3g",
+             "--carriers", "att_hspa"]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_dormancy_scheme_is_a_clean_error(self, capsys):
+        code = main(
+            ["sweep", "--cell", "--devices", "2", "--carriers", "att_hspa",
+             "--dormancy", "sometimes"]
+        )
+        assert code == 2
+        assert "dormancy" in capsys.readouterr().err
+
+    def test_cell_flags_without_cell_are_a_clean_error(self, capsys):
+        code = main(
+            ["sweep", "--apps", "im", "--carriers", "att_hspa",
+             "--dormancy", "reject_all"]
+        )
+        assert code == 2
+        assert "--cell" in capsys.readouterr().err
+        code = main(
+            ["sweep", "--apps", "im", "--carriers", "att_hspa",
+             "--devices", "5"]
+        )
+        assert code == 2
+        assert "--cell" in capsys.readouterr().err

@@ -1,0 +1,78 @@
+"""Tests for the lazy packet-stream generators."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.traces import (
+    PacketTrace,
+    merge_packet_streams,
+    stream_application_packets,
+    stream_user_day_packets,
+)
+
+
+class TestStreamApplicationPackets:
+    def test_yields_time_ordered_packets(self):
+        times = [p.timestamp for p in
+                 stream_application_packets("im", duration=600.0, seed=1,
+                                            chunk_s=120.0)]
+        assert times
+        assert times == sorted(times)
+        assert times[-1] <= 600.0
+
+    def test_deterministic_given_seed(self):
+        def collect():
+            return list(stream_application_packets("email", duration=400.0,
+                                                   seed=3, chunk_s=100.0))
+
+        first, second = collect(), collect()
+        assert [(p.timestamp, p.size, p.flow_id) for p in first] == \
+            [(p.timestamp, p.size, p.flow_id) for p in second]
+
+    def test_different_seeds_differ(self):
+        a = list(stream_application_packets("im", duration=300.0, seed=0))
+        b = list(stream_application_packets("im", duration=300.0, seed=1))
+        assert [p.timestamp for p in a] != [p.timestamp for p in b]
+
+    def test_is_lazy(self):
+        stream = stream_application_packets("im", duration=10_000.0, seed=0,
+                                            chunk_s=50.0)
+        # Pulling a handful of packets must not generate the whole workload.
+        head = list(itertools.islice(stream, 5))
+        assert len(head) == 5
+        assert head[-1].timestamp < 10_000.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            next(stream_application_packets("im", duration=0.0))
+        with pytest.raises(ValueError):
+            next(stream_application_packets("im", duration=10.0, chunk_s=0.0))
+
+    def test_materialises_to_a_valid_trace(self):
+        trace = PacketTrace(
+            stream_application_packets("finance", duration=300.0, seed=2),
+            name="streamed",
+        )
+        assert len(trace) > 0
+        assert trace.duration <= 300.0
+
+
+class TestMergeAndUserStreams:
+    def test_merge_preserves_global_order(self):
+        a = stream_application_packets("im", duration=200.0, seed=0)
+        b = stream_application_packets("email", duration=200.0, seed=1)
+        merged = list(merge_packet_streams(a, b))
+        times = [p.timestamp for p in merged]
+        assert times == sorted(times)
+
+    def test_user_day_remaps_flows_per_app(self):
+        packets = list(stream_user_day_packets(("im", "finance"),
+                                               duration=200.0, seed=0))
+        assert packets
+        flows = {p.flow_id for p in packets}
+        # The second app's flows live in a distinct high range.
+        assert any(f >= 1_000_000 for f in flows)
+        assert any(f < 1_000_000 for f in flows)

@@ -1,23 +1,28 @@
 """Micro-benchmark: event-kernel throughput and memory at cell scale.
 
-Records what the unified kernel delivers on the workload the ISSUE's
-north star cares about — a 1000-device cell with *streamed* traces — and
-writes the numbers to ``BENCH_engine.json`` at the repo root so the perf
-trajectory is tracked across PRs:
+Records what the unified kernel delivers on the workloads the ROADMAP's
+north star cares about and writes the numbers to ``BENCH_engine.json`` at
+the repo root so the perf trajectory is tracked across PRs:
 
-* **packets/sec** through the kernel (device policy held cheap so the
-  measurement is kernel-dominated, not policy-dominated);
-* **peak RSS** of the process (``ru_maxrss``), demonstrating that memory
-  is bounded by the device count, not the total packet count.
-
-Also asserts the structural memory claim directly: a streamed 1k-device
-run must not allocate more than a few hundred bytes of Python heap per
-device-packet (materialising every trace up front would).
+* ``single_1k`` — a 1000-device streamed cell in one process:
+  packets/sec through the kernel (device policy held cheap so the
+  measurement is kernel-dominated) and peak RSS / Python-heap peak,
+  demonstrating that memory is bounded by the device count, not the total
+  packet count;
+* ``sharded_10k`` — the same shape at 10k devices, single-process vs
+  ``shards=4`` on a process pool, asserting the shard-merge exactness
+  contract (byte-identical per-device records) and recording the measured
+  speedup (only meaningful on multi-core machines — ``cpu_count`` is
+  recorded alongside);
+* ``sharded_100k`` — the 100k-device streamed cell, executed sharded,
+  recording wall time, packets/sec and RSS at a population size one
+  process could not comfortably hold with materialised traces.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import resource
 import sys
 import time
@@ -26,13 +31,56 @@ from pathlib import Path
 
 from conftest import print_figure
 
-from repro.api import PolicySpec, cell
+from repro.api import (
+    CellRunSpec,
+    PolicySpec,
+    ProcessPoolRunner,
+    cell,
+    execute_cell,
+)
+from repro.api.cells import DormancySpec
 from repro.basestation import AcceptAllDormancy, CellSimulator
 from repro.rrc.profiles import get_profile
 
 DEVICES = 1000
 DURATION_S = 120.0
+SHARDED_DEVICES = 10_000
+SHARDED_SHARDS = 4
+HUGE_DEVICES = 100_000
+HUGE_DURATION_S = 60.0
+HUGE_SHARDS = 8
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+_BENCH_SECTIONS = ("single_1k", "sharded_10k", "sharded_100k")
+
+
+def _update_bench(section: str, record: dict) -> dict:
+    """Merge one section into BENCH_engine.json (sections per benchmark)."""
+    data: dict = {}
+    if BENCH_PATH.exists():
+        try:
+            loaded = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            loaded = {}
+        # Keep sibling sections; only the pre-shard flat layout (one
+        # un-sectioned record) starts a fresh file.
+        if isinstance(loaded, dict) and any(
+            key in loaded for key in _BENCH_SECTIONS
+        ):
+            data = loaded
+    data["cpu_count"] = os.cpu_count()
+    data[section] = record
+    BENCH_PATH.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return record
+
+
+def _peak_rss_mb(who: int = resource.RUSAGE_SELF) -> float:
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    maxrss = resource.getrusage(who).ru_maxrss
+    return maxrss / 1024.0 if sys.platform != "darwin" else maxrss / 2**20
 
 
 def _build_devices():
@@ -43,6 +91,17 @@ def _build_devices():
     # fixed_4.5s keeps per-packet policy work O(1): the number measured is
     # the kernel's, not MakeIdle's window optimisation.
     return population.build_devices(PolicySpec(scheme="fixed_4.5s"))
+
+
+def _cell_spec(devices: int, duration: float, shards: int) -> CellRunSpec:
+    return CellRunSpec(
+        cell=cell(devices=devices, apps=("im", "email"), duration=duration,
+                  streaming=True, chunk_s=60.0),
+        carrier="att_hspa",
+        policy=PolicySpec(scheme="fixed_4.5s").resolved(100),
+        dormancy=DormancySpec(),
+        shards=shards,
+    )
 
 
 def test_engine_throughput_1k_device_cell(benchmark):
@@ -65,23 +124,17 @@ def test_engine_throughput_1k_device_cell(benchmark):
     assert packets > 0
     packets_per_sec = packets / elapsed
 
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    peak_rss_mb = maxrss / 1024.0 if sys.platform != "darwin" else maxrss / 2**20
-
-    record = {
+    record = _update_bench("single_1k", {
         "devices": DEVICES,
         "duration_s": DURATION_S,
         "packets": packets,
         "elapsed_s": round(elapsed, 3),
         "packets_per_sec": round(packets_per_sec, 1),
         "events_per_sec_lower_bound": round(packets_per_sec, 1),
-        "peak_rss_mb": round(peak_rss_mb, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
         "python_heap_peak_mb": round(traced_peak / 2**20, 2),
         "heap_bytes_per_packet": round(traced_peak / packets, 1),
-    }
-    BENCH_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n",
-                          encoding="utf-8")
+    })
 
     print_figure(
         "Engine throughput — 1k-device streamed cell",
@@ -101,4 +154,100 @@ def test_engine_throughput_1k_device_cell(benchmark):
     benchmark.pedantic(
         lambda: CellSimulator(get_profile("att_hspa")).run(_build_devices()),
         rounds=1, iterations=1,
+    )
+
+
+def test_sharded_10k_device_cell_matches_and_scales():
+    """10k devices: single process vs 4 shards on a pool, byte-identical."""
+    single_spec = _cell_spec(SHARDED_DEVICES, DURATION_S, shards=1)
+    sharded_spec = _cell_spec(SHARDED_DEVICES, DURATION_S,
+                              shards=SHARDED_SHARDS)
+
+    start = time.perf_counter()
+    single = execute_cell(single_spec)
+    single_elapsed = time.perf_counter() - start
+
+    runner = ProcessPoolRunner(jobs=SHARDED_SHARDS)
+    start = time.perf_counter()
+    sharded = runner.run([sharded_spec]).records[0].result
+    sharded_elapsed = time.perf_counter() - start
+
+    # The exactness contract, asserted at benchmark scale: per-device
+    # records byte-identical under the shard-independent accept_all
+    # station, whatever the hardware does for speed.
+    assert sharded.devices == single.devices
+    assert sharded.signaling == single.signaling
+    assert sharded.switch_times == single.switch_times
+
+    packets = single.total_packets
+    speedup = single_elapsed / sharded_elapsed if sharded_elapsed > 0 else 0.0
+    record = _update_bench("sharded_10k", {
+        "devices": SHARDED_DEVICES,
+        "duration_s": DURATION_S,
+        "shards": SHARDED_SHARDS,
+        "pool_jobs": SHARDED_SHARDS,
+        "packets": packets,
+        "single_elapsed_s": round(single_elapsed, 3),
+        "sharded_elapsed_s": round(sharded_elapsed, 3),
+        "single_packets_per_sec": round(packets / single_elapsed, 1),
+        "sharded_packets_per_sec": round(packets / sharded_elapsed, 1),
+        "speedup": round(speedup, 2),
+        "byte_identical_devices": True,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    })
+
+    print_figure(
+        "Sharded execution — 10k-device cell, 4 shards vs 1 process",
+        "\n".join(f"{key}: {value}" for key, value in record.items()),
+    )
+
+    # The speedup target only exists where the cores do: shard workers
+    # multiplex on whatever the machine has, a 1-core box pays pool
+    # overhead for no parallelism, and a shared 4-vCPU CI runner cannot
+    # reliably give 4 shards 2.5x.  Recorded always; asserted only with
+    # real headroom (twice the shard count in cores).
+    if (os.cpu_count() or 1) >= 2 * SHARDED_SHARDS:
+        assert speedup >= 2.5, (
+            f"sharded 10k run only {speedup:.2f}x faster on "
+            f"{os.cpu_count()} cores"
+        )
+
+
+def test_sharded_100k_device_cell_completes():
+    """The 100k-device streamed cell runs sharded and is recorded."""
+    jobs = min(HUGE_SHARDS, os.cpu_count() or 1)
+    spec = _cell_spec(HUGE_DEVICES, HUGE_DURATION_S, shards=HUGE_SHARDS)
+
+    start = time.perf_counter()
+    if jobs > 1:
+        result = ProcessPoolRunner(jobs=jobs).run([spec]).records[0].result
+    else:
+        # One core: the in-process sharded path (same merge, no pool tax).
+        result = execute_cell(spec)
+    elapsed = time.perf_counter() - start
+
+    assert len(result.devices) == HUGE_DEVICES
+    packets = result.total_packets
+    assert packets > 0
+
+    record = _update_bench("sharded_100k", {
+        "devices": HUGE_DEVICES,
+        "duration_s": HUGE_DURATION_S,
+        "shards": HUGE_SHARDS,
+        "pool_jobs": jobs,
+        "packets": packets,
+        "elapsed_s": round(elapsed, 3),
+        "packets_per_sec": round(packets / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+        "peak_rss_children_mb": round(
+            _peak_rss_mb(resource.RUSAGE_CHILDREN), 1
+        ),
+        "peak_active_devices": result.peak_active_devices,
+        "peak_switches_per_minute": result.peak_switches_per_minute,
+    })
+
+    print_figure(
+        "Sharded execution — 100k-device streamed cell",
+        "\n".join(f"{key}: {value}" for key, value in record.items())
+        + f"\n(written to {BENCH_PATH.name})",
     )

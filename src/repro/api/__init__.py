@@ -37,6 +37,8 @@ from .cells import (
     cell,
     dormancy,
     execute_cell,
+    execute_cell_shard,
+    shard_sizes,
 )
 from .plan import EmptyAxisError, ExperimentPlan, plan
 from .runner import (
@@ -82,11 +84,13 @@ __all__ = [
     "dormancy",
     "execute",
     "execute_cell",
+    "execute_cell_shard",
     "execute_spec",
     "inline",
     "pcap",
     "plan",
     "scheme",
+    "shard_sizes",
     "tcpdump",
     "user",
 ]

@@ -19,15 +19,22 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, replace
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
-from ..basestation.cell import CellResult, CellSimulator, DeviceSpec
+from ..basestation.cell import (
+    CellResult,
+    CellShard,
+    CellSimulator,
+    DeviceSpec,
+    merge_cell_shards,
+)
 from ..basestation.policies import (
     AcceptAllDormancy,
     DormancyPolicy,
     LoadAwareDormancy,
     RateLimitedDormancy,
     RejectAllDormancy,
+    partition_switch_budget,
 )
 from ..rrc.profiles import get_profile
 from ..traces.streaming import stream_application_packets
@@ -41,7 +48,15 @@ __all__ = [
     "cell",
     "dormancy",
     "execute_cell",
+    "execute_cell_shard",
+    "shard_sizes",
 ]
+
+#: Load-sample cadence of sharded cell runs, seconds.  Sharding loses the
+#: exact instantaneous active-device peak (each shard only sees its own
+#: devices), so sharded execution always records the load series on this
+#: shared grid and the merge recomputes the peak from the summed series.
+SHARD_SAMPLE_INTERVAL_S = 5.0
 
 #: Base-station dormancy schemes selectable by name; the optional spec
 #: parameter feeds the scheme's single knob.
@@ -200,10 +215,23 @@ class CellSpec:
         """Return a copy regenerated under ``seed``."""
         return replace(self, seed=seed)
 
-    def build_devices(self, policy: PolicySpec) -> list[DeviceSpec]:
-        """Materialise the population, one fresh policy instance per device."""
+    def build_devices(
+        self, policy: PolicySpec, start: int = 0, stop: int | None = None
+    ) -> list[DeviceSpec]:
+        """Materialise the population, one fresh policy instance per device.
+
+        ``start``/``stop`` select a contiguous slice of the population (a
+        shard): device ids, per-device seeds and workloads are global
+        indices, so building the population shard by shard yields exactly
+        the devices a whole-population build would.
+        """
+        stop = self.devices if stop is None else stop
+        if not 0 <= start <= stop <= self.devices:
+            raise ValueError(
+                f"invalid device slice [{start}, {stop}) of {self.devices}"
+            )
         specs: list[DeviceSpec] = []
-        for index in range(self.devices):
+        for index in range(start, stop):
             app = self.apps[index % len(self.apps)]
             device_seed = self.seed * _DEVICE_SEED_STRIDE + index
             if self.streaming:
@@ -249,8 +277,9 @@ class CellRunSpec:
     """One cell of the cell-sweep grid: population × carrier × policies.
 
     The single-UE :class:`~repro.api.spec.RunSpec`'s cell-scale sibling;
-    ``policy`` is the *device-side* scheme every device runs and
-    ``dormancy`` the base-station arbiter.
+    ``policy`` is the *device-side* scheme every device runs, ``dormancy``
+    the base-station arbiter, and ``shards`` how many device partitions
+    the run executes in (1 = the single-process reference path).
     """
 
     cell: CellSpec
@@ -258,9 +287,17 @@ class CellRunSpec:
     policy: PolicySpec
     dormancy: DormancySpec
     seed: int = 0
+    shards: int = 1
 
     def __post_init__(self) -> None:
         get_profile(self.carrier)  # validate the key early, with a clear error
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+    @property
+    def effective_shards(self) -> int:
+        """The shard count actually executed: capped at one device per shard."""
+        return min(self.shards, self.cell.devices)
 
     @property
     def cache_key(self) -> tuple:
@@ -271,7 +308,12 @@ class CellRunSpec:
         component is dropped from the key and the (most expensive, most
         repeated) baseline population is simulated once per
         (population, carrier) regardless of how many dormancy policies the
-        plan sweeps.
+        plan sweeps.  The shard count *is* part of the key — per-device
+        records are byte-identical across shard counts only for
+        shard-independent dormancy policies, and cell aggregates such as
+        ``peak_active_devices`` always carry shard-dependent precision —
+        so a shard sweep never serves one shard count's result for
+        another.
         """
         dormancy_key = (
             None if self.policy.factory is None
@@ -283,6 +325,7 @@ class CellRunSpec:
             self.carrier,
             self.policy.key,
             dormancy_key,
+            self.effective_shards,
         )
 
     @property
@@ -313,12 +356,90 @@ def dormancy(scheme: str, param: float | None = None) -> DormancySpec:
     return DormancySpec(scheme=scheme, param=param)
 
 
-def execute_cell(spec: CellRunSpec) -> CellResult:
+def shard_sizes(devices: int, shards: int) -> list[int]:
+    """Balanced contiguous-partition sizes of ``devices`` into ``shards``.
+
+    Shard ``j`` holds the device-index block starting at
+    ``sum(shard_sizes(...)[:j])``; sizes differ by at most one, with the
+    remainder going to the earliest shards.
+    """
+    if devices < 1:
+        raise ValueError(f"devices must be >= 1, got {devices}")
+    if not 1 <= shards <= devices:
+        raise ValueError(
+            f"shards must be in [1, {devices} devices], got {shards}"
+        )
+    base, remainder = divmod(devices, shards)
+    return [base + (1 if j < remainder else 0) for j in range(shards)]
+
+
+def _shard_dormancy_policy(
+    spec: DormancySpec, sizes: Sequence[int], index: int
+) -> DormancyPolicy:
+    """Build shard ``index``'s base-station policy for a sharded run.
+
+    Per-device and stateless schemes build unchanged — each shard's
+    instance only ever sees its own shard's devices, so decisions are
+    identical to the single-process run.  ``load_aware`` couples devices
+    through the cell-wide switch budget, which is partitioned
+    proportionally to shard size (see
+    :func:`repro.basestation.policies.partition_switch_budget`).
+    """
+    if spec.scheme != "load_aware" or len(sizes) == 1:
+        return spec.build()
+    budget = (
+        int(spec.param) if spec.param is not None
+        else LoadAwareDormancy().max_switches_per_minute
+    )
+    return LoadAwareDormancy(
+        max_switches_per_minute=partition_switch_budget(budget, sizes)[index]
+    )
+
+
+def execute_cell_shard(spec: CellRunSpec, index: int) -> CellShard:
+    """Run shard ``index`` of ``spec`` — the unit of sharded fan-out.
+
+    Module-level and driven purely by the picklable spec, so
+    :class:`~repro.api.runner.ProcessPoolRunner` can ship individual
+    shards of one cell to different worker processes and merge the
+    returned partials in the parent.
+    """
+    sizes = shard_sizes(spec.cell.devices, spec.effective_shards)
+    if not 0 <= index < len(sizes):
+        raise ValueError(f"shard index {index} out of range [0, {len(sizes)})")
+    start = sum(sizes[:index])
+    profile = get_profile(spec.carrier)
+    simulator = CellSimulator(
+        profile,
+        _shard_dormancy_policy(spec.dormancy, sizes, index),
+        load_sample_interval_s=(
+            SHARD_SAMPLE_INTERVAL_S if len(sizes) > 1 else None
+        ),
+    )
+    return simulator.run_shard(
+        spec.cell.build_devices(spec.policy, start, start + sizes[index])
+    )
+
+
+def execute_cell(spec: CellRunSpec, shards: int | None = None) -> CellResult:
     """Materialise and run one cell spec — the cell analogue of ``execute``.
 
     Module-level so :class:`~repro.api.runner.ProcessPoolRunner` can send
-    it to worker processes by reference.
+    it to worker processes by reference.  ``shards`` overrides the spec's
+    own shard count; with more than one shard the partitions run
+    *sequentially in this process* and merge — byte-identical per-device
+    results, no parallelism.  Cross-process parallel sharding belongs to
+    the runner layer (:class:`~repro.api.runner.ProcessPoolRunner` ships
+    :func:`execute_cell_shard` calls to workers), which keeps worker-side
+    execution free of nested process pools.
     """
-    profile = get_profile(spec.carrier)
-    simulator = CellSimulator(profile, spec.dormancy.build())
-    return simulator.run(spec.cell.build_devices(spec.policy))
+    if shards is not None:
+        spec = replace(spec, shards=shards)
+    count = spec.effective_shards
+    if count == 1:
+        profile = get_profile(spec.carrier)
+        simulator = CellSimulator(profile, spec.dormancy.build())
+        return simulator.run(spec.cell.build_devices(spec.policy))
+    return merge_cell_shards(
+        [execute_cell_shard(spec, index) for index in range(count)]
+    )

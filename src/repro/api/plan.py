@@ -76,6 +76,20 @@ def _as_policy_spec(entry: PolicySpec | str) -> PolicySpec:
     )
 
 
+def _validated_shard_counts(counts: Iterable[int]) -> tuple[int, ...]:
+    """Validate shard-count axis entries (shared by .shards and from_dict)."""
+    validated = []
+    for count in counts:
+        if not isinstance(count, int) or isinstance(count, bool):
+            raise TypeError(
+                f"shard counts must be int, got {type(count).__name__}"
+            )
+        if count < 1:
+            raise ValueError(f"shard counts must be >= 1, got {count}")
+        validated.append(count)
+    return tuple(validated)
+
+
 def _as_dormancy_spec(entry: DormancySpec | str) -> DormancySpec:
     if isinstance(entry, DormancySpec):
         return entry
@@ -104,6 +118,7 @@ class ExperimentPlan:
     name: str = ""
     cell_specs: tuple[CellSpec, ...] = ()
     dormancy_specs: tuple[DormancySpec, ...] = ()
+    shard_counts: tuple[int, ...] = ()
 
     # -- axis declaration ------------------------------------------------------------
 
@@ -161,6 +176,23 @@ class ExperimentPlan:
         new = tuple(_as_dormancy_spec(e) for e in entries)
         return replace(self, dormancy_specs=self.dormancy_specs + new)
 
+    def shards(self, *counts: int) -> "ExperimentPlan":
+        """Append shard-count axis entries (cell mode only).
+
+        Each entry runs every cell of the grid partitioned into that many
+        device shards — ``1`` is the single-process reference; higher
+        counts let :class:`~repro.api.runner.ProcessPoolRunner` execute
+        one cell across several worker processes.  Per-device results are
+        byte-identical across shard counts for shard-independent dormancy
+        policies (``load_aware`` partitions its budget; see
+        ``docs/DESIGN.md``), so sweeping several counts is mainly useful
+        for benchmarking the execution path itself.
+        """
+        return replace(
+            self,
+            shard_counts=self.shard_counts + _validated_shard_counts(counts),
+        )
+
     def carriers(self, *keys: str) -> "ExperimentPlan":
         """Append carrier axis entries (keys or aliases, validated eagerly)."""
         normalized = tuple(get_profile(k).key for k in keys)
@@ -196,12 +228,13 @@ class ExperimentPlan:
         return bool(self.cell_specs)
 
     def __len__(self) -> int:
-        """Grid size: workloads x carriers x policies (x dormancy) x seeds."""
+        """Grid size: workloads x carriers x policies (x dormancy x shards) x seeds."""
         repetitions = len(self.seeds) if self.seeds else 1
         if self.is_cell_plan:
             dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
+            shards = len(self.shard_counts) if self.shard_counts else 1
             return (len(self.cell_specs) * len(self.carrier_keys)
-                    * len(self.policy_specs) * dormancy * repetitions)
+                    * len(self.policy_specs) * dormancy * shards * repetitions)
         return (len(self.trace_specs) * len(self.carrier_keys)
                 * len(self.policy_specs) * repetitions)
 
@@ -219,6 +252,11 @@ class ExperimentPlan:
             raise ValueError(
                 "a dormancy axis only applies to cell plans; declare a "
                 "device population with .cells(...) or drop .dormancy(...)"
+            )
+        if self.shard_counts:
+            raise ValueError(
+                "a shards axis only applies to cell plans; declare a "
+                "device population with .cells(...) or drop .shards(...)"
             )
         if not self.trace_specs:
             raise EmptyAxisError("traces")
@@ -255,6 +293,7 @@ class ExperimentPlan:
         if not self.policy_specs:
             raise EmptyAxisError("policies")
         dormancy = self.dormancy_specs if self.dormancy_specs else (DormancySpec(),)
+        shard_counts = self.shard_counts if self.shard_counts else (1,)
         seeds: Sequence[int | None] = self.seeds if self.seeds else (None,)
         specs: list[CellRunSpec] = []
         for seed in seeds:
@@ -264,15 +303,19 @@ class ExperimentPlan:
                 for carrier in self.carrier_keys:
                     for policy in self.policy_specs:
                         for station in dormancy:
-                            specs.append(
-                                CellRunSpec(
-                                    cell=seeded,
-                                    carrier=carrier,
-                                    policy=policy.resolved(self.default_window),
-                                    dormancy=station,
-                                    seed=run_seed,
+                            for shards in shard_counts:
+                                specs.append(
+                                    CellRunSpec(
+                                        cell=seeded,
+                                        carrier=carrier,
+                                        policy=policy.resolved(
+                                            self.default_window
+                                        ),
+                                        dormancy=station,
+                                        seed=run_seed,
+                                        shards=shards,
+                                    )
                                 )
-                            )
         return tuple(specs)
 
     def describe(self) -> str:
@@ -281,12 +324,16 @@ class ExperimentPlan:
         label = f"{self.name!r}: " if self.name else ""
         if self.is_cell_plan:
             dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
+            shards = (
+                f" x {len(self.shard_counts)} shard count(s)"
+                if self.shard_counts else ""
+            )
             return (
                 f"ExperimentPlan {label}{len(self.cell_specs)} cell(s) x "
                 f"{len(self.carrier_keys)} carrier(s) x "
                 f"{len(self.policy_specs)} policy(ies) x "
-                f"{dormancy} dormancy policy(ies) x {repetitions} seed(s) "
-                f"= {len(self)} runs"
+                f"{dormancy} dormancy policy(ies){shards} x "
+                f"{repetitions} seed(s) = {len(self)} runs"
             )
         return (
             f"ExperimentPlan {label}{len(self.trace_specs)} trace(s) x "
@@ -311,6 +358,8 @@ class ExperimentPlan:
             data["cells"] = [c.to_dict() for c in self.cell_specs]
         if self.dormancy_specs:
             data["dormancy"] = [d.to_dict() for d in self.dormancy_specs]
+        if self.shard_counts:
+            data["shards"] = list(self.shard_counts)
         return data
 
     @classmethod
@@ -333,6 +382,7 @@ class ExperimentPlan:
             dormancy_specs=tuple(
                 DormancySpec.from_dict(d) for d in data.get("dormancy", ())
             ),
+            shard_counts=_validated_shard_counts(data.get("shards", ())),
         )
 
 

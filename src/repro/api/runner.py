@@ -25,10 +25,10 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Hashable, Protocol, Sequence, Union, runtime_checkable
 
-from ..basestation.cell import CellResult
+from ..basestation.cell import CellResult, merge_cell_shards
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
-from .cells import CellRunSpec, execute_cell
+from .cells import CellRunSpec, execute_cell, execute_cell_shard
 from .plan import ExperimentPlan
 from .runset import RunRecord, RunSet
 from .spec import RunSpec, execute
@@ -161,19 +161,41 @@ class ProcessPoolRunner(_BaseRunner):
                 pending[key] = spec
 
         # Phase 2: simulate the misses (pool only when it can actually help).
+        # A sharded cell spec fans out into one task per shard, so a single
+        # big cell can occupy every worker; the shard partials are merged
+        # back here in the parent (see repro.basestation.cell).
+        def _task_count(spec: AnySpec) -> int:
+            return (
+                spec.effective_shards if isinstance(spec, CellRunSpec) else 1
+            )
+
         fresh: dict[Hashable, AnyResult] = {}
-        if len(pending) == 1 or self._jobs == 1:
+        total_tasks = sum(_task_count(spec) for spec in pending.values())
+        if total_tasks <= 1 or self._jobs == 1:
+            # execute_spec runs a sharded spec's partitions sequentially
+            # in-process — same merged result, no pool overhead.
             for key, spec in pending.items():
                 fresh[key] = execute_spec(spec)
         elif pending:
-            workers = min(self._jobs, len(pending))
+            workers = min(self._jobs, total_tasks)
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    key: pool.submit(execute_spec, spec)
-                    for key, spec in pending.items()
-                }
+                futures: dict[Hashable, object] = {}
+                for key, spec in pending.items():
+                    count = _task_count(spec)
+                    if count > 1:
+                        futures[key] = [
+                            pool.submit(execute_cell_shard, spec, index)
+                            for index in range(count)
+                        ]
+                    else:
+                        futures[key] = pool.submit(execute_spec, spec)
                 for key, future in futures.items():
-                    fresh[key] = future.result()
+                    if isinstance(future, list):
+                        fresh[key] = merge_cell_shards(
+                            [shard.result() for shard in future]
+                        )
+                    else:
+                        fresh[key] = future.result()
         for key, result in fresh.items():
             self._cache.put(key, result)
 

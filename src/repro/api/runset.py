@@ -83,15 +83,32 @@ class RunRecord:
         return self.spec.seed
 
     @property
+    def shards(self) -> int:
+        """The shard count that actually executed (1 for single-UE runs).
+
+        The *effective* count — a requested count beyond the device
+        population clamps down — so rows never claim an execution
+        precision (budget partition, peak estimate) that never ran, and
+        clamped-identical runs share one comparison group, matching the
+        cache key.
+        """
+        if isinstance(self.spec, CellRunSpec):
+            return self.spec.effective_shards
+        return 1
+
+    @property
     def group_key(self) -> tuple:
         """The cell this record's schemes compete in.
 
         ``(trace, carrier, seed)`` for single-UE runs; cell-scale runs add
-        the dormancy policy — schemes are only comparable under the same
-        base-station behaviour.
+        the dormancy policy and the shard count — schemes are only
+        comparable under the same base-station behaviour and the same
+        execution precision (sharding changes ``load_aware`` arbitration
+        and the peak-active estimate).
         """
         if self.is_cell:
-            return (self.trace_label, self.carrier, self.dormancy, self.seed)
+            return (self.trace_label, self.carrier, self.dormancy,
+                    self.shards, self.seed)
         return (self.trace_label, self.carrier, self.seed)
 
 
@@ -148,7 +165,7 @@ class RunSet(Sequence[RunRecord]):
         """Partition the records by one or more axes.
 
         ``axes`` entries are ``"trace"``, ``"carrier"``, ``"scheme"``,
-        ``"dormancy"`` or ``"seed"``.  With one axis the dict is keyed by
+        ``"dormancy"``, ``"shards"`` or ``"seed"``.  With one axis the dict is keyed by
         that axis value; with several, by the tuple of values.  Insertion
         order follows the record order, so iterating the groups preserves
         the plan's axis order.
@@ -158,6 +175,7 @@ class RunSet(Sequence[RunRecord]):
             "carrier": lambda r: r.carrier,
             "scheme": lambda r: r.scheme,
             "dormancy": lambda r: r.dormancy,
+            "shards": lambda r: r.shards,
             "seed": lambda r: r.seed,
         }
         unknown = [a for a in axes if a not in getters]
@@ -226,7 +244,7 @@ class RunSet(Sequence[RunRecord]):
         exists in the set, each row also carries ``saved_percent`` and
         ``switches_normalized`` against it; pass ``None`` to skip
         normalisation entirely.  Cell-scale records additionally carry the
-        base-station aggregates: ``dormancy``, ``devices``,
+        base-station aggregates: ``dormancy``, ``shards``, ``devices``,
         ``dormancy_requests``, ``denial_rate``, ``peak_active_devices`` and
         ``peak_switches_per_minute``.
         """
@@ -244,6 +262,7 @@ class RunSet(Sequence[RunRecord]):
                     "carrier": record.carrier,
                     "scheme": record.scheme,
                     "dormancy": record.dormancy,
+                    "shards": record.shards,
                     "seed": record.seed,
                     "devices": len(result.devices),
                     "energy_j": result.total_energy_j,

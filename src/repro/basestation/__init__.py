@@ -14,7 +14,14 @@ feature" to future work.  This subpackage provides that study's substrate:
   signalling load and channel occupancy.
 """
 
-from .cell import CellSimulator, CellResult, DeviceResult, DeviceSpec
+from .cell import (
+    CellResult,
+    CellShard,
+    CellSimulator,
+    DeviceResult,
+    DeviceSpec,
+    merge_cell_shards,
+)
 from .policies import (
     AcceptAllDormancy,
     DormancyDecision,
@@ -22,11 +29,13 @@ from .policies import (
     LoadAwareDormancy,
     RateLimitedDormancy,
     RejectAllDormancy,
+    partition_switch_budget,
 )
 
 __all__ = [
     "AcceptAllDormancy",
     "CellResult",
+    "CellShard",
     "CellSimulator",
     "DeviceResult",
     "DeviceSpec",
@@ -35,4 +44,6 @@ __all__ = [
     "LoadAwareDormancy",
     "RateLimitedDormancy",
     "RejectAllDormancy",
+    "merge_cell_shards",
+    "partition_switch_budget",
 ]

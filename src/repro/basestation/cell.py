@@ -30,6 +30,19 @@ Scope and simplifications
   Offline policies that inspect the whole trace in ``prepare`` (the Oracle,
   trace-trained baselines) need materialised traces; online policies work
   with either.
+
+Sharding
+--------
+
+A cell can be partitioned into disjoint device shards, each run by its own
+simulator (typically in its own worker process) via :meth:`run_shard`, and
+merged back into one :class:`CellResult` with :func:`merge_cell_shards`.
+For shard-independent dormancy policies the merged per-device records are
+byte-identical to :meth:`CellSimulator.run` at any shard count — ``run``
+itself is implemented as the one-shard case of the same protocol.  See
+``docs/DESIGN.md`` §2.1 for the merge contract and its two documented
+approximations (multi-shard ``peak_active_devices``, ``load_aware`` budget
+partitioning).
 """
 
 from __future__ import annotations
@@ -39,17 +52,19 @@ from functools import cached_property
 from typing import Iterable, Mapping, Sequence, Union
 
 from ..core.policy import RadioPolicy
-from ..energy.accounting import EnergyBreakdown
+from ..energy.accounting import EnergyBreakdown, assemble_breakdown
 from ..metrics.switches import peak_per_window
 from ..rrc.profiles import CarrierProfile
 from ..rrc.signaling import SignalingLoad, signaling_costs_for
 from ..rrc.state_machine import SwitchKind
+from ..rrc.states import RadioState
 from ..sim.engine import (
     CellLoad,
     DormancyStation,
     LoadSample,
     SimulationEngine,
     UeContext,
+    resolve_end_time,
 )
 from ..sim.results import SessionDelay
 from ..traces.packet import Packet, PacketTrace
@@ -59,7 +74,15 @@ from .policies import (
     DormancyPolicy,
 )
 
-__all__ = ["DeviceSpec", "DeviceResult", "CellResult", "CellSimulator"]
+__all__ = [
+    "CellResult",
+    "CellShard",
+    "CellSimulator",
+    "DeviceResult",
+    "DeviceSpec",
+    "ShardDeviceState",
+    "merge_cell_shards",
+]
 
 #: Length of the sliding window used for the cell's switches-per-minute load.
 _LOAD_WINDOW_S = 60.0
@@ -195,6 +218,65 @@ class CellResult:
             raise KeyError(f"no device with id {device_id}") from None
 
 
+@dataclass(frozen=True)
+class ShardDeviceState:
+    """One device's folded kernel state, exported before the timeline closes.
+
+    Everything needed to finish the device's accounting at an end time the
+    shard itself cannot know (the *global* close time of the whole cell):
+    the incremental energy totals, the open state segment with its pending
+    timer demotions (pinned down by ``open_state``, ``open_since`` and
+    ``last_activity``), and the plain counters.  :func:`_close_device`
+    replays :meth:`~repro.rrc.state_machine.RrcStateMachine.finish` plus
+    :meth:`~repro.sim.engine.UeContext.drain_account` over these fields
+    float op for float op — which is what makes sharded per-device results
+    byte-identical to a single-process run.
+    """
+
+    device_id: int
+    policy_name: str
+    data_j: float
+    data_time_s: float
+    active_time_s: float
+    high_idle_time_s: float
+    idle_time_s: float
+    switch_j: float
+    promotions: int
+    timer_demotions: int
+    fast_demotions: int
+    open_state: RadioState
+    open_since: float
+    last_activity: float
+    packets: int
+    dormancy_requests: int
+    dormancy_granted: int
+    dormancy_denied: int
+    session_delays: tuple[SessionDelay, ...]
+    delayed_sessions: int
+    total_session_delay_s: float
+
+
+@dataclass(frozen=True)
+class CellShard:
+    """The picklable partial result of one shard's kernel run.
+
+    Produced by :meth:`CellSimulator.run_shard`, consumed by
+    :func:`merge_cell_shards`.  Timelines are still open: ``last_emitted``
+    and ``max_now`` are this shard's contribution to the global end-time
+    resolution, and every device carries its open segment.
+    """
+
+    dormancy_policy_name: str
+    profile: CarrierProfile
+    trailing_time: float
+    devices: tuple[ShardDeviceState, ...]
+    last_emitted: float | None
+    max_now: float
+    load: CellLoad
+    load_samples: tuple[LoadSample, ...]
+    sample_interval_s: float | None
+
+
 class _NetworkStation(DormancyStation):
     """Adapts a :class:`DormancyPolicy` to the kernel's station hook."""
 
@@ -254,7 +336,26 @@ class CellSimulator:
         return self._engine
 
     def run(self, devices: Sequence[DeviceSpec]) -> CellResult:
-        """Simulate all devices and return per-device and aggregate results."""
+        """Simulate all devices and return per-device and aggregate results.
+
+        Implemented as the one-shard case of the shard protocol
+        (:meth:`run_shard` + :func:`merge_cell_shards`), whose merge
+        reproduces the pre-shard finish float op for float op — so this
+        remains the exact reference a sharded run is compared against.
+        """
+        return merge_cell_shards([self.run_shard(devices)])
+
+    def run_shard(self, devices: Sequence[DeviceSpec]) -> CellShard:
+        """Run one device partition of a (possibly larger) cell.
+
+        Returns the shard's open partial result; hand every shard of the
+        cell to :func:`merge_cell_shards` to close the timelines at the
+        globally resolved end time and assemble the :class:`CellResult`.
+        The caller owns the partition: device ids must be unique *across*
+        shards, and any cross-shard coupling of the dormancy policy (e.g. a
+        load-aware switch budget) must be partitioned by the caller — each
+        shard's policy instance only ever sees its own shard's load.
+        """
         if not devices:
             raise ValueError("at least one device is required")
         ids = [d.device_id for d in devices]
@@ -295,48 +396,236 @@ class CellSimulator:
             station=_NetworkStation(self._dormancy_policy),
             load=load,
             sample_interval_s=self._sample_interval,
+            finish=False,
         )
 
-        costs = signaling_costs_for(profile.technology)
-        promotions = timer_demotions = fast_demotions = 0
-        device_results = []
+        shard_devices = []
         for spec in devices:
             ue = contexts[spec.device_id]
-            promotions += ue.promotions
-            timer_demotions += ue.timer_demotions
-            fast_demotions += ue.fast_demotions
-            device_results.append(
-                DeviceResult(
+            (data_j, data_time_s, active_time_s, high_idle_time_s,
+             idle_time_s, switch_j) = ue.folded_totals()
+            machine = ue.machine
+            shard_devices.append(
+                ShardDeviceState(
                     device_id=spec.device_id,
                     policy_name=spec.policy.name,
-                    breakdown=ue.build_breakdown(profile),
+                    data_j=data_j,
+                    data_time_s=data_time_s,
+                    active_time_s=active_time_s,
+                    high_idle_time_s=high_idle_time_s,
+                    idle_time_s=idle_time_s,
+                    switch_j=switch_j,
+                    promotions=ue.promotions,
+                    timer_demotions=ue.timer_demotions,
+                    fast_demotions=ue.fast_demotions,
+                    open_state=machine.state,
+                    open_since=machine.segment_start,
+                    last_activity=machine.last_activity,
+                    packets=ue.packet_count,
                     dormancy_requests=ue.dormancy_requests,
                     dormancy_granted=ue.dormancy_granted,
                     dormancy_denied=ue.dormancy_denied,
-                    packets=ue.packet_count,
                     session_delays=tuple(ue.session_delays),
                     delayed_sessions=ue.delayed_sessions,
                     total_session_delay_s=ue.total_delay_s,
                 )
             )
-
-        signaling = SignalingLoad(
-            promotions=promotions,
-            timer_demotions=timer_demotions,
-            fast_dormancy_demotions=fast_demotions,
-            messages=(
-                promotions * costs.messages_for(SwitchKind.PROMOTION)
-                + timer_demotions * costs.messages_for(SwitchKind.TIMER_DEMOTION)
-                + fast_demotions * costs.messages_for(SwitchKind.FAST_DORMANCY)
-            ),
-            duration_s=outcome.end_time,
-        )
-        return CellResult(
+        return CellShard(
             dormancy_policy_name=self._dormancy_policy.name,
-            devices=tuple(device_results),
-            signaling=signaling,
-            duration_s=outcome.end_time,
-            peak_active_devices=load.peak_active_devices,
-            switch_times=tuple(load.switch_times),
+            profile=profile,
+            trailing_time=self._engine.trailing_time,
+            devices=tuple(shard_devices),
+            last_emitted=outcome.last_emitted,
+            max_now=outcome.end_time,
+            load=load,
             load_samples=outcome.samples,
+            sample_interval_s=self._sample_interval,
         )
+
+
+def _close_device(
+    dev: ShardDeviceState, profile: CarrierProfile, end_time: float
+) -> tuple[float, float, float, int]:
+    """Close one device's open timeline at ``end_time``.
+
+    Replays exactly what :meth:`RrcStateMachine.finish` (pending timer
+    demotions via ``_apply_timers``, then the final interval) followed by
+    :meth:`UeContext.drain_account` would have folded — the same boundary
+    comparisons, the same per-interval additions, in the same order — so
+    the result is bit-equal to the single-process close at the same
+    ``end_time``.  Returns the closed ``(active_time_s, high_idle_time_s,
+    idle_time_s, timer_demotions)``.
+    """
+    active = dev.active_time_s
+    high = dev.high_idle_time_s
+    idle = dev.idle_time_s
+    timer_demotions = dev.timer_demotions
+    state = dev.open_state
+    seg = dev.open_since
+    if state is RadioState.ACTIVE:
+        demote_at = dev.last_activity + profile.t1
+        if end_time >= demote_at:
+            if profile.has_high_idle_state:
+                if demote_at > seg:
+                    active = active + (demote_at - seg)
+                timer_demotions += 1
+                state = RadioState.HIGH_IDLE
+                seg = demote_at
+                idle_at = demote_at + profile.t2
+                if end_time >= idle_at:
+                    if idle_at > seg:
+                        high = high + (idle_at - seg)
+                    timer_demotions += 1
+                    state = RadioState.IDLE
+                    seg = idle_at
+            else:
+                if demote_at > seg:
+                    active = active + (demote_at - seg)
+                timer_demotions += 1
+                state = RadioState.IDLE
+                seg = demote_at
+    elif state is RadioState.HIGH_IDLE:
+        idle_at = seg + profile.t2
+        if end_time >= idle_at:
+            if idle_at > seg:
+                high = high + (idle_at - seg)
+            timer_demotions += 1
+            state = RadioState.IDLE
+            seg = idle_at
+    if end_time > seg:
+        tail = end_time - seg
+        if state in (RadioState.ACTIVE, RadioState.PROMOTING):
+            active = active + tail
+        elif state is RadioState.HIGH_IDLE:
+            high = high + tail
+        else:
+            idle = idle + tail
+    return active, high, idle, timer_demotions
+
+
+def _merge_load_samples(shards: Sequence[CellShard]) -> tuple[LoadSample, ...]:
+    """Align every shard's samples on the shared grid and sum them.
+
+    All shards sample on the same grid (same interval, same accumulation
+    of float times from zero), so grid times match exactly; a shard whose
+    events ended earlier simply stops contributing — by then all of its
+    devices are Idle, so its contribution would be zero active devices,
+    and only switches still inside the sliding window are undercounted.
+    """
+    by_time: dict[float, list[int]] = {}
+    for shard in shards:
+        for sample in shard.load_samples:
+            acc = by_time.setdefault(sample.time, [0, 0])
+            acc[0] += sample.active_devices
+            acc[1] += sample.switches_last_minute
+    return tuple(
+        LoadSample(time=time, active_devices=active, switches_last_minute=switches)
+        for time, (active, switches) in sorted(by_time.items())
+    )
+
+
+def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
+    """Merge per-shard partial results into one :class:`CellResult`.
+
+    Per-device records are finished here: the global end time is resolved
+    from every shard's observations exactly as a single kernel run would
+    resolve it, and each device's final open interval is folded with the
+    same float operations the single-process finish performs — so for
+    shard-independent dormancy policies the merged per-device results are
+    byte-identical to an unsharded run at any shard count.
+
+    Aggregates: switch timelines interleave exactly (disjoint device
+    partitions), so ``switch_times`` — and the peak-switches metric
+    computed from it — are exact.  ``load_samples`` are summed on the
+    shared sample grid.  ``peak_active_devices`` is exact for one shard;
+    for several it is recomputed from the merged sample series when
+    sampling was on, else it falls back to the sum of per-shard peaks (an
+    upper bound) — see ``docs/DESIGN.md``.
+    """
+    if not shards:
+        raise ValueError("at least one shard is required")
+    first = shards[0]
+    for shard in shards[1:]:
+        if shard.profile != first.profile:
+            raise ValueError("shards were run against different carrier profiles")
+        if shard.dormancy_policy_name != first.dormancy_policy_name:
+            raise ValueError("shards were run under different dormancy policies")
+        if shard.trailing_time != first.trailing_time:
+            raise ValueError("shards were run with different trailing times")
+        if shard.sample_interval_s != first.sample_interval_s:
+            raise ValueError("shards were run with different sample grids")
+    ids = [dev.device_id for shard in shards for dev in shard.devices]
+    if len(set(ids)) != len(ids):
+        raise ValueError("shards overlap: device ids must be unique across shards")
+
+    emitted = [s.last_emitted for s in shards if s.last_emitted is not None]
+    last_emitted = max(emitted) if emitted else None
+    max_now = max(shard.max_now for shard in shards)
+    end_time = resolve_end_time(last_emitted, max_now, first.trailing_time)
+
+    profile = first.profile
+    costs = signaling_costs_for(profile.technology)
+    promotions = timer_demotions = fast_demotions = 0
+    device_results = []
+    for shard in shards:
+        for dev in shard.devices:
+            (active_time_s, high_idle_time_s, idle_time_s,
+             closed_timer_demotions) = _close_device(dev, profile, end_time)
+            breakdown = assemble_breakdown(
+                profile,
+                data_j=dev.data_j,
+                data_time_s=dev.data_time_s,
+                active_time_s=active_time_s,
+                high_idle_time_s=high_idle_time_s,
+                idle_time_s=idle_time_s,
+                switch_j=dev.switch_j,
+                promotions=dev.promotions,
+                demotions=closed_timer_demotions + dev.fast_demotions,
+            )
+            promotions += dev.promotions
+            timer_demotions += closed_timer_demotions
+            fast_demotions += dev.fast_demotions
+            device_results.append(
+                DeviceResult(
+                    device_id=dev.device_id,
+                    policy_name=dev.policy_name,
+                    breakdown=breakdown,
+                    dormancy_requests=dev.dormancy_requests,
+                    dormancy_granted=dev.dormancy_granted,
+                    dormancy_denied=dev.dormancy_denied,
+                    packets=dev.packets,
+                    session_delays=dev.session_delays,
+                    delayed_sessions=dev.delayed_sessions,
+                    total_session_delay_s=dev.total_session_delay_s,
+                )
+            )
+
+    load = CellLoad.merged([shard.load for shard in shards])
+    samples = _merge_load_samples(shards)
+    if len(shards) == 1:
+        peak_active = load.peak_active_devices  # exact
+    elif samples:
+        peak_active = max(sample.active_devices for sample in samples)
+    else:
+        peak_active = load.peak_active_devices  # sum of shard peaks: upper bound
+
+    signaling = SignalingLoad(
+        promotions=promotions,
+        timer_demotions=timer_demotions,
+        fast_dormancy_demotions=fast_demotions,
+        messages=(
+            promotions * costs.messages_for(SwitchKind.PROMOTION)
+            + timer_demotions * costs.messages_for(SwitchKind.TIMER_DEMOTION)
+            + fast_demotions * costs.messages_for(SwitchKind.FAST_DORMANCY)
+        ),
+        duration_s=end_time,
+    )
+    return CellResult(
+        dormancy_policy_name=first.dormancy_policy_name,
+        devices=tuple(device_results),
+        signaling=signaling,
+        duration_s=end_time,
+        peak_active_devices=peak_active,
+        switch_times=tuple(load.switch_times),
+        load_samples=samples,
+    )

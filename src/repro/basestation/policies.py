@@ -11,6 +11,7 @@ current cell load, and answers grant / deny.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 __all__ = [
     "CellLoadSnapshot",
@@ -20,6 +21,7 @@ __all__ = [
     "RejectAllDormancy",
     "RateLimitedDormancy",
     "LoadAwareDormancy",
+    "partition_switch_budget",
 ]
 
 
@@ -171,3 +173,41 @@ class LoadAwareDormancy(DormancyPolicy):
                 ),
             )
         return DormancyDecision(granted=True, reason="cell below switch budget")
+
+
+def partition_switch_budget(
+    budget: int, shard_sizes: Sequence[int]
+) -> list[int]:
+    """Split a cell-wide switches-per-minute budget across device shards.
+
+    Sharded cell execution runs each shard's :class:`LoadAwareDormancy`
+    against that shard's *own* load, so the cell-wide budget has to be
+    divided up front.  Shares are proportional to shard device counts
+    (largest-remainder apportionment; remainder ties go to earlier
+    shards), which makes the partition deterministic and exact for equal
+    shards.  Every shard receives at least 1 — a load-aware policy needs a
+    positive budget — so when ``budget < len(shard_sizes)`` the per-shard
+    budgets sum to slightly more than ``budget``.
+
+    This is the documented approximation of sharded ``load_aware`` cells:
+    each shard enforces its share against its own switch window, which can
+    deny a request a cell-wide budget would have granted (a busy shard
+    exhausts its share while another idles) and vice versa.  The
+    single-process run remains the exact reference; see
+    ``docs/DESIGN.md``.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be positive, got {budget}")
+    if not shard_sizes:
+        raise ValueError("at least one shard is required")
+    if any(size < 1 for size in shard_sizes):
+        raise ValueError(f"shard sizes must be positive, got {list(shard_sizes)}")
+    total = sum(shard_sizes)
+    shares = [budget * size // total for size in shard_sizes]
+    by_remainder = sorted(
+        range(len(shard_sizes)),
+        key=lambda index: (-(budget * shard_sizes[index] % total), index),
+    )
+    for index in by_remainder[: budget - sum(shares)]:
+        shares[index] += 1
+    return [max(1, share) for share in shares]

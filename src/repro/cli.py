@@ -114,6 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
              "default accept_all)",
     )
     sweep.add_argument(
+        "--shards", type=int, default=None,
+        help="partition each --cell run into this many device shards, "
+             "executed on worker processes (implies a process pool of "
+             "--jobs workers, or one worker per shard when --jobs is 1)",
+    )
+    sweep.add_argument(
         "--users", type=int, nargs="*",
         help="user ids within --population (default: the whole roster)",
     )
@@ -287,10 +293,11 @@ def _build_sweep_plan(args: argparse.Namespace):
     if args.plan:
         return load_plan(args.plan)
     p = new_plan()
-    if not args.cell and (args.devices is not None or args.dormancy is not None):
+    if not args.cell and (args.devices is not None or args.dormancy is not None
+                          or args.shards is not None):
         raise ValueError(
-            "--devices and --dormancy configure a cell sweep; add --cell "
-            "(they would otherwise be silently ignored)"
+            "--devices, --dormancy and --shards configure a cell sweep; "
+            "add --cell (they would otherwise be silently ignored)"
         )
     if args.cell:
         if args.population:
@@ -303,6 +310,8 @@ def _build_sweep_plan(args: argparse.Namespace):
             cell_spec(devices=args.devices if args.devices is not None else 100,
                       apps=tuple(apps), duration=args.duration)
         ).dormancy(*_split_csv_arg(args.dormancy or "accept_all"))
+        if args.shards is not None:
+            p = p.shards(args.shards)
     elif args.population:
         p = p.users(args.population, args.users or None,
                     hours_per_day=args.duration / 3600.0)
@@ -335,8 +344,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         if args.save_plan:
             save_plan(sweep_plan, args.save_plan)
             print(f"wrote plan to {args.save_plan}", file=sys.stderr)
-        runner = (ProcessPoolRunner(jobs=args.jobs) if args.jobs > 1
-                  else SerialRunner())
+        # Sharded cells need the pool even at --jobs 1: cross-process
+        # sharding is the point of --shards, so default to one worker per
+        # shard unless --jobs asks for more.
+        max_shards = max(sweep_plan.shard_counts, default=1)
+        jobs = args.jobs if args.jobs > 1 else max_shards
+        runner = ProcessPoolRunner(jobs=jobs) if jobs > 1 else SerialRunner()
         print(sweep_plan.describe(), file=sys.stderr)
         runs = runner.run(sweep_plan)
     except (KeyError, ValueError, OSError) as exc:
@@ -359,6 +372,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 r["carrier"],
                 r["scheme"],
                 r["dormancy"],
+                str(r.get("shards", 1)),
                 f"{r['energy_j']:.1f}",
                 f"{r.get('saved_percent', 0.0):.1f}",
                 f"{100.0 * r['denial_rate']:.1f}",
@@ -369,8 +383,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ]
         print(
             format_table(
-                ["cell", "carrier", "scheme", "dormancy", "energy (J)",
-                 "saved %", "denied %", "peak sw/min", "peak active"],
+                ["cell", "carrier", "scheme", "dormancy", "shards",
+                 "energy (J)", "saved %", "denied %", "peak sw/min",
+                 "peak active"],
                 rows,
             )
         )

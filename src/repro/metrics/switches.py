@@ -32,6 +32,11 @@ def peak_per_window(
     The cell simulation uses this for its peak-switches-per-minute load
     metric.  ``times`` is sorted once unless the caller promises
     ``presorted=True``; the sweep itself is a linear two-pointer pass.
+
+    Windows are **half-open**: an event at time ``t`` and another at
+    exactly ``t + window_s`` fall in different windows, so two switches
+    exactly one minute apart never count as the same minute's load
+    (mirrors :meth:`repro.sim.engine.CellLoad.switches_within_window`).
     """
     if window_s <= 0:
         raise ValueError(f"window_s must be positive, got {window_s}")
@@ -39,7 +44,7 @@ def peak_per_window(
     best = 0
     start = 0
     for end, time in enumerate(ordered):
-        while time - ordered[start] > window_s:
+        while time - ordered[start] >= window_s:
             start += 1
         if end - start + 1 > best:
             best = end - start + 1

@@ -30,6 +30,7 @@ from .states import Technology
 
 __all__ = [
     "DrxConfig",
+    "DrxCarrierProfile",
     "DrxPhase",
     "DEFAULT_LTE_DRX",
     "drx_timeline",
@@ -191,17 +192,59 @@ def effective_tail_power(
     return energy / tail_length
 
 
+@dataclass(frozen=True)
+class DrxCarrierProfile(CarrierProfile):
+    """A carrier profile whose ``P_t1`` is *derived* from a DRX schedule.
+
+    The derived tail power is the ``effective_tail_power`` average over the
+    profile's own ``t1``, so it is only valid for that ``t1``.  This
+    subclass remembers the derivation inputs and recomputes the average
+    whenever the timers change — a plain :func:`dataclasses.replace` (as
+    the base :meth:`~repro.rrc.profiles.CarrierProfile.with_timers` does)
+    would silently keep the stale DRX-derived constant through a
+    ``.with_timers(t1=...)`` ablation.
+    """
+
+    #: DRX schedule the tail power was averaged over (``None`` only while
+    #: dataclass machinery constructs intermediate copies).
+    drx_config: DrxConfig | None = None
+    #: Receiver power while awake inside the tail, watts.
+    drx_awake_power_w: float = 0.0
+
+    def with_timers(self, t1: float, t2: float | None = None) -> "CarrierProfile":
+        """Return a copy with new timers *and* a freshly derived tail power.
+
+        With ``t1 == 0`` the Active tail has zero length, so there is no
+        schedule to average over; the tail power falls back to the awake
+        (continuous-reception) power, which no interval ever integrates.
+        """
+        base = super().with_timers(t1, t2)
+        if self.drx_config is None:
+            return base
+        if base.t1 > 0:
+            average_w = effective_tail_power(
+                self.drx_config, self.drx_awake_power_w, base.t1
+            )
+        else:
+            average_w = self.drx_awake_power_w
+        return replace(base, power_active_mw=average_w * 1000.0)
+
+
 def profile_with_drx(
     profile: CarrierProfile,
     config: DrxConfig = DEFAULT_LTE_DRX,
     awake_power_w: float | None = None,
-) -> CarrierProfile:
+) -> DrxCarrierProfile:
     """Return an LTE profile whose tail power is derived from a DRX schedule.
 
     ``awake_power_w`` defaults to the profile's receive power (the radio is
     listening during the on-durations); the derived average replaces the
     profile's measured ``P_t1``.  Only meaningful for LTE profiles — 3G
     profiles are returned unchanged apart from a :class:`ValueError` guard.
+
+    The result is a :class:`DrxCarrierProfile`: later ``.with_timers(...)``
+    ablations re-derive the tail power for the new ``t1`` instead of
+    keeping the stale average.
     """
     if profile.technology is not Technology.LTE:
         raise ValueError(
@@ -209,4 +252,11 @@ def profile_with_drx(
         )
     awake = awake_power_w if awake_power_w is not None else profile.power_recv_w
     average_w = effective_tail_power(config, awake, profile.t1)
-    return replace(profile, power_active_mw=average_w * 1000.0)
+    fields = {
+        name: getattr(profile, name)
+        for name in CarrierProfile.__dataclass_fields__
+    }
+    fields["power_active_mw"] = average_w * 1000.0
+    return DrxCarrierProfile(
+        drx_config=config, drx_awake_power_w=awake, **fields
+    )

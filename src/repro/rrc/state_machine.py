@@ -163,6 +163,27 @@ class RrcStateMachine:
         """Seconds elapsed since the last data activity."""
         return self._now - self._last_activity
 
+    @property
+    def segment_start(self) -> float:
+        """Start time of the current (still open) state segment.
+
+        :meth:`finish` closes the timeline with the interval
+        ``[segment_start, end_time]``; shard merging reads this to fold the
+        same final interval at a globally resolved end time instead.
+        """
+        return self._segment_start
+
+    @property
+    def last_activity(self) -> float:
+        """Time of the last timer-resetting data activity.
+
+        Together with :attr:`segment_start` and :attr:`state` this pins
+        down every pending timer demotion (:meth:`finish` applies them),
+        letting shard merging replay the close at a globally resolved end
+        time with the exact float arithmetic of ``_apply_timers``.
+        """
+        return self._last_activity
+
     # -- state transitions ------------------------------------------------------------
 
     def state_at(self, time: float) -> RadioState:

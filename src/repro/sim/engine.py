@@ -48,6 +48,18 @@ scheduled fast-dormancy event becomes a *request* that the station may deny
 live :class:`CellLoad` (active-device count via inactivity-timer-expiry
 events, switch timestamps in a sliding window) and can record a
 :class:`LoadSample` time series at a fixed cadence.
+
+Sharding
+--------
+
+A run invoked with ``finish=False`` returns with every timeline still
+*open* (plus the observations — ``last_emitted``, the last processed event
+time — that :func:`resolve_end_time` turns into a close time).  This is
+the kernel half of sharded cell execution: disjoint device partitions run
+in separate kernels (separate processes), and the merge closes every
+device at the *globally* resolved end time with the exact float arithmetic
+of a single-process finish — see :mod:`repro.basestation.cell` and
+``docs/DESIGN.md`` §2.1.
 """
 
 from __future__ import annotations
@@ -79,6 +91,7 @@ __all__ = [
     "LoadSample",
     "SimulationEngine",
     "UeContext",
+    "resolve_end_time",
 ]
 
 
@@ -159,10 +172,15 @@ class CellLoad:
         self._recent.append(time)
 
     def switches_within_window(self, time: float) -> int:
-        """Switches recorded in the last ``window_s`` seconds before ``time``."""
+        """Switches recorded in the last ``window_s`` seconds before ``time``.
+
+        The window is half-open — a switch exactly ``window_s`` seconds ago
+        has aged out — consistent with the half-open windows of
+        :func:`repro.metrics.switches.peak_per_window`.
+        """
         recent = self._recent
         start = self._recent_start
-        while start < len(recent) and time - recent[start] > self.window_s:
+        while start < len(recent) and time - recent[start] >= self.window_s:
             start += 1
         self._recent_start = start
         # Compact occasionally so the pruned prefix cannot grow unbounded.
@@ -181,6 +199,37 @@ class CellLoad:
     def deactivate(self) -> None:
         """One device reached Idle."""
         self.active_devices -= 1
+
+    @classmethod
+    def merged(cls, loads: Sequence["CellLoad"]) -> "CellLoad":
+        """Combine the loads of disjoint device partitions (shards).
+
+        Switch timelines interleave exactly — each input's is time-ordered
+        and the partitions are disjoint — so windowed switch queries over
+        the merged load equal those of a single-process run.  The
+        *instantaneous* active-device peak is not recoverable from
+        per-shard peaks (shards peak at different moments), so
+        ``peak_active_devices`` is the sum of the inputs' peaks: an upper
+        bound on the true cell peak, exact for a single input.
+        """
+        if not loads:
+            raise ValueError("at least one CellLoad is required")
+        window = loads[0].window_s
+        if any(load.window_s != window for load in loads):
+            raise ValueError("cannot merge CellLoads with different windows")
+        combined = cls(
+            total_devices=sum(load.total_devices for load in loads),
+            window_s=window,
+        )
+        combined.switch_times = list(
+            heapq.merge(*(load.switch_times for load in loads))
+        )
+        combined._recent = list(combined.switch_times)
+        combined.active_devices = sum(load.active_devices for load in loads)
+        combined.peak_active_devices = sum(
+            load.peak_active_devices for load in loads
+        )
+        return combined
 
 
 class DormancyStation:
@@ -340,6 +389,25 @@ class UeContext:
             else:
                 self._fast_demotions += 1
 
+    def folded_totals(self) -> tuple[float, float, float, float, float, float]:
+        """The incremental energy totals folded so far (streaming mode).
+
+        Returns ``(data_j, data_time_s, active_time_s, high_idle_time_s,
+        idle_time_s, switch_j)`` — the exact running sums
+        :meth:`build_breakdown` would assemble.  Shard execution exports
+        these before the timeline is closed, so the cross-shard merge can
+        fold the final open interval with the same float operations the
+        single-process finish would have used.
+        """
+        return (
+            self._data_j,
+            self._data_time_s,
+            self._active_time_s,
+            self._high_idle_time_s,
+            self._idle_time_s,
+            self._switch_j,
+        )
+
     @property
     def promotions(self) -> int:
         """Promotions folded so far (streaming mode)."""
@@ -370,14 +438,41 @@ class UeContext:
         )
 
 
+def resolve_end_time(
+    last_emitted: float | None, max_now: float, trailing_time: float
+) -> float:
+    """The timeline close time implied by a kernel run's final observations.
+
+    This is the one place the end-of-run rule lives: the trailing tail is
+    charged after the last *emitted* packet (a run that never emitted has
+    no tail and closes at the last processed event), never ending before
+    any machine's current time.  Shard merging reuses it with the
+    *global* maxima so a sharded cell closes every device's timeline at
+    exactly the instant a single-process run would.
+    """
+    if last_emitted is None:
+        return max_now
+    return max(last_emitted + trailing_time, max_now)
+
+
 @dataclass(frozen=True)
 class KernelResult:
-    """What one kernel execution produced, before façade-specific assembly."""
+    """What one kernel execution produced, before façade-specific assembly.
+
+    With ``finish=False`` (shard mode) the timelines are still *open*:
+    ``end_time`` holds the last processed event time, ``last_emitted`` the
+    newest emitted-packet timestamp (``None`` if nothing was emitted), and
+    the caller owns the close — either via
+    :meth:`SimulationEngine.finalize` or by folding the open tails into a
+    cross-shard merge at a globally resolved end time.
+    """
 
     contexts: Mapping[int, UeContext]
     end_time: float
     load: CellLoad | None = None
     samples: tuple[LoadSample, ...] = ()
+    last_emitted: float | None = None
+    finished: bool = True
 
 
 class SimulationEngine:
@@ -430,6 +525,11 @@ class SimulationEngine:
     def accountant(self) -> EnergyAccountant:
         """The energy accountant shared by all of this engine's runs."""
         return self._accountant
+
+    @property
+    def trailing_time(self) -> float:
+        """Extra simulated seconds charged after the last emitted packet."""
+        return self._trailing_time
 
     # -- single-UE façade entry point --------------------------------------------------
 
@@ -490,6 +590,7 @@ class SimulationEngine:
         station: DormancyStation | None = None,
         load: CellLoad | None = None,
         sample_interval_s: float | None = None,
+        finish: bool = True,
     ) -> KernelResult:
         """Drive every UE's packet stream through the shared event queue.
 
@@ -511,6 +612,11 @@ class SimulationEngine:
         sample_interval_s:
             When set (cell mode), record a :class:`LoadSample` every this
             many seconds while packet/timer events remain.
+        finish:
+            When ``False``, return with every timeline still *open* once
+            the event queue drains: the caller resolves the close time
+            (possibly across several shard runs) and applies it via
+            :meth:`finalize` — or folds the open tails itself.
         """
         if station is not None and load is None:
             raise ValueError("cell mode (station=...) requires a CellLoad")
@@ -740,32 +846,51 @@ class SimulationEngine:
             if not contexts[ue_id].collect:
                 contexts[ue_id].drain_account()
 
-        # Close every timeline: charge the trailing tail after the last
-        # emitted packet (a run that never emitted anything has no tail).
         last_emitted = max(
             (ue.last_effective for ue in contexts.values()
              if ue.last_effective is not None),
             default=None,
         )
-        if last_emitted is None:
-            end_time = max(
-                (ue.machine.now for ue in contexts.values()), default=0.0
-            )
-        else:
-            end_time = last_emitted + self._trailing_time
-            for ue in contexts.values():
-                if ue.machine.now > end_time:
-                    end_time = ue.machine.now
-        for ue in contexts.values():
-            ue.machine.finish(end_time)
-            if cell_mode:
-                sync_load(ue)
-            if not ue.collect:
-                ue.drain_account()
-
-        return KernelResult(
+        max_now = max(
+            (ue.machine.now for ue in contexts.values()), default=0.0
+        )
+        open_result = KernelResult(
             contexts=contexts,
-            end_time=end_time,
+            end_time=max_now,
             load=load,
             samples=tuple(samples),
+            last_emitted=last_emitted,
+            finished=False,
         )
+        if not finish:
+            return open_result
+        return self.finalize(
+            open_result,
+            resolve_end_time(last_emitted, max_now, self._trailing_time),
+        )
+
+    def finalize(self, result: KernelResult, end_time: float) -> KernelResult:
+        """Close every timeline of an unfinished run at ``end_time``.
+
+        Charges the trailing tail after the last emitted packet (a run
+        that never emitted anything has no tail) and folds the final open
+        interval of each streaming context.  ``end_time`` must come from
+        :func:`resolve_end_time` over this run's observations — or over
+        the *global* observations of every shard of a sharded cell, which
+        is what makes shard runs byte-identical to the single-process run.
+        """
+        if result.finished:
+            raise ValueError("kernel result is already finished")
+        cell_mode = result.load is not None
+        for ue in result.contexts.values():
+            ue.machine.finish(end_time)
+            if cell_mode:
+                active = ue.machine.state is not RadioState.IDLE
+                if active and not ue.was_active:
+                    result.load.activate()
+                elif not active and ue.was_active:
+                    result.load.deactivate()
+                ue.was_active = active
+            if not ue.collect:
+                ue.drain_account()
+        return replace(result, end_time=end_time, finished=True)

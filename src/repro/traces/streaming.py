@@ -48,6 +48,20 @@ def _chunk_seed(seed: int, index: int) -> int:
     return zlib.crc32(f"{seed}/{index}".encode("ascii"))
 
 
+def _app_stream_seed(seed: int, index: int) -> int:
+    """Derive the per-application stream seed of a user-day workload.
+
+    Hashed for the same reason as :func:`_chunk_seed` — a linear
+    ``seed + 13 * index`` rule made device ``i``'s application at index
+    ``k`` replay device ``i + 13k``'s index-0 application traffic under
+    the consecutive per-device seeds cell populations hand out.  The
+    ``app/`` prefix keeps this derivation chain disjoint from the chunk
+    chain, so an application stream never shares a generator seed with
+    some other stream's chunk.
+    """
+    return zlib.crc32(f"app/{seed}/{index}".encode("ascii"))
+
+
 def stream_application_packets(
     name: str,
     duration: float = 3600.0,
@@ -93,7 +107,8 @@ def stream_user_day_packets(
     streams = [
         _remap_flows(
             stream_application_packets(
-                app, duration=duration, seed=seed + 13 * index, chunk_s=chunk_s
+                app, duration=duration, seed=_app_stream_seed(seed, index),
+                chunk_s=chunk_s,
             ),
             offset=index * 1_000_000,
         )

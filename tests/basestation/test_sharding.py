@@ -1,0 +1,293 @@
+"""Shard execution protocol: run_shard + merge_cell_shards.
+
+The contract under test is the ISSUE's exactness condition: for
+*shard-independent* dormancy stations (accept_all, reject_all, per-UE
+rate_limited) a sharded cell run merges to per-device results that are
+**byte-identical** to the single-process run, at any shard count, for
+device counts that do not divide evenly.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.basestation import (
+    AcceptAllDormancy,
+    CellSimulator,
+    DeviceSpec,
+    LoadAwareDormancy,
+    RateLimitedDormancy,
+    RejectAllDormancy,
+    merge_cell_shards,
+    partition_switch_budget,
+)
+from repro.core.makeidle import MakeIdlePolicy
+from repro.rrc.profiles import get_profile
+from repro.sim.engine import CellLoad
+from repro.traces.streaming import stream_application_packets
+
+#: (station factory, label); every entry is shard-independent: its
+#: decisions depend only on the requesting device, never on other shards.
+SHARD_INDEPENDENT_STATIONS = [
+    (AcceptAllDormancy, "accept_all"),
+    (RejectAllDormancy, "reject_all"),
+    (lambda: RateLimitedDormancy(min_interval_s=5.0), "rate_limited"),
+]
+
+
+def _devices(profile, lo, hi, duration=400.0):
+    """Devices [lo, hi) of a deterministic streamed population."""
+    del profile
+    return [
+        DeviceSpec(
+            device_id=i,
+            trace=stream_application_packets(
+                "im", duration=duration, seed=1000 + i, chunk_s=100.0
+            ),
+            policy=MakeIdlePolicy(window_size=30),
+        )
+        for i in range(lo, hi)
+    ]
+
+
+def _shard_bounds(devices: int, shards: int) -> list[tuple[int, int]]:
+    base, rem = divmod(devices, shards)
+    bounds, start = [], 0
+    for j in range(shards):
+        size = base + (1 if j < rem else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class TestShardMergeExactness:
+    @pytest.mark.parametrize("station_factory,label", SHARD_INDEPENDENT_STATIONS)
+    @pytest.mark.parametrize("shards", [1, 2, 7])
+    def test_byte_identical_to_single_process(
+        self, att_profile, station_factory, label, shards
+    ):
+        # 11 devices: divides evenly by neither 2 nor 7.
+        single = CellSimulator(att_profile, station_factory()).run(
+            _devices(att_profile, 0, 11)
+        )
+        partials = [
+            CellSimulator(att_profile, station_factory()).run_shard(
+                _devices(att_profile, lo, hi)
+            )
+            for lo, hi in _shard_bounds(11, shards)
+        ]
+        merged = merge_cell_shards(partials)
+
+        # Per-device records: byte-identical (exact float equality via
+        # dataclass equality on every breakdown field and counter).
+        assert merged.devices == single.devices
+        # Exact aggregates.
+        assert merged.signaling == single.signaling
+        assert merged.duration_s == single.duration_s
+        assert merged.switch_times == single.switch_times
+        assert merged.peak_switches_per_minute == single.peak_switches_per_minute
+        assert merged.dormancy_policy_name == single.dormancy_policy_name
+        # Peak active without sampling: exact for K=1, upper bound beyond.
+        if shards == 1:
+            assert merged.peak_active_devices == single.peak_active_devices
+        else:
+            assert merged.peak_active_devices >= single.peak_active_devices
+
+    def test_shard_partials_survive_pickling(self, att_profile):
+        # The runner ships shards across process boundaries; the partial
+        # must round-trip without perturbing the merged result.
+        direct = [
+            CellSimulator(att_profile, AcceptAllDormancy()).run_shard(
+                _devices(att_profile, lo, hi)
+            )
+            for lo, hi in _shard_bounds(7, 3)
+        ]
+        pickled = [pickle.loads(pickle.dumps(shard)) for shard in direct]
+        assert merge_cell_shards(pickled) == merge_cell_shards(direct)
+
+    def test_high_idle_pending_demotion_closes_identically(self, att_profile):
+        # AT&T's two-stage timers leave machines mid-demotion at shard
+        # quiesce when float rounding puts the Idle boundary just past the
+        # last timer event; the merge must replay those pending demotions.
+        single = CellSimulator(att_profile, AcceptAllDormancy()).run(
+            _devices(att_profile, 0, 3, duration=150.0)
+        )
+        partials = [
+            CellSimulator(att_profile, AcceptAllDormancy()).run_shard(
+                _devices(att_profile, lo, hi, duration=150.0)
+            )
+            for lo, hi in _shard_bounds(3, 2)
+        ]
+        merged = merge_cell_shards(partials)
+        assert merged.devices == single.devices
+        assert merged.signaling.timer_demotions == single.signaling.timer_demotions
+
+    def test_sampled_shards_merge_on_shared_grid(self, att_profile):
+        simulators = [
+            CellSimulator(
+                att_profile, AcceptAllDormancy(), load_sample_interval_s=5.0
+            )
+            for _ in range(2)
+        ]
+        partials = [
+            sim.run_shard(_devices(att_profile, lo, hi))
+            for sim, (lo, hi) in zip(simulators, _shard_bounds(6, 2))
+        ]
+        merged = merge_cell_shards(partials)
+        single = CellSimulator(
+            att_profile, AcceptAllDormancy(), load_sample_interval_s=5.0
+        ).run(_devices(att_profile, 0, 6))
+        assert merged.load_samples  # sampling was on
+        merged_by_time = {s.time: s for s in merged.load_samples}
+        for sample in single.load_samples:
+            counterpart = merged_by_time.get(sample.time)
+            if counterpart is None:
+                continue  # grid point past both shards' activity
+            # Active devices sum exactly across disjoint shards.
+            assert counterpart.active_devices == sample.active_devices
+        # With sampling on, the merged peak comes from the summed series.
+        assert merged.peak_active_devices == max(
+            s.active_devices for s in merged.load_samples
+        )
+
+
+class TestMergeValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one shard"):
+            merge_cell_shards([])
+
+    def test_rejects_overlapping_device_ids(self, att_profile):
+        shard = CellSimulator(att_profile, AcceptAllDormancy()).run_shard(
+            _devices(att_profile, 0, 2)
+        )
+        with pytest.raises(ValueError, match="unique across shards"):
+            merge_cell_shards([shard, shard])
+
+    def test_rejects_mixed_profiles(self, att_profile):
+        a = CellSimulator(att_profile, AcceptAllDormancy()).run_shard(
+            _devices(att_profile, 0, 2)
+        )
+        other = get_profile("verizon_lte")
+        b = CellSimulator(other, AcceptAllDormancy()).run_shard(
+            _devices(other, 2, 4)
+        )
+        with pytest.raises(ValueError, match="different carrier profiles"):
+            merge_cell_shards([a, b])
+
+    def test_rejects_mixed_dormancy_policies(self, att_profile):
+        a = CellSimulator(att_profile, AcceptAllDormancy()).run_shard(
+            _devices(att_profile, 0, 2)
+        )
+        b = CellSimulator(att_profile, RejectAllDormancy()).run_shard(
+            _devices(att_profile, 2, 4)
+        )
+        with pytest.raises(ValueError, match="different dormancy policies"):
+            merge_cell_shards([a, b])
+
+    def test_rejects_mixed_sample_grids(self, att_profile):
+        a = CellSimulator(
+            att_profile, AcceptAllDormancy(), load_sample_interval_s=5.0
+        ).run_shard(_devices(att_profile, 0, 2))
+        b = CellSimulator(
+            att_profile, AcceptAllDormancy(), load_sample_interval_s=10.0
+        ).run_shard(_devices(att_profile, 2, 4))
+        with pytest.raises(ValueError, match="different sample grids"):
+            merge_cell_shards([a, b])
+
+
+class TestCellLoadMerge:
+    def test_merged_combines_disjoint_loads(self):
+        a = CellLoad(total_devices=3)
+        b = CellLoad(total_devices=2)
+        for t in (1.0, 5.0):
+            a.note_switch(t)
+        b.note_switch(3.0)
+        a.activate()
+        a.activate()
+        b.activate()
+        merged = CellLoad.merged([a, b])
+        assert merged.total_devices == 5
+        assert merged.switch_times == [1.0, 3.0, 5.0]
+        assert merged.active_devices == 3
+        assert merged.peak_active_devices == 3
+        # Windowed queries work on the merged timeline.
+        assert merged.switches_within_window(6.0) == 3
+
+    def test_merged_peak_is_sum_of_peaks(self):
+        a = CellLoad(total_devices=1)
+        b = CellLoad(total_devices=1)
+        a.activate()
+        a.deactivate()
+        b.activate()  # peaks never coincide, yet the bound sums them
+        assert CellLoad.merged([a, b]).peak_active_devices == 2
+
+    def test_merged_validation(self):
+        with pytest.raises(ValueError, match="at least one CellLoad"):
+            CellLoad.merged([])
+        with pytest.raises(ValueError, match="different windows"):
+            CellLoad.merged([CellLoad(1, window_s=60.0), CellLoad(1, window_s=30.0)])
+
+    def test_window_is_half_open(self):
+        # Regression: a switch exactly window_s ago has aged out.
+        load = CellLoad(total_devices=1)
+        load.note_switch(0.0)
+        load.note_switch(30.0)
+        assert load.switches_within_window(59.9) == 2
+        assert load.switches_within_window(60.0) == 1
+        assert load.switches_within_window(89.9) == 1
+        assert load.switches_within_window(90.0) == 0
+
+
+class TestBudgetPartition:
+    def test_equal_shards_split_evenly(self):
+        assert partition_switch_budget(120, [10, 10, 10]) == [40, 40, 40]
+
+    def test_proportional_to_device_counts(self):
+        assert partition_switch_budget(100, [30, 10]) == [75, 25]
+
+    def test_largest_remainder_goes_first_on_ties(self):
+        assert partition_switch_budget(10, [1, 1, 1]) == [4, 3, 3]
+
+    def test_shares_sum_to_budget_when_feasible(self):
+        sizes = [7, 3, 5, 1]
+        shares = partition_switch_budget(97, sizes)
+        assert sum(shares) == 97
+        assert all(share >= 1 for share in shares)
+
+    def test_minimum_one_per_shard(self):
+        # budget < shard count: every shard still gets a positive budget,
+        # overshooting the total — the documented approximation.
+        shares = partition_switch_budget(2, [5, 5, 5])
+        assert all(share >= 1 for share in shares)
+        assert sum(shares) >= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="budget must be positive"):
+            partition_switch_budget(0, [1])
+        with pytest.raises(ValueError, match="at least one shard"):
+            partition_switch_budget(10, [])
+        with pytest.raises(ValueError, match="shard sizes must be positive"):
+            partition_switch_budget(10, [3, 0])
+
+
+class TestLoadAwareSharding:
+    def test_partitioned_budget_still_arbitrates(self, att_profile):
+        # load_aware is the documented approximation: not byte-identical,
+        # but each shard must enforce its share of the budget.
+        shards = []
+        sizes = [3, 3]
+        budgets = partition_switch_budget(4, sizes)
+        for (lo, hi), budget in zip(_shard_bounds(6, 2), budgets):
+            shards.append(
+                CellSimulator(
+                    att_profile,
+                    LoadAwareDormancy(max_switches_per_minute=budget),
+                ).run_shard(_devices(att_profile, lo, hi))
+            )
+        merged = merge_cell_shards(shards)
+        assert len(merged.devices) == 6
+        assert merged.dormancy_requests > 0
+        # A tiny budget under chatty IM traffic must produce denials.
+        assert merged.dormancy_denied > 0

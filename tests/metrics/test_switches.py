@@ -64,3 +64,35 @@ class TestNormalizedTables:
         results, baseline = scheme_results
         for value in switches_normalized_table(results, baseline).values():
             assert value >= 0.0
+
+
+class TestPeakPerWindow:
+    def test_counts_events_inside_one_window(self):
+        from repro.metrics.switches import peak_per_window
+
+        assert peak_per_window([0.0, 10.0, 20.0, 200.0], 60.0) == 3
+
+    def test_window_is_half_open(self):
+        # Regression: two switches exactly window_s apart used to count in
+        # the same window, inflating peak_switches_per_minute.
+        from repro.metrics.switches import peak_per_window
+
+        assert peak_per_window([0.0, 60.0], 60.0) == 1
+        assert peak_per_window([0.0, 59.999], 60.0) == 2
+        assert peak_per_window([0.0, 60.0, 120.0], 60.0) == 1
+        assert peak_per_window([0.0, 59.0, 60.0], 60.0) == 2
+
+    def test_empty_and_validation(self):
+        from repro.metrics.switches import peak_per_window
+
+        assert peak_per_window([], 60.0) == 0
+        with pytest.raises(ValueError):
+            peak_per_window([1.0], 0.0)
+
+    def test_presorted_matches_unsorted(self):
+        from repro.metrics.switches import peak_per_window
+
+        times = [5.0, 1.0, 61.0, 2.0, 100.0]
+        assert peak_per_window(times, 60.0) == peak_per_window(
+            sorted(times), 60.0, presorted=True
+        )

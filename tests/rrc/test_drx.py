@@ -114,3 +114,47 @@ class TestProfileWithDrx:
     def test_rejects_3g_profiles(self):
         with pytest.raises(ValueError):
             profile_with_drx(get_profile("att_hspa"))
+
+
+class TestDrxProfileTimerAblations:
+    def test_with_timers_rederives_tail_power(self, lte_profile):
+        # Regression: the DRX-derived P_t1 is an average over the
+        # profile's *own* t1; a later .with_timers(t1=...) ablation used
+        # to keep the stale constant silently.
+        derived = profile_with_drx(lte_profile)
+        longer = derived.with_timers(t1=lte_profile.t1 * 2)
+        expected = effective_tail_power(
+            DEFAULT_LTE_DRX, lte_profile.power_recv_w, lte_profile.t1 * 2
+        ) * 1000.0
+        assert longer.t1 == lte_profile.t1 * 2
+        assert longer.power_active_mw == pytest.approx(expected)
+        assert longer.power_active_mw != derived.power_active_mw
+
+    def test_with_timers_keeps_custom_awake_power(self, lte_profile):
+        derived = profile_with_drx(lte_profile, awake_power_w=1.0)
+        shorter = derived.with_timers(t1=lte_profile.t1 / 2)
+        expected = effective_tail_power(
+            DEFAULT_LTE_DRX, 1.0, lte_profile.t1 / 2
+        ) * 1000.0
+        assert shorter.power_active_mw == pytest.approx(expected)
+
+    def test_zero_t1_falls_back_to_awake_power(self, lte_profile):
+        derived = profile_with_drx(lte_profile, awake_power_w=1.0)
+        ablated = derived.with_timers(t1=0.0)
+        # No tail to average over; the constant is never integrated.
+        assert ablated.power_active_mw == pytest.approx(1000.0)
+
+    def test_other_copies_keep_the_derivation(self, lte_profile):
+        from repro.rrc.drx import DrxCarrierProfile
+
+        derived = profile_with_drx(lte_profile)
+        copy = derived.with_dormancy_fraction(0.3)
+        assert isinstance(copy, DrxCarrierProfile)
+        # And a timer change on the copy still re-derives.
+        assert copy.with_timers(t1=lte_profile.t1 * 3).power_active_mw != \
+            derived.power_active_mw
+
+    def test_plain_profiles_unaffected(self, lte_profile):
+        # The base class keeps its measured constant through ablations.
+        plain = lte_profile.with_timers(t1=lte_profile.t1 * 2)
+        assert plain.power_active_mw == lte_profile.power_active_mw

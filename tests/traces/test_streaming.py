@@ -76,3 +76,44 @@ class TestMergeAndUserStreams:
         # The second app's flows live in a distinct high range.
         assert any(f >= 1_000_000 for f in flows)
         assert any(f < 1_000_000 for f in flows)
+
+
+class TestAppStreamSeedDerivation:
+    """Regression: per-app stream seeds must not collide across devices.
+
+    The old derivation was ``seed + 13 * index``; with the consecutive
+    per-device seeds cell populations hand out, device ``i``'s app at
+    index ``k`` replayed device ``i + 13k``'s index-0 app traffic —
+    silently de-diversifying large cells.
+    """
+
+    @staticmethod
+    def _shape(packets):
+        return [(p.timestamp, p.size, p.direction) for p in packets]
+
+    def test_cross_device_app_streams_do_not_replay(self):
+        # Same app name at (seed=S, index=1) vs (seed=S+13, index=0): the
+        # strided rule gave both generator seed S+13 — identical traffic.
+        victim = list(stream_user_day_packets(("email", "im"),
+                                              duration=400.0, seed=7))
+        attacker = list(stream_user_day_packets(("im", "email"),
+                                                duration=400.0, seed=7 + 13))
+        victim_im = [p for p in victim if p.flow_id >= 1_000_000]
+        attacker_im = [p for p in attacker if p.flow_id < 1_000_000]
+        assert victim_im and attacker_im
+        assert self._shape(victim_im) != self._shape(attacker_im)
+
+    def test_single_app_user_day_differs_from_bare_app_stream_shifted(self):
+        # index-0 seeds are hashed too, so consecutive device seeds no
+        # longer walk the same derivation chain 13 apart.
+        day_a = list(stream_user_day_packets(("im",), duration=300.0, seed=0))
+        day_b = list(stream_user_day_packets(("im",), duration=300.0, seed=13))
+        assert self._shape(day_a) != self._shape(day_b)
+
+    def test_user_day_still_deterministic(self):
+        first = list(stream_user_day_packets(("im", "email"),
+                                             duration=300.0, seed=4))
+        second = list(stream_user_day_packets(("im", "email"),
+                                              duration=300.0, seed=4))
+        assert self._shape(first) == self._shape(second)
+        assert [p.flow_id for p in first] == [p.flow_id for p in second]

@@ -16,7 +16,11 @@ the repo root so the perf trajectory is tracked across PRs:
   recorded alongside);
 * ``sharded_100k`` — the 100k-device streamed cell, executed sharded,
   recording wall time, packets/sec and RSS at a population size one
-  process could not comfortably hold with materialised traces.
+  process could not comfortably hold with materialised traces;
+* ``sharded_scenario`` — a heterogeneous ``office_day`` scenario cell
+  (cohort-weighted archetypes under a diurnal shape), single-process vs
+  2-shard pool, asserting the shard-merge exactness contract extends to
+  scenario populations and recording the scenario layer's throughput.
 """
 
 from __future__ import annotations
@@ -49,10 +53,15 @@ SHARDED_SHARDS = 4
 HUGE_DEVICES = 100_000
 HUGE_DURATION_S = 60.0
 HUGE_SHARDS = 8
+SCENARIO_DEVICES = 2_000
+SCENARIO_DURATION_S = 120.0
+SCENARIO_SHARDS = 2
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-_BENCH_SECTIONS = ("single_1k", "sharded_10k", "sharded_100k")
+_BENCH_SECTIONS = (
+    "single_1k", "sharded_10k", "sharded_100k", "sharded_scenario",
+)
 
 
 def _update_bench(section: str, record: dict) -> dict:
@@ -211,6 +220,62 @@ def test_sharded_10k_device_cell_matches_and_scales():
             f"sharded 10k run only {speedup:.2f}x faster on "
             f"{os.cpu_count()} cores"
         )
+
+
+def test_sharded_scenario_cell_matches_and_records():
+    """office_day at 2k devices: scenario layer through the shard protocol."""
+    def spec(shards: int) -> CellRunSpec:
+        return CellRunSpec(
+            cell=cell(devices=SCENARIO_DEVICES, scenario="office_day",
+                      duration=SCENARIO_DURATION_S, chunk_s=60.0),
+            carrier="att_hspa",
+            policy=PolicySpec(scheme="fixed_4.5s").resolved(100),
+            dormancy=DormancySpec(),
+            shards=shards,
+        )
+
+    start = time.perf_counter()
+    single = execute_cell(spec(1))
+    single_elapsed = time.perf_counter() - start
+
+    runner = ProcessPoolRunner(jobs=SCENARIO_SHARDS)
+    start = time.perf_counter()
+    sharded = runner.run([spec(SCENARIO_SHARDS)]).records[0].result
+    sharded_elapsed = time.perf_counter() - start
+
+    # Shard-merge exactness extends to scenario populations: cohort
+    # membership and hashed per-device seeds are pure functions of the
+    # global device index, so the partials merge byte-identically.
+    assert sharded.devices == single.devices
+    assert sharded.signaling == single.signaling
+    assert sharded.switch_times == single.switch_times
+    assert sharded.cohort_breakdown() == single.cohort_breakdown()
+
+    packets = single.total_packets
+    assert packets > 0
+    cohorts = {
+        label: entry.devices
+        for label, entry in single.cohort_breakdown().items()
+    }
+    record = _update_bench("sharded_scenario", {
+        "scenario": "office_day",
+        "devices": SCENARIO_DEVICES,
+        "duration_s": SCENARIO_DURATION_S,
+        "shards": SCENARIO_SHARDS,
+        "cohort_devices": cohorts,
+        "packets": packets,
+        "single_elapsed_s": round(single_elapsed, 3),
+        "sharded_elapsed_s": round(sharded_elapsed, 3),
+        "single_packets_per_sec": round(packets / single_elapsed, 1),
+        "sharded_packets_per_sec": round(packets / sharded_elapsed, 1),
+        "byte_identical_devices": True,
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    })
+
+    print_figure(
+        "Sharded execution — 2k-device office_day scenario cell",
+        "\n".join(f"{key}: {value}" for key, value in record.items()),
+    )
 
 
 def test_sharded_100k_device_cell_completes():

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scenario study: comparing preset populations at 1000 devices.
+
+A homogeneous cell answers "does MakeIdle scale"; a *scenario* answers the
+operator's real questions: what does the scheme buy an office cell versus
+a residential one, and what happens during a deployment transition when
+only part of the fleet has adopted it?  This example sweeps the four
+built-in scenario presets — ``uniform`` (homogeneous control),
+``office_day`` and ``evening_peak`` (heterogeneous cohorts under diurnal
+traffic shapes) and ``mixed_policy`` (cohorts running *different*
+device-side schemes) — at 1000 devices each, and prints both the
+cell-level comparison and the per-cohort breakdowns.
+
+Run it with::
+
+    python examples/scenario_study.py
+
+(Takes a few minutes at 1000 devices; scale DEVICES down for a quick
+look.)
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.analysis import format_table
+from repro.api import SerialRunner, plan
+
+DEVICES = 1000
+DURATION_S = 600.0
+PRESETS = ("uniform", "office_day", "evening_peak", "mixed_policy")
+
+
+def main() -> None:
+    sweep = (plan()
+             .scenarios(*PRESETS, devices=DEVICES, duration=DURATION_S)
+             .carriers("att_hspa")
+             .policies("status_quo", "makeidle")
+             .labelled("scenario_study"))
+    print(sweep.describe())
+
+    start = time.perf_counter()
+    runs = SerialRunner().run(sweep)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for record in runs.to_records():
+        rows.append([
+            record["trace"],
+            record["scheme"],
+            f"{record['energy_j']:.0f}",
+            f"{record.get('saved_percent', 0.0):.1f}",
+            str(record["switch_count"]),
+            str(record["peak_active_devices"]),
+            str(record["peak_switches_per_minute"]),
+        ])
+    print()
+    print(format_table(
+        ["scenario", "scheme", "energy (J)", "saved %", "switches",
+         "peak active", "peak sw/min"],
+        rows,
+    ))
+
+    # Per-cohort views: who inside each heterogeneous cell actually saves?
+    for record in runs.to_records():
+        cohorts = record.get("cohorts")
+        if not cohorts or record["scheme"] == "status_quo":
+            continue
+        print()
+        print(f"{record['trace']} under {record['scheme']} — per cohort:")
+        cohort_rows = [
+            [
+                label,
+                str(entry["devices"]),
+                f"{entry['energy_per_device_j']:.1f}",
+                f"{entry.get('saved_percent', 0.0):.1f}",
+                str(entry["switches"]),
+                f"{100.0 * entry['denial_rate']:.1f}",
+            ]
+            for label, entry in cohorts.items()
+        ]
+        print(format_table(
+            ["cohort", "devices", "J/device", "saved %", "switches",
+             "denied %"],
+            cohort_rows,
+        ))
+
+    stats = runs.cache_stats
+    print()
+    print(f"{len(runs)} runs in {elapsed:.1f}s "
+          f"(simulated {stats.misses}, cache hits {stats.hits})")
+    print("Note the mixed_policy cell: the legacy_fleet cohort (pinned to "
+          "status_quo) saves nothing, early_adopters save regardless of "
+          "the policy axis, and the 'standard' cohort swings with it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -102,6 +102,13 @@ from .rrc import (
     get_profile,
     signaling_load,
 )
+from .scenarios import (
+    Cohort,
+    DeviceArchetype,
+    DiurnalShape,
+    Scenario,
+    get_scenario,
+)
 from .sim import SimulationResult, TraceSimulator, build_power_trace
 from .traces import (
     Direction,
@@ -124,9 +131,13 @@ __all__ = [
     "CARRIER_ORDER",
     "CARRIER_PROFILES",
     "CarrierProfile",
+    "Cohort",
     "CombinedPolicy",
+    "DeviceArchetype",
     "DevicePowerBudget",
+    "DiurnalShape",
     "ExperimentConfig",
+    "Scenario",
     "ExperimentPlan",
     "ProcessPoolRunner",
     "ResultCache",
@@ -165,6 +176,7 @@ __all__ = [
     "generate_application_trace",
     "generate_mixed_trace",
     "get_profile",
+    "get_scenario",
     "lifetime_extension",
     "load_config",
     "load_plan",

@@ -27,6 +27,11 @@ policy.  This package gives that sweep a first-class lifecycle::
 
 The legacy drivers in :mod:`repro.analysis.experiments` are thin wrappers
 over this API, and ``repro-rrc sweep`` exposes it on the command line.
+
+Cell sweeps take heterogeneous populations via the scenario library
+(:mod:`repro.scenarios`): ``plan().scenarios("office_day", devices=1000)``
+sweeps a cohort-weighted, diurnally shaped population, and the run set
+reports per-cohort energy/denial/switch breakdowns.
 """
 
 from .cache import CacheStats, ResultCache
@@ -39,6 +44,13 @@ from .cells import (
     execute_cell,
     execute_cell_shard,
     shard_sizes,
+)
+from ..scenarios import (
+    Cohort,
+    DeviceArchetype,
+    DiurnalShape,
+    Scenario,
+    get_scenario,
 )
 from .plan import EmptyAxisError, ExperimentPlan, plan
 from .runner import (
@@ -66,10 +78,14 @@ __all__ = [
     "CacheStats",
     "CellRunSpec",
     "CellSpec",
+    "Cohort",
+    "DeviceArchetype",
+    "DiurnalShape",
     "DormancySpec",
     "EmptyAxisError",
     "ExperimentPlan",
     "PolicySpec",
+    "Scenario",
     "ProcessPoolRunner",
     "ResultCache",
     "RunRecord",
@@ -86,6 +102,7 @@ __all__ = [
     "execute_cell",
     "execute_cell_shard",
     "execute_spec",
+    "get_scenario",
     "inline",
     "pcap",
     "plan",

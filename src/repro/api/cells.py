@@ -37,6 +37,8 @@ from ..basestation.policies import (
     partition_switch_budget,
 )
 from ..rrc.profiles import get_profile
+from ..scenarios.scenario import Scenario
+from ..traces.packet import PacketTrace
 from ..traces.streaming import stream_application_packets
 from .spec import PolicySpec
 
@@ -147,6 +149,15 @@ class CellSpec:
     ``streaming=True`` (the default) each device's workload is produced
     lazily in ``chunk_s``-second chunks, keeping a sweep's memory bounded
     by the device count rather than the total packet count.
+
+    Alternatively a :class:`~repro.scenarios.scenario.Scenario` describes
+    a *heterogeneous* population: weighted archetype cohorts (multi-app
+    workloads at per-cohort traffic intensities, optionally running their
+    own device-side policies) under an optional diurnal traffic shape.
+    With a scenario the ``apps`` cycling rule is replaced by the
+    scenario's cohort layout — devices carry cohort labels through to the
+    result — while ``devices``/``duration_s``/``seed``/``chunk_s`` keep
+    their meaning.
     """
 
     devices: int = 100
@@ -156,16 +167,29 @@ class CellSpec:
     name: str = ""
     streaming: bool = True
     chunk_s: float = 300.0
+    scenario: Scenario | None = None
 
     def __post_init__(self) -> None:
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
-        if not self.apps:
+        if not self.apps and self.scenario is None:
             raise ValueError("at least one application is required")
         if self.duration_s <= 0:
             raise ValueError(f"duration_s must be positive, got {self.duration_s}")
         if self.chunk_s <= 0:
             raise ValueError(f"chunk_s must be positive, got {self.chunk_s}")
+        if self.scenario is not None:
+            if not isinstance(self.scenario, Scenario):
+                raise TypeError(
+                    "scenario must be a repro.scenarios.Scenario (use "
+                    "get_scenario(name) for presets), got "
+                    f"{type(self.scenario).__name__}"
+                )
+            # The scenario's cohorts define every workload: clear the apps
+            # cycle so equality, repr and serialisation cannot carry an
+            # app list that never runs.
+            object.__setattr__(self, "apps", ())
+            return
         from ..traces.synthetic import APPLICATION_PROFILES
 
         for app in self.apps:
@@ -188,6 +212,13 @@ class CellSpec:
         """
         if self.name:
             return self.name
+        if self.scenario is not None:
+            # chunk_s always matters here: scenario workloads generate via
+            # the chunked stream even when materialised (streaming=False).
+            identity = repr((self.scenario.fingerprint, self.duration_s,
+                             self.streaming, self.chunk_s))
+            digest = zlib.crc32(identity.encode("utf-8"))
+            return f"{self.scenario.name}{self.devices}-{digest:08x}"
         identity = repr((self.apps, self.duration_s, self.streaming,
                          self.chunk_s if self.streaming else None))
         digest = zlib.crc32(identity.encode("utf-8"))
@@ -199,16 +230,25 @@ class CellSpec:
 
         Chunked (streaming) generation samples the workload differently
         than single-shot generation, so ``streaming``/``chunk_s`` are part
-        of the identity.
+        of the identity.  A scenario population's identity is the
+        scenario's own fingerprint (cohorts, intensities, policy
+        overrides, diurnal shape) in place of the homogeneous app cycle.
         """
+        workload = (
+            self.scenario.fingerprint if self.scenario is not None else self.apps
+        )
+        # Scenario workloads generate via the chunked stream even when
+        # materialised, so chunk_s stays in their identity regardless of
+        # the streaming flag.
+        chunked = self.streaming or self.scenario is not None
         return (
             "cell",
             self.devices,
-            self.apps,
+            workload,
             self.duration_s,
             self.seed,
             self.streaming,
-            self.chunk_s if self.streaming else None,
+            self.chunk_s if chunked else None,
         )
 
     def with_seed(self, seed: int) -> "CellSpec":
@@ -230,6 +270,8 @@ class CellSpec:
             raise ValueError(
                 f"invalid device slice [{start}, {stop}) of {self.devices}"
             )
+        if self.scenario is not None:
+            return self._build_scenario_devices(policy, start, stop)
         specs: list[DeviceSpec] = []
         for index in range(start, stop):
             app = self.apps[index % len(self.apps)]
@@ -252,23 +294,74 @@ class CellSpec:
             )
         return specs
 
+    def _build_scenario_devices(
+        self, policy: PolicySpec, start: int, stop: int
+    ) -> list[DeviceSpec]:
+        """Materialise a scenario-population slice.
+
+        Cohort membership, per-device seeds and envelopes are pure
+        functions of the *global* device index (see
+        :mod:`repro.scenarios.scenario`), so shard-by-shard builds equal
+        the whole-population build.  Scenario workloads always generate
+        via the chunked stream — with ``streaming=False`` the stream is
+        materialised into a :class:`~repro.traces.packet.PacketTrace`
+        holding the identical packets (offline device policies need the
+        full trace in ``prepare``).
+        """
+        scenario = self.scenario
+        # One apportionment for the whole slice: walk the cohorts' index
+        # blocks (contiguous, in declaration order) rather than resolving
+        # membership per device.
+        specs: list[DeviceSpec] = []
+        offset = 0
+        for cohort, size in zip(scenario.cohorts,
+                                scenario.cohort_sizes(self.devices)):
+            block_start, block_stop = offset, offset + size
+            offset = block_stop
+            device_policy = cohort.policy if cohort.policy is not None else policy
+            for index in range(max(block_start, start),
+                               min(block_stop, stop)):
+                source: Any = scenario.cohort_stream(
+                    cohort, index, self.duration_s, self.seed, self.chunk_s
+                )
+                if not self.streaming:
+                    source = PacketTrace(list(source), name=cohort.label)
+                specs.append(
+                    DeviceSpec(
+                        device_id=index,
+                        trace=source,
+                        policy=device_policy.build(),
+                        cohort=cohort.label,
+                    )
+                )
+        return specs
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form."""
-        return {
+        data = {
             "devices": self.devices,
-            "apps": list(self.apps),
             "duration_s": self.duration_s,
             "seed": self.seed,
             "name": self.name,
             "streaming": self.streaming,
             "chunk_s": self.chunk_s,
         }
+        if self.scenario is not None:
+            # The scenario defines every workload; an apps list here would
+            # describe traffic that never runs.
+            data["scenario"] = self.scenario.to_dict()
+        else:
+            data["apps"] = list(self.apps)
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellSpec":
         """Re-create a spec from :meth:`to_dict` output."""
         payload = dict(data)
         payload["apps"] = tuple(payload.get("apps", ()))
+        scenario = payload.get("scenario")
+        if scenario is not None:
+            payload["scenario"] = Scenario.from_dict(scenario)
         return cls(**payload)
 
 
@@ -308,18 +401,24 @@ class CellRunSpec:
         component is dropped from the key and the (most expensive, most
         repeated) baseline population is simulated once per
         (population, carrier) regardless of how many dormancy policies the
-        plan sweeps.  The shard count *is* part of the key — per-device
+        plan sweeps.  That collapse is only sound when *every* device is
+        on the status quo — a mixed-policy scenario's cohort overrides
+        issue fast-dormancy requests whatever the policy axis says, so
+        populations with overrides always keep the dormancy component.
+        The shard count *is* part of the key — per-device
         records are byte-identical across shard counts only for
         shard-independent dormancy policies, and cell aggregates such as
         ``peak_active_devices`` always carry shard-dependent precision —
         so a shard sweep never serves one shard count's result for
         another.
         """
-        dormancy_key = (
-            None if self.policy.factory is None
+        pure_status_quo = (
+            self.policy.factory is None
             and self.policy.scheme == "status_quo"
-            else self.dormancy.key
+            and not (self.cell.scenario is not None
+                     and self.cell.scenario.has_policy_overrides)
         )
+        dormancy_key = None if pure_status_quo else self.dormancy.key
         return (
             self.cell.fingerprint,
             self.carrier,
@@ -341,13 +440,33 @@ class CellRunSpec:
 
 # -- axis declaration helpers --------------------------------------------------------
 
-def cell(devices: int, apps: tuple[str, ...] | list[str] = ("im", "email", "news"),
+def cell(devices: int, apps: tuple[str, ...] | list[str] | None = None,
          duration: float = 900.0, seed: int = 0, name: str = "",
-         streaming: bool = True, chunk_s: float = 300.0) -> CellSpec:
-    """A device-population axis entry for cell sweeps."""
+         streaming: bool = True, chunk_s: float = 300.0,
+         scenario: Scenario | str | None = None) -> CellSpec:
+    """A device-population axis entry for cell sweeps.
+
+    ``scenario`` selects a heterogeneous population instead of the
+    homogeneous ``apps`` cycle: a :class:`~repro.scenarios.Scenario` or a
+    preset name (``"uniform"``, ``"office_day"``, ``"evening_peak"``,
+    ``"mixed_policy"``, ...).  The two workload descriptions are mutually
+    exclusive; ``apps`` defaults to ``("im", "email", "news")`` when
+    neither is given.
+    """
+    if apps is not None and scenario is not None:
+        raise ValueError(
+            "a scenario defines its own application mixes per cohort; "
+            "pass apps or scenario, not both"
+        )
+    if isinstance(scenario, str):
+        from ..scenarios.presets import get_scenario
+
+        scenario = get_scenario(scenario)
+    if apps is None:
+        apps = () if scenario is not None else ("im", "email", "news")
     return CellSpec(
         devices=devices, apps=tuple(apps), duration_s=duration, seed=seed,
-        name=name, streaming=streaming, chunk_s=chunk_s,
+        name=name, streaming=streaming, chunk_s=chunk_s, scenario=scenario,
     )
 
 

@@ -165,6 +165,40 @@ class ExperimentPlan:
                 )
         return replace(self, cell_specs=self.cell_specs + tuple(entries))
 
+    def scenarios(self, *entries: "Scenario | str", devices: int = 100,
+                  duration: float = 900.0, seed: int = 0,
+                  streaming: bool = True,
+                  chunk_s: float = 300.0) -> "ExperimentPlan":
+        """Append one scenario population per entry (switches to cell mode).
+
+        Entries are :class:`~repro.scenarios.Scenario` values or preset
+        names (``"uniform"``, ``"office_day"``, ``"evening_peak"``,
+        ``"mixed_policy"``, ...); each becomes a ``devices``-strong
+        :class:`CellSpec` carrying that scenario, so scenarios compose
+        with ``.carriers()`` / ``.policies()`` / ``.dormancy()`` /
+        ``.shards()`` / ``.repeat()`` exactly like any other cell axis
+        entry.
+        """
+        from ..scenarios.presets import get_scenario
+        from ..scenarios.scenario import Scenario
+
+        specs = []
+        for entry in entries:
+            if isinstance(entry, str):
+                entry = get_scenario(entry)
+            elif not isinstance(entry, Scenario):
+                raise TypeError(
+                    "scenario axis entries must be Scenario or a preset "
+                    f"name, got {type(entry).__name__}"
+                )
+            specs.append(
+                CellSpec(
+                    devices=devices, duration_s=duration, seed=seed,
+                    streaming=streaming, chunk_s=chunk_s, scenario=entry,
+                )
+            )
+        return self.cells(*specs)
+
     def dormancy(self, *entries: DormancySpec | str) -> "ExperimentPlan":
         """Append base-station dormancy axis entries (cell mode only).
 

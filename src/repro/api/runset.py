@@ -236,6 +236,41 @@ class RunSet(Sequence[RunRecord]):
 
     # -- export ----------------------------------------------------------------------
 
+    @staticmethod
+    def _cohort_rows(result: CellResult,
+                     baseline: RunRecord | None) -> dict[str, dict[str, Any]]:
+        """Per-cohort breakdown dicts of one scenario cell record.
+
+        Empty (falsy) for homogeneous populations.  When the group's
+        baseline record exists and carries the same cohort label, each
+        cohort entry also gets a ``saved_percent`` against that cohort of
+        the baseline — the per-cohort view of the paper's headline metric.
+        Note the comparison is *axis vs axis*: a cohort whose policy is
+        pinned by a scenario override runs that override in the baseline
+        record too, so its ``saved_percent`` is ~0 by construction —
+        which is exactly the mixed-policy reading (pinned cohorts don't
+        move with the axis; only un-overridden cohorts swing).
+        """
+        labels = result.cohorts()
+        if not labels:
+            return {}
+        breakdown = result.cohort_breakdown()
+        base_breakdown = (
+            baseline.result.cohort_breakdown()
+            if baseline is not None and isinstance(baseline.result, CellResult)
+            else {}
+        )
+        rows: dict[str, dict[str, Any]] = {}
+        for label in labels:
+            entry = breakdown[label].as_dict()
+            base = base_breakdown.get(label)
+            if base is not None and base.energy_j > 0:
+                entry["saved_percent"] = 100.0 * (
+                    (base.energy_j - breakdown[label].energy_j) / base.energy_j
+                )
+            rows[label] = entry
+        return rows
+
     def to_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
                    ) -> list[dict[str, Any]]:
         """Flatten the run set into plain dicts, one per record.
@@ -246,7 +281,11 @@ class RunSet(Sequence[RunRecord]):
         normalisation entirely.  Cell-scale records additionally carry the
         base-station aggregates: ``dormancy``, ``shards``, ``devices``,
         ``dormancy_requests``, ``denial_rate``, ``peak_active_devices`` and
-        ``peak_switches_per_minute``.
+        ``peak_switches_per_minute``.  Scenario cells (whose devices carry
+        cohort labels) also carry ``cohorts``: a per-cohort
+        energy/switch/denial breakdown keyed by cohort label, each entry
+        normalised against the same cohort of the group's baseline record
+        when one exists.
         """
         baselines: dict[tuple, RunRecord] = {}
         if baseline_scheme is not None:
@@ -288,6 +327,9 @@ class RunSet(Sequence[RunRecord]):
                         row["switches_normalized"] = (
                             result.total_switches / base.total_switches
                         )
+                cohorts = self._cohort_rows(result, baseline)
+                if cohorts:
+                    row["cohorts"] = cohorts
                 rows.append(row)
                 continue
             row = {
@@ -315,10 +357,18 @@ class RunSet(Sequence[RunRecord]):
 
     def to_csv(self, path: str | Path,
                baseline_scheme: str | None = BASELINE_SCHEME) -> None:
-        """Write :meth:`to_records` rows as CSV."""
+        """Write :meth:`to_records` rows as CSV.
+
+        The nested per-cohort ``cohorts`` mapping of scenario cells has no
+        flat representation and is omitted — use :meth:`to_json` (or
+        :meth:`to_records` directly) for per-cohort data.
+        """
         from ..reporting.render import write_csv
 
-        rows = self.to_records(baseline_scheme)
+        rows = [
+            {k: v for k, v in row.items() if k != "cohorts"}
+            for row in self.to_records(baseline_scheme)
+        ]
         fieldnames: list[str] = []
         for row in rows:
             for name in row:

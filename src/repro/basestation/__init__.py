@@ -18,6 +18,7 @@ from .cell import (
     CellResult,
     CellShard,
     CellSimulator,
+    CohortBreakdown,
     DeviceResult,
     DeviceSpec,
     merge_cell_shards,
@@ -37,6 +38,7 @@ __all__ = [
     "CellResult",
     "CellShard",
     "CellSimulator",
+    "CohortBreakdown",
     "DeviceResult",
     "DeviceSpec",
     "DormancyDecision",

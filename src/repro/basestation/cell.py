@@ -78,6 +78,7 @@ __all__ = [
     "CellResult",
     "CellShard",
     "CellSimulator",
+    "CohortBreakdown",
     "DeviceResult",
     "DeviceSpec",
     "ShardDeviceState",
@@ -104,6 +105,10 @@ class DeviceSpec:
     device_id: int
     trace: TraceSource
     policy: RadioPolicy
+    #: Scenario cohort label ("" for homogeneous populations); carried
+    #: through to :class:`DeviceResult` so cell results can report
+    #: per-cohort breakdowns.
+    cohort: str = ""
 
     def __post_init__(self) -> None:
         if self.device_id < 0:
@@ -121,6 +126,8 @@ class DeviceResult:
     dormancy_granted: int
     dormancy_denied: int
     packets: int = 0
+    #: Scenario cohort label ("" for homogeneous populations).
+    cohort: str = ""
     #: Sample of this device's delayed-session records (capped per UE so
     #: long MakeActive runs stay bounded); totals are in the counters below.
     session_delays: tuple[SessionDelay, ...] = field(default=(), repr=False)
@@ -145,6 +152,53 @@ class DeviceResult:
         if self.delayed_sessions == 0:
             return 0.0
         return self.total_session_delay_s / self.delayed_sessions
+
+
+@dataclass(frozen=True)
+class CohortBreakdown:
+    """Aggregate outcome of one scenario cohort within a cell result."""
+
+    cohort: str
+    devices: int
+    energy_j: float
+    switches: int
+    promotions: int
+    demotions: int
+    packets: int
+    dormancy_requests: int
+    dormancy_denied: int
+    delayed_sessions: int
+    total_session_delay_s: float
+
+    @property
+    def denial_rate(self) -> float:
+        """Fraction of this cohort's dormancy requests that were denied."""
+        if self.dormancy_requests == 0:
+            return 0.0
+        return self.dormancy_denied / self.dormancy_requests
+
+    @property
+    def energy_per_device_j(self) -> float:
+        """Mean per-device energy of the cohort, joules."""
+        return self.energy_j / self.devices if self.devices else 0.0
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        """Plain-dict form for records/JSON export."""
+        return {
+            "cohort": self.cohort,
+            "devices": self.devices,
+            "energy_j": self.energy_j,
+            "energy_per_device_j": self.energy_per_device_j,
+            "switches": self.switches,
+            "promotions": self.promotions,
+            "demotions": self.demotions,
+            "packets": self.packets,
+            "dormancy_requests": self.dormancy_requests,
+            "dormancy_denied": self.dormancy_denied,
+            "denial_rate": self.denial_rate,
+            "delayed_sessions": self.delayed_sessions,
+            "total_session_delay_s": self.total_session_delay_s,
+        }
 
 
 @dataclass(frozen=True)
@@ -217,6 +271,48 @@ class CellResult:
         except KeyError:
             raise KeyError(f"no device with id {device_id}") from None
 
+    def cohorts(self) -> tuple[str, ...]:
+        """Cohort labels present in this cell, in first-device order.
+
+        Empty for homogeneous (non-scenario) populations, whose devices
+        all carry the default ``""`` label.
+        """
+        seen: dict[str, None] = {}
+        for device in self.devices:
+            if device.cohort and device.cohort not in seen:
+                seen[device.cohort] = None
+        return tuple(seen)
+
+    def cohort_breakdown(self) -> dict[str, CohortBreakdown]:
+        """Per-cohort aggregates, keyed by cohort label in first-device order.
+
+        Devices without a cohort label (homogeneous populations) are
+        grouped under ``""``; for scenario populations every device is
+        labelled, so the cohort totals partition the cell totals exactly
+        (a conservation law asserted by the property tests).
+        """
+        grouped: dict[str, list[DeviceResult]] = {}
+        for device in self.devices:
+            grouped.setdefault(device.cohort, []).append(device)
+        breakdown: dict[str, CohortBreakdown] = {}
+        for cohort, members in grouped.items():
+            breakdown[cohort] = CohortBreakdown(
+                cohort=cohort,
+                devices=len(members),
+                energy_j=sum(d.total_energy_j for d in members),
+                switches=sum(d.breakdown.switch_count for d in members),
+                promotions=sum(d.breakdown.promotions for d in members),
+                demotions=sum(d.breakdown.demotions for d in members),
+                packets=sum(d.packets for d in members),
+                dormancy_requests=sum(d.dormancy_requests for d in members),
+                dormancy_denied=sum(d.dormancy_denied for d in members),
+                delayed_sessions=sum(d.delayed_sessions for d in members),
+                total_session_delay_s=sum(
+                    d.total_session_delay_s for d in members
+                ),
+            )
+        return breakdown
+
 
 @dataclass(frozen=True)
 class ShardDeviceState:
@@ -254,6 +350,7 @@ class ShardDeviceState:
     session_delays: tuple[SessionDelay, ...]
     delayed_sessions: int
     total_session_delay_s: float
+    cohort: str = ""
 
 
 @dataclass(frozen=True)
@@ -428,6 +525,7 @@ class CellSimulator:
                     session_delays=tuple(ue.session_delays),
                     delayed_sessions=ue.delayed_sessions,
                     total_session_delay_s=ue.total_delay_s,
+                    cohort=spec.cohort,
                 )
             )
         return CellShard(
@@ -594,6 +692,7 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
                     dormancy_granted=dev.dormancy_granted,
                     dormancy_denied=dev.dormancy_denied,
                     packets=dev.packets,
+                    cohort=dev.cohort,
                     session_delays=dev.session_delays,
                     delayed_sessions=dev.delayed_sessions,
                     total_session_delay_s=dev.total_session_delay_s,

@@ -108,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
              "over --apps)",
     )
     sweep.add_argument(
+        "--scenario", default=None,
+        help="comma-separated scenario presets for --cell (heterogeneous "
+             "cohort populations with diurnal shaping; e.g. uniform, "
+             "office_day, evening_peak, mixed_policy); replaces --apps",
+    )
+    sweep.add_argument(
         "--dormancy", default=None,
         help="comma-separated base-station dormancy policies for --cell "
              "(accept_all, reject_all, rate_limited, load_aware; "
@@ -294,10 +300,12 @@ def _build_sweep_plan(args: argparse.Namespace):
         return load_plan(args.plan)
     p = new_plan()
     if not args.cell and (args.devices is not None or args.dormancy is not None
-                          or args.shards is not None):
+                          or args.shards is not None
+                          or args.scenario is not None):
         raise ValueError(
-            "--devices, --dormancy and --shards configure a cell sweep; "
-            "add --cell (they would otherwise be silently ignored)"
+            "--devices, --dormancy, --shards and --scenario configure a "
+            "cell sweep; add --cell (they would otherwise be silently "
+            "ignored)"
         )
     if args.cell:
         if args.population:
@@ -305,11 +313,27 @@ def _build_sweep_plan(args: argparse.Namespace):
                 "--cell sweeps synthetic application mixes (--apps); "
                 "--population applies to single-UE sweeps only"
             )
-        apps = _split_csv_arg(args.apps) if args.apps else ["im", "email", "news"]
-        p = p.cells(
-            cell_spec(devices=args.devices if args.devices is not None else 100,
-                      apps=tuple(apps), duration=args.duration)
-        ).dormancy(*_split_csv_arg(args.dormancy or "accept_all"))
+        devices = args.devices if args.devices is not None else 100
+        if args.scenario is not None:
+            if args.apps:
+                raise ValueError(
+                    "--scenario defines its own application mixes per "
+                    "cohort; drop --apps (or drop --scenario)"
+                )
+            names = _split_csv_arg(args.scenario)
+            if not names:
+                raise ValueError("--scenario requires at least one preset name")
+            # plan.scenarios resolves preset names itself (and raises the
+            # preset-listing error for unknown ones).
+            p = p.scenarios(*names, devices=devices, duration=args.duration)
+        else:
+            apps = (_split_csv_arg(args.apps) if args.apps
+                    else ["im", "email", "news"])
+            p = p.cells(
+                cell_spec(devices=devices, apps=tuple(apps),
+                          duration=args.duration)
+            )
+        p = p.dormancy(*_split_csv_arg(args.dormancy or "accept_all"))
         if args.shards is not None:
             p = p.shards(args.shards)
     elif args.population:
@@ -389,6 +413,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 rows,
             )
         )
+        cohort_rows = [
+            [
+                r["trace"],
+                r["carrier"],
+                r["scheme"],
+                r["dormancy"],
+                str(r.get("shards", 1)),
+                str(r["seed"]),
+                name,
+                str(c["devices"]),
+                f"{c['energy_j']:.1f}",
+                # "-" = no baseline to normalise against, distinct from a
+                # computed 0.0% saving.
+                (f"{c['saved_percent']:.1f}" if "saved_percent" in c
+                 else "-"),
+                f"{100.0 * c['denial_rate']:.1f}",
+                str(c["switches"]),
+            ]
+            for r in records
+            for name, c in r.get("cohorts", {}).items()
+        ]
+        if cohort_rows:
+            print()
+            print(
+                format_table(
+                    ["cell", "carrier", "scheme", "dormancy", "shards",
+                     "seed", "cohort", "devices", "energy (J)", "saved %",
+                     "denied %", "switches"],
+                    cohort_rows,
+                )
+            )
     else:
         rows = [
             [

@@ -1,0 +1,203 @@
+"""Canonical golden-record builders for the regression suite.
+
+A *golden record* pins one canonical simulation down to the last float:
+the builders here rerun a small, fixed grid of single-UE and cell-scale
+simulations and flatten every number that matters — per-run energy
+breakdowns, switch counts, delays, per-device and per-cohort cell records
+— into a deterministic, JSON-able payload.  ``tools/refresh_golden.py``
+writes those payloads to ``tests/golden/*.json`` and
+``tests/integration/test_golden.py`` re-derives them on every run and
+compares the rendered JSON **byte for byte**, so any change that moves a
+seed-equivalent result — an accidental float reordering, a changed seed
+derivation, a refactor that silently drifts the kernel — fails loudly
+instead of shipping.
+
+Keeping the builders in the library (rather than in the test) means the
+refresh tool and the test cannot disagree about what "the canonical runs"
+are.  Floats are serialised through :func:`json.dumps`, whose ``repr``-
+based float formatting is shortest-round-trip exact in Python 3 — byte
+equality of the rendered text is float equality of every value.
+
+The grids are deliberately small (seconds of runtime) but cross every
+layer: two applications × two carriers × four schemes for the single-UE
+suite; homogeneous cells under two dormancy policies; scenario cells
+(heterogeneous cohorts, diurnal shaping, mixed policies) for the scenario
+suite.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable
+
+__all__ = [
+    "GOLDEN_BUILDERS",
+    "build_golden",
+    "render_golden",
+]
+
+#: The fixed single-UE grid: small enough to run in seconds, wide enough
+#: to cross both RRC machine shapes (3-state HSPA, 2-state LTE), the
+#: baseline, a fixed timer, MakeIdle and the MakeIdle+MakeActive combo.
+_SINGLE_APPS = ("email", "im")
+_SINGLE_CARRIERS = ("att_hspa", "verizon_lte")
+_SINGLE_SCHEMES = (
+    "status_quo",
+    "fixed_4.5s",
+    "makeidle",
+    "makeidle+makeactive_learn",
+)
+_SINGLE_DURATION_S = 600.0
+_SINGLE_SEED = 0
+
+_CELL_DEVICES = 8
+_CELL_DURATION_S = 400.0
+_SCENARIO_DEVICES = 9
+
+
+def _single_ue_records() -> list[dict[str, Any]]:
+    """The canonical single-UE grid, flattened."""
+    from ..api.spec import PolicySpec, RunSpec, TraceSpec, execute
+
+    records: list[dict[str, Any]] = []
+    for app in _SINGLE_APPS:
+        for carrier in _SINGLE_CARRIERS:
+            for scheme in _SINGLE_SCHEMES:
+                spec = RunSpec(
+                    trace=TraceSpec(kind="application", name=app,
+                                    duration_s=_SINGLE_DURATION_S,
+                                    seed=_SINGLE_SEED),
+                    carrier=carrier,
+                    policy=PolicySpec(scheme=scheme).resolved(100),
+                )
+                result = execute(spec)
+                records.append({
+                    "trace": app,
+                    "carrier": carrier,
+                    "scheme": scheme,
+                    "breakdown": result.breakdown.as_dict(),
+                    "switch_count": result.switch_count,
+                    "promotion_count": result.promotion_count,
+                    "effective_packets": len(result.effective_trace),
+                    "delayed_sessions": len(result.delays),
+                    "mean_delay_s": result.mean_delay,
+                    "median_delay_s": result.median_delay,
+                })
+    return records
+
+
+def _device_record(device) -> dict[str, Any]:
+    """Flatten one cell device's result."""
+    record = {
+        "device_id": device.device_id,
+        "policy": device.policy_name,
+        "breakdown": device.breakdown.as_dict(),
+        "packets": device.packets,
+        "dormancy_requests": device.dormancy_requests,
+        "dormancy_granted": device.dormancy_granted,
+        "dormancy_denied": device.dormancy_denied,
+        "delayed_sessions": device.delayed_sessions,
+        "total_session_delay_s": device.total_session_delay_s,
+    }
+    if device.cohort:
+        record["cohort"] = device.cohort
+    return record
+
+
+def _cell_record(spec) -> dict[str, Any]:
+    """Run one cell spec and flatten its aggregate + per-device results."""
+    from ..api.cells import execute_cell
+
+    result = execute_cell(spec)
+    record = {
+        "cell": spec.cell.label,
+        "carrier": spec.carrier,
+        "scheme": spec.policy.scheme,
+        "dormancy": spec.dormancy.label,
+        "duration_s": result.duration_s,
+        "total_energy_j": result.total_energy_j,
+        "total_switches": result.total_switches,
+        "rrc_messages": result.signaling.messages,
+        "dormancy_requests": result.dormancy_requests,
+        "dormancy_denied": result.dormancy_denied,
+        "peak_active_devices": result.peak_active_devices,
+        "peak_switches_per_minute": result.peak_switches_per_minute,
+        "devices": [_device_record(device) for device in result.devices],
+    }
+    cohorts = result.cohorts()
+    if cohorts:
+        record["cohorts"] = {
+            label: breakdown.as_dict()
+            for label, breakdown in result.cohort_breakdown().items()
+        }
+    return record
+
+
+def _small_cell_records() -> list[dict[str, Any]]:
+    """Canonical homogeneous cells: two schemes × two dormancy policies."""
+    from ..api.cells import CellRunSpec, DormancySpec, cell
+
+    population = cell(
+        devices=_CELL_DEVICES, apps=("im", "email", "news"),
+        duration=_CELL_DURATION_S,
+    )
+    from ..api.spec import PolicySpec
+
+    records = []
+    for scheme in ("status_quo", "makeidle"):
+        for dormancy in (DormancySpec(), DormancySpec("rate_limited", 10.0)):
+            records.append(_cell_record(CellRunSpec(
+                cell=population,
+                carrier="att_hspa",
+                policy=PolicySpec(scheme=scheme).resolved(100),
+                dormancy=dormancy,
+            )))
+    return records
+
+
+def _scenario_cell_records() -> list[dict[str, Any]]:
+    """Canonical scenario cells: shaped heterogeneous + mixed-policy runs."""
+    from ..api.cells import CellRunSpec, DormancySpec, cell
+    from ..api.spec import PolicySpec
+
+    records = []
+    for scenario in ("office_day", "mixed_policy"):
+        for scheme in ("status_quo", "makeidle"):
+            records.append(_cell_record(CellRunSpec(
+                cell=cell(devices=_SCENARIO_DEVICES, scenario=scenario,
+                          duration=_CELL_DURATION_S),
+                carrier="att_hspa",
+                policy=PolicySpec(scheme=scheme).resolved(100),
+                dormancy=DormancySpec(),
+            )))
+    return records
+
+
+#: Golden suite name -> payload builder.  Adding a suite here makes it
+#: refreshable by ``tools/refresh_golden.py`` and checked by
+#: ``tests/integration/test_golden.py`` with no further wiring.
+GOLDEN_BUILDERS: dict[str, Callable[[], list[dict[str, Any]]]] = {
+    "single_ue": _single_ue_records,
+    "small_cell": _small_cell_records,
+    "scenario_cell": _scenario_cell_records,
+}
+
+
+def build_golden(name: str) -> dict[str, Any]:
+    """Build one golden suite's payload (records plus provenance header)."""
+    try:
+        builder = GOLDEN_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown golden suite {name!r}; known: {sorted(GOLDEN_BUILDERS)}"
+        ) from None
+    return {
+        "suite": name,
+        "refresh_with": "python tools/refresh_golden.py",
+        "records": builder(),
+    }
+
+
+def render_golden(payload: dict[str, Any]) -> str:
+    """Render a payload to the canonical JSON text compared byte-for-byte."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,111 @@
+"""The built-in scenario library.
+
+Four presets span the axes the scenario subsystem opens:
+
+* ``uniform`` — one homogeneous cohort, no shaping: the scenario-layer
+  rendering of the pre-scenario synthetic cell (a useful control);
+* ``office_day`` — a heterogeneous working-hours cell under the
+  ``office_hours`` diurnal shape;
+* ``evening_peak`` — a residential cell peaking in the evening;
+* ``mixed_policy`` — a heterogeneous cell where cohorts run *different*
+  device-side schemes (legacy status-quo handsets sharing the cell with
+  MakeIdle+MakeActive adopters), the deployment-transition question the
+  paper's §8 leaves open.
+
+Presets are ordinary :class:`~repro.scenarios.scenario.Scenario` values —
+copy one with :func:`dataclasses.replace` to make variants — and
+``repro-rrc sweep --cell --scenario NAME`` accepts any of these names.
+"""
+
+from __future__ import annotations
+
+from ..api.spec import PolicySpec
+from .archetypes import get_archetype
+from .scenario import Cohort, Scenario
+from .shapes import EVENING_PEAK, OFFICE_HOURS
+
+__all__ = [
+    "SCENARIO_PRESETS",
+    "get_scenario",
+    "scenario_names",
+]
+
+
+_UNIFORM = Scenario(
+    name="uniform",
+    description="homogeneous background-chatter population, no shaping",
+    cohorts=(Cohort(archetype=get_archetype("background_chatter")),),
+)
+
+_OFFICE_DAY = Scenario(
+    name="office_day",
+    description="office cell: workers + streamers + quiet phones, "
+                "office-hours diurnal shape",
+    cohorts=(
+        Cohort(archetype=get_archetype("office_worker"), weight=0.5),
+        Cohort(archetype=get_archetype("heavy_streamer"), weight=0.2),
+        Cohort(archetype=get_archetype("idle_messenger"), weight=0.3),
+    ),
+    shape=OFFICE_HOURS,
+)
+
+_EVENING_PEAK = Scenario(
+    name="evening_peak",
+    description="residential cell peaking in the evening",
+    cohorts=(
+        Cohort(archetype=get_archetype("heavy_streamer"), weight=0.35),
+        Cohort(archetype=get_archetype("background_chatter"), weight=0.40),
+        Cohort(archetype=get_archetype("idle_messenger"), weight=0.25),
+    ),
+    shape=EVENING_PEAK,
+)
+
+_MIXED_POLICY = Scenario(
+    name="mixed_policy",
+    description="deployment transition: legacy status-quo handsets, "
+                "MakeIdle+MakeActive adopters, and a cohort on the "
+                "sweep's policy axis",
+    cohorts=(
+        Cohort(
+            name="legacy_fleet",
+            archetype=get_archetype("background_chatter"),
+            weight=0.45,
+            policy=PolicySpec(scheme="status_quo"),
+        ),
+        Cohort(
+            name="early_adopters",
+            archetype=get_archetype("heavy_streamer"),
+            weight=0.25,
+            policy=PolicySpec(scheme="makeidle+makeactive_learn",
+                              window_size=100),
+        ),
+        Cohort(
+            name="standard",
+            archetype=get_archetype("office_worker"),
+            weight=0.30,
+            # No override: this cohort runs whatever the policy axis says.
+        ),
+    ),
+)
+
+#: The preset library, keyed by scenario name.
+SCENARIO_PRESETS: dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (_UNIFORM, _OFFICE_DAY, _EVENING_PEAK, _MIXED_POLICY)
+}
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The preset names, sorted (for error messages and CLI help)."""
+    return tuple(sorted(SCENARIO_PRESETS))
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a preset scenario by name, with a helpful error."""
+    try:
+        return SCENARIO_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; available presets: "
+            f"{', '.join(scenario_names())}"
+        ) from None

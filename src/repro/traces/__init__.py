@@ -37,6 +37,7 @@ from .tcpdump import (
 )
 from .pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
 from .streaming import (
+    RateEnvelope,
     merge_packet_streams,
     stream_application_packets,
     stream_user_day_packets,
@@ -84,6 +85,7 @@ __all__ = [
     "split_by_app",
     "split_by_flow",
     "split_train_test",
+    "RateEnvelope",
     "stream_application_packets",
     "stream_user_day_packets",
     "thin_by_fraction",

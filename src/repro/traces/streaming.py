@@ -25,12 +25,18 @@ from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from .packet import Packet
 from .synthetic import generate_application_trace
 
+#: A traffic-rate envelope: absolute stream time (seconds) -> positive
+#: session-rate multiplier.  Scenario diurnal shapes
+#: (:class:`repro.scenarios.shapes.DiurnalShape`) are one implementation.
+RateEnvelope = Callable[[float], float]
+
 __all__ = [
+    "RateEnvelope",
     "merge_packet_streams",
     "stream_application_packets",
     "stream_user_day_packets",
@@ -67,6 +73,7 @@ def stream_application_packets(
     duration: float = 3600.0,
     seed: int = 0,
     chunk_s: float = 600.0,
+    envelope: RateEnvelope | None = None,
 ) -> Iterator[Packet]:
     """Yield one application's packets lazily, ``chunk_s`` seconds at a time.
 
@@ -74,6 +81,12 @@ def stream_application_packets(
     :func:`~repro.traces.synthetic.generate_application_trace` but with
     peak memory of one chunk instead of the whole trace.  Packets are
     yielded in non-decreasing timestamp order, as the kernel requires.
+
+    ``envelope`` applies diurnal traffic shaping: a callable from
+    *absolute* stream time to a positive session-rate multiplier, handed
+    to the per-chunk generator shifted by the chunk's offset so a chunk
+    generated for the 9am-10am window sees the 9am-10am rates.  ``None``
+    is the unshaped stream, byte-identical to earlier releases.
     """
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration}")
@@ -83,8 +96,12 @@ def stream_application_packets(
     index = 0
     while offset < duration:
         length = min(chunk_s, duration - offset)
+        rate = None
+        if envelope is not None:
+            def rate(local: float, _offset: float = offset) -> float:
+                return envelope(_offset + local)
         chunk = generate_application_trace(
-            name, duration=length, seed=_chunk_seed(seed, index)
+            name, duration=length, seed=_chunk_seed(seed, index), rate=rate
         )
         for packet in chunk:
             yield packet.shifted(offset)
@@ -97,18 +114,22 @@ def stream_user_day_packets(
     duration: float = 3600.0,
     seed: int = 0,
     chunk_s: float = 600.0,
+    envelope: RateEnvelope | None = None,
 ) -> Iterator[Packet]:
     """Yield a multi-application device workload lazily.
 
     One stream per application (flow ids remapped so applications never
     collide), merged in time order — the streaming analogue of building a
-    user trace with :func:`~repro.traces.packet.merge_traces`.
+    user trace with :func:`~repro.traces.packet.merge_traces`.  The
+    optional ``envelope`` shapes every constituent application stream
+    with the same time-of-day rate multipliers (see
+    :func:`stream_application_packets`).
     """
     streams = [
         _remap_flows(
             stream_application_packets(
                 app, duration=duration, seed=_app_stream_seed(seed, index),
-                chunk_s=chunk_s,
+                chunk_s=chunk_s, envelope=envelope,
             ),
             offset=index * 1_000_000,
         )

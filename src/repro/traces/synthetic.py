@@ -244,6 +244,7 @@ def generate_application_trace(
     app: str | ApplicationProfile,
     duration: float = 7200.0,
     seed: int = 0,
+    rate: Callable[[float], float] | None = None,
 ) -> PacketTrace:
     """Generate a trace for one application class.
 
@@ -257,6 +258,16 @@ def generate_application_trace(
         traces were two hours long, which is the default.
     seed:
         Seed for the deterministic random generator.
+    rate:
+        Optional traffic-rate envelope: a callable mapping a timestamp
+        (seconds from trace start) to a positive session-rate multiplier.
+        Each drawn inter-session gap is divided by the envelope evaluated
+        at the *previous* session's start, so a multiplier of 2 doubles
+        the session arrival rate around that time while leaving burst
+        shapes and intra-burst spacing untouched (the inversion-by-local-
+        rate construction used for diurnal shaping; see
+        :mod:`repro.scenarios.shapes`).  ``None`` (the default) is the
+        unshaped generator, byte-identical to earlier releases.
     """
     if isinstance(app, str):
         key = app.lower()
@@ -270,9 +281,20 @@ def generate_application_trace(
     if duration <= 0:
         raise ValueError(f"duration must be positive, got {duration}")
 
+    def next_gap(at: float) -> float:
+        gap = profile.draw_gap(rng)
+        if rate is None:
+            return gap
+        multiplier = rate(at)
+        if not multiplier > 0:
+            raise ValueError(
+                f"rate envelope must be positive, got {multiplier} at t={at}"
+            )
+        return gap / multiplier
+
     rng = random.Random(seed)
     packets: list[Packet] = []
-    time = profile.draw_gap(rng)
+    time = next_gap(0.0)
     flow_counter = 0
     while time < duration:
         train = profile.draw_train(rng)
@@ -280,7 +302,7 @@ def generate_application_trace(
         flow_counter += 1
         burst = train.emit(rng, time, flow_id, profile.name)
         packets.extend(p for p in burst if p.timestamp < duration)
-        time += profile.draw_gap(rng)
+        time += next_gap(time)
     return PacketTrace(packets, name=profile.name)
 
 

@@ -1,0 +1,214 @@
+"""Engine conservation invariants under randomized traces, policies and seeds.
+
+Three families of law, each guarding a different layer of the kernel:
+
+* **time conservation** — a single-UE run's state intervals tile its
+  timeline with no gaps or overlaps, and the per-state durations in the
+  energy breakdown sum to exactly the timeline span;
+* **cohort conservation** — a scenario cell's per-cohort breakdowns
+  partition the whole-cell totals (energy, switches, packets, dormancy
+  counters) with nothing lost or double-counted;
+* **shard exactness** — a scenario cell run at K∈{1,3} shards produces
+  byte-identical per-device records, whatever scenario/policy/seed
+  hypothesis draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PolicySpec, execute_cell
+from repro.api.cells import CellRunSpec, CellSpec, DormancySpec
+from repro.core.controller import standard_policies
+from repro.core.policy import StatusQuoPolicy
+from repro.rrc.profiles import CARRIER_PROFILES, get_profile
+from repro.scenarios import Cohort, DiurnalShape, Scenario, get_archetype
+from repro.sim import TraceSimulator
+from repro.traces.synthetic import generate_application_trace
+
+#: Schemes that run online (no full-trace prepare), usable on streamed cells.
+_ONLINE_SCHEMES = (
+    "status_quo",
+    "fixed_4.5s",
+    "makeidle",
+    "makeidle+makeactive_learn",
+)
+
+
+def _policy(scheme: str, window: int = 50):
+    if scheme == "status_quo":
+        return StatusQuoPolicy()
+    return standard_policies(window)[scheme]
+
+
+# -- time conservation (single UE) ----------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    carrier=st.sampled_from(sorted(CARRIER_PROFILES)),
+    app=st.sampled_from(("im", "email", "news", "finance")),
+    scheme=st.sampled_from(_ONLINE_SCHEMES),
+    seed=st.integers(min_value=0, max_value=2**31),
+    duration=st.floats(min_value=60.0, max_value=900.0),
+)
+def test_intervals_tile_the_timeline(carrier, app, scheme, seed, duration):
+    trace = generate_application_trace(app, duration=duration, seed=seed)
+    result = TraceSimulator(get_profile(carrier)).run(trace, _policy(scheme))
+    intervals = result.intervals
+    if not trace:
+        # An empty workload is a well-defined zero run: no timeline to tile.
+        assert result.total_energy_j == 0.0
+        return
+    assert intervals, "a non-empty run produces at least one interval"
+    assert intervals[0].start == 0.0
+    for previous, current in zip(intervals, intervals[1:]):
+        assert current.start == previous.end, "timeline has a gap or overlap"
+    span = intervals[-1].end - intervals[0].start
+    total = math.fsum(interval.duration for interval in intervals)
+    assert math.isclose(total, span, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    carrier=st.sampled_from(sorted(CARRIER_PROFILES)),
+    app=st.sampled_from(("im", "email", "social")),
+    scheme=st.sampled_from(_ONLINE_SCHEMES),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_per_state_durations_sum_to_run_duration(carrier, app, scheme, seed):
+    trace = generate_application_trace(app, duration=400.0, seed=seed)
+    result = TraceSimulator(get_profile(carrier)).run(trace, _policy(scheme))
+    breakdown = result.breakdown
+    if not trace:
+        assert result.total_energy_j == 0.0
+        return
+    span = result.intervals[-1].end - result.intervals[0].start
+    per_state = (
+        breakdown.active_time_s
+        + breakdown.high_idle_time_s
+        + breakdown.idle_time_s
+    )
+    assert math.isclose(per_state, span, rel_tol=1e-9, abs_tol=1e-6)
+    # And each component is individually the sum over its state's intervals.
+    from repro.rrc.states import RadioState
+
+    active = math.fsum(
+        i.duration for i in result.intervals
+        if i.state in (RadioState.ACTIVE, RadioState.PROMOTING)
+    )
+    assert math.isclose(breakdown.active_time_s, active,
+                        rel_tol=1e-9, abs_tol=1e-9)
+
+
+# -- scenario strategies ---------------------------------------------------------------
+
+_ARCHETYPE_NAMES = (
+    "heavy_streamer", "background_chatter", "idle_messenger", "casual_gamer",
+)
+
+
+@st.composite
+def scenarios(draw):
+    count = draw(st.integers(min_value=1, max_value=3))
+    names = draw(
+        st.lists(st.sampled_from(_ARCHETYPE_NAMES), min_size=count,
+                 max_size=count, unique=True)
+    )
+    cohorts = []
+    for index, name in enumerate(names):
+        override = draw(
+            st.one_of(
+                st.none(),
+                st.sampled_from(_ONLINE_SCHEMES),
+            )
+        )
+        cohorts.append(
+            Cohort(
+                archetype=get_archetype(name),
+                weight=draw(st.floats(min_value=0.2, max_value=3.0)),
+                policy=(PolicySpec(scheme=override, window_size=50)
+                        if override not in (None, "status_quo")
+                        else (PolicySpec(scheme="status_quo")
+                              if override == "status_quo" else None)),
+                name=f"cohort{index}",
+            )
+        )
+    shape = draw(
+        st.one_of(
+            st.none(),
+            st.just(DiurnalShape(
+                name="step",
+                segments=((0.0, 0.4), (8.0, 1.8), (17.0, 0.7)),
+            )),
+        )
+    )
+    return Scenario(name="prop", cohorts=tuple(cohorts), shape=shape)
+
+
+def _scenario_spec(scenario, devices, seed, scheme, shards=1):
+    return CellRunSpec(
+        cell=CellSpec(devices=devices, duration_s=250.0, seed=seed,
+                      chunk_s=100.0, scenario=scenario),
+        carrier="att_hspa",
+        policy=PolicySpec(scheme=scheme).resolved(50),
+        dormancy=DormancySpec(),
+        shards=shards,
+    )
+
+
+# -- cohort conservation ---------------------------------------------------------------
+
+@settings(max_examples=10, deadline=None)
+@given(
+    scenario=scenarios(),
+    devices=st.integers(min_value=3, max_value=12),
+    seed=st.integers(min_value=0, max_value=1000),
+    scheme=st.sampled_from(_ONLINE_SCHEMES),
+)
+def test_cohort_breakdowns_partition_cell_totals(scenario, devices, seed,
+                                                 scheme):
+    result = execute_cell(_scenario_spec(scenario, devices, seed, scheme))
+    breakdown = result.cohort_breakdown()
+    # Every device is labelled, so cohort totals must partition the cell.
+    assert sum(b.devices for b in breakdown.values()) == len(result.devices)
+    assert sum(b.packets for b in breakdown.values()) == result.total_packets
+    assert (sum(b.dormancy_requests for b in breakdown.values())
+            == result.dormancy_requests)
+    assert (sum(b.dormancy_denied for b in breakdown.values())
+            == result.dormancy_denied)
+    assert (sum(b.promotions + b.demotions for b in breakdown.values())
+            == result.total_switches)
+    assert math.isclose(
+        math.fsum(b.energy_j for b in breakdown.values()),
+        math.fsum(d.total_energy_j for d in result.devices),
+        rel_tol=1e-9, abs_tol=1e-9,
+    )
+    # Per-cohort device counts follow the declared apportionment.
+    sizes = {f"cohort{i}": size
+             for i, size in enumerate(scenario.cohort_sizes(devices))}
+    for label, entry in breakdown.items():
+        assert entry.devices == sizes[label]
+
+
+# -- shard exactness -------------------------------------------------------------------
+
+@settings(max_examples=8, deadline=None)
+@given(
+    scenario=scenarios(),
+    devices=st.integers(min_value=4, max_value=11),
+    seed=st.integers(min_value=0, max_value=1000),
+    scheme=st.sampled_from(("status_quo", "makeidle")),
+)
+def test_scenario_shard_runs_byte_identical(scenario, devices, seed, scheme):
+    reference = execute_cell(_scenario_spec(scenario, devices, seed, scheme))
+    sharded = execute_cell(
+        _scenario_spec(scenario, devices, seed, scheme, shards=3)
+    )
+    assert sharded.devices == reference.devices
+    assert sharded.signaling == reference.signaling
+    assert sharded.duration_s == reference.duration_s
+    assert sharded.switch_times == reference.switch_times
+    assert sharded.cohort_breakdown() == reference.cohort_breakdown()

@@ -1,0 +1,197 @@
+"""Scenario composition: archetypes, cohorts, apportionment, serialisation."""
+
+import pytest
+
+from repro.api.spec import PolicySpec
+from repro.scenarios import (
+    ARCHETYPES,
+    SCENARIO_PRESETS,
+    Cohort,
+    DeviceArchetype,
+    DiurnalShape,
+    Scenario,
+    get_archetype,
+    get_scenario,
+)
+
+
+class TestArchetypes:
+    def test_builtins_resolvable_and_valid(self):
+        for name, archetype in ARCHETYPES.items():
+            assert get_archetype(name) is archetype
+            assert archetype.intensity > 0
+            assert archetype.apps
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="heavy_streamer"):
+            get_archetype("nope")
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            DeviceArchetype(name="x", apps=("notanapp",))
+
+    def test_rejects_non_positive_intensity(self):
+        with pytest.raises(ValueError, match="intensity"):
+            DeviceArchetype(name="x", apps=("im",), intensity=0.0)
+
+    def test_round_trips_through_dict(self):
+        archetype = get_archetype("heavy_streamer")
+        clone = DeviceArchetype.from_dict(archetype.to_dict())
+        assert clone == archetype
+
+    def test_fingerprint_excludes_name(self):
+        a = DeviceArchetype(name="a", apps=("im",), intensity=0.5)
+        b = DeviceArchetype(name="b", apps=("im",), intensity=0.5)
+        assert a.fingerprint == b.fingerprint
+
+
+class TestCohorts:
+    def test_label_defaults_to_archetype(self):
+        cohort = Cohort(archetype=get_archetype("idle_messenger"))
+        assert cohort.label == "idle_messenger"
+        named = Cohort(archetype=get_archetype("idle_messenger"), name="quiet")
+        assert named.label == "quiet"
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            Cohort(archetype=get_archetype("idle_messenger"), weight=0.0)
+
+    def test_policy_override_in_fingerprint(self):
+        base = Cohort(archetype=get_archetype("idle_messenger"))
+        override = Cohort(
+            archetype=get_archetype("idle_messenger"),
+            policy=PolicySpec(scheme="makeidle", window_size=50),
+        )
+        assert base.fingerprint != override.fingerprint
+
+    def test_unset_override_window_pins_to_default_at_construction(self):
+        # An override can't inherit a plan-level window (the scenario is
+        # fingerprinted independently of any plan), so it resolves to the
+        # library default eagerly — key and built policy agree.
+        cohort = Cohort(
+            archetype=get_archetype("idle_messenger"),
+            policy=PolicySpec(scheme="makeidle"),
+        )
+        assert cohort.policy.window_size == 100
+        assert cohort.policy.build().window_size == 100
+        # Schemes without a window are untouched.
+        pinned = Cohort(
+            archetype=get_archetype("idle_messenger"),
+            policy=PolicySpec(scheme="status_quo"),
+        )
+        assert pinned.policy.window_size is None
+
+
+class TestScenarioLayout:
+    def _scenario(self, weights):
+        return Scenario(
+            name="s",
+            cohorts=tuple(
+                Cohort(archetype=get_archetype(name), weight=w, name=f"c{i}")
+                for i, (name, w) in enumerate(weights)
+            ),
+        )
+
+    def test_sizes_sum_to_devices(self):
+        scenario = self._scenario(
+            [("office_worker", 0.5), ("heavy_streamer", 0.2),
+             ("idle_messenger", 0.3)]
+        )
+        for devices in (1, 2, 3, 7, 10, 99, 1000):
+            sizes = scenario.cohort_sizes(devices)
+            assert sum(sizes) == devices
+            assert all(size >= 0 for size in sizes)
+
+    def test_largest_remainder_apportionment(self):
+        scenario = self._scenario(
+            [("office_worker", 0.5), ("heavy_streamer", 0.2),
+             ("idle_messenger", 0.3)]
+        )
+        assert scenario.cohort_sizes(10) == [5, 2, 3]
+
+    def test_cohort_at_contiguous_blocks(self):
+        scenario = self._scenario(
+            [("office_worker", 0.5), ("idle_messenger", 0.5)]
+        )
+        labels = [scenario.cohort_at(i, 10).label for i in range(10)]
+        assert labels == ["c0"] * 5 + ["c1"] * 5
+
+    def test_cohort_at_validates_index(self):
+        scenario = self._scenario([("office_worker", 1.0)])
+        with pytest.raises(ValueError, match="outside"):
+            scenario.cohort_at(5, 5)
+
+    def test_weights_are_relative(self):
+        a = self._scenario([("office_worker", 1.0), ("idle_messenger", 1.0)])
+        b = self._scenario([("office_worker", 10.0), ("idle_messenger", 10.0)])
+        assert a.cohort_sizes(8) == b.cohort_sizes(8)
+
+
+class TestScenarioValidation:
+    def test_requires_cohorts(self):
+        with pytest.raises(ValueError, match="at least one cohort"):
+            Scenario(name="s", cohorts=())
+
+    def test_rejects_duplicate_cohort_labels(self):
+        cohort = Cohort(archetype=get_archetype("idle_messenger"))
+        with pytest.raises(ValueError, match="duplicate cohort labels"):
+            Scenario(name="s", cohorts=(cohort, cohort))
+
+    def test_has_policy_overrides(self):
+        assert SCENARIO_PRESETS["mixed_policy"].has_policy_overrides
+        assert not SCENARIO_PRESETS["office_day"].has_policy_overrides
+
+
+class TestScenarioSerialisation:
+    @pytest.mark.parametrize("name", sorted(SCENARIO_PRESETS))
+    def test_presets_round_trip_through_dict(self, name):
+        scenario = get_scenario(name)
+        clone = Scenario.from_dict(scenario.to_dict())
+        assert clone == scenario
+        assert clone.fingerprint == scenario.fingerprint
+
+    def test_fingerprint_excludes_scenario_name(self):
+        cohorts = (Cohort(archetype=get_archetype("idle_messenger")),)
+        assert (Scenario(name="a", cohorts=cohorts).fingerprint
+                == Scenario(name="b", cohorts=cohorts).fingerprint)
+
+    def test_fingerprint_sees_shape(self):
+        cohorts = (Cohort(archetype=get_archetype("idle_messenger")),)
+        flat = Scenario(name="a", cohorts=cohorts)
+        shaped = Scenario(
+            name="a", cohorts=cohorts,
+            shape=DiurnalShape(name="x", segments=((0.0, 2.0),)),
+        )
+        assert flat.fingerprint != shaped.fingerprint
+
+    def test_unknown_preset_lists_available(self):
+        with pytest.raises(KeyError, match="office_day"):
+            get_scenario("not_a_preset")
+
+
+class TestEnvelopes:
+    def test_unit_intensity_unshaped_is_none(self):
+        scenario = Scenario(
+            name="s",
+            cohorts=(Cohort(archetype=get_archetype("background_chatter")),),
+        )
+        assert scenario.device_envelope(scenario.cohorts[0]) is None
+
+    def test_intensity_only_envelope_is_constant(self):
+        scenario = Scenario(
+            name="s",
+            cohorts=(Cohort(archetype=get_archetype("idle_messenger")),),
+        )
+        envelope = scenario.device_envelope(scenario.cohorts[0])
+        assert envelope(0.0) == envelope(50_000.0) == 0.35
+
+    def test_shape_and_intensity_multiply(self):
+        shape = DiurnalShape(name="x", segments=((0.0, 0.5), (12.0, 2.0)))
+        scenario = Scenario(
+            name="s",
+            cohorts=(Cohort(archetype=get_archetype("idle_messenger")),),
+            shape=shape,
+        )
+        envelope = scenario.device_envelope(scenario.cohorts[0])
+        assert envelope(0.0) == pytest.approx(0.35 * 0.5)
+        assert envelope(13 * 3600.0) == pytest.approx(0.35 * 2.0)

@@ -117,3 +117,62 @@ class TestAppStreamSeedDerivation:
                                               duration=300.0, seed=4))
         assert self._shape(first) == self._shape(second)
         assert [p.flow_id for p in first] == [p.flow_id for p in second]
+
+
+class TestRateEnvelopes:
+    def test_no_envelope_is_byte_identical_to_before(self):
+        # envelope=None must take the exact unshaped path (golden safety).
+        plain = list(stream_application_packets("im", duration=400.0, seed=3,
+                                                chunk_s=100.0))
+        explicit = list(stream_application_packets("im", duration=400.0, seed=3,
+                                                   chunk_s=100.0, envelope=None))
+        assert plain == explicit
+
+    def test_unit_envelope_matches_unshaped(self):
+        # A constant 1.0 envelope divides every gap by exactly 1.0.
+        plain = list(stream_application_packets("im", duration=400.0, seed=3,
+                                                chunk_s=100.0))
+        unit = list(stream_application_packets("im", duration=400.0, seed=3,
+                                               chunk_s=100.0,
+                                               envelope=lambda t: 1.0))
+        assert plain == unit
+
+    def test_higher_rate_yields_more_sessions(self):
+        low = sum(1 for _ in stream_application_packets(
+            "email", duration=3600.0, seed=5, chunk_s=600.0,
+            envelope=lambda t: 0.25))
+        high = sum(1 for _ in stream_application_packets(
+            "email", duration=3600.0, seed=5, chunk_s=600.0,
+            envelope=lambda t: 4.0))
+        assert low < high
+
+    def test_envelope_sees_absolute_time_across_chunks(self):
+        # A rate step at t=600 must land on the second chunk's clock, not
+        # restart at zero: the quiet half yields fewer packets than the
+        # busy half even though each chunk is generated locally.
+        step = lambda t: 0.1 if t < 600.0 else 4.0
+        packets = list(stream_application_packets(
+            "email", duration=1200.0, seed=5, chunk_s=300.0, envelope=step))
+        quiet = sum(1 for p in packets if p.timestamp < 600.0)
+        busy = sum(1 for p in packets if p.timestamp >= 600.0)
+        assert quiet < busy
+
+    def test_shaped_stream_is_still_time_ordered(self):
+        stamps = [p.timestamp for p in stream_application_packets(
+            "news", duration=900.0, seed=1, chunk_s=200.0,
+            envelope=lambda t: 0.5 + (t // 300.0))]
+        assert stamps == sorted(stamps)
+
+    def test_non_positive_rate_raises(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            list(stream_application_packets("im", duration=100.0, seed=0,
+                                            envelope=lambda t: 0.0))
+
+    def test_user_day_envelope_applies_to_every_app(self):
+        low = sum(1 for _ in stream_user_day_packets(
+            ("im", "email"), duration=1200.0, seed=2, chunk_s=400.0,
+            envelope=lambda t: 0.2))
+        high = sum(1 for _ in stream_user_day_packets(
+            ("im", "email"), duration=1200.0, seed=2, chunk_s=400.0,
+            envelope=lambda t: 3.0))
+        assert low < high

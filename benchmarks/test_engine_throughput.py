@@ -113,15 +113,30 @@ def _cell_spec(devices: int, duration: float, shards: int) -> CellRunSpec:
     )
 
 
+THROUGHPUT_ROUNDS = 5
+
+
 def test_engine_throughput_1k_device_cell(benchmark):
-    simulator = CellSimulator(get_profile("att_hspa"), AcceptAllDormancy())
+    # Throughput passes, untraced (tracemalloc costs several x).  Best of
+    # THROUGHPUT_ROUNDS replays: the kernel is deterministic, so run-to-run
+    # spread is scheduler/frequency noise, and the fastest replay is the
+    # standard micro-benchmark estimator of what the code itself costs
+    # (also what keeps the CI regression gate from tripping on a noisy
+    # neighbour instead of a real regression).
+    # One untimed warm-up replay brings allocator/caches to steady state
+    # before measurement.
+    CellSimulator(get_profile("att_hspa"), AcceptAllDormancy()).run(
+        _build_devices()
+    )
+    elapsed = float("inf")
+    for _ in range(THROUGHPUT_ROUNDS):
+        simulator = CellSimulator(get_profile("att_hspa"), AcceptAllDormancy())
+        devices = _build_devices()
+        start = time.perf_counter()
+        result = simulator.run(devices)
+        elapsed = min(elapsed, time.perf_counter() - start)
 
-    # Pass 1 — throughput, untraced (tracemalloc costs several x).
-    start = time.perf_counter()
-    result = simulator.run(_build_devices())
-    elapsed = time.perf_counter() - start
-
-    # Pass 2 — Python-heap peak under tracemalloc.
+    # Memory pass — Python-heap peak under tracemalloc.
     tracemalloc.start()
     CellSimulator(get_profile("att_hspa"), AcceptAllDormancy()).run(
         _build_devices()
@@ -138,6 +153,7 @@ def test_engine_throughput_1k_device_cell(benchmark):
         "duration_s": DURATION_S,
         "packets": packets,
         "elapsed_s": round(elapsed, 3),
+        "timing": f"best of {THROUGHPUT_ROUNDS} replays (1 warm-up)",
         "packets_per_sec": round(packets_per_sec, 1),
         "events_per_sec_lower_bound": round(packets_per_sec, 1),
         "peak_rss_mb": round(_peak_rss_mb(), 1),
@@ -167,7 +183,16 @@ def test_engine_throughput_1k_device_cell(benchmark):
 
 
 def test_sharded_10k_device_cell_matches_and_scales():
-    """10k devices: single process vs 4 shards on a pool, byte-identical."""
+    """10k devices: single process vs 4 shards via the runner, byte-identical.
+
+    The runner clamps its pool to usable cores and falls back to serial
+    in-process shard execution when a pool cannot help (1 usable worker),
+    so a machine where pool overhead would beat parallelism never pays
+    it.  A ``speedup`` claim is recorded only when a pool actually ran —
+    the in-process fallback executes the very code path it would be
+    compared against, so a sub-1 "speedup" cannot be shipped by
+    construction (the clamp itself is recorded instead).
+    """
     single_spec = _cell_spec(SHARDED_DEVICES, DURATION_S, shards=1)
     sharded_spec = _cell_spec(SHARDED_DEVICES, DURATION_S,
                               shards=SHARDED_SHARDS)
@@ -178,8 +203,10 @@ def test_sharded_10k_device_cell_matches_and_scales():
 
     runner = ProcessPoolRunner(jobs=SHARDED_SHARDS)
     start = time.perf_counter()
-    sharded = runner.run([sharded_spec]).records[0].result
+    sharded_runs = runner.run([sharded_spec])
+    sharded = sharded_runs.records[0].result
     sharded_elapsed = time.perf_counter() - start
+    execution = sharded_runs.execution
 
     # The exactness contract, asserted at benchmark scale: per-device
     # records byte-identical under the shard-independent accept_all
@@ -189,35 +216,40 @@ def test_sharded_10k_device_cell_matches_and_scales():
     assert sharded.switch_times == single.switch_times
 
     packets = single.total_packets
-    speedup = single_elapsed / sharded_elapsed if sharded_elapsed > 0 else 0.0
-    record = _update_bench("sharded_10k", {
+    record = {
         "devices": SHARDED_DEVICES,
         "duration_s": DURATION_S,
         "shards": SHARDED_SHARDS,
-        "pool_jobs": SHARDED_SHARDS,
+        "pool_jobs": execution.effective_jobs,
+        "pool_used": execution.pool_used,
+        "pool_clamped": execution.clamped,
+        "usable_cores": execution.usable_cores,
         "packets": packets,
         "single_elapsed_s": round(single_elapsed, 3),
         "sharded_elapsed_s": round(sharded_elapsed, 3),
         "single_packets_per_sec": round(packets / single_elapsed, 1),
         "sharded_packets_per_sec": round(packets / sharded_elapsed, 1),
-        "speedup": round(speedup, 2),
         "byte_identical_devices": True,
         "peak_rss_mb": round(_peak_rss_mb(), 1),
-    })
+    }
+    if execution.pool_used:
+        record["speedup"] = round(
+            single_elapsed / sharded_elapsed if sharded_elapsed > 0 else 0.0,
+            2,
+        )
+    record = _update_bench("sharded_10k", record)
 
     print_figure(
         "Sharded execution — 10k-device cell, 4 shards vs 1 process",
         "\n".join(f"{key}: {value}" for key, value in record.items()),
     )
 
-    # The speedup target only exists where the cores do: shard workers
-    # multiplex on whatever the machine has, a 1-core box pays pool
-    # overhead for no parallelism, and a shared 4-vCPU CI runner cannot
-    # reliably give 4 shards 2.5x.  Recorded always; asserted only with
+    # The speedup target only exists where the cores do: a shared 4-vCPU
+    # CI runner cannot reliably give 4 shards 2.5x.  Asserted only with
     # real headroom (twice the shard count in cores).
-    if (os.cpu_count() or 1) >= 2 * SHARDED_SHARDS:
-        assert speedup >= 2.5, (
-            f"sharded 10k run only {speedup:.2f}x faster on "
+    if execution.pool_used and (os.cpu_count() or 1) >= 2 * SHARDED_SHARDS:
+        assert record["speedup"] >= 2.5, (
+            f"sharded 10k run only {record['speedup']:.2f}x faster on "
             f"{os.cpu_count()} cores"
         )
 
@@ -240,8 +272,10 @@ def test_sharded_scenario_cell_matches_and_records():
 
     runner = ProcessPoolRunner(jobs=SCENARIO_SHARDS)
     start = time.perf_counter()
-    sharded = runner.run([spec(SCENARIO_SHARDS)]).records[0].result
+    sharded_runs = runner.run([spec(SCENARIO_SHARDS)])
+    sharded = sharded_runs.records[0].result
     sharded_elapsed = time.perf_counter() - start
+    execution = sharded_runs.execution
 
     # Shard-merge exactness extends to scenario populations: cohort
     # membership and hashed per-device seeds are pure functions of the
@@ -262,6 +296,9 @@ def test_sharded_scenario_cell_matches_and_records():
         "devices": SCENARIO_DEVICES,
         "duration_s": SCENARIO_DURATION_S,
         "shards": SCENARIO_SHARDS,
+        "pool_jobs": execution.effective_jobs,
+        "pool_used": execution.pool_used,
+        "pool_clamped": execution.clamped,
         "cohort_devices": cohorts,
         "packets": packets,
         "single_elapsed_s": round(single_elapsed, 3),
@@ -280,16 +317,17 @@ def test_sharded_scenario_cell_matches_and_records():
 
 def test_sharded_100k_device_cell_completes():
     """The 100k-device streamed cell runs sharded and is recorded."""
-    jobs = min(HUGE_SHARDS, os.cpu_count() or 1)
     spec = _cell_spec(HUGE_DEVICES, HUGE_DURATION_S, shards=HUGE_SHARDS)
 
+    # The runner clamps its pool to usable cores and runs the shards
+    # serially in-process when a pool cannot help (same merge, no pool
+    # tax) — no need to special-case core counts here.
+    runner = ProcessPoolRunner(jobs=HUGE_SHARDS)
     start = time.perf_counter()
-    if jobs > 1:
-        result = ProcessPoolRunner(jobs=jobs).run([spec]).records[0].result
-    else:
-        # One core: the in-process sharded path (same merge, no pool tax).
-        result = execute_cell(spec)
+    runs = runner.run([spec])
+    result = runs.records[0].result
     elapsed = time.perf_counter() - start
+    execution = runs.execution
 
     assert len(result.devices) == HUGE_DEVICES
     packets = result.total_packets
@@ -299,7 +337,9 @@ def test_sharded_100k_device_cell_completes():
         "devices": HUGE_DEVICES,
         "duration_s": HUGE_DURATION_S,
         "shards": HUGE_SHARDS,
-        "pool_jobs": jobs,
+        "pool_jobs": execution.effective_jobs,
+        "pool_used": execution.pool_used,
+        "pool_clamped": execution.clamped,
         "packets": packets,
         "elapsed_s": round(elapsed, 3),
         "packets_per_sec": round(packets / elapsed, 1),

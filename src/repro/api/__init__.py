@@ -54,6 +54,7 @@ from ..scenarios import (
 )
 from .plan import EmptyAxisError, ExperimentPlan, plan
 from .runner import (
+    PoolExecution,
     ProcessPoolRunner,
     Runner,
     SerialRunner,
@@ -86,6 +87,7 @@ __all__ = [
     "ExperimentPlan",
     "PolicySpec",
     "Scenario",
+    "PoolExecution",
     "ProcessPoolRunner",
     "ResultCache",
     "RunRecord",

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Hashable, Protocol, Sequence, Union, runtime_checkable
 
 from ..basestation.cell import CellResult, merge_cell_shards
@@ -34,6 +35,8 @@ from .runset import RunRecord, RunSet
 from .spec import RunSpec, execute
 
 __all__ = [
+    "PoolExecution",
+    "usable_cpu_count",
     "Runner",
     "SerialRunner",
     "ProcessPoolRunner",
@@ -41,9 +44,51 @@ __all__ = [
     "execute_spec",
 ]
 
+
+@dataclass(frozen=True)
+class PoolExecution:
+    """How a :class:`ProcessPoolRunner` actually executed one ``run()``.
+
+    The requested worker count is *clamped to usable cores* before any
+    pool is spawned: pool fan-out only ever parallelises, so a
+    configuration whose measured speedup would be < 1 purely by
+    construction (more workers than cores, or a pool on a 1-core box) is
+    never shipped — it falls back to the serial in-process path, which is
+    byte-identical.  Attached to the produced :class:`RunSet` so result
+    records can state the clamp (``pool_jobs`` / ``pool_clamped`` columns
+    in ``to_records()``, and the BENCH sections).
+    """
+
+    requested_jobs: int
+    usable_cores: int
+    effective_jobs: int
+    pool_used: bool
+
+    @property
+    def clamped(self) -> bool:
+        """Whether fewer workers than requested could usefully run."""
+        return self.effective_jobs < self.requested_jobs
+
 #: One cell of either sweep grid: single-UE or cell-scale.
 AnySpec = Union[RunSpec, CellRunSpec]
 AnyResult = Union[SimulationResult, CellResult]
+
+
+def usable_cpu_count() -> int:
+    """Cores this process may actually schedule on.
+
+    CPU affinity / cgroup masks (containers, ``taskset``) often grant far
+    fewer cores than the machine has; ``os.cpu_count()`` ignores them and
+    would size pools for hardware the process cannot touch.  Falls back
+    to ``os.cpu_count()`` where affinity is not exposed (macOS, Windows).
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
 
 
 def execute_spec(spec: AnySpec) -> AnyResult:
@@ -118,7 +163,8 @@ class ProcessPoolRunner(_BaseRunner):
     Parameters
     ----------
     jobs:
-        Worker process count; defaults to ``os.cpu_count()``.
+        Worker process count; defaults to the usable (affinity-aware)
+        core count.
     cache:
         Optional shared :class:`ResultCache`; results computed by the pool
         land in it exactly as serial results would.
@@ -133,12 +179,36 @@ class ProcessPoolRunner(_BaseRunner):
         super().__init__(cache)
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
-        self._jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self._jobs = jobs if jobs is not None else usable_cpu_count()
 
     @property
     def jobs(self) -> int:
         """The worker process count this runner was configured with."""
         return self._jobs
+
+    @property
+    def usable_cores(self) -> int:
+        """Cores the pool can actually spread workers over.
+
+        Affinity-aware (:func:`usable_cpu_count`): a process pinned to one
+        core of a 16-core host gets 1, not 16 — otherwise the clamp would
+        ship exactly the contended pool it exists to prevent.
+        """
+        return usable_cpu_count()
+
+    @property
+    def effective_jobs(self) -> int:
+        """The worker count after clamping to usable cores.
+
+        A pool wider than the machine only adds scheduling overhead —
+        worker processes multiplex on the same cores — so the runner never
+        spawns more workers than cores, and with one effective worker it
+        skips the pool entirely (serial in-process execution of the same
+        specs/shards: byte-identical results, no pool tax).  This is what
+        makes a "sharded" configuration's measured speedup ≥ 1 by
+        construction on machines where the pool cannot help.
+        """
+        return min(self._jobs, self.usable_cores)
 
     def run(self, plan: ExperimentPlan | Sequence[AnySpec]) -> RunSet:
         """Execute the plan, fanning unique uncached cells out to the pool."""
@@ -171,13 +241,17 @@ class ProcessPoolRunner(_BaseRunner):
 
         fresh: dict[Hashable, AnyResult] = {}
         total_tasks = sum(_task_count(spec) for spec in pending.values())
-        if total_tasks <= 1 or self._jobs == 1:
-            # execute_spec runs a sharded spec's partitions sequentially
-            # in-process — same merged result, no pool overhead.
+        effective_jobs = self.effective_jobs
+        pool_used = total_tasks > 1 and effective_jobs > 1 and bool(pending)
+        if not pool_used:
+            # One task, one usable worker, or a pool the cores cannot
+            # feed: execute_spec runs everything (a sharded spec's
+            # partitions included) sequentially in-process — same merged
+            # result, no pool overhead.
             for key, spec in pending.items():
                 fresh[key] = execute_spec(spec)
-        elif pending:
-            workers = min(self._jobs, total_tasks)
+        else:
+            workers = min(effective_jobs, total_tasks)
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures: dict[Hashable, object] = {}
                 for key, spec in pending.items():
@@ -219,7 +293,12 @@ class ProcessPoolRunner(_BaseRunner):
                     result = fresh[key] if key in fresh else held[key]
                 from_cache = True
             records.append(RunRecord(spec=spec, result=result, from_cache=from_cache))
-        return RunSet(records, self._delta(before))
+        return RunSet(records, self._delta(before), execution=PoolExecution(
+            requested_jobs=self._jobs,
+            usable_cores=self.usable_cores,
+            effective_jobs=effective_jobs,
+            pool_used=pool_used,
+        ))
 
 
 #: Module-level runner shared by the thin experiment drivers, so repeated

@@ -116,9 +116,11 @@ class RunSet(Sequence[RunRecord]):
     """The ordered, immutable results of one executed plan."""
 
     def __init__(self, records: Sequence[RunRecord],
-                 cache_stats: CacheStats | None = None) -> None:
+                 cache_stats: CacheStats | None = None,
+                 execution: Any | None = None) -> None:
         self._records: tuple[RunRecord, ...] = tuple(records)
         self._cache_stats = cache_stats
+        self._execution = execution
 
     # -- sequence protocol -----------------------------------------------------------
 
@@ -130,7 +132,8 @@ class RunSet(Sequence[RunRecord]):
 
     def __getitem__(self, index):  # type: ignore[override]
         if isinstance(index, slice):
-            return RunSet(self._records[index], self._cache_stats)
+            return RunSet(self._records[index], self._cache_stats,
+                          self._execution)
         return self._records[index]
 
     def __repr__(self) -> str:
@@ -147,6 +150,18 @@ class RunSet(Sequence[RunRecord]):
         """Cache counters observed by the runner over this execution, if any."""
         return self._cache_stats
 
+    @property
+    def execution(self) -> Any | None:
+        """How the runner executed this set, if it recorded it.
+
+        A :class:`~repro.api.runner.PoolExecution` for pool-backed runs —
+        carrying the requested vs. effective (core-clamped) worker count
+        and whether a pool was actually used — ``None`` for serial
+        backends.  Surfaced as ``pool_jobs`` / ``pool_clamped`` columns by
+        :meth:`to_records` so exported cell rows state the clamp.
+        """
+        return self._execution
+
     # -- filtering and grouping ------------------------------------------------------
 
     def only(self, trace: str | None = None, carrier: str | None = None,
@@ -159,7 +174,7 @@ class RunSet(Sequence[RunRecord]):
             and (scheme is None or r.scheme == scheme)
             and (seed is None or r.seed == seed)
         )
-        return RunSet(selected, self._cache_stats)
+        return RunSet(selected, self._cache_stats, self._execution)
 
     def group_by(self, *axes: str) -> dict[Any, "RunSet"]:
         """Partition the records by one or more axes.
@@ -188,7 +203,8 @@ class RunSet(Sequence[RunRecord]):
             values = tuple(getters[a](record) for a in axes)
             key = values[0] if len(axes) == 1 else values
             grouped.setdefault(key, []).append(record)
-        return {k: RunSet(v, self._cache_stats) for k, v in grouped.items()}
+        return {k: RunSet(v, self._cache_stats, self._execution)
+                for k, v in grouped.items()}
 
     # -- baseline normalisation ------------------------------------------------------
 
@@ -313,6 +329,9 @@ class RunSet(Sequence[RunRecord]):
                     "peak_switches_per_minute": result.peak_switches_per_minute,
                     "from_cache": record.from_cache,
                 }
+                if self._execution is not None:
+                    row["pool_jobs"] = self._execution.effective_jobs
+                    row["pool_clamped"] = self._execution.clamped
                 baseline = baselines.get(record.group_key)
                 if baseline is not None:
                     base = baseline.result

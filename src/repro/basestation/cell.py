@@ -324,9 +324,10 @@ class ShardDeviceState:
     timer demotions (pinned down by ``open_state``, ``open_since`` and
     ``last_activity``), and the plain counters.  :func:`_close_device`
     replays :meth:`~repro.rrc.state_machine.RrcStateMachine.finish` plus
-    :meth:`~repro.sim.engine.UeContext.drain_account` over these fields
-    float op for float op — which is what makes sharded per-device results
-    byte-identical to a single-process run.
+    the machine's fold-at-transition accounting
+    (:meth:`~repro.rrc.state_machine.RrcStateMachine.folded_state_totals`)
+    over these fields float op for float op — which is what makes sharded
+    per-device results byte-identical to a single-process run.
     """
 
     device_id: int
@@ -379,6 +380,14 @@ class _NetworkStation(DormancyStation):
 
     def __init__(self, policy: DormancyPolicy) -> None:
         self._policy = policy
+        # Propagate the policy's unconditional-grant declaration so the
+        # kernel can skip per-request snapshots — but only when decide()
+        # really is the accept-all implementation, so a subclass that
+        # overrides decide() while inheriting the flag is still consulted.
+        self.always_grants = (
+            bool(getattr(policy, "always_grants", False))
+            and type(policy).decide is AcceptAllDormancy.decide
+        )
 
     def decide(self, ue_id: int, time: float, load: CellLoad) -> bool:
         snapshot = CellLoadSnapshot(
@@ -547,8 +556,8 @@ def _close_device(
     """Close one device's open timeline at ``end_time``.
 
     Replays exactly what :meth:`RrcStateMachine.finish` (pending timer
-    demotions via ``_apply_timers``, then the final interval) followed by
-    :meth:`UeContext.drain_account` would have folded — the same boundary
+    demotions via ``_apply_timers``, then the final fold-at-transition
+    interval accounting) would have folded — the same boundary
     comparisons, the same per-interval additions, in the same order — so
     the result is bit-equal to the single-process close at the same
     ``end_time``.  Returns the closed ``(active_time_s, high_idle_time_s,

@@ -64,6 +64,14 @@ class DormancyPolicy:
     #: Name used in result tables.
     name: str = "dormancy_policy"
 
+    #: Declare ``True`` only when :meth:`decide` grants unconditionally and
+    #: keeps no per-request state.  The simulation kernel then skips
+    #: building a :class:`CellLoadSnapshot` per request — decisions and
+    #: counters are identical, the snapshot was just never looked at.  A
+    #: subclass that overrides :meth:`decide` with any real logic must
+    #: leave (or reset) this to ``False``.
+    always_grants: bool = False
+
     def decide(
         self, device_id: int, request_time: float, load: CellLoadSnapshot
     ) -> DormancyDecision:
@@ -78,6 +86,7 @@ class AcceptAllDormancy(DormancyPolicy):
     """The paper's assumption: every request is granted immediately."""
 
     name = "accept_all"
+    always_grants = True
 
     def decide(
         self, device_id: int, request_time: float, load: CellLoadSnapshot

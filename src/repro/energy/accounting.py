@@ -25,6 +25,7 @@ from typing import Sequence
 from ..rrc.profiles import CarrierProfile
 from ..rrc.state_machine import StateInterval, SwitchEvent
 from ..rrc.states import RadioState
+from ..rrc.tables import transition_table
 from ..traces.packet import PacketTrace
 
 __all__ = [
@@ -147,6 +148,13 @@ class DataEnergyModel:
         self._downlink_rate = downlink_rate_mbps * 1e6 / 8.0  # bytes per second
         self._uplink_rate = uplink_rate_mbps * 1e6 / 8.0
         self._min_packet_time = min_packet_time
+        # Hot-path constants from the profile's transition table — the
+        # identical floats ``profile.transfer_power_w`` derives, snapshot
+        # once so the kernel's per-packet fold never walks the property
+        # chain (see repro.rrc.tables for the byte-identity contract).
+        table = transition_table(profile)
+        self._send_power_w = table.power_send_w
+        self._recv_power_w = table.power_recv_w
 
     @property
     def profile(self) -> CarrierProfile:
@@ -157,6 +165,31 @@ class DataEnergyModel:
     def burst_gap(self) -> float:
         """Maximum gap for which a packet is charged its inter-arrival time."""
         return self._burst_gap
+
+    @property
+    def uplink_rate(self) -> float:
+        """Uplink serialisation rate in bytes per second."""
+        return self._uplink_rate
+
+    @property
+    def downlink_rate(self) -> float:
+        """Downlink serialisation rate in bytes per second."""
+        return self._downlink_rate
+
+    @property
+    def min_packet_time(self) -> float:
+        """Lower bound on one packet's serialisation time, seconds."""
+        return self._min_packet_time
+
+    @property
+    def send_power_w(self) -> float:
+        """Uplink transfer power (``profile.transfer_power_w(True)``), watts."""
+        return self._send_power_w
+
+    @property
+    def recv_power_w(self) -> float:
+        """Downlink transfer power (``profile.transfer_power_w(False)``), watts."""
+        return self._recv_power_w
 
     def serialization_time(self, size: int, uplink: bool) -> float:
         """Time to put ``size`` bytes on the air at the configured link rate."""
@@ -177,7 +210,9 @@ class DataEnergyModel:
                     duration = gap
                 else:
                     duration = self.serialization_time(packet.size, uplink)
-            energy = duration * self._profile.transfer_power_w(uplink)
+            energy = duration * (
+                self._send_power_w if uplink else self._recv_power_w
+            )
             transfers.append(
                 PacketTransfer(packet.timestamp, duration, energy, uplink)
             )
@@ -212,14 +247,17 @@ def assemble_breakdown(
     streaming accumulation both call it, so their results agree exactly.
     Transfer time is attributed to the Active state (data can only flow
     while the radio is connected), so the Active tail time is the total
-    Active-state time minus the transfer time, clamped at zero.
+    Active-state time minus the transfer time, clamped at zero.  State
+    powers come from the profile's transition table — the identical
+    floats the ``power_*_w`` properties derive (see repro.rrc.tables).
     """
+    table = transition_table(profile)
     active_tail_time = max(0.0, active_time_s - data_time_s)
     return EnergyBreakdown(
         data_j=data_j,
-        active_tail_j=active_tail_time * profile.power_active_w,
-        high_idle_tail_j=high_idle_time_s * profile.power_high_idle_w,
-        idle_j=idle_time_s * profile.power_idle_w,
+        active_tail_j=active_tail_time * table.power_active_w,
+        high_idle_tail_j=high_idle_time_s * table.power_high_idle_w,
+        idle_j=idle_time_s * table.power_idle_w,
         switch_j=switch_j,
         data_time_s=data_time_s,
         active_time_s=active_time_s,

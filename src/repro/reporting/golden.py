@@ -27,6 +27,7 @@ suite.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from typing import Any, Callable
 
@@ -173,6 +174,92 @@ def _scenario_cell_records() -> list[dict[str, Any]]:
     return records
 
 
+_HOT_PATH_DEVICES = 1000
+_HOT_PATH_SCENARIO_DEVICES = 300
+_HOT_PATH_DURATION_S = 120.0
+_HOT_PATH_CHUNK_S = 60.0
+
+
+def _hex(value: float) -> str:
+    """Exact (lossless) float serialisation for digest material."""
+    return float(value).hex()
+
+
+def _hot_path_records() -> list[dict[str, Any]]:
+    """Digest-pinned kernel-scale cells: 1k homogeneous + scenario.
+
+    These are the throughput-benchmark shapes (streamed 1k-device cell,
+    chunked generation) at a scale where full per-device JSON would be
+    megabytes.  Every per-device record is folded into one sha256 digest
+    over a canonical ``float.hex`` serialisation instead — ``float.hex``
+    is lossless, so digest equality is float equality of every per-device
+    value, and the hot-path kernel rewrite is held byte-identical at the
+    scale it is benchmarked at.
+    """
+    from ..api.cells import CellRunSpec, DormancySpec, cell, execute_cell
+    from ..api.spec import PolicySpec
+
+    grid = (
+        (
+            "streamed_1k",
+            cell(devices=_HOT_PATH_DEVICES, apps=("im", "email"),
+                 duration=_HOT_PATH_DURATION_S, streaming=True,
+                 chunk_s=_HOT_PATH_CHUNK_S),
+        ),
+        (
+            "scenario_office_day",
+            cell(devices=_HOT_PATH_SCENARIO_DEVICES, scenario="office_day",
+                 duration=_HOT_PATH_DURATION_S, chunk_s=_HOT_PATH_CHUNK_S),
+        ),
+    )
+    records = []
+    for label, population in grid:
+        spec = CellRunSpec(
+            cell=population,
+            carrier="att_hspa",
+            policy=PolicySpec(scheme="fixed_4.5s").resolved(100),
+            dormancy=DormancySpec(),
+        )
+        result = execute_cell(spec)
+        device_hash = hashlib.sha256()
+        for device in result.devices:
+            device_hash.update(repr((
+                device.device_id,
+                device.policy_name,
+                device.cohort,
+                tuple(sorted(
+                    (key, _hex(value))
+                    for key, value in device.breakdown.as_dict().items()
+                )),
+                device.packets,
+                device.dormancy_requests,
+                device.dormancy_granted,
+                device.dormancy_denied,
+                device.delayed_sessions,
+                _hex(device.total_session_delay_s),
+            )).encode("utf-8"))
+        switch_hash = hashlib.sha256(
+            repr([_hex(t) for t in result.switch_times]).encode("utf-8")
+        )
+        records.append({
+            "cell": label,
+            "carrier": spec.carrier,
+            "scheme": spec.policy.scheme,
+            "dormancy": spec.dormancy.label,
+            "devices": len(result.devices),
+            "total_packets": result.total_packets,
+            "total_switches": result.total_switches,
+            "rrc_messages": result.signaling.messages,
+            "peak_active_devices": result.peak_active_devices,
+            "peak_switches_per_minute": result.peak_switches_per_minute,
+            "duration_s_hex": _hex(result.duration_s),
+            "total_energy_j_hex": _hex(result.total_energy_j),
+            "device_digest": device_hash.hexdigest(),
+            "switch_times_digest": switch_hash.hexdigest(),
+        })
+    return records
+
+
 #: Golden suite name -> payload builder.  Adding a suite here makes it
 #: refreshable by ``tools/refresh_golden.py`` and checked by
 #: ``tests/integration/test_golden.py`` with no further wiring.
@@ -180,6 +267,7 @@ GOLDEN_BUILDERS: dict[str, Callable[[], list[dict[str, Any]]]] = {
     "single_ue": _single_ue_records,
     "small_cell": _small_cell_records,
     "scenario_cell": _scenario_cell_records,
+    "hot_path_1k": _hot_path_records,
 }
 
 

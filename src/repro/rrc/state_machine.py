@@ -29,6 +29,7 @@ from typing import Sequence
 
 from .profiles import CarrierProfile
 from .states import RadioState
+from .tables import transition_table
 
 __all__ = [
     "StateInterval",
@@ -103,11 +104,41 @@ class RrcStateMachine:
 
     Finally :meth:`finish` closes the timeline at the end of the trace.
     Times must be non-decreasing across calls.
+
+    Timer thresholds and switch costs are read from the profile's
+    precomputed :class:`~repro.rrc.tables.TransitionTable` (bound to plain
+    attributes at construction), so no per-event call re-derives a
+    constant — the table values are float-identical to the profile
+    properties they replace.
+
+    History modes
+    -------------
+
+    By default the machine records a full :class:`StateInterval` /
+    :class:`SwitchEvent` history (what single-UE results are built from).
+    With ``fold_history=True`` it instead *folds* each completed interval
+    and switch into flat per-state totals at the moment the transition
+    happens — the same ``end - start`` durations and ``energy_j`` values,
+    added in the same order, so the folded totals are bit-equal to
+    summing the recorded history afterwards (which is exactly what the
+    streaming cell kernel used to do via :meth:`drain_history`), while
+    allocating no history objects at all.  Read the totals back with
+    :meth:`folded_state_totals`.
     """
 
     def __init__(self, profile: CarrierProfile, start_time: float = 0.0,
-                 initial_state: RadioState = RadioState.IDLE) -> None:
+                 initial_state: RadioState = RadioState.IDLE,
+                 fold_history: bool = False) -> None:
         self._profile = profile
+        table = transition_table(profile)
+        self._t1 = table.t1
+        self._t2 = table.t2
+        self._total_timeout = table.total_timeout
+        self._has_high_idle = table.has_high_idle
+        self._promotion_energy_j = table.promotion_energy_j
+        self._promotion_delay_s = table.promotion_delay_s
+        self._demotion_energy_j = table.demotion_energy_j
+        self._demotion_delay_s = table.demotion_delay_s
         self._state = initial_state
         self._segment_start = start_time
         self._last_activity = start_time
@@ -115,6 +146,16 @@ class RrcStateMachine:
         self._intervals: list[StateInterval] = []
         self._switches: list[SwitchEvent] = []
         self._finished = False
+        self._fold = fold_history
+        # Folded totals (fold_history mode): per-state completed-interval
+        # durations, switch energy, and switch counts by kind.
+        self._fold_active_s = 0.0
+        self._fold_high_idle_s = 0.0
+        self._fold_idle_s = 0.0
+        self._fold_switch_j = 0.0
+        self._fold_promotions = 0
+        self._fold_timer_demotions = 0
+        self._fold_fast_demotions = 0
 
     # -- public read-only views -----------------------------------------------------
 
@@ -146,22 +187,63 @@ class RrcStateMachine:
     @property
     def promotion_count(self) -> int:
         """Number of Idle→Active promotions so far."""
+        if self._fold:
+            return self._fold_promotions
         return sum(1 for s in self._switches if s.is_promotion)
 
     @property
     def demotion_count(self) -> int:
         """Number of demotions (timer or fast dormancy) so far."""
+        if self._fold:
+            return self._fold_timer_demotions + self._fold_fast_demotions
         return sum(1 for s in self._switches if s.is_demotion)
+
+    @property
+    def timer_demotion_count(self) -> int:
+        """Number of inactivity-timer demotions so far (either history mode)."""
+        if self._fold:
+            return self._fold_timer_demotions
+        return sum(
+            1 for s in self._switches if s.kind is SwitchKind.TIMER_DEMOTION
+        )
+
+    @property
+    def fast_demotion_count(self) -> int:
+        """Number of fast-dormancy demotions so far (either history mode)."""
+        if self._fold:
+            return self._fold_fast_demotions
+        return sum(
+            1 for s in self._switches if s.kind is SwitchKind.FAST_DORMANCY
+        )
 
     @property
     def switch_count(self) -> int:
         """Total number of state switches so far."""
+        if self._fold:
+            return (self._fold_promotions + self._fold_timer_demotions
+                    + self._fold_fast_demotions)
         return len(self._switches)
 
     @property
     def idle_since_last_activity(self) -> float:
         """Seconds elapsed since the last data activity."""
         return self._now - self._last_activity
+
+    @property
+    def finished(self) -> bool:
+        """Whether the timeline is closed (or the machine was sealed)."""
+        return self._finished
+
+    def seal(self) -> None:
+        """Refuse all further events without closing the timeline.
+
+        Unlike :meth:`finish` this records and folds nothing — the
+        machine is frozen exactly as it stands.  The kernel seals every
+        machine of an aborted run so a partially-advanced timeline can
+        neither be extended nor finished into something that looks
+        complete.
+        """
+        self._finished = True
 
     @property
     def segment_start(self) -> float:
@@ -192,22 +274,22 @@ class RrcStateMachine:
         Does not mutate the machine; useful for policies peeking ahead.
         """
         self._check_time(time)
-        if self._state not in (RadioState.ACTIVE, RadioState.HIGH_IDLE):
-            return self._state
-        idle_for = time - self._last_activity
         if self._state is RadioState.ACTIVE:
-            if self._profile.has_high_idle_state:
-                if idle_for >= self._profile.t1 + self._profile.t2:
+            idle_for = time - self._last_activity
+            if self._has_high_idle:
+                if idle_for >= self._total_timeout:
                     return RadioState.IDLE
-                if idle_for >= self._profile.t1:
+                if idle_for >= self._t1:
                     return RadioState.HIGH_IDLE
                 return RadioState.ACTIVE
-            return RadioState.IDLE if idle_for >= self._profile.t1 else RadioState.ACTIVE
-        # HIGH_IDLE: demote after the remaining t2 counted from entering FACH,
-        # which the timeline records as segment_start.
-        if time - self._segment_start >= self._profile.t2:
-            return RadioState.IDLE
-        return RadioState.HIGH_IDLE
+            return RadioState.IDLE if idle_for >= self._t1 else RadioState.ACTIVE
+        if self._state is RadioState.HIGH_IDLE:
+            # Demote after the remaining t2 counted from entering FACH,
+            # which the timeline records as segment_start.
+            if time - self._segment_start >= self._t2:
+                return RadioState.IDLE
+            return RadioState.HIGH_IDLE
+        return self._state
 
     def advance_to(self, time: float) -> None:
         """Apply all timer-based demotions up to ``time`` (no new activity)."""
@@ -231,6 +313,20 @@ class RrcStateMachine:
             for real packets; policies may inject synthetic "keep-alive"
             activity that should not).
         """
+        # Fast path: an Active radio whose t1 timer has not expired sees
+        # no demotion and no promotion — only the clock and the activity
+        # mark move.  The guard implies the ordering check (time >= now)
+        # and exactly the no-op case of _apply_timers, so behaviour is
+        # identical to the general path below.
+        if (
+            self._state is RadioState.ACTIVE
+            and not self._finished
+            and self._now <= time < self._last_activity + self._t1
+        ):
+            self._now = time
+            if reset_timer:
+                self._last_activity = time
+            return False
         self._check_time(time)
         self._apply_timers(time)
         promoted = False
@@ -240,8 +336,8 @@ class RrcStateMachine:
                 SwitchKind.PROMOTION,
                 RadioState.IDLE,
                 RadioState.ACTIVE,
-                self._profile.promotion_energy_j,
-                self._profile.promotion_delay_s,
+                self._promotion_energy_j,
+                self._promotion_delay_s,
             )
             self._transition(time, RadioState.ACTIVE)
             promoted = True
@@ -271,8 +367,8 @@ class RrcStateMachine:
             SwitchKind.FAST_DORMANCY,
             self._state,
             RadioState.IDLE,
-            self._profile.demotion_energy_j,
-            self._profile.demotion_delay_s,
+            self._demotion_energy_j,
+            self._demotion_delay_s,
         )
         self._transition(time, RadioState.IDLE)
         return True
@@ -282,26 +378,61 @@ class RrcStateMachine:
     ) -> tuple[tuple[StateInterval, ...], tuple[SwitchEvent, ...]]:
         """Return and clear the completed intervals and switches recorded so far.
 
-        Streaming consumers (the cell-scale simulation kernel) fold the
-        history into running totals after every event so the machine's
-        memory stays O(1) regardless of trace length.  Do not mix with the
-        :attr:`intervals` / :attr:`switches` accessors for final results:
-        drained history is gone.
+        Superseded on the kernel hot path by ``fold_history=True`` (the
+        machine folds at transition time instead of materialising history
+        to drain); kept for consumers that want periodic history batches.
+        Do not mix with the :attr:`intervals` / :attr:`switches` accessors
+        for final results: drained history is gone.
         """
+        if self._fold:
+            raise RuntimeError(
+                "drain_history() is meaningless in fold_history mode: "
+                "history is folded at transition time, read it back with "
+                "folded_state_totals()"
+            )
         intervals = tuple(self._intervals)
         switches = tuple(self._switches)
         self._intervals.clear()
         self._switches.clear()
         return intervals, switches
 
+    def folded_state_totals(self) -> tuple[float, float, float, float,
+                                           int, int, int]:
+        """The folded history totals (``fold_history=True`` machines).
+
+        Returns ``(active_time_s, high_idle_time_s, idle_time_s,
+        switch_j, promotions, timer_demotions, fast_demotions)`` — the
+        exact running sums that draining the recorded history and folding
+        it interval by interval (the pre-overhaul streaming path) would
+        have produced: same values, same addition order, bit-equal
+        floats.
+        """
+        if not self._fold:
+            raise RuntimeError(
+                "folded_state_totals() requires fold_history=True; "
+                "history-recording machines expose intervals/switches"
+            )
+        return (
+            self._fold_active_s,
+            self._fold_high_idle_s,
+            self._fold_idle_s,
+            self._fold_switch_j,
+            self._fold_promotions,
+            self._fold_timer_demotions,
+            self._fold_fast_demotions,
+        )
+
     def finish(self, end_time: float) -> None:
         """Close the timeline at ``end_time`` (applying any pending timers)."""
         self._check_time(end_time)
         self._apply_timers(end_time)
         if end_time > self._segment_start:
-            self._intervals.append(
-                StateInterval(self._segment_start, end_time, self._state)
-            )
+            if self._fold:
+                self._fold_segment(end_time)
+            else:
+                self._intervals.append(
+                    StateInterval(self._segment_start, end_time, self._state)
+                )
             self._segment_start = end_time
         self._now = end_time
         self._finished = True
@@ -316,11 +447,33 @@ class RrcStateMachine:
                 f"events must be non-decreasing in time: {time} < {self._now}"
             )
 
+    def _fold_segment(self, end: float) -> None:
+        """Fold the completed interval ``[segment_start, end)`` into the totals.
+
+        The duration expression (``end - start``) and the state buckets
+        match :class:`StateInterval.duration` and the downstream
+        per-state fold exactly, so folding here is bit-equal to recording
+        the interval and summing it later.  The machine itself only ever
+        occupies Active / High-idle / Idle (``PROMOTING`` is a
+        power-model state, not a machine state).
+        """
+        duration = end - self._segment_start
+        state = self._state
+        if state is RadioState.ACTIVE or state is RadioState.PROMOTING:
+            self._fold_active_s += duration
+        elif state is RadioState.HIGH_IDLE:
+            self._fold_high_idle_s += duration
+        elif state is RadioState.IDLE:
+            self._fold_idle_s += duration
+
     def _transition(self, time: float, new_state: RadioState) -> None:
         if time > self._segment_start:
-            self._intervals.append(
-                StateInterval(self._segment_start, time, self._state)
-            )
+            if self._fold:
+                self._fold_segment(time)
+            else:
+                self._intervals.append(
+                    StateInterval(self._segment_start, time, self._state)
+                )
         self._state = new_state
         self._segment_start = time
 
@@ -333,23 +486,31 @@ class RrcStateMachine:
         energy: float,
         delay: float,
     ) -> None:
+        if self._fold:
+            self._fold_switch_j += energy
+            if kind is SwitchKind.PROMOTION:
+                self._fold_promotions += 1
+            elif kind is SwitchKind.TIMER_DEMOTION:
+                self._fold_timer_demotions += 1
+            else:
+                self._fold_fast_demotions += 1
+            return
         self._switches.append(
             SwitchEvent(time, kind, from_state, to_state, energy, delay)
         )
 
     def _apply_timers(self, time: float) -> None:
         """Insert timer-based demotions that occur strictly before ``time``."""
-        profile = self._profile
         if self._state is RadioState.ACTIVE:
-            demote_at = self._last_activity + profile.t1
+            demote_at = self._last_activity + self._t1
             if time >= demote_at:
-                if profile.has_high_idle_state:
+                if self._has_high_idle:
                     self._record_switch(
                         demote_at, SwitchKind.TIMER_DEMOTION,
                         RadioState.ACTIVE, RadioState.HIGH_IDLE, 0.0, 0.0,
                     )
                     self._transition(demote_at, RadioState.HIGH_IDLE)
-                    idle_at = demote_at + profile.t2
+                    idle_at = demote_at + self._t2
                     if time >= idle_at:
                         self._record_switch(
                             idle_at, SwitchKind.TIMER_DEMOTION,
@@ -363,7 +524,7 @@ class RrcStateMachine:
                     )
                     self._transition(demote_at, RadioState.IDLE)
         elif self._state is RadioState.HIGH_IDLE:
-            idle_at = self._segment_start + profile.t2
+            idle_at = self._segment_start + self._t2
             if time >= idle_at:
                 self._record_switch(
                     idle_at, SwitchKind.TIMER_DEMOTION,

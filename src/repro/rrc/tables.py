@@ -1,0 +1,97 @@
+"""Precomputed RRC transition/energy tables for the kernel hot path.
+
+Every per-event decision the simulation kernel makes — "has the
+inactivity timer expired?", "what does this promotion cost?", "what power
+does a transfer draw?" — is a pure function of the
+:class:`~repro.rrc.profiles.CarrierProfile` (and, one level up, of the
+``(profile, policy)`` pair the engine binds per run).  Before the hot-path
+overhaul those values were re-derived on every event through property
+chains (``profile.power_send_mw / 1000.0`` per packet, ``profile.t1 +
+profile.t2`` per timer check).  A :class:`TransitionTable` snapshots them
+once per profile into plain float attributes the state machine and the
+energy fold read directly.
+
+Byte-identity contract
+----------------------
+
+Each table field is computed by *the same float expression* the
+corresponding profile property uses (see the field comments), so a value
+read from the table is the identical IEEE-754 double the per-event
+derivation produced — precomputation changes where the arithmetic
+happens, never its result.  The golden-record suites
+(``tests/golden/*.json``, byte-exact) and the equivalence property tests
+hold this to account.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from .profiles import CarrierProfile
+
+__all__ = ["TransitionTable", "transition_table"]
+
+
+@dataclass(frozen=True)
+class TransitionTable:
+    """Flat per-profile constants for the per-event hot path."""
+
+    #: Inactivity timers (``profile.t1`` / ``profile.t2``), seconds.
+    t1: float
+    t2: float
+    #: ``t1 + t2`` — :attr:`CarrierProfile.total_inactivity_timeout`.
+    total_timeout: float
+    #: :attr:`CarrierProfile.has_high_idle_state`.
+    has_high_idle: bool
+    #: Idle time after which an untouched radio reaches Idle: the
+    #: inactivity-timer-expiry horizon the kernel schedules in cell mode
+    #: (``total_timeout`` with a FACH-like state, else ``t1``).
+    idle_after: float
+    #: Promotion cost (``promotion_energy_j`` / ``promotion_delay_s``).
+    promotion_energy_j: float
+    promotion_delay_s: float
+    #: Fast-dormancy cost (``demotion_energy_j`` = ``radio_off_energy_j *
+    #: dormancy_fraction``, same product the profile property computes).
+    demotion_energy_j: float
+    demotion_delay_s: float
+    #: State tail powers in watts (``power_*_mw / 1000.0``, the identical
+    #: division the ``power_*_w`` properties perform).
+    power_active_w: float
+    power_high_idle_w: float
+    power_idle_w: float
+    #: Transfer powers in watts (``transfer_power_w(uplink)`` precomputed
+    #: for both directions).
+    power_send_w: float
+    power_recv_w: float
+
+
+@lru_cache(maxsize=512)
+def transition_table(profile: CarrierProfile) -> TransitionTable:
+    """The precomputed hot-path table of ``profile`` (cached per profile).
+
+    Profiles are frozen dataclasses, so derived profiles
+    (``with_timers``, ``with_dormancy_fraction``) get their own entries;
+    the cache is bounded so parameter sweeps over many derived profiles
+    cannot grow it without limit.
+    """
+    return TransitionTable(
+        t1=profile.t1,
+        t2=profile.t2,
+        total_timeout=profile.total_inactivity_timeout,
+        has_high_idle=profile.has_high_idle_state,
+        idle_after=(
+            profile.total_inactivity_timeout
+            if profile.has_high_idle_state
+            else profile.t1
+        ),
+        promotion_energy_j=profile.promotion_energy_j,
+        promotion_delay_s=profile.promotion_delay_s,
+        demotion_energy_j=profile.demotion_energy_j,
+        demotion_delay_s=profile.demotion_delay_s,
+        power_active_w=profile.power_active_w,
+        power_high_idle_w=profile.power_high_idle_w,
+        power_idle_w=profile.power_idle_w,
+        power_send_w=profile.transfer_power_w(True),
+        power_recv_w=profile.transfer_power_w(False),
+    )

@@ -7,6 +7,7 @@ from .engine import (
     KernelResult,
     LoadSample,
     SimulationEngine,
+    StreamOrderError,
     UeContext,
 )
 from .power_trace import PowerSample, PowerTrace, build_power_trace
@@ -25,6 +26,7 @@ __all__ = [
     "SessionDelay",
     "SimulationEngine",
     "SimulationResult",
+    "StreamOrderError",
     "TraceSimulator",
     "UeContext",
     "build_power_trace",

@@ -29,15 +29,20 @@ Running one UE through the kernel is byte-identical to the pre-kernel
 Streaming
 ---------
 
-The kernel consumes packet *iterators*, not materialised traces: at any
-moment it holds one pending packet per UE (plus whatever the source
-generator buffers), so a cell simulation's memory is bounded by the number
-of attached UEs rather than the total packet count.  In streaming mode
-(``collect_effective=False``) each context also folds its energy accounting
-incrementally — per-packet data energy as packets are emitted, state/switch
-totals by periodically draining the state machine's history — so 10k+-device
-cells run in bounded memory (see :mod:`repro.traces.streaming` for lazy
-workload generators).
+The kernel consumes packet *streams*, not materialised traces: at any
+moment it holds one pending packet per UE plus at most one chunk-local
+block per source, so a cell simulation's memory is bounded by the number
+of attached UEs rather than the total packet count.  Sources implementing
+the block protocol (``packet_blocks()`` — chunked application streams, or
+a :class:`~repro.traces.packet.PacketTrace` as one block) are walked as
+arrays by plain indexing; anything else falls back to one ``next()`` per
+packet.  In streaming mode (``collect=False``) each context folds its
+energy accounting incrementally — per-packet data energy as packets are
+emitted, state/switch totals folded *inside the state machine at
+transition time* (``fold_history``; bit-equal to draining recorded
+history, with no history objects) — so 10k+-device cells run in bounded
+memory (see :mod:`repro.traces.streaming` for lazy workload generators,
+and ``docs/DESIGN.md`` §2.2 for the hot-path contract).
 
 Cell mode
 ---------
@@ -67,7 +72,6 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, replace
 from enum import IntEnum
-from itertools import count
 from typing import Iterable, Iterator, Mapping, Sequence
 
 from ..core.policy import RadioPolicy
@@ -78,9 +82,10 @@ from ..energy.accounting import (
     assemble_breakdown,
 )
 from ..rrc.profiles import CarrierProfile
-from ..rrc.state_machine import RrcStateMachine, SwitchKind
+from ..rrc.state_machine import RrcStateMachine
 from ..rrc.states import RadioState
-from ..traces.packet import Packet, PacketTrace
+from ..rrc.tables import transition_table
+from ..traces.packet import Direction, Packet, PacketTrace
 from .results import SessionDelay, SimulationResult
 
 __all__ = [
@@ -90,9 +95,22 @@ __all__ = [
     "KernelResult",
     "LoadSample",
     "SimulationEngine",
+    "StreamOrderError",
     "UeContext",
     "resolve_end_time",
 ]
+
+
+class StreamOrderError(ValueError):
+    """A packet stream yielded a timestamp earlier than one already consumed.
+
+    Raised by the kernel the moment the violation is observed.  The run
+    aborts *atomically*: every attached :class:`UeContext` is marked
+    aborted before the error propagates — its folded totals, switch-count
+    accessors and breakdown raise, and its machine refuses further
+    advancement — no :class:`KernelResult` is produced, and therefore no
+    partial timeline can leak into a shard merge.
+    """
 
 
 #: Streaming mode keeps at most this many SessionDelay records per UE (a
@@ -121,6 +139,56 @@ class EventKind(IntEnum):
     TIMER = 2          # inactivity-timer expiry (cell-load tracking)
     ARRIVAL = 3        # packet arrival
     SAMPLE = 4         # periodic cell-load sample
+
+
+#: The event kinds as plain ints — what the hot loop pushes and compares
+#: (an IntEnum ``int()`` call per event is pure overhead).
+_RELEASE = int(EventKind.RELEASE)
+_DORMANCY = int(EventKind.DORMANCY)
+_TIMER = int(EventKind.TIMER)
+_ARRIVAL = int(EventKind.ARRIVAL)
+_SAMPLE = int(EventKind.SAMPLE)
+
+
+class _ArrivalSource:
+    """Per-UE packet supply: a block-walking cursor over one stream.
+
+    Sources implementing the block protocol (``packet_blocks()`` — chunked
+    application streams, materialised :class:`PacketTrace`\\ s) are walked
+    as chunk-local arrays by plain list indexing; anything else falls back
+    to one ``next()`` per packet.  Either way the kernel sees the same
+    packets in the same order, and at most one block (plus whatever the
+    source buffers) is held in memory per UE.
+    """
+
+    __slots__ = ("blocks", "it", "buf", "idx", "n")
+
+    def __init__(self, stream: "Iterator[Packet] | Iterable[Packet]") -> None:
+        blocks = getattr(stream, "packet_blocks", None)
+        if blocks is not None:
+            self.blocks: Iterator[Sequence[Packet]] | None = blocks()
+            self.it: Iterator[Packet] | None = None
+        else:
+            self.blocks = None
+            self.it = iter(stream)
+        self.buf: Sequence[Packet] = ()
+        self.idx = 0
+        self.n = 0
+
+    def refill(self) -> Packet | None:
+        """Fetch the next packet once the current block is exhausted."""
+        blocks = self.blocks
+        if blocks is None:
+            return next(self.it, None)
+        while True:
+            block = next(blocks, None)
+            if block is None:
+                return None
+            if block:
+                self.buf = block
+                self.idx = 1
+                self.n = len(block)
+                return block[0]
 
 
 @dataclass(frozen=True)
@@ -242,6 +310,11 @@ class DormancyStation:
     simplified assumption.
     """
 
+    #: Declare ``True`` only when :meth:`decide` grants unconditionally and
+    #: keeps no per-request state: the kernel then skips the per-request
+    #: call entirely (the grant/deny counters are unchanged either way).
+    always_grants: bool = False
+
     def decide(self, ue_id: int, time: float, load: CellLoad) -> bool:
         """Grant (``True``) or deny (``False``) one fast-dormancy request."""
         return True
@@ -272,8 +345,12 @@ class UeContext:
         "buffered_flows",
         "dormancy_seq",
         "release_seq",
-        "timer_seq",
+        "timer_target",
+        "timer_pending",
         "collect",
+        "aborted",
+        "observes_packets",
+        "delays_activation",
         "effective_packets",
         "session_delays",
         "delayed_sessions",
@@ -288,13 +365,6 @@ class UeContext:
         "_prev_transfer_ts",
         "_data_j",
         "_data_time_s",
-        "_active_time_s",
-        "_high_idle_time_s",
-        "_idle_time_s",
-        "_switch_j",
-        "_promotions",
-        "_timer_demotions",
-        "_fast_demotions",
     )
 
     def __init__(
@@ -305,7 +375,12 @@ class UeContext:
         collect: bool,
     ) -> None:
         self.ue_id = ue_id
-        self.machine = RrcStateMachine(profile, start_time=0.0)
+        # Streaming contexts fold state-time/switch totals inside the
+        # machine at transition time (bit-equal to draining the recorded
+        # history, with no history objects); collect mode records the full
+        # interval/switch timeline for single-UE results.
+        self.machine = RrcStateMachine(profile, start_time=0.0,
+                                       fold_history=not collect)
         self.policy = policy
         self.last_flow_activity: dict[int, float] = {}
         self.buffering = False
@@ -315,8 +390,27 @@ class UeContext:
         self.buffered_flows: set[int] = set()
         self.dormancy_seq = 0
         self.release_seq = 0
-        self.timer_seq = 0
+        # Inactivity-timer-expiry scheduling (cell mode): the current true
+        # deadline (last activity + full demotion horizon) and whether one
+        # TIMER event for this UE is in the heap.  Activity only *moves*
+        # the deadline; the queued event defers itself forward when it
+        # pops early, so dense traffic keeps one queued timer per UE
+        # instead of one per packet.
+        self.timer_target = 0.0
+        self.timer_pending = False
         self.collect = collect
+        self.aborted = False
+        # Which optional policy hooks are actually overridden: calling a
+        # known no-op base hook per packet is pure overhead, and a policy
+        # that never delays activation lets streaming contexts skip the
+        # Idle-state peek on every arrival.
+        policy_type = type(policy)
+        self.observes_packets = (
+            policy_type.observe_packet is not RadioPolicy.observe_packet
+        )
+        self.delays_activation = (
+            policy_type.activation_delay is not RadioPolicy.activation_delay
+        )
         self.effective_packets: list[Packet] = []
         self.session_delays: list[SessionDelay] = []
         self.delayed_sessions = 0
@@ -328,17 +422,10 @@ class UeContext:
         self.dormancy_requests = 0
         self.dormancy_granted = 0
         self.dormancy_denied = 0
-        # Streaming-mode incremental accounting.
+        # Streaming-mode incremental data-energy accounting.
         self._prev_transfer_ts: float | None = None
         self._data_j = 0.0
         self._data_time_s = 0.0
-        self._active_time_s = 0.0
-        self._high_idle_time_s = 0.0
-        self._idle_time_s = 0.0
-        self._switch_j = 0.0
-        self._promotions = 0
-        self._timer_demotions = 0
-        self._fast_demotions = 0
 
     # -- streaming accounting ----------------------------------------------------------
 
@@ -348,7 +435,10 @@ class UeContext:
 
         Mirrors :meth:`~repro.energy.accounting.DataEnergyModel.packet_transfers`
         packet by packet so the folded totals are float-identical to the
-        batch computation over the same effective sequence.
+        batch computation over the same effective sequence.  (The kernel
+        inlines this arithmetic over the model's precomputed constants;
+        this method is the readable reference and the one-off entry
+        point.)
         """
         uplink = packet.direction.is_uplink
         if self._prev_transfer_ts is None:
@@ -359,82 +449,89 @@ class UeContext:
                 duration = gap
             else:
                 duration = model.serialization_time(packet.size, uplink)
-        self._data_j += duration * model.profile.transfer_power_w(uplink)
+        self._data_j += duration * (
+            model.send_power_w if uplink else model.recv_power_w
+        )
         self._data_time_s += duration
         self._prev_transfer_ts = time
 
-    def drain_account(self) -> None:
-        """Fold the machine's completed history into the running totals.
+    def mark_aborted(self) -> None:
+        """Poison this context after a failed kernel run.
 
-        Called after every kernel event in streaming mode, so the machine's
-        interval/switch lists never grow beyond a handful of entries and the
-        context's memory stays O(1) regardless of trace length.
+        Reading folded totals from — or further advancing — a context
+        whose run died mid-stream would expose a partial timeline; after
+        this call the accessors raise and the machine refuses further
+        events (it is closed at its current instant, so ``finish``/
+        ``advance_to`` on it raise too).
         """
-        intervals, switches = self.machine.drain_history()
-        for interval in intervals:
-            duration = interval.duration
-            state = interval.state
-            if state in (RadioState.ACTIVE, RadioState.PROMOTING):
-                self._active_time_s += duration
-            elif state is RadioState.HIGH_IDLE:
-                self._high_idle_time_s += duration
-            elif state is RadioState.IDLE:
-                self._idle_time_s += duration
-        for switch in switches:
-            self._switch_j += switch.energy_j
-            if switch.kind is SwitchKind.PROMOTION:
-                self._promotions += 1
-            elif switch.kind is SwitchKind.TIMER_DEMOTION:
-                self._timer_demotions += 1
-            else:
-                self._fast_demotions += 1
+        self.aborted = True
+        machine = self.machine
+        if not machine.finished:
+            machine.seal()
+
+    def _check_not_aborted(self) -> None:
+        if self.aborted:
+            raise RuntimeError(
+                f"UE {self.ue_id}: kernel run aborted mid-stream; partial "
+                "timelines are not observable (re-run with a valid stream)"
+            )
 
     def folded_totals(self) -> tuple[float, float, float, float, float, float]:
         """The incremental energy totals folded so far (streaming mode).
 
         Returns ``(data_j, data_time_s, active_time_s, high_idle_time_s,
-        idle_time_s, switch_j)`` — the exact running sums
-        :meth:`build_breakdown` would assemble.  Shard execution exports
-        these before the timeline is closed, so the cross-shard merge can
-        fold the final open interval with the same float operations the
-        single-process finish would have used.
+        idle_time_s, switch_j)`` — the exact running sums the breakdown
+        assembles.  Shard execution exports these before the timeline is
+        closed, so the cross-shard merge can fold the final open interval
+        with the same float operations the single-process finish would
+        have used.
         """
+        self._check_not_aborted()
+        (active_s, high_idle_s, idle_s, switch_j,
+         _, _, _) = self.machine.folded_state_totals()
         return (
             self._data_j,
             self._data_time_s,
-            self._active_time_s,
-            self._high_idle_time_s,
-            self._idle_time_s,
-            self._switch_j,
+            active_s,
+            high_idle_s,
+            idle_s,
+            switch_j,
         )
 
     @property
     def promotions(self) -> int:
-        """Promotions folded so far (streaming mode)."""
-        return self._promotions
+        """Promotions so far (works in either history mode)."""
+        self._check_not_aborted()
+        return self.machine.promotion_count
 
     @property
     def timer_demotions(self) -> int:
-        """Timer demotions folded so far (streaming mode)."""
-        return self._timer_demotions
+        """Timer demotions so far (works in either history mode)."""
+        self._check_not_aborted()
+        return self.machine.timer_demotion_count
 
     @property
     def fast_demotions(self) -> int:
-        """Fast-dormancy demotions folded so far (streaming mode)."""
-        return self._fast_demotions
+        """Fast-dormancy demotions so far (works in either history mode)."""
+        self._check_not_aborted()
+        return self.machine.fast_demotion_count
 
     def build_breakdown(self, profile: CarrierProfile) -> EnergyBreakdown:
         """Assemble the folded totals into an :class:`EnergyBreakdown`."""
+        self._check_not_aborted()
+        (active_s, high_idle_s, idle_s, switch_j,
+         promotions, timer_demotions,
+         fast_demotions) = self.machine.folded_state_totals()
         return assemble_breakdown(
             profile,
             data_j=self._data_j,
             data_time_s=self._data_time_s,
-            active_time_s=self._active_time_s,
-            high_idle_time_s=self._high_idle_time_s,
-            idle_time_s=self._idle_time_s,
-            switch_j=self._switch_j,
-            promotions=self._promotions,
-            demotions=self._timer_demotions + self._fast_demotions,
+            active_time_s=active_s,
+            high_idle_time_s=high_idle_s,
+            idle_time_s=idle_s,
+            switch_j=switch_j,
+            promotions=promotions,
+            demotions=timer_demotions + fast_demotions,
         )
 
 
@@ -561,7 +658,7 @@ class SimulationEngine:
             )
 
         ue = UeContext(0, self._profile, policy, collect=True)
-        outcome = self.run({0: iter(trace)}, {0: ue})
+        outcome = self.run({0: trace}, {0: ue})
         machine = ue.machine
         effective_trace = PacketTrace(ue.effective_packets, name=trace.name)
         breakdown = self._accountant.account(
@@ -629,35 +726,58 @@ class SimulationEngine:
         cell_mode = station is not None
         # Time for an untouched radio to demote all the way to Idle — when
         # an inactivity-timer-expiry event is scheduled after each activity.
-        idle_after = (
-            profile.total_inactivity_timeout
-            if profile.has_high_idle_state
-            else profile.t1
+        idle_after = transition_table(profile).idle_after
+        # Station fast path: an unconditionally-granting, stateless station
+        # (the paper's accept-all assumption) needs no load snapshot per
+        # request.
+        station_always_grants = cell_mode and getattr(
+            station, "always_grants", False
         )
+        # Flat per-packet energy constants (see repro.rrc.tables for the
+        # byte-identity contract of precomputed model constants).
+        burst_gap = data_model.burst_gap
+        min_packet_time = data_model.min_packet_time
+        uplink_rate = data_model.uplink_rate
+        downlink_rate = data_model.downlink_rate
+        send_power_w = data_model.send_power_w
+        recv_power_w = data_model.recv_power_w
+        uplink_direction = Direction.UPLINK
 
         heap: list[tuple[float, int, int, int, object]] = []
-        serial = count()
-        iterators: dict[int, Iterator[Packet]] = {}
+        heappush = heapq.heappush
+        serial = 0
+        sources: dict[int, _ArrivalSource] = {}
         real_events = 0  # non-SAMPLE events still queued
         samples: list[LoadSample] = []
 
-        def push(time: float, kind: EventKind, ue_id: int, payload: object) -> None:
-            nonlocal real_events
-            if kind is not EventKind.SAMPLE:
+        def push(time: float, kind: int, ue_id: int, payload: object) -> None:
+            nonlocal serial, real_events
+            serial += 1
+            if kind != _SAMPLE:
                 real_events += 1
-            heapq.heappush(heap, (time, int(kind), ue_id, next(serial), payload))
+            heappush(heap, (time, kind, ue_id, serial, payload))
 
         def pull_arrival(ue_id: int, after: float) -> None:
             """Queue the next packet of one UE's stream, validating order."""
-            packet = next(iterators[ue_id], None)
-            if packet is None:
-                return
-            if packet.timestamp < after:
-                raise ValueError(
+            src = sources[ue_id]
+            idx = src.idx
+            if idx < src.n:
+                packet = src.buf[idx]
+                src.idx = idx + 1
+            else:
+                packet = src.refill()
+                if packet is None:
+                    return
+            timestamp = packet.timestamp
+            if timestamp < after:
+                raise StreamOrderError(
                     f"packet stream for UE {ue_id} is not time-ordered: "
-                    f"{packet.timestamp} after {after}"
+                    f"{timestamp} after {after}"
                 )
-            push(packet.timestamp, EventKind.ARRIVAL, ue_id, packet)
+            nonlocal serial, real_events
+            serial += 1
+            real_events += 1
+            heappush(heap, (timestamp, _ARRIVAL, ue_id, serial, packet))
 
         def sync_load(ue: UeContext) -> None:
             """Reconcile the cell's active-device count with ``ue``'s state."""
@@ -677,23 +797,62 @@ class SimulationEngine:
             if ue.collect:
                 ue.effective_packets.append(effective)
             else:
-                ue.account_transfer(data_model, effective, time)
+                # Inline of UeContext.account_transfer over the model's
+                # precomputed constants: same comparisons, same float
+                # operations, same accumulation order.
+                uplink = effective.direction is uplink_direction
+                prev = ue._prev_transfer_ts
+                if prev is None:
+                    rate = uplink_rate if uplink else downlink_rate
+                    duration = effective.size / rate
+                    if duration < min_packet_time:
+                        duration = min_packet_time
+                else:
+                    gap = time - prev
+                    if gap <= burst_gap:
+                        duration = gap
+                    else:
+                        rate = uplink_rate if uplink else downlink_rate
+                        duration = effective.size / rate
+                        if duration < min_packet_time:
+                            duration = min_packet_time
+                ue._data_j += duration * (
+                    send_power_w if uplink else recv_power_w
+                )
+                ue._data_time_s += duration
+                ue._prev_transfer_ts = time
             ue.packet_count += 1
             ue.last_effective = time
-            ue.policy.observe_packet(time, effective)
+            if ue.observes_packets:
+                ue.policy.observe_packet(time, effective)
             if cell_mode:
                 if promoted:
                     load.note_switch(time)
-                sync_load(ue)
-                ue.timer_seq += 1
-                push(time + idle_after, EventKind.TIMER, ue.ue_id, ue.timer_seq)
+                # Inline of sync_load: after an emit the machine is Active.
+                if not ue.was_active:
+                    load.activate()
+                    ue.was_active = True
+                # Move the expiry deadline; queue an event only when none
+                # is in flight (it defers itself forward on early pops).
+                ue.timer_target = time + idle_after
+                if not ue.timer_pending:
+                    ue.timer_pending = True
+                    nonlocal serial, real_events
+                    serial += 1
+                    real_events += 1
+                    heappush(heap, (ue.timer_target, _TIMER, ue.ue_id,
+                                    serial, 0))
 
         def ask_dormancy(ue: UeContext, time: float) -> None:
             """Ask the policy for a demotion wait after activity at ``time``."""
             wait = ue.policy.dormancy_wait(time)
             ue.dormancy_seq += 1
             if wait is not None:
-                push(time + wait, EventKind.DORMANCY, ue.ue_id, ue.dormancy_seq)
+                nonlocal serial, real_events
+                serial += 1
+                real_events += 1
+                heappush(heap, (time + wait, _DORMANCY, ue.ue_id, serial,
+                                ue.dormancy_seq))
 
         def release_buffer(ue: UeContext, time: float) -> None:
             """Promote once and emit every buffered packet at ``time``."""
@@ -756,8 +915,16 @@ class SimulationEngine:
                 # delayed: release right away and let it go through normally.
                 ue.release_seq += 1  # invalidate the scheduled release event
                 release_buffer(ue, now)
+            elif not (ue.delays_activation or ue.collect):
+                # The policy never delays a promotion (base-class
+                # activation_delay) and nothing records zero-delay session
+                # starts: the Idle-state peek below would be a no-op.
+                pass
             elif ue.machine.state_at(now) is RadioState.IDLE and is_session_start:
-                delay = ue.policy.activation_delay(now)
+                delay = (
+                    ue.policy.activation_delay(now)
+                    if ue.delays_activation else 0.0
+                )
                 if delay < 0:
                     raise ValueError(
                         f"policy {ue.policy.name!r} returned a negative "
@@ -773,7 +940,7 @@ class SimulationEngine:
                     ue.buffered_flows = {packet.flow_id}
                     ue.dormancy_seq += 1  # buffering clears any pending demotion
                     ue.release_seq += 1
-                    push(ue.release_time, EventKind.RELEASE, ue.ue_id, ue.release_seq)
+                    push(ue.release_time, _RELEASE, ue.ue_id, ue.release_seq)
                     return
                 if ue.collect:
                     ue.session_delays.append(SessionDelay(now, now, packet.flow_id))
@@ -786,10 +953,8 @@ class SimulationEngine:
                 return  # cancelled by a later packet or superseded
             if cell_mode:
                 ue.dormancy_requests += 1
-                granted = station.decide(
-                    ue.ue_id, time, load
-                )
-                if granted:
+                if station_always_grants or station.decide(ue.ue_id, time,
+                                                           load):
                     ue.dormancy_granted += 1
                 else:
                     ue.dormancy_denied += 1
@@ -799,52 +964,84 @@ class SimulationEngine:
             if cell_mode:
                 sync_load(ue)
 
-        def on_timer(ue: UeContext, time: float, seq: int) -> None:
-            if seq != ue.timer_seq:
-                return  # superseded by later activity
+        def on_timer(ue: UeContext, time: float) -> None:
+            target = ue.timer_target
+            if time < target:
+                # Activity moved the deadline since this event was queued:
+                # defer to the current deadline (one queued event per UE).
+                nonlocal serial, real_events
+                serial += 1
+                real_events += 1
+                heappush(heap, (target, _TIMER, ue.ue_id, serial, 0))
+                return
+            ue.timer_pending = False
             ue.machine.advance_to(time)
             sync_load(ue)
 
         # Prime one arrival per UE and (optionally) the first load sample.
         for ue_id, source in streams.items():
-            iterators[ue_id] = iter(source)
+            sources[ue_id] = _ArrivalSource(source)
             pull_arrival(ue_id, 0.0)
         if sample_interval_s is not None and heap:
-            push(sample_interval_s, EventKind.SAMPLE, -1, None)
+            push(sample_interval_s, _SAMPLE, -1, None)
 
-        while heap:
-            time, kind, ue_id, _, payload = heapq.heappop(heap)
-            if kind != int(EventKind.SAMPLE):
-                real_events -= 1
-            if kind == int(EventKind.ARRIVAL):
-                ue = contexts[ue_id]
-                on_arrival(ue, payload)
-                pull_arrival(ue_id, time)
-            elif kind == int(EventKind.DORMANCY):
-                ue = contexts[ue_id]
-                on_dormancy(ue, time, payload)
-            elif kind == int(EventKind.RELEASE):
-                ue = contexts[ue_id]
-                if payload == ue.release_seq:
-                    release_buffer(ue, time)
-            elif kind == int(EventKind.TIMER):
-                ue = contexts[ue_id]
-                on_timer(ue, time, payload)
-            else:  # SAMPLE
-                samples.append(
-                    LoadSample(
-                        time=time,
-                        active_devices=load.active_devices if load else 0,
-                        switches_last_minute=(
-                            load.switches_within_window(time) if load else 0
-                        ),
+        heappop = heapq.heappop
+        try:
+            while heap:
+                time, kind, ue_id, _, payload = heappop(heap)
+                if kind == _ARRIVAL:
+                    real_events -= 1
+                    on_arrival(contexts[ue_id], payload)
+                    # Inline fast path of pull_arrival: next packet of the
+                    # current block by plain list indexing.
+                    src = sources[ue_id]
+                    idx = src.idx
+                    if idx < src.n:
+                        packet = src.buf[idx]
+                        src.idx = idx + 1
+                        timestamp = packet.timestamp
+                        if timestamp < time:
+                            raise StreamOrderError(
+                                f"packet stream for UE {ue_id} is not "
+                                f"time-ordered: {timestamp} after {time}"
+                            )
+                        serial += 1
+                        real_events += 1
+                        heappush(heap, (timestamp, _ARRIVAL, ue_id, serial,
+                                        packet))
+                    else:
+                        pull_arrival(ue_id, time)
+                elif kind == _TIMER:
+                    real_events -= 1
+                    on_timer(contexts[ue_id], time)
+                elif kind == _DORMANCY:
+                    real_events -= 1
+                    on_dormancy(contexts[ue_id], time, payload)
+                elif kind == _RELEASE:
+                    real_events -= 1
+                    ue = contexts[ue_id]
+                    if payload == ue.release_seq:
+                        release_buffer(ue, time)
+                else:  # SAMPLE
+                    samples.append(
+                        LoadSample(
+                            time=time,
+                            active_devices=load.active_devices if load else 0,
+                            switches_last_minute=(
+                                load.switches_within_window(time) if load else 0
+                            ),
+                        )
                     )
-                )
-                if real_events > 0 and sample_interval_s is not None:
-                    push(time + sample_interval_s, EventKind.SAMPLE, -1, None)
-                continue
-            if not contexts[ue_id].collect:
-                contexts[ue_id].drain_account()
+                    if real_events > 0 and sample_interval_s is not None:
+                        push(time + sample_interval_s, _SAMPLE, -1, None)
+        except Exception:
+            # Abort atomically: no KernelResult is produced and every
+            # context is poisoned, so a mis-ordered (or otherwise failing)
+            # stream can never leak a partial timeline into a result or a
+            # shard merge.
+            for ue in contexts.values():
+                ue.mark_aborted()
+            raise
 
         last_emitted = max(
             (ue.last_effective for ue in contexts.values()
@@ -891,6 +1088,4 @@ class SimulationEngine:
                 elif not active and ue.was_active:
                     result.load.deactivate()
                 ue.was_active = active
-            if not ue.collect:
-                ue.drain_account()
         return replace(result, end_time=end_time, finished=True)

@@ -37,6 +37,7 @@ from .tcpdump import (
 )
 from .pcap import PcapError, PcapReader, PcapWriter, read_pcap, write_pcap
 from .streaming import (
+    ChunkedPacketStream,
     RateEnvelope,
     merge_packet_streams,
     stream_application_packets,
@@ -54,6 +55,7 @@ from .synthetic import (
     APPLICATION_PROFILES,
     ApplicationProfile,
     PacketTrainSpec,
+    generate_application_packets,
     generate_application_trace,
     generate_mixed_trace,
     generate_periodic_trace,
@@ -85,6 +87,7 @@ __all__ = [
     "split_by_app",
     "split_by_flow",
     "split_train_test",
+    "ChunkedPacketStream",
     "RateEnvelope",
     "stream_application_packets",
     "stream_user_day_packets",
@@ -106,6 +109,7 @@ __all__ = [
     "USER_POPULATIONS",
     "UserProfile",
     "bursts_per_active_period",
+    "generate_application_packets",
     "generate_application_trace",
     "generate_mixed_trace",
     "generate_periodic_trace",

@@ -50,9 +50,15 @@ class Direction(Enum):
         return Direction.DOWNLINK if self is Direction.UPLINK else Direction.UPLINK
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Packet:
     """A single packet observation.
+
+    Slotted: packets are the single most-allocated object in the library
+    (every generated chunk, every kernel arrival), and ``__slots__`` both
+    shrinks them and makes the kernel's per-event ``timestamp`` /
+    ``direction`` / ``size`` reads a fixed-offset load instead of a dict
+    lookup.
 
     Attributes
     ----------
@@ -122,6 +128,15 @@ class PacketTrace(Sequence[Packet]):
 
     def __iter__(self) -> Iterator[Packet]:
         return iter(self._packets)
+
+    def packet_blocks(self) -> Iterator[Sequence[Packet]]:
+        """The kernel block protocol: a materialised trace is one block.
+
+        Lets the simulation kernel walk the packet tuple by index instead
+        of driving an iterator per packet (see
+        :mod:`repro.traces.streaming` for the chunked counterpart).
+        """
+        yield self._packets
 
     def __getitem__(self, index):  # type: ignore[override]
         if isinstance(index, slice):

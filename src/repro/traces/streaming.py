@@ -19,16 +19,28 @@ bursts do not straddle chunk boundaries.  The statistics that matter to
 the energy model (inter-arrival mix, burst shapes) are unchanged; see
 ``docs/DESIGN.md`` ("substitution rule") for why statistically equivalent
 regeneration is the contract throughout this library.
+
+Block protocol (the kernel fast path)
+-------------------------------------
+
+Application streams additionally expose :meth:`ChunkedPacketStream.packet_blocks`:
+an iterator of **chunk-local packet lists** (each chunk's packets, already
+shifted to absolute stream time, as one plain list).  The kernel walks
+these arrays with list indexing instead of resuming a Python generator
+frame per packet — the same packets in the same order, delivered without
+the per-``next()`` interpreter overhead (see ``docs/DESIGN.md`` "hot
+path").  Sources that don't implement the protocol (plain generators,
+merged streams) keep working through the per-packet iterator path.
 """
 
 from __future__ import annotations
 
 import heapq
 import zlib
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from .packet import Packet
-from .synthetic import generate_application_trace
+from .synthetic import generate_application_packets
 
 #: A traffic-rate envelope: absolute stream time (seconds) -> positive
 #: session-rate multiplier.  Scenario diurnal shapes
@@ -36,6 +48,7 @@ from .synthetic import generate_application_trace
 RateEnvelope = Callable[[float], float]
 
 __all__ = [
+    "ChunkedPacketStream",
     "RateEnvelope",
     "merge_packet_streams",
     "stream_application_packets",
@@ -68,19 +81,118 @@ def _app_stream_seed(seed: int, index: int) -> int:
     return zlib.crc32(f"app/{seed}/{index}".encode("ascii"))
 
 
+class ChunkedPacketStream:
+    """One application's packets, lazily generated ``chunk_s`` at a time.
+
+    Behaves as a plain packet iterator (``next()`` / ``for`` — drop-in
+    for the generator this used to be) *and* exposes
+    :meth:`packet_blocks` for consumers that can walk chunk-local arrays
+    directly.  Both views share one cursor over the same underlying chunk
+    sequence, so mixing them never duplicates or drops packets.
+    """
+
+    __slots__ = ("_chunks", "_buf", "_idx")
+
+    def __init__(
+        self,
+        name: str,
+        duration: float,
+        seed: int,
+        chunk_s: float,
+        envelope: RateEnvelope | None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if chunk_s <= 0:
+            raise ValueError(f"chunk_s must be positive, got {chunk_s}")
+        self._chunks = self._generate_chunks(name, duration, seed, chunk_s,
+                                             envelope)
+        self._buf: Sequence[Packet] = ()
+        self._idx = 0
+
+    @staticmethod
+    def _generate_chunks(
+        name: str,
+        duration: float,
+        seed: int,
+        chunk_s: float,
+        envelope: RateEnvelope | None,
+    ) -> Iterator[list[Packet]]:
+        """Yield one absolute-time packet list per generated chunk.
+
+        Chunk 0 reuses the generator's packets unmodified (adding an
+        offset of 0.0 preserves every timestamp, so the copy the old
+        per-packet ``shifted(0.0)`` produced held identical values);
+        later chunks rebuild each packet once at ``timestamp + offset`` —
+        the same float addition ``Packet.shifted`` performs.
+        """
+        offset = 0.0
+        index = 0
+        while offset < duration:
+            length = min(chunk_s, duration - offset)
+            rate = None
+            if envelope is not None:
+                def rate(local: float, _offset: float = offset) -> float:
+                    return envelope(_offset + local)
+            chunk = generate_application_packets(
+                name, duration=length, seed=_chunk_seed(seed, index),
+                rate=rate,
+            )
+            if offset:
+                chunk = [
+                    Packet(p.timestamp + offset, p.size, p.direction,
+                           p.flow_id, p.app)
+                    for p in chunk
+                ]
+            yield chunk
+            offset += length
+            index += 1
+
+    def __iter__(self) -> "ChunkedPacketStream":
+        return self
+
+    def __next__(self) -> Packet:
+        idx = self._idx
+        if idx < len(self._buf):
+            self._idx = idx + 1
+            return self._buf[idx]
+        for chunk in self._chunks:
+            if chunk:
+                self._buf = chunk
+                self._idx = 1
+                return chunk[0]
+        raise StopIteration
+
+    def packet_blocks(self) -> Iterator[Sequence[Packet]]:
+        """Iterate the remaining packets as chunk-local lists.
+
+        Starts from the current cursor position (packets already consumed
+        via ``next()`` are not repeated) and leaves the per-packet view
+        exhausted as blocks are taken.
+        """
+        if self._idx < len(self._buf):
+            rest = self._buf[self._idx:]
+            self._buf = ()
+            self._idx = 0
+            yield rest
+        yield from self._chunks
+
+
 def stream_application_packets(
     name: str,
     duration: float = 3600.0,
     seed: int = 0,
     chunk_s: float = 600.0,
     envelope: RateEnvelope | None = None,
-) -> Iterator[Packet]:
-    """Yield one application's packets lazily, ``chunk_s`` seconds at a time.
+) -> ChunkedPacketStream:
+    """One application's packets as a lazy, chunked stream.
 
     Equivalent in distribution to
     :func:`~repro.traces.synthetic.generate_application_trace` but with
     peak memory of one chunk instead of the whole trace.  Packets are
-    yielded in non-decreasing timestamp order, as the kernel requires.
+    yielded in non-decreasing timestamp order, as the kernel requires;
+    the returned :class:`ChunkedPacketStream` also exposes the
+    block-walking fast path (see the module docstring).
 
     ``envelope`` applies diurnal traffic shaping: a callable from
     *absolute* stream time to a positive session-rate multiplier, handed
@@ -88,25 +200,7 @@ def stream_application_packets(
     generated for the 9am-10am window sees the 9am-10am rates.  ``None``
     is the unshaped stream, byte-identical to earlier releases.
     """
-    if duration <= 0:
-        raise ValueError(f"duration must be positive, got {duration}")
-    if chunk_s <= 0:
-        raise ValueError(f"chunk_s must be positive, got {chunk_s}")
-    offset = 0.0
-    index = 0
-    while offset < duration:
-        length = min(chunk_s, duration - offset)
-        rate = None
-        if envelope is not None:
-            def rate(local: float, _offset: float = offset) -> float:
-                return envelope(_offset + local)
-        chunk = generate_application_trace(
-            name, duration=length, seed=_chunk_seed(seed, index), rate=rate
-        )
-        for packet in chunk:
-            yield packet.shifted(offset)
-        offset += length
-        index += 1
+    return ChunkedPacketStream(name, duration, seed, chunk_s, envelope)
 
 
 def stream_user_day_packets(

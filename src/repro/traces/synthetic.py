@@ -40,6 +40,7 @@ __all__ = [
     "ApplicationProfile",
     "APPLICATION_PROFILES",
     "APPLICATION_NAMES",
+    "generate_application_packets",
     "generate_application_trace",
     "generate_poisson_trace",
     "generate_periodic_trace",
@@ -71,6 +72,10 @@ class PacketTrainSpec:
             raise ValueError("a packet train must contain at least one packet")
         if self.intra_gap_mean <= 0 or self.intra_gap_max <= 0:
             raise ValueError("intra-burst gaps must be positive")
+        # Hot-path constant: emit() draws one exponential gap per packet;
+        # precomputing the rate once is the identical float the per-call
+        # ``1.0 / intra_gap_mean`` division produced.
+        object.__setattr__(self, "_intra_rate", 1.0 / self.intra_gap_mean)
 
     def emit(
         self,
@@ -81,19 +86,21 @@ class PacketTrainSpec:
     ) -> list[Packet]:
         """Materialise the burst starting at time ``start``."""
         packets: list[Packet] = []
+        append = packets.append
+        expovariate = rng.expovariate
+        intra_rate = self._intra_rate
+        intra_max = self.intra_gap_max
         time = start
+        uplink_size = self.uplink_size
         for _ in range(self.uplink_packets):
-            packets.append(
-                Packet(time, self.uplink_size, Direction.UPLINK, flow_id, app)
-            )
-            time += min(rng.expovariate(1.0 / self.intra_gap_mean),
-                        self.intra_gap_max)
+            append(Packet(time, uplink_size, Direction.UPLINK, flow_id, app))
+            gap = expovariate(intra_rate)
+            time += gap if gap < intra_max else intra_max
+        downlink_size = self.downlink_size
         for _ in range(self.downlink_packets):
-            packets.append(
-                Packet(time, self.downlink_size, Direction.DOWNLINK, flow_id, app)
-            )
-            time += min(rng.expovariate(1.0 / self.intra_gap_mean),
-                        self.intra_gap_max)
+            append(Packet(time, downlink_size, Direction.DOWNLINK, flow_id, app))
+            gap = expovariate(intra_rate)
+            time += gap if gap < intra_max else intra_max
         return packets
 
 
@@ -116,6 +123,22 @@ class ApplicationProfile:
     jitter: float = 0.0
     flows: int = 1
 
+    def __post_init__(self) -> None:
+        # draw_train() runs once per session for every device of a cell:
+        # snapshot the train list and the cumulative weights once instead
+        # of rebuilding both lists per draw.  ``random.choices`` computes
+        # exactly these cumulative sums internally, and consumes the same
+        # single ``random()`` either way, so draws are byte-identical.
+        object.__setattr__(self, "_train_list", list(self.trains))
+        cum_weights = None
+        if self.train_weights:
+            total = 0.0
+            cum_weights = []
+            for weight in self.train_weights:
+                total += weight
+                cum_weights.append(total)
+        object.__setattr__(self, "_cum_weights", cum_weights)
+
     def draw_gap(self, rng: random.Random) -> float:
         """Draw one inter-session gap in seconds (always positive)."""
         gap = self.session_gap(rng)
@@ -125,9 +148,10 @@ class ApplicationProfile:
 
     def draw_train(self, rng: random.Random) -> PacketTrainSpec:
         """Draw the packet-train shape of the next session."""
-        if not self.train_weights:
-            return rng.choice(list(self.trains))
-        return rng.choices(list(self.trains), weights=list(self.train_weights), k=1)[0]
+        if self._cum_weights is None:
+            return rng.choice(self._train_list)
+        return rng.choices(self._train_list, cum_weights=self._cum_weights,
+                           k=1)[0]
 
 
 def _uniform(low: float, high: float) -> Callable[[random.Random], float]:
@@ -240,6 +264,76 @@ APPLICATION_NAMES: tuple[str, ...] = (
 )
 
 
+def _resolve_application_profile(
+    app: str | ApplicationProfile,
+) -> ApplicationProfile:
+    """Look up an application profile by name (or pass one through)."""
+    if isinstance(app, str):
+        key = app.lower()
+        if key not in APPLICATION_PROFILES:
+            raise KeyError(
+                f"unknown application {app!r}; known: {sorted(APPLICATION_PROFILES)}"
+            )
+        return APPLICATION_PROFILES[key]
+    return app
+
+
+def generate_application_packets(
+    app: str | ApplicationProfile,
+    duration: float = 7200.0,
+    seed: int = 0,
+    rate: Callable[[float], float] | None = None,
+) -> list[Packet]:
+    """The time-sorted packet list of one application run.
+
+    This is :func:`generate_application_trace` without the
+    :class:`~repro.traces.packet.PacketTrace` wrapper: the returned list
+    holds exactly the packets the trace would hold, already in the
+    trace's order (a stable sort by timestamp — overlapping bursts
+    interleave identically).  The chunked streaming layer
+    (:mod:`repro.traces.streaming`) consumes these lists directly so the
+    kernel can walk chunk-local arrays instead of paying a container
+    round-trip per chunk.
+    """
+    profile = _resolve_application_profile(app)
+    if duration <= 0:
+        raise ValueError(f"duration must be positive, got {duration}")
+
+    def next_gap(at: float) -> float:
+        gap = profile.draw_gap(rng)
+        if rate is None:
+            return gap
+        multiplier = rate(at)
+        if not multiplier > 0:
+            raise ValueError(
+                f"rate envelope must be positive, got {multiplier} at t={at}"
+            )
+        return gap / multiplier
+
+    rng = random.Random(seed)
+    packets: list[Packet] = []
+    time = next_gap(0.0)
+    flow_counter = 0
+    flow_cycle = max(1, profile.flows)
+    name = profile.name
+    while time < duration:
+        train = profile.draw_train(rng)
+        flow_id = flow_counter % flow_cycle
+        flow_counter += 1
+        burst = train.emit(rng, time, flow_id, name)
+        # Burst packets are time-ordered, so the common all-inside case
+        # needs one comparison instead of one per packet.
+        if burst[-1].timestamp < duration:
+            packets.extend(burst)
+        else:
+            packets.extend(p for p in burst if p.timestamp < duration)
+        time += next_gap(time)
+    # The same stable timestamp sort the PacketTrace constructor applies,
+    # so list and trace order agree packet for packet.
+    packets.sort(key=lambda p: p.timestamp)
+    return packets
+
+
 def generate_application_trace(
     app: str | ApplicationProfile,
     duration: float = 7200.0,
@@ -269,41 +363,12 @@ def generate_application_trace(
         :mod:`repro.scenarios.shapes`).  ``None`` (the default) is the
         unshaped generator, byte-identical to earlier releases.
     """
-    if isinstance(app, str):
-        key = app.lower()
-        if key not in APPLICATION_PROFILES:
-            raise KeyError(
-                f"unknown application {app!r}; known: {sorted(APPLICATION_PROFILES)}"
-            )
-        profile = APPLICATION_PROFILES[key]
-    else:
-        profile = app
-    if duration <= 0:
-        raise ValueError(f"duration must be positive, got {duration}")
-
-    def next_gap(at: float) -> float:
-        gap = profile.draw_gap(rng)
-        if rate is None:
-            return gap
-        multiplier = rate(at)
-        if not multiplier > 0:
-            raise ValueError(
-                f"rate envelope must be positive, got {multiplier} at t={at}"
-            )
-        return gap / multiplier
-
-    rng = random.Random(seed)
-    packets: list[Packet] = []
-    time = next_gap(0.0)
-    flow_counter = 0
-    while time < duration:
-        train = profile.draw_train(rng)
-        flow_id = flow_counter % max(1, profile.flows)
-        flow_counter += 1
-        burst = train.emit(rng, time, flow_id, profile.name)
-        packets.extend(p for p in burst if p.timestamp < duration)
-        time += next_gap(time)
-    return PacketTrace(packets, name=profile.name)
+    profile = _resolve_application_profile(app)
+    return PacketTrace(
+        generate_application_packets(profile, duration=duration, seed=seed,
+                                     rate=rate),
+        name=profile.name,
+    )
 
 
 def generate_poisson_trace(

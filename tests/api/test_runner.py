@@ -98,3 +98,102 @@ class TestSharedCache:
 
     def test_default_runner_is_process_wide(self):
         assert default_runner() is default_runner()
+
+
+class TestPoolClamp:
+    """The runner clamps its pool to usable cores (PR 5 satellite).
+
+    A pool wider than the machine only adds scheduling overhead, and a
+    pool on a 1-core box is pure pessimisation — the runner must fall
+    back to serial in-process execution (byte-identical results) instead
+    of shipping a configuration whose speedup is < 1 by construction.
+    """
+
+    @staticmethod
+    def _cell_plan():
+        from repro.api import cell
+
+        return (plan()
+                .cells(cell(devices=4, apps=("im",), duration=120.0,
+                            name="clamp"))
+                .carriers("att_hspa")
+                .policies("makeidle")
+                .shards(2))
+
+    def test_effective_jobs_clamped_to_cores(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "usable_cpu_count", lambda: 2)
+        runner = ProcessPoolRunner(jobs=8)
+        assert runner.usable_cores == 2
+        assert runner.effective_jobs == 2
+
+    def test_cpu_count_unknown_treated_as_one_core(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod.os, "sched_getaffinity",
+                            lambda pid: None, raising=False)
+        monkeypatch.setattr(runner_mod.os, "cpu_count", lambda: None)
+        monkeypatch.delattr(runner_mod.os, "sched_getaffinity")
+        runner = ProcessPoolRunner(jobs=4)
+        assert runner.usable_cores == 1
+        assert runner.effective_jobs == 1
+
+    def test_one_core_falls_back_in_process(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "usable_cpu_count", lambda: 1)
+        runner = ProcessPoolRunner(jobs=4)
+        runs = runner.run(self._cell_plan())
+        execution = runs.execution
+        assert execution is not None
+        assert execution.requested_jobs == 4
+        assert execution.effective_jobs == 1
+        assert execution.pool_used is False
+        assert execution.clamped is True
+
+    def test_clamp_recorded_in_to_records(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "usable_cpu_count", lambda: 1)
+        rows = ProcessPoolRunner(jobs=4).run(self._cell_plan()).to_records()
+        assert all(row["pool_jobs"] == 1 for row in rows)
+        assert all(row["pool_clamped"] is True for row in rows)
+
+    def test_fallback_results_byte_identical_to_serial(self, monkeypatch):
+        import repro.api.runner as runner_mod
+
+        serial = SerialRunner().run(self._cell_plan())
+        monkeypatch.setattr(runner_mod, "usable_cpu_count", lambda: 1)
+        clamped = ProcessPoolRunner(jobs=4).run(self._cell_plan())
+        for a, b in zip(serial.records, clamped.records):
+            assert a.spec == b.spec
+            assert a.result.devices == b.result.devices
+            assert a.result.signaling == b.result.signaling
+
+    def test_serial_runner_has_no_execution_metadata(self):
+        runs = SerialRunner().run(self._cell_plan())
+        assert runs.execution is None
+        assert all("pool_jobs" not in row for row in runs.to_records())
+
+    def test_forced_pool_branch_matches_serial(self, monkeypatch):
+        """Pin pool_used=True so the real executor branch always runs.
+
+        On few-core hosts the clamp would otherwise fall back to the
+        serial path and the multiprocess branch — worker pickling of
+        slotted packets, shard partials crossing the process boundary —
+        would never execute in the suite.
+        """
+        import repro.api.runner as runner_mod
+
+        serial = SerialRunner().run(self._cell_plan())
+        monkeypatch.setattr(runner_mod, "usable_cpu_count", lambda: 4)
+        pooled_runner = ProcessPoolRunner(jobs=2)
+        pooled = pooled_runner.run(self._cell_plan())
+        assert pooled.execution.pool_used is True
+        assert pooled.execution.effective_jobs == 2
+        for a, b in zip(serial.records, pooled.records):
+            assert a.spec == b.spec
+            assert a.result.devices == b.result.devices
+            assert a.result.signaling == b.result.signaling
+            assert a.result.load_samples == b.result.load_samples

@@ -179,9 +179,11 @@ def _assert_identical(kernel: SimulationResult, reference: SimulationResult):
     assert kernel.session_delays == reference.session_delays
 
 
-CARRIERS = ("att_hspa", "verizon_lte", "verizon_3g")
-SCHEMES = ("fixed_4.5s", "makeidle", "oracle",
-           "makeidle+makeactive_learn", "makeidle+makeactive_fixed")
+# Every carrier profile (both RRC machine shapes, both timer layouts) ×
+# every standard policy: the table-driven hot path must reproduce the
+# seed replay loop on all of them, not just the benchmarked combinations.
+CARRIERS = tuple(CARRIER_PROFILES)
+SCHEMES = tuple(standard_policies(window_size=20))
 
 
 class TestKernelEquivalence:
@@ -196,6 +198,16 @@ class TestKernelEquivalence:
                 trace, standard_policies(window_size=20)[scheme])
             reference = _reference_run(
                 profile, trace, standard_policies(window_size=20)[scheme])
+            _assert_identical(kernel, reference)
+
+    @pytest.mark.parametrize("carrier", CARRIERS)
+    def test_status_quo_identical_on_every_carrier(self, carrier):
+        profile = CARRIER_PROFILES[carrier]
+        for seed in range(3):
+            rng = random.Random(17 + seed)
+            trace = _random_trace(rng, packets=120)
+            kernel = TraceSimulator(profile).run(trace, StatusQuoPolicy())
+            reference = _reference_run(profile, trace, StatusQuoPolicy())
             _assert_identical(kernel, reference)
 
     def test_demotion_at_arrival_tie_break(self, att_profile):

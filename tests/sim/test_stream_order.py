@@ -1,0 +1,139 @@
+"""Stream-validation atomicity: a mis-ordered iterator cannot corrupt results.
+
+The kernel validates that every per-UE packet stream is time-ordered.  A
+violation used to surface as a bare ``ValueError`` thrown mid-run with the
+attached contexts (and their load counters) already partially mutated —
+an engine-level caller holding those contexts could have read a partial
+timeline into a shard merge.  Now the failure is *atomic*: the kernel
+raises :class:`~repro.sim.engine.StreamOrderError` (still a
+``ValueError``), no :class:`~repro.sim.engine.KernelResult` is produced,
+and every attached context is poisoned — its folded totals and breakdown
+raise instead of exposing partial state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.basestation.cell import (
+    CellSimulator,
+    DeviceSpec,
+    merge_cell_shards,
+)
+from repro.core import FixedTimerPolicy, StatusQuoPolicy
+from repro.rrc.profiles import get_profile
+from repro.sim.engine import SimulationEngine, StreamOrderError, UeContext
+from repro.traces.packet import Direction, Packet, PacketTrace
+
+
+def _packets(*stamps: float) -> list[Packet]:
+    return [Packet(t, 100, Direction.DOWNLINK, 0, "t") for t in stamps]
+
+
+@pytest.fixture
+def att_hspa():
+    return get_profile("att_hspa")
+
+
+class TestStreamOrderError:
+    def test_is_a_value_error(self):
+        assert issubclass(StreamOrderError, ValueError)
+
+    def test_mis_ordered_stream_raises(self, att_hspa):
+        engine = SimulationEngine(att_hspa)
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(StreamOrderError, match="not time-ordered"):
+            engine.run({0: iter(_packets(5.0, 30.0, 10.0))}, {0: ue})
+
+    def test_block_source_also_validated(self, att_hspa):
+        # A PacketTrace sorts itself, so build a raw block source instead.
+        class BadBlocks:
+            def packet_blocks(self):
+                yield _packets(5.0, 30.0)
+                yield _packets(10.0)
+
+        engine = SimulationEngine(att_hspa)
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(StreamOrderError):
+            engine.run({0: BadBlocks()}, {0: ue})
+
+    def test_abort_poisons_every_context(self, att_hspa):
+        engine = SimulationEngine(att_hspa)
+        bad = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        good = UeContext(1, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(StreamOrderError):
+            engine.run(
+                {0: iter(_packets(5.0, 30.0, 10.0)),
+                 1: iter(_packets(1.0, 2.0, 3.0))},
+                {0: bad, 1: good},
+            )
+        # No partial timeline is observable from either context.
+        for ue in (bad, good):
+            with pytest.raises(RuntimeError, match="aborted"):
+                ue.folded_totals()
+            with pytest.raises(RuntimeError, match="aborted"):
+                ue.build_breakdown(att_hspa)
+
+    def test_policy_error_also_aborts_atomically(self, att_hspa):
+        class NegativeDelay(StatusQuoPolicy):
+            def activation_delay(self, now: float) -> float:
+                return -1.0
+
+        engine = SimulationEngine(att_hspa)
+        ue = UeContext(0, att_hspa, NegativeDelay(), collect=False)
+        with pytest.raises(ValueError, match="negative"):
+            engine.run({0: iter(_packets(1.0))}, {0: ue})
+        with pytest.raises(RuntimeError, match="aborted"):
+            ue.folded_totals()
+
+
+class TestShardMergeCannotBeCorrupted:
+    def test_bad_shard_produces_no_partial(self, att_hspa):
+        simulator = CellSimulator(att_hspa)
+        bad_devices = [
+            DeviceSpec(device_id=0, trace=iter(_packets(5.0, 30.0, 10.0)),
+                       policy=FixedTimerPolicy(2.0)),
+        ]
+        with pytest.raises(StreamOrderError):
+            simulator.run_shard(bad_devices)
+
+    def test_good_shards_unaffected_by_failed_sibling(self, att_hspa):
+        trace_a = PacketTrace(_packets(1.0, 2.0, 40.0))
+        trace_b = PacketTrace(_packets(3.0, 9.0))
+
+        # Reference: the two good devices as one unsharded cell.
+        reference = CellSimulator(att_hspa).run([
+            DeviceSpec(0, trace_a, FixedTimerPolicy(2.0)),
+            DeviceSpec(1, trace_b, FixedTimerPolicy(2.0)),
+        ])
+
+        # A sibling shard dies on a mis-ordered stream; the good shards
+        # merge to byte-identical per-device records regardless.
+        shards = [
+            CellSimulator(att_hspa).run_shard(
+                [DeviceSpec(0, trace_a, FixedTimerPolicy(2.0))]
+            ),
+            CellSimulator(att_hspa).run_shard(
+                [DeviceSpec(1, trace_b, FixedTimerPolicy(2.0))]
+            ),
+        ]
+        with pytest.raises(StreamOrderError):
+            CellSimulator(att_hspa).run_shard([
+                DeviceSpec(2, iter(_packets(7.0, 3.0)),
+                           FixedTimerPolicy(2.0)),
+            ])
+
+        merged = merge_cell_shards(shards)
+        assert merged.devices == reference.devices
+        assert merged.signaling == reference.signaling
+
+    def test_aborted_machine_refuses_further_events(self, att_hspa):
+        engine = SimulationEngine(att_hspa)
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(StreamOrderError):
+            engine.run({0: iter(_packets(5.0, 30.0, 10.0))}, {0: ue})
+        assert ue.machine.finished
+        with pytest.raises(RuntimeError):
+            ue.machine.finish(100.0)  # cannot be closed into a "complete" run
+        with pytest.raises(RuntimeError, match="aborted"):
+            _ = ue.promotions  # switch-count accessors are poisoned too

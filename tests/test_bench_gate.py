@@ -1,0 +1,96 @@
+"""Unit tests for the benchmark regression gate (tools/check_bench_floor.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+_TOOL = Path(__file__).resolve().parent.parent / "tools" / "check_bench_floor.py"
+_spec = importlib.util.spec_from_file_location("check_bench_floor", _TOOL)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_floor", gate)
+_spec.loader.exec_module(gate)
+
+
+def _bench_file(tmp_path: Path, name: str, pps: float | None) -> Path:
+    path = tmp_path / name
+    payload = {"cpu_count": 4}
+    if pps is not None:
+        payload["single_1k"] = {"packets_per_sec": pps}
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestEvaluate:
+    def test_passes_at_and_above_threshold(self):
+        ok, message = gate.evaluate(60_000.0, 27_000.0, tolerance=0.45)
+        assert ok and "ok:" in message
+        ok, _ = gate.evaluate(60_000.0, 120_000.0, tolerance=0.45)
+        assert ok
+
+    def test_fails_below_threshold(self):
+        ok, message = gate.evaluate(60_000.0, 20_000.0, tolerance=0.45)
+        assert not ok
+        assert "REGRESSION" in message
+
+
+class TestMain:
+    def test_regression_exits_nonzero(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0)
+        current = _bench_file(tmp_path, "current.json", 10_000.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.REGRESSION
+
+    def test_healthy_measurement_passes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0)
+        current = _bench_file(tmp_path, "current.json", 58_000.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.OK
+
+    def test_skips_cleanly_on_constrained_runner(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 1)
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0)
+        current = _bench_file(tmp_path, "current.json", 1_000.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.OK
+
+    def test_skips_cleanly_via_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        monkeypatch.setenv(gate.SKIP_ENV, "skip")
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0)
+        current = _bench_file(tmp_path, "current.json", 1_000.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.OK
+
+    def test_missing_floor_skips_missing_current_errors(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        no_floor = _bench_file(tmp_path, "floor.json", None)
+        current = _bench_file(tmp_path, "current.json", 50_000.0)
+        assert gate.main([
+            "--floor", str(no_floor), "--current", str(current),
+        ]) == gate.OK
+        floor = _bench_file(tmp_path, "floor2.json", 60_000.0)
+        no_current = _bench_file(tmp_path, "current2.json", None)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(no_current),
+        ]) == gate.BAD_INPUT
+
+    def test_bad_tolerance_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0)
+        with pytest.raises(SystemExit):
+            gate.main(["--floor", str(floor), "--tolerance", "not-a-number"])
+        assert gate.main([
+            "--floor", str(floor), "--tolerance", "1.5",
+        ]) == gate.BAD_INPUT

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: fresh throughput vs. the recorded floor.
+
+Compares the freshly measured ``single_1k.packets_per_sec`` (written to
+``BENCH_engine.json`` by ``benchmarks/test_engine_throughput.py``) against
+the *committed* value of the same key — the recorded floor — and fails
+when the fresh number drops below ``tolerance × floor``.  This is what
+keeps future PRs from silently regressing the kernel hot path: CI
+snapshots the committed file before the benchmark overwrites it, then
+runs this gate.
+
+The gate is tolerance-based and **skips cleanly** on constrained runners:
+shared CI boxes jitter by tens of percent, so the default tolerance is
+generous (anything slower than ~2.2x the floor trips it), machines with fewer than
+``--min-cores`` usable cores skip (their numbers measure contention, not
+the code), and ``REPRO_BENCH_GATE=skip`` force-skips.
+
+Usage::
+
+    cp BENCH_engine.json /tmp/bench_floor.json       # before the bench run
+    PYTHONPATH=src python -m pytest benchmarks/test_engine_throughput.py -q
+    python tools/check_bench_floor.py --floor /tmp/bench_floor.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Exit status meanings (documented for CI log readers).
+OK, REGRESSION, BAD_INPUT = 0, 1, 2
+
+SECTION = "single_1k"
+KEY = "packets_per_sec"
+SKIP_ENV = "REPRO_BENCH_GATE"
+
+
+def usable_cores() -> int:
+    """Cores this process may schedule on (affinity/cgroup-aware).
+
+    A CI runner cgroup-limited to one CPU of a big host must *skip* the
+    gate (its numbers measure contention, not the code); ``os.cpu_count``
+    would report the host and run it anyway.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return max(1, len(getaffinity(0)))
+        except OSError:  # pragma: no cover - platform quirk
+            pass
+    return os.cpu_count() or 1
+
+
+def read_floor(path: Path) -> float | None:
+    """The recorded packets/sec floor in ``path``, or None if absent."""
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    value = data.get(SECTION, {}).get(KEY) if isinstance(data, dict) else None
+    if isinstance(value, (int, float)) and value > 0:
+        return float(value)
+    return None
+
+
+def evaluate(floor_pps: float, current_pps: float,
+             tolerance: float) -> tuple[bool, str]:
+    """Gate verdict: is ``current_pps`` acceptable against the floor?"""
+    threshold = tolerance * floor_pps
+    if current_pps >= threshold:
+        return True, (
+            f"ok: measured {current_pps:,.0f} pkt/s >= "
+            f"{tolerance:.0%} of recorded floor {floor_pps:,.0f} pkt/s"
+        )
+    return False, (
+        f"REGRESSION: measured {current_pps:,.0f} pkt/s < "
+        f"{tolerance:.0%} of recorded floor {floor_pps:,.0f} pkt/s "
+        f"(threshold {threshold:,.0f}); the kernel hot path got slower — "
+        "fix the regression, or re-record the floor with an explicit "
+        "justification in the commit message"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--floor", type=Path, required=True,
+        help="BENCH_engine.json snapshot holding the recorded floor "
+             "(take it before the benchmark overwrites the file)",
+    )
+    parser.add_argument(
+        "--current", type=Path, default=REPO_ROOT / "BENCH_engine.json",
+        help="freshly written BENCH_engine.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.45,
+        help="fraction of the floor the fresh measurement must reach "
+             "(default 0.45: forgiving of shared-runner jitter; trips on "
+             "anything slower than ~2.2x the recorded floor)",
+    )
+    parser.add_argument(
+        "--min-cores", type=int, default=2,
+        help="skip cleanly below this many usable cores (default 2)",
+    )
+    args = parser.parse_args(argv)
+
+    if os.environ.get(SKIP_ENV, "").lower() == "skip":
+        print(f"bench gate: skipped ({SKIP_ENV}=skip)")
+        return OK
+    cores = usable_cores()
+    if cores < args.min_cores:
+        print(
+            f"bench gate: skipped ({cores} usable core(s) < "
+            f"--min-cores {args.min_cores}; this machine measures "
+            "contention, not the code)"
+        )
+        return OK
+    if not 0 < args.tolerance <= 1:
+        print(f"bench gate: --tolerance must be in (0, 1], got {args.tolerance}")
+        return BAD_INPUT
+
+    floor = read_floor(args.floor)
+    if floor is None:
+        print(
+            f"bench gate: skipped (no recorded {SECTION}.{KEY} floor in "
+            f"{args.floor})"
+        )
+        return OK
+    current = read_floor(args.current)
+    if current is None:
+        print(
+            f"bench gate: no fresh {SECTION}.{KEY} in {args.current} — "
+            "did the benchmark run?"
+        )
+        return BAD_INPUT
+
+    ok, message = evaluate(floor, current, args.tolerance)
+    print(f"bench gate: {message}")
+    return OK if ok else REGRESSION
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,11 @@ the repo root so the perf trajectory is tracked across PRs:
 * ``sharded_scenario`` — a heterogeneous ``office_day`` scenario cell
   (cohort-weighted archetypes under a diurnal shape), single-process vs
   2-shard pool, asserting the shard-merge exactness contract extends to
-  scenario populations and recording the scenario layer's throughput.
+  scenario populations and recording the scenario layer's throughput;
+* ``metro_250k`` — the four-cell shuffle metro at 250k UEs: hierarchical
+  (cell × UE-block) sharded execution with mid-stream RRC handovers,
+  recording the handover count and per-UE handover rate alongside the
+  packet throughput the mobility layer sustains.
 """
 
 from __future__ import annotations
@@ -56,11 +60,15 @@ HUGE_SHARDS = 8
 SCENARIO_DEVICES = 2_000
 SCENARIO_DURATION_S = 120.0
 SCENARIO_SHARDS = 2
+METRO_DEVICES = 250_000
+METRO_DURATION_S = 60.0
+METRO_SHARDS = 8
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 _BENCH_SECTIONS = (
     "single_1k", "sharded_10k", "sharded_100k", "sharded_scenario",
+    "metro_250k",
 )
 
 
@@ -312,6 +320,62 @@ def test_sharded_scenario_cell_matches_and_records():
     print_figure(
         "Sharded execution — 2k-device office_day scenario cell",
         "\n".join(f"{key}: {value}" for key, value in record.items()),
+    )
+
+
+def test_metro_250k_completes_with_handovers():
+    """The 250k-UE four-cell metro runs hierarchically sharded.
+
+    ``metro_4cell`` shuffles its population across four stations on
+    10-minute mean residencies, so a one-minute horizon already hands
+    over ~10% of 250k UEs — each departure closing its RRC context with
+    the exact ``finish``-replay float ops and resuming mid-stream at the
+    arrival cell.  Recorded alongside throughput: the handover count and
+    the per-UE-hour handover rate the elapsed time paid for.
+    """
+    from repro.api.metro import MetroRunSpec, execute_metro, metro
+
+    spec = MetroRunSpec(
+        metro=metro("metro_4cell", devices=METRO_DEVICES,
+                    duration=METRO_DURATION_S, chunk_s=60.0),
+        carrier="att_hspa",
+        policy=PolicySpec(scheme="fixed_4.5s").resolved(100),
+        shards=METRO_SHARDS,
+    )
+    start = time.perf_counter()
+    result = execute_metro(spec)
+    elapsed = time.perf_counter() - start
+
+    assert len(result.cells) >= 4
+    assert result.handovers > 0
+    packets = result.total_packets
+    assert packets > 0
+    total_visits = sum(entry.visits for entry in result.cells)
+
+    ue_hours = METRO_DEVICES * METRO_DURATION_S / 3600.0
+    record = _update_bench("metro_250k", {
+        "metro": "metro_4cell",
+        "devices": METRO_DEVICES,
+        "duration_s": METRO_DURATION_S,
+        "cells": len(result.cells),
+        "shards": METRO_SHARDS,
+        "packets": packets,
+        "visits": total_visits,
+        "handovers": result.handovers,
+        "handover_rate_per_ue_hour": round(result.handovers / ue_hours, 3),
+        "cell_visits": {
+            entry.name: entry.visits for entry in result.cells
+        },
+        "elapsed_s": round(elapsed, 3),
+        "packets_per_sec": round(packets / elapsed, 1),
+        "handovers_per_sec": round(result.handovers / elapsed, 1),
+        "peak_rss_mb": round(_peak_rss_mb(), 1),
+    })
+
+    print_figure(
+        "Metro execution — 250k-UE four-cell shuffle metro",
+        "\n".join(f"{key}: {value}" for key, value in record.items())
+        + f"\n(written to {BENCH_PATH.name})",
     )
 
 

@@ -52,6 +52,14 @@ from ..scenarios import (
     Scenario,
     get_scenario,
 )
+from .metro import (
+    MetroRunSpec,
+    MetroSpec,
+    execute_metro,
+    execute_metro_cell_shard,
+    metro,
+)
+from ..metro import Metro, MetroCell, MetroResult, get_metro
 from .plan import EmptyAxisError, ExperimentPlan, plan
 from .runner import (
     PoolExecution,
@@ -85,6 +93,11 @@ __all__ = [
     "DormancySpec",
     "EmptyAxisError",
     "ExperimentPlan",
+    "Metro",
+    "MetroCell",
+    "MetroResult",
+    "MetroRunSpec",
+    "MetroSpec",
     "PolicySpec",
     "Scenario",
     "PoolExecution",
@@ -103,9 +116,13 @@ __all__ = [
     "execute",
     "execute_cell",
     "execute_cell_shard",
+    "execute_metro",
+    "execute_metro_cell_shard",
     "execute_spec",
+    "get_metro",
     "get_scenario",
     "inline",
+    "metro",
     "pcap",
     "plan",
     "scheme",

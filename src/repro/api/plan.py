@@ -40,6 +40,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from ..rrc.profiles import get_profile
 from ..traces.packet import PacketTrace
 from .cells import CellRunSpec, CellSpec, DormancySpec
+from .metro import MetroRunSpec, MetroSpec, metro as metro_spec
 from .spec import PolicySpec, RunSpec, TraceSpec, user as user_spec
 
 __all__ = ["EmptyAxisError", "ExperimentPlan", "plan"]
@@ -119,6 +120,7 @@ class ExperimentPlan:
     cell_specs: tuple[CellSpec, ...] = ()
     dormancy_specs: tuple[DormancySpec, ...] = ()
     shard_counts: tuple[int, ...] = ()
+    metro_specs: tuple[MetroSpec, ...] = ()
 
     # -- axis declaration ------------------------------------------------------------
 
@@ -199,6 +201,32 @@ class ExperimentPlan:
             )
         return self.cells(*specs)
 
+    def metros(self, *entries: "MetroSpec | str", devices: int = 1000,
+               duration: float = 3600.0, seed: int = 0,
+               chunk_s: float = 300.0) -> "ExperimentPlan":
+        """Append metro-population axis entries (switches to metro mode).
+
+        Entries are :class:`~repro.api.metro.MetroSpec` values or preset
+        topology names (``"commuter_2cell"``, ``"metro_4cell"``, ...);
+        names become ``devices``-strong specs over ``duration`` seconds.
+        Metro plans expand to :class:`MetroRunSpec` cells — metro ×
+        carrier × device policy × shards — and are mutually exclusive
+        with the single-UE and cell axes.  There is no dormancy axis:
+        station policies belong to the metro's cells.
+        """
+        specs = []
+        for entry in entries:
+            if isinstance(entry, str):
+                entry = metro_spec(entry, devices=devices, duration=duration,
+                                   seed=seed, chunk_s=chunk_s)
+            elif not isinstance(entry, MetroSpec):
+                raise TypeError(
+                    "metro axis entries must be MetroSpec or a preset "
+                    f"name, got {type(entry).__name__}"
+                )
+            specs.append(entry)
+        return replace(self, metro_specs=self.metro_specs + tuple(specs))
+
     def dormancy(self, *entries: DormancySpec | str) -> "ExperimentPlan":
         """Append base-station dormancy axis entries (cell mode only).
 
@@ -261,9 +289,18 @@ class ExperimentPlan:
         """Whether this plan sweeps device populations instead of single UEs."""
         return bool(self.cell_specs)
 
+    @property
+    def is_metro_plan(self) -> bool:
+        """Whether this plan sweeps metro topologies."""
+        return bool(self.metro_specs)
+
     def __len__(self) -> int:
         """Grid size: workloads x carriers x policies (x dormancy x shards) x seeds."""
         repetitions = len(self.seeds) if self.seeds else 1
+        if self.is_metro_plan:
+            shards = len(self.shard_counts) if self.shard_counts else 1
+            return (len(self.metro_specs) * len(self.carrier_keys)
+                    * len(self.policy_specs) * shards * repetitions)
         if self.is_cell_plan:
             dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
             shards = len(self.shard_counts) if self.shard_counts else 1
@@ -272,14 +309,20 @@ class ExperimentPlan:
         return (len(self.trace_specs) * len(self.carrier_keys)
                 * len(self.policy_specs) * repetitions)
 
-    def build(self) -> tuple[RunSpec, ...] | tuple[CellRunSpec, ...]:
+    def build(
+        self,
+    ) -> tuple[RunSpec, ...] | tuple[CellRunSpec, ...] | tuple[MetroRunSpec, ...]:
         """Expand the plan into its full grid of run specs.
 
         Expansion order is deterministic — seed, then workload, then
-        carrier, then policy (then dormancy for cell plans) — so two builds
-        of the same plan yield the same sequence.  A plan with a cell axis
-        yields :class:`CellRunSpec` cells; otherwise :class:`RunSpec`s.
+        carrier, then policy (then dormancy for cell plans, shards for
+        cell and metro plans) — so two builds of the same plan yield the
+        same sequence.  A plan with a metro axis yields
+        :class:`MetroRunSpec` cells, one with a cell axis
+        :class:`CellRunSpec` cells; otherwise :class:`RunSpec`s.
         """
+        if self.is_metro_plan:
+            return self._build_metros()
         if self.is_cell_plan:
             return self._build_cells()
         if self.dormancy_specs:
@@ -352,10 +395,57 @@ class ExperimentPlan:
                                 )
         return tuple(specs)
 
+    def _build_metros(self) -> tuple[MetroRunSpec, ...]:
+        if self.trace_specs or self.cell_specs:
+            raise ValueError(
+                "a plan cannot mix a metro axis with single-UE trace or "
+                "cell axes; declare one workload kind per plan"
+            )
+        if self.dormancy_specs:
+            raise ValueError(
+                "a dormancy axis does not apply to metro plans: station "
+                "policies belong to the metro's cells (MetroCell.dormancy)"
+            )
+        if not self.carrier_keys:
+            raise EmptyAxisError("carriers")
+        if not self.policy_specs:
+            raise EmptyAxisError("policies")
+        shard_counts = self.shard_counts if self.shard_counts else (1,)
+        seeds: Sequence[int | None] = self.seeds if self.seeds else (None,)
+        specs: list[MetroRunSpec] = []
+        for seed in seeds:
+            for entry in self.metro_specs:
+                seeded = entry if seed is None else entry.with_seed(seed)
+                run_seed = seed if seed is not None else entry.seed
+                for carrier in self.carrier_keys:
+                    for policy in self.policy_specs:
+                        for shards in shard_counts:
+                            specs.append(
+                                MetroRunSpec(
+                                    metro=seeded,
+                                    carrier=carrier,
+                                    policy=policy.resolved(self.default_window),
+                                    seed=run_seed,
+                                    shards=shards,
+                                )
+                            )
+        return tuple(specs)
+
     def describe(self) -> str:
         """One-line summary of the declared axes."""
         repetitions = len(self.seeds) if self.seeds else 1
         label = f"{self.name!r}: " if self.name else ""
+        if self.is_metro_plan:
+            shards = (
+                f" x {len(self.shard_counts)} shard count(s)"
+                if self.shard_counts else ""
+            )
+            return (
+                f"ExperimentPlan {label}{len(self.metro_specs)} metro(s) x "
+                f"{len(self.carrier_keys)} carrier(s) x "
+                f"{len(self.policy_specs)} policy(ies){shards} x "
+                f"{repetitions} seed(s) = {len(self)} runs"
+            )
         if self.is_cell_plan:
             dormancy = len(self.dormancy_specs) if self.dormancy_specs else 1
             shards = (
@@ -394,6 +484,8 @@ class ExperimentPlan:
             data["dormancy"] = [d.to_dict() for d in self.dormancy_specs]
         if self.shard_counts:
             data["shards"] = list(self.shard_counts)
+        if self.metro_specs:
+            data["metros"] = [m.to_dict() for m in self.metro_specs]
         return data
 
     @classmethod
@@ -417,6 +509,9 @@ class ExperimentPlan:
                 DormancySpec.from_dict(d) for d in data.get("dormancy", ())
             ),
             shard_counts=_validated_shard_counts(data.get("shards", ())),
+            metro_specs=tuple(
+                MetroSpec.from_dict(m) for m in data.get("metros", ())
+            ),
         )
 
 

@@ -27,9 +27,16 @@ from dataclasses import dataclass
 from typing import Hashable, Protocol, Sequence, Union, runtime_checkable
 
 from ..basestation.cell import CellResult, merge_cell_shards
+from ..metro.execution import MetroResult
 from ..sim.results import SimulationResult
 from .cache import CacheStats, ResultCache
 from .cells import CellRunSpec, execute_cell, execute_cell_shard
+from .metro import (
+    MetroRunSpec,
+    execute_metro,
+    execute_metro_cell_shard,
+    merge_metro_run,
+)
 from .plan import ExperimentPlan
 from .runset import RunRecord, RunSet
 from .spec import RunSpec, execute
@@ -69,9 +76,9 @@ class PoolExecution:
         """Whether fewer workers than requested could usefully run."""
         return self.effective_jobs < self.requested_jobs
 
-#: One cell of either sweep grid: single-UE or cell-scale.
-AnySpec = Union[RunSpec, CellRunSpec]
-AnyResult = Union[SimulationResult, CellResult]
+#: One cell of any sweep grid: single-UE, cell-scale or metro-scale.
+AnySpec = Union[RunSpec, CellRunSpec, MetroRunSpec]
+AnyResult = Union[SimulationResult, CellResult, MetroResult]
 
 
 def usable_cpu_count() -> int:
@@ -99,6 +106,8 @@ def execute_spec(spec: AnySpec) -> AnyResult:
     :class:`RunSpec`s go through the trace simulator, :class:`CellRunSpec`s
     through the cell simulator — both riding the same event kernel.
     """
+    if isinstance(spec, MetroRunSpec):
+        return execute_metro(spec)
     if isinstance(spec, CellRunSpec):
         return execute_cell(spec)
     return execute(spec)
@@ -231,10 +240,13 @@ class ProcessPoolRunner(_BaseRunner):
                 pending[key] = spec
 
         # Phase 2: simulate the misses (pool only when it can actually help).
-        # A sharded cell spec fans out into one task per shard, so a single
-        # big cell can occupy every worker; the shard partials are merged
-        # back here in the parent (see repro.basestation.cell).
+        # A sharded cell spec fans out into one task per shard — and a metro
+        # spec into one task per (cell, shard) — so a single big run can
+        # occupy every worker; the partials are merged back here in the
+        # parent (see repro.basestation.cell / repro.metro.execution).
         def _task_count(spec: AnySpec) -> int:
+            if isinstance(spec, MetroRunSpec):
+                return spec.n_cells * spec.effective_shards
             return (
                 spec.effective_shards if isinstance(spec, CellRunSpec) else 1
             )
@@ -255,6 +267,17 @@ class ProcessPoolRunner(_BaseRunner):
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 futures: dict[Hashable, object] = {}
                 for key, spec in pending.items():
+                    if isinstance(spec, MetroRunSpec):
+                        # Cell-major task order: merge_metro_run relies on
+                        # partial (ci, si) sitting at index ci * shards + si.
+                        futures[key] = [
+                            pool.submit(
+                                execute_metro_cell_shard, spec, ci, si
+                            )
+                            for ci in range(spec.n_cells)
+                            for si in range(spec.effective_shards)
+                        ]
+                        continue
                     count = _task_count(spec)
                     if count > 1:
                         futures[key] = [
@@ -265,9 +288,12 @@ class ProcessPoolRunner(_BaseRunner):
                         futures[key] = pool.submit(execute_spec, spec)
                 for key, future in futures.items():
                     if isinstance(future, list):
-                        fresh[key] = merge_cell_shards(
-                            [shard.result() for shard in future]
-                        )
+                        partials = [shard.result() for shard in future]
+                        spec = pending[key]
+                        if isinstance(spec, MetroRunSpec):
+                            fresh[key] = merge_metro_run(spec, partials)
+                        else:
+                            fresh[key] = merge_cell_shards(partials)
                     else:
                         fresh[key] = future.result()
         for key, result in fresh.items():

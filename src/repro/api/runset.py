@@ -23,9 +23,11 @@ from typing import Any, Iterator, Sequence, Union
 
 from ..basestation.cell import CellResult
 from ..metrics.savings import SavingsReport, compare
+from ..metro.execution import MetroResult
 from ..sim.results import SimulationResult
 from .cache import CacheStats
 from .cells import CellRunSpec
+from .metro import MetroRunSpec
 from .spec import RunSpec
 
 __all__ = ["RunRecord", "RunSet"]
@@ -38,14 +40,16 @@ BASELINE_SCHEME = "status_quo"
 class RunRecord:
     """One executed grid cell: its spec, its result, and its provenance.
 
-    A record is either a single-UE run (:class:`RunSpec` →
-    :class:`SimulationResult`) or a cell-scale run (:class:`CellRunSpec` →
-    :class:`~repro.basestation.cell.CellResult`); :attr:`is_cell`
-    distinguishes them, and the axis accessors work uniformly on both.
+    A record is a single-UE run (:class:`RunSpec` →
+    :class:`SimulationResult`), a cell-scale run (:class:`CellRunSpec` →
+    :class:`~repro.basestation.cell.CellResult`) or a metro-scale run
+    (:class:`MetroRunSpec` → :class:`~repro.metro.execution.MetroResult`);
+    :attr:`is_cell` / :attr:`is_metro` distinguish them, and the axis
+    accessors work uniformly on all three.
     """
 
-    spec: Union[RunSpec, CellRunSpec]
-    result: Union[SimulationResult, CellResult]
+    spec: Union[RunSpec, CellRunSpec, MetroRunSpec]
+    result: Union[SimulationResult, CellResult, MetroResult]
     from_cache: bool = False
 
     @property
@@ -54,9 +58,14 @@ class RunRecord:
         return isinstance(self.spec, CellRunSpec)
 
     @property
+    def is_metro(self) -> bool:
+        """Whether this record is a metro-scale run."""
+        return isinstance(self.spec, MetroRunSpec)
+
+    @property
     def trace_label(self) -> str:
         """The workload axis value (application, population:user, cell label...)."""
-        if isinstance(self.spec, CellRunSpec):
+        if isinstance(self.spec, (CellRunSpec, MetroRunSpec)):
             return self.spec.label
         return self.spec.trace.label
 
@@ -72,7 +81,12 @@ class RunRecord:
 
     @property
     def dormancy(self) -> str:
-        """The base-station dormancy axis value ("" for single-UE runs)."""
+        """The base-station dormancy axis value.
+
+        ``""`` for single-UE runs and for metro runs — metro station
+        policies are per-cell topology properties, not an axis (see the
+        per-cell ``dormancy`` entries in :meth:`RunSet.to_records`).
+        """
         if isinstance(self.spec, CellRunSpec):
             return self.spec.dormancy.label
         return ""
@@ -92,7 +106,7 @@ class RunRecord:
         clamped-identical runs share one comparison group, matching the
         cache key.
         """
-        if isinstance(self.spec, CellRunSpec):
+        if isinstance(self.spec, (CellRunSpec, MetroRunSpec)):
             return self.spec.effective_shards
         return 1
 
@@ -104,11 +118,15 @@ class RunRecord:
         the dormancy policy and the shard count — schemes are only
         comparable under the same base-station behaviour and the same
         execution precision (sharding changes ``load_aware`` arbitration
-        and the peak-active estimate).
+        and the peak-active estimate).  Metro runs add the shard count
+        only (their station policies live in the topology, which is part
+        of the label).
         """
         if self.is_cell:
             return (self.trace_label, self.carrier, self.dormancy,
                     self.shards, self.seed)
+        if self.is_metro:
+            return (self.trace_label, self.carrier, self.shards, self.seed)
         return (self.trace_label, self.carrier, self.seed)
 
 
@@ -228,10 +246,11 @@ class RunSet(Sequence[RunRecord]):
         whose rows carry ``denial_rate``, ``peak_switches_per_minute`` and
         ``saved_percent`` against the same group's baseline scheme.
         """
-        if any(r.is_cell for r in self._records):
+        if any(r.is_cell or r.is_metro for r in self._records):
             raise TypeError(
                 "savings() builds per-run SavingsReports for single-UE "
-                "sweeps; cell-scale records aggregate via to_records()"
+                "sweeps; cell- and metro-scale records aggregate via "
+                "to_records()"
             )
         table: dict[tuple, dict[str, SavingsReport]] = {}
         for cell_key, cell in self.group_by("trace", "carrier", "seed").items():
@@ -287,6 +306,75 @@ class RunSet(Sequence[RunRecord]):
             rows[label] = entry
         return rows
 
+    def _metro_cell_rows(self, result: MetroResult,
+                         baseline: RunRecord | None) -> dict[str, dict[str, Any]]:
+        """Per-cell breakdown dicts of one metro record, keyed by cell name.
+
+        Each cell entry carries its own station policy, load and
+        handover counts — plus ``saved_percent`` against the *same cell*
+        of the group's baseline record when one exists, and the cell's
+        per-cohort rows (:meth:`_cohort_rows`) when its population is
+        scenario-homed.
+        """
+        base_cells = (
+            {entry.name: entry for entry in baseline.result.cells}
+            if baseline is not None and isinstance(baseline.result, MetroResult)
+            else {}
+        )
+        rows: dict[str, dict[str, Any]] = {}
+        for entry in result.cells:
+            cell_result = entry.result
+            row: dict[str, Any] = {
+                "dormancy": entry.dormancy,
+                "capacity": entry.capacity,
+                "visits": entry.visits,
+                "departures": entry.departures,
+                "arrivals": entry.arrivals,
+                "energy_j": cell_result.total_energy_j,
+                "switch_count": cell_result.total_switches,
+                "rrc_messages": cell_result.signaling.messages,
+                "dormancy_requests": cell_result.dormancy_requests,
+                "denial_rate": cell_result.denial_rate,
+                "peak_active_devices": cell_result.peak_active_devices,
+            }
+            if entry.utilization is not None:
+                row["utilization"] = entry.utilization
+            base = base_cells.get(entry.name)
+            if base is not None and base.result.total_energy_j > 0:
+                row["saved_percent"] = 100.0 * (
+                    (base.result.total_energy_j - cell_result.total_energy_j)
+                    / base.result.total_energy_j
+                )
+            cohorts = self._metro_cohort_rows(
+                cell_result, base.result if base is not None else None
+            )
+            if cohorts:
+                row["cohorts"] = cohorts
+            rows[entry.name] = row
+        return rows
+
+    @staticmethod
+    def _metro_cohort_rows(
+        cell_result: CellResult, base_result: CellResult | None
+    ) -> dict[str, dict[str, Any]]:
+        """Cohort rows of one metro cell, normalised against the baseline cell."""
+        if not cell_result.cohorts():
+            return {}
+        breakdown = cell_result.cohort_breakdown()
+        base_breakdown = (
+            base_result.cohort_breakdown() if base_result is not None else {}
+        )
+        rows: dict[str, dict[str, Any]] = {}
+        for label in cell_result.cohorts():
+            entry = breakdown[label].as_dict()
+            base = base_breakdown.get(label)
+            if base is not None and base.energy_j > 0:
+                entry["saved_percent"] = 100.0 * (
+                    (base.energy_j - breakdown[label].energy_j) / base.energy_j
+                )
+            rows[label] = entry
+        return rows
+
     def to_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
                    ) -> list[dict[str, Any]]:
         """Flatten the run set into plain dicts, one per record.
@@ -311,6 +399,44 @@ class RunSet(Sequence[RunRecord]):
         rows: list[dict[str, Any]] = []
         for record in self._records:
             result = record.result
+            if record.is_metro:
+                row = {
+                    "trace": record.trace_label,
+                    "carrier": record.carrier,
+                    "scheme": record.scheme,
+                    "shards": record.shards,
+                    "seed": record.seed,
+                    "devices": result.devices,
+                    "n_cells": len(result.cells),
+                    "handovers": result.handovers,
+                    "duration_s": result.duration_s,
+                    "energy_j": result.total_energy_j,
+                    "switch_count": result.total_switches,
+                    "rrc_messages": result.total_messages,
+                    "dormancy_requests": result.dormancy_requests,
+                    "denial_rate": result.denial_rate,
+                    "from_cache": record.from_cache,
+                }
+                if self._execution is not None:
+                    row["pool_jobs"] = self._execution.effective_jobs
+                    row["pool_clamped"] = self._execution.clamped
+                baseline = baselines.get(record.group_key)
+                if baseline is not None:
+                    base = baseline.result
+                    if base.total_energy_j > 0:
+                        row["saved_percent"] = 100.0 * (
+                            (base.total_energy_j - result.total_energy_j)
+                            / base.total_energy_j
+                        )
+                    else:
+                        row["saved_percent"] = 0.0
+                    if base.total_switches:
+                        row["switches_normalized"] = (
+                            result.total_switches / base.total_switches
+                        )
+                row["cells"] = self._metro_cell_rows(result, baseline)
+                rows.append(row)
+                continue
             if record.is_cell:
                 row = {
                     "trace": record.trace_label,
@@ -378,14 +504,15 @@ class RunSet(Sequence[RunRecord]):
                baseline_scheme: str | None = BASELINE_SCHEME) -> None:
         """Write :meth:`to_records` rows as CSV.
 
-        The nested per-cohort ``cohorts`` mapping of scenario cells has no
-        flat representation and is omitted — use :meth:`to_json` (or
-        :meth:`to_records` directly) for per-cohort data.
+        The nested per-cohort ``cohorts`` mapping of scenario cells — and
+        the nested per-cell ``cells`` mapping of metro records — have no
+        flat representation and are omitted; use :meth:`to_json` (or
+        :meth:`to_records` directly) for the nested data.
         """
         from ..reporting.render import write_csv
 
         rows = [
-            {k: v for k, v in row.items() if k != "cohorts"}
+            {k: v for k, v in row.items() if k not in ("cohorts", "cells")}
             for row in self.to_records(baseline_scheme)
         ]
         fieldnames: list[str] = []

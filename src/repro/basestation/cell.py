@@ -100,6 +100,12 @@ class DeviceSpec:
     iterable of packets in non-decreasing timestamp order (a generator from
     :mod:`repro.traces.streaming`); lazy sources keep cell memory bounded by
     the device count.
+
+    ``attach_at``/``detach_at`` bound a *metro visit*: the device's
+    timeline starts at ``attach_at`` (Idle until its first packet) and — if
+    ``detach_at`` is set — is closed there by a kernel handover event.  The
+    trace must fall inside ``[attach_at, detach_at)``.  The defaults
+    (attach at 0, never detach) are the plain single-cell device.
     """
 
     device_id: int
@@ -109,10 +115,22 @@ class DeviceSpec:
     #: through to :class:`DeviceResult` so cell results can report
     #: per-cohort breakdowns.
     cohort: str = ""
+    #: When this device's timeline starts (a mid-run metro attach).
+    attach_at: float = 0.0
+    #: When a handover closes this device's timeline (``None``: stays
+    #: attached until the cell's globally resolved end time).
+    detach_at: float | None = None
 
     def __post_init__(self) -> None:
         if self.device_id < 0:
             raise ValueError(f"device_id must be non-negative, got {self.device_id}")
+        if self.attach_at < 0:
+            raise ValueError(f"attach_at must be non-negative, got {self.attach_at}")
+        if self.detach_at is not None and self.detach_at <= self.attach_at:
+            raise ValueError(
+                f"detach_at ({self.detach_at}) must be after "
+                f"attach_at ({self.attach_at})"
+            )
 
 
 @dataclass(frozen=True)
@@ -352,6 +370,10 @@ class ShardDeviceState:
     delayed_sessions: int
     total_session_delay_s: float
     cohort: str = ""
+    #: True when a handover already closed this device's timeline at its
+    #: departure instant: the exported state-time totals are final and the
+    #: merge must *not* extend them to the global end time.
+    closed: bool = False
 
 
 @dataclass(frozen=True)
@@ -491,10 +513,16 @@ class CellSimulator:
             spec.policy.prepare(prepared, profile)
             spec.policy.reset()
             contexts[spec.device_id] = UeContext(
-                spec.device_id, profile, spec.policy, collect=False
+                spec.device_id, profile, spec.policy, collect=False,
+                start_time=spec.attach_at,
             )
             streams[spec.device_id] = spec.trace
 
+        handovers = {
+            spec.device_id: spec.detach_at
+            for spec in devices
+            if spec.detach_at is not None
+        }
         load = CellLoad(total_devices=len(devices), window_s=_LOAD_WINDOW_S)
         outcome = self._engine.run(
             streams,
@@ -503,6 +531,7 @@ class CellSimulator:
             load=load,
             sample_interval_s=self._sample_interval,
             finish=False,
+            handovers=handovers or None,
         )
 
         shard_devices = []
@@ -535,6 +564,7 @@ class CellSimulator:
                     delayed_sessions=ue.delayed_sessions,
                     total_session_delay_s=ue.total_delay_s,
                     cohort=spec.cohort,
+                    closed=ue.departed,
                 )
             )
         return CellShard(
@@ -676,8 +706,16 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
     device_results = []
     for shard in shards:
         for dev in shard.devices:
-            (active_time_s, high_idle_time_s, idle_time_s,
-             closed_timer_demotions) = _close_device(dev, profile, end_time)
+            if dev.closed:
+                # A handover already closed this timeline at its departure
+                # instant; the exported totals are final.
+                active_time_s = dev.active_time_s
+                high_idle_time_s = dev.high_idle_time_s
+                idle_time_s = dev.idle_time_s
+                closed_timer_demotions = dev.timer_demotions
+            else:
+                (active_time_s, high_idle_time_s, idle_time_s,
+                 closed_timer_demotions) = _close_device(dev, profile, end_time)
             breakdown = assemble_breakdown(
                 profile,
                 data_j=dev.data_j,

@@ -103,6 +103,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="sweep a multi-device cell (streamed traces) instead of single UEs",
     )
     sweep.add_argument(
+        "--metro", default=None,
+        help="comma-separated metro topology presets (commuter_2cell, "
+             "metro_4cell, ...): sweep multi-cell metros with mobility and "
+             "mid-stream handover; composes with --devices, --shards "
+             "(per-cell), --carriers and --schemes",
+    )
+    sweep.add_argument(
         "--devices", type=int, default=None,
         help="devices per cell for --cell (default 100; workloads cycle "
              "over --apps)",
@@ -299,15 +306,39 @@ def _build_sweep_plan(args: argparse.Namespace):
     if args.plan:
         return load_plan(args.plan)
     p = new_plan()
-    if not args.cell and (args.devices is not None or args.dormancy is not None
-                          or args.shards is not None
-                          or args.scenario is not None):
+    if args.metro is not None:
+        if args.cell or args.scenario is not None or args.dormancy is not None:
+            raise ValueError(
+                "--metro is its own sweep kind: drop --cell/--scenario, and "
+                "configure station policies per cell in the metro topology "
+                "instead of --dormancy"
+            )
+        if args.apps or args.population:
+            raise ValueError(
+                "--metro topologies define their own workload mixes; drop "
+                "--apps/--population"
+            )
+        names = _split_csv_arg(args.metro)
+        if not names:
+            raise ValueError("--metro requires at least one preset name")
+        devices = args.devices if args.devices is not None else 1000
+        # plan.metros resolves preset names itself (and raises the
+        # preset-listing error for unknown ones).
+        p = p.metros(*names, devices=devices, duration=args.duration)
+        if args.shards is not None:
+            p = p.shards(args.shards)
+    elif not args.cell and (args.devices is not None
+                            or args.dormancy is not None
+                            or args.shards is not None
+                            or args.scenario is not None):
         raise ValueError(
             "--devices, --dormancy, --shards and --scenario configure a "
-            "cell sweep; add --cell (they would otherwise be silently "
-            "ignored)"
+            "cell or metro sweep; add --cell or --metro (they would "
+            "otherwise be silently ignored)"
         )
-    if args.cell:
+    if args.metro is not None:
+        pass  # workload declared above; fall through to the shared axes
+    elif args.cell:
         if args.population:
             raise ValueError(
                 "--cell sweeps synthetic application mixes (--apps); "
@@ -344,10 +375,12 @@ def _build_sweep_plan(args: argparse.Namespace):
         p = p.apps(*apps, duration=args.duration)
     p = p.carriers(*_split_csv_arg(args.carriers))
     if args.schemes is None:
-        # Streamed cell traces cannot feed the offline oracle (see
-        # RadioPolicy.requires_trace), so the cell default leaves it out.
-        default_schemes = ("status_quo,makeidle" if args.cell
-                           else "status_quo,makeidle,oracle")
+        # Streamed cell/metro traces cannot feed the offline oracle (see
+        # RadioPolicy.requires_trace), so those defaults leave it out.
+        default_schemes = (
+            "status_quo,makeidle" if args.cell or args.metro is not None
+            else "status_quo,makeidle,oracle"
+        )
     else:
         default_schemes = args.schemes
     schemes = [_SCHEME_ALIASES.get(s, s) for s in _split_csv_arg(default_schemes)]
@@ -389,6 +422,59 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(text)
         else:
             print(f"wrote {args.json}", file=sys.stderr)
+    elif records and "n_cells" in records[0]:
+        rows = [
+            [
+                r["trace"],
+                r["carrier"],
+                r["scheme"],
+                str(r.get("shards", 1)),
+                str(r["devices"]),
+                str(r["handovers"]),
+                f"{r['energy_j']:.1f}",
+                f"{r.get('saved_percent', 0.0):.1f}",
+                f"{100.0 * r['denial_rate']:.1f}",
+            ]
+            for r in records
+        ]
+        print(
+            format_table(
+                ["metro", "carrier", "scheme", "shards", "devices",
+                 "handovers", "energy (J)", "saved %", "denied %"],
+                rows,
+            )
+        )
+        cell_rows = [
+            [
+                r["trace"],
+                r["carrier"],
+                r["scheme"],
+                name,
+                c["dormancy"],
+                str(c["visits"]),
+                str(c["departures"]),
+                f"{c['energy_j']:.1f}",
+                # "-" = no baseline to normalise against, distinct from a
+                # computed 0.0% saving.
+                (f"{c['saved_percent']:.1f}" if "saved_percent" in c
+                 else "-"),
+                f"{100.0 * c['denial_rate']:.1f}",
+                (f"{100.0 * c['utilization']:.1f}" if "utilization" in c
+                 else "-"),
+            ]
+            for r in records
+            for name, c in r.get("cells", {}).items()
+        ]
+        if cell_rows:
+            print()
+            print(
+                format_table(
+                    ["metro", "carrier", "scheme", "cell", "dormancy",
+                     "visits", "handovers out", "energy (J)", "saved %",
+                     "denied %", "util %"],
+                    cell_rows,
+                )
+            )
     elif records and "dormancy" in records[0]:
         rows = [
             [

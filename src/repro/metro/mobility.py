@@ -1,0 +1,217 @@
+"""Mobility models: shard-invariant cell-residency timelines.
+
+A mobility model answers one question: *which cell does UE ``i`` occupy
+when?*  The answer is a **move list** — ``((cell, enter_time), ...)``,
+first entry at time 0, strictly increasing times, consecutive cells
+distinct — and it is a pure function of ``(global device index, metro
+seed)``: every random draw comes from a generator seeded with the hashed
+derivation ``crc32("metro/<seed>/<index>")`` (the substitution rule of
+``docs/DESIGN.md`` §3 — linear seed strides collide across devices at
+scale, so they are never used).  Because no draw depends on which devices
+share a process, any shard of the population derives exactly the
+timelines a whole-population walk would, which is what keeps metro runs
+byte-identical at any cell-shard partitioning.
+
+Two models cover the paper-scale studies:
+
+* :class:`CommuterMobility` — the diurnal home/work flow: every commuter
+  starts the day in its home cell, moves to the work cell at a jittered
+  departure time and returns at a jittered return time, repeating daily
+  for multi-day horizons.
+* :class:`ShuffleMobility` — the steady-state stress model: exponential
+  residency times, each move to a uniformly random *different* cell.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "CommuterMobility",
+    "MobilityModel",
+    "ShuffleMobility",
+    "mobility_from_dict",
+    "mobility_seed",
+]
+
+#: A UE's cell-residency timeline: ``(cell name, enter time)`` moves.
+Moves = tuple[tuple[str, float], ...]
+
+
+def mobility_seed(seed: int, index: int) -> int:
+    """Hashed per-device mobility seed: ``crc32("metro/<seed>/<index>")``.
+
+    The metro analogue of the scenario and chunk seed derivations (see
+    ``docs/DESIGN.md`` §3); the ``metro/`` prefix keeps the chain disjoint
+    from every other derivation, so a device's mobility draws never share
+    a generator seed with its workload chunks.
+    """
+    return zlib.crc32(f"metro/{seed}/{index}".encode("ascii"))
+
+
+class MobilityModel:
+    """Base class for residency-timeline generators (see module docstring)."""
+
+    def moves(self, index: int, seed: int, duration_s: float,
+              cell_names: Sequence[str]) -> Moves:
+        """UE ``index``'s move list over ``[0, duration_s)``."""
+        raise NotImplementedError
+
+    def validate_cells(self, cell_names: Sequence[str]) -> None:
+        """Check the model's cell references against a metro's cell set."""
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Stable cache-key component identifying the timelines this builds."""
+        raise NotImplementedError
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable form (see :func:`mobility_from_dict`)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CommuterMobility(MobilityModel):
+    """Diurnal home↔work commuter flows.
+
+    Each commuting UE starts the day at ``home``, departs for ``work`` at
+    ``depart_s + U(0, jitter_s)`` and returns at ``return_s +
+    U(0, jitter_s)``, every ``period_s`` seconds (one civil day by
+    default).  ``commuter_fraction`` of the population commutes; the rest
+    stay home all run.  Defaults place the commute inside a standard day
+    (08:00 out, 17:00 back, ±30 min).
+    """
+
+    home: str
+    work: str
+    depart_s: float = 8 * 3600.0
+    return_s: float = 17 * 3600.0
+    jitter_s: float = 1800.0
+    commuter_fraction: float = 1.0
+    period_s: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.home == self.work:
+            raise ValueError("home and work must be different cells")
+        if self.depart_s <= 0:
+            raise ValueError(f"depart_s must be positive, got {self.depart_s}")
+        if self.jitter_s < 0:
+            raise ValueError(f"jitter_s must be non-negative, got {self.jitter_s}")
+        if self.return_s < self.depart_s + self.jitter_s:
+            # Otherwise a jittered departure could land after the return,
+            # producing a non-increasing move list.
+            raise ValueError(
+                f"return_s ({self.return_s}) must be >= depart_s + jitter_s "
+                f"({self.depart_s + self.jitter_s})"
+            )
+        if not 0.0 <= self.commuter_fraction <= 1.0:
+            raise ValueError(
+                f"commuter_fraction must be in [0, 1], got "
+                f"{self.commuter_fraction}"
+            )
+        if self.period_s < self.return_s + self.jitter_s:
+            raise ValueError(
+                f"period_s ({self.period_s}) must cover the jittered return "
+                f"({self.return_s + self.jitter_s})"
+            )
+
+    def validate_cells(self, cell_names: Sequence[str]) -> None:
+        for name in (self.home, self.work):
+            if name not in cell_names:
+                raise ValueError(
+                    f"commuter mobility references unknown cell {name!r}; "
+                    f"metro cells: {list(cell_names)}"
+                )
+
+    def moves(self, index: int, seed: int, duration_s: float,
+              cell_names: Sequence[str]) -> Moves:
+        rng = Random(mobility_seed(seed, index))
+        if rng.random() >= self.commuter_fraction:
+            return ((self.home, 0.0),)
+        moves: list[tuple[str, float]] = [(self.home, 0.0)]
+        day = 0
+        while day * self.period_s < duration_s:
+            base = day * self.period_s
+            depart = base + self.depart_s + rng.uniform(0.0, self.jitter_s)
+            back = base + self.return_s + rng.uniform(0.0, self.jitter_s)
+            if depart < duration_s:
+                moves.append((self.work, depart))
+            if back < duration_s:
+                moves.append((self.home, back))
+            day += 1
+        return tuple(moves)
+
+    @property
+    def fingerprint(self) -> tuple:
+        return ("commuter", self.home, self.work, self.depart_s,
+                self.return_s, self.jitter_s, self.commuter_fraction,
+                self.period_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "model": "commuter",
+            "home": self.home,
+            "work": self.work,
+            "depart_s": self.depart_s,
+            "return_s": self.return_s,
+            "jitter_s": self.jitter_s,
+            "commuter_fraction": self.commuter_fraction,
+            "period_s": self.period_s,
+        }
+
+
+@dataclass(frozen=True)
+class ShuffleMobility(MobilityModel):
+    """Steady random shuffling between all cells.
+
+    Each UE starts in a uniformly random cell, stays for an
+    exponentially distributed residency time (mean ``mean_residency_s``)
+    and then moves to a uniformly random *different* cell — the
+    memoryless stress model for handover-rate studies.
+    """
+
+    mean_residency_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.mean_residency_s <= 0:
+            raise ValueError(
+                f"mean_residency_s must be positive, got "
+                f"{self.mean_residency_s}"
+            )
+
+    def moves(self, index: int, seed: int, duration_s: float,
+              cell_names: Sequence[str]) -> Moves:
+        n = len(cell_names)
+        if n < 2:
+            raise ValueError("shuffle mobility needs at least two cells")
+        rng = Random(mobility_seed(seed, index))
+        rate = 1.0 / self.mean_residency_s
+        current = rng.randrange(n)
+        moves: list[tuple[str, float]] = [(cell_names[current], 0.0)]
+        time = rng.expovariate(rate)
+        while time < duration_s:
+            current = (current + rng.randrange(1, n)) % n
+            moves.append((cell_names[current], time))
+            time += rng.expovariate(rate)
+        return tuple(moves)
+
+    @property
+    def fingerprint(self) -> tuple:
+        return ("shuffle", self.mean_residency_s)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"model": "shuffle", "mean_residency_s": self.mean_residency_s}
+
+
+def mobility_from_dict(data: Mapping[str, Any]) -> MobilityModel:
+    """Re-create a mobility model from its :meth:`~MobilityModel.to_dict` form."""
+    payload = dict(data)
+    model = payload.pop("model", None)
+    if model == "commuter":
+        return CommuterMobility(**payload)
+    if model == "shuffle":
+        return ShuffleMobility(**payload)
+    raise ValueError(f"unknown mobility model {model!r}")

@@ -1,0 +1,93 @@
+"""The built-in metro library: named, serialisable metro topologies.
+
+Presets are what the plan/CLI layers reference by name (``sweep --metro
+commuter_2cell``) and what plan serialisation round-trips through —
+an inline :class:`~repro.metro.topology.Metro` works with the API but,
+like inline traces, refuses ``to_dict``.  Builders are registered as
+factories and instantiated on first use, so importing this module stays
+cheap and scenario lookups happen lazily.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..api.cells import DormancySpec
+from .mobility import CommuterMobility, ShuffleMobility
+from .topology import Metro, MetroCell
+
+__all__ = ["METRO_BUILDERS", "get_metro", "metro_names"]
+
+
+def _commuter_2cell() -> Metro:
+    """The canonical 2-cell commuter study: suburb homes, downtown offices.
+
+    The work cell runs a ``load_aware`` station (the congested downtown
+    site is where denial behaviour matters); the home cell accepts every
+    request.  Capacities are advisory sizing for utilisation tables.
+    """
+    return Metro(
+        name="commuter_2cell",
+        cells=(
+            MetroCell(name="home", capacity=4000),
+            MetroCell(name="work", capacity=2500,
+                      dormancy=DormancySpec(scheme="load_aware", param=240)),
+        ),
+        mobility=CommuterMobility(home="home", work="work",
+                                  commuter_fraction=0.7),
+        description="Diurnal suburb/downtown commuter flows, 70% commuting.",
+    )
+
+
+def _metro_4cell() -> Metro:
+    """A 4-cell shuffle metro: the handover-rate stress topology.
+
+    Exponential 10-minute residencies over four heterogeneous stations —
+    the shape used by the ``metro_250k`` benchmark section.
+    """
+    return Metro(
+        name="metro_4cell",
+        cells=(
+            MetroCell(name="north", capacity=3000),
+            MetroCell(name="east", capacity=3000,
+                      dormancy=DormancySpec(scheme="rate_limited", param=30)),
+            MetroCell(name="south", capacity=3000,
+                      dormancy=DormancySpec(scheme="load_aware", param=300)),
+            MetroCell(name="west", capacity=3000),
+        ),
+        mobility=ShuffleMobility(mean_residency_s=600.0),
+        description="Four-cell random-shuffle mobility stress topology.",
+    )
+
+
+#: Factory registry: name -> zero-arg builder (see module docstring).
+METRO_BUILDERS: Dict[str, Callable[[], Metro]] = {
+    "commuter_2cell": _commuter_2cell,
+    "metro_4cell": _metro_4cell,
+}
+
+_CACHE: Dict[str, Metro] = {}
+
+
+def metro_names() -> tuple[str, ...]:
+    """The registered preset names, sorted."""
+    return tuple(sorted(METRO_BUILDERS))
+
+
+def get_metro(name: str) -> Metro:
+    """Look up a preset metro by name (building it on first use)."""
+    try:
+        builder = METRO_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown metro {name!r}; known: {list(metro_names())}"
+        ) from None
+    if name not in _CACHE:
+        metro = builder()
+        if metro.name != name:
+            raise ValueError(
+                f"metro builder {name!r} produced mismatched name "
+                f"{metro.name!r}"
+            )
+        _CACHE[name] = metro
+    return _CACHE[name]

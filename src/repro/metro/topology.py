@@ -1,0 +1,166 @@
+"""Metro topology: named cells, per-cell station policy, and mobility.
+
+A :class:`Metro` is the multi-cell layer above the single-cell façade:
+a set of named :class:`MetroCell`\\ s — each with its own station
+(dormancy) policy, advisory capacity, and optional traffic scenario —
+plus a mobility model that assigns every UE a cell-residency timeline.
+The topology itself is pure description; execution lives in
+:mod:`repro.metro.execution`, which turns each residency interval into a
+windowed single-cell device and reuses the sharded cell machinery
+underneath.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..api.cells import DORMANCY_SCHEMES, DormancySpec
+from ..scenarios import Scenario, get_scenario
+from .mobility import MobilityModel, Moves, mobility_from_dict
+
+__all__ = ["Metro", "MetroCell"]
+
+
+@dataclass(frozen=True)
+class MetroCell:
+    """One named cell of a metro.
+
+    ``dormancy`` is the *station-side* policy this cell's base station
+    runs (``None`` means accept every fast-dormancy request, the
+    ``status_quo``-friendly default).  ``capacity`` is an advisory
+    simultaneous-connection budget: utilisation is reported against it
+    but admission is never blocked, matching the paper's measurement
+    (not admission-control) viewpoint.  ``scenario`` optionally gives
+    the cell's *home population* a mixed-cohort workload; devices homed
+    in a scenario-less cell run the metro-level application mix.
+    """
+
+    name: str
+    capacity: int = 0
+    dormancy: DormancySpec | None = None
+    scenario: Scenario | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("cell name must be non-empty")
+        if self.capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {self.capacity}")
+
+    @property
+    def fingerprint(self) -> tuple:
+        return (
+            "metrocell",
+            self.name,
+            self.capacity,
+            self.dormancy.key if self.dormancy is not None else None,
+            self.scenario.fingerprint if self.scenario is not None else None,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {"name": self.name, "capacity": self.capacity}
+        if self.dormancy is not None:
+            data["dormancy"] = {"scheme": self.dormancy.scheme,
+                                "param": self.dormancy.param}
+        if self.scenario is not None:
+            data["scenario"] = self.scenario.name
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetroCell":
+        dormancy = None
+        if "dormancy" in data and data["dormancy"] is not None:
+            dormancy = DormancySpec(**data["dormancy"])
+        scenario = None
+        if data.get("scenario"):
+            scenario = get_scenario(data["scenario"])
+        return cls(name=data["name"], capacity=int(data.get("capacity", 0)),
+                   dormancy=dormancy, scenario=scenario)
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A multi-cell topology with mobility (see module docstring).
+
+    ``apps`` is the workload mix for devices homed in cells without a
+    scenario: device ``i`` runs ``apps[i % len(apps)]`` with the hashed
+    per-device seed ``crc32("metroapp/<seed>/<i>")`` (DESIGN.md §3).
+    """
+
+    name: str
+    cells: tuple[MetroCell, ...]
+    mobility: MobilityModel
+    apps: tuple[str, ...] = ("im", "email", "news")
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("metro name must be non-empty")
+        if len(self.cells) < 2:
+            raise ValueError(
+                f"a metro needs at least two cells, got {len(self.cells)}"
+            )
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate cell names in metro: {names}")
+        if not self.apps:
+            raise ValueError("metro apps mix must be non-empty")
+        from ..traces.synthetic import APPLICATION_PROFILES
+
+        for app in self.apps:
+            if app.lower() not in APPLICATION_PROFILES:
+                raise ValueError(
+                    f"unknown application {app!r}; known: "
+                    f"{sorted(APPLICATION_PROFILES)}"
+                )
+        for cell in self.cells:
+            if cell.dormancy is not None and (
+                    cell.dormancy.scheme not in DORMANCY_SCHEMES):
+                raise ValueError(
+                    f"cell {cell.name!r}: unknown dormancy scheme "
+                    f"{cell.dormancy.scheme!r}"
+                )
+        self.mobility.validate_cells(names)
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        return tuple(cell.name for cell in self.cells)
+
+    def cell_index(self, name: str) -> int:
+        for i, cell in enumerate(self.cells):
+            if cell.name == name:
+                return i
+        raise KeyError(f"no cell named {name!r} in metro {self.name!r}")
+
+    def timeline(self, index: int, seed: int, duration_s: float) -> Moves:
+        """UE ``index``'s residency timeline — pure in (index, seed)."""
+        return self.mobility.moves(index, seed, duration_s, self.cell_names)
+
+    @property
+    def fingerprint(self) -> tuple:
+        return (
+            "metro",
+            self.name,
+            tuple(cell.fingerprint for cell in self.cells),
+            self.mobility.fingerprint,
+            self.apps,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "cells": [cell.to_dict() for cell in self.cells],
+            "mobility": self.mobility.to_dict(),
+            "apps": list(self.apps),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Metro":
+        return cls(
+            name=data["name"],
+            cells=tuple(MetroCell.from_dict(c) for c in data["cells"]),
+            mobility=mobility_from_dict(data["mobility"]),
+            apps=tuple(data.get("apps", ("im", "email", "news"))),
+            description=data.get("description", ""),
+        )

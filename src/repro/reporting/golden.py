@@ -22,7 +22,8 @@ The grids are deliberately small (seconds of runtime) but cross every
 layer: two applications × two carriers × four schemes for the single-UE
 suite; homogeneous cells under two dormancy policies; scenario cells
 (heterogeneous cohorts, diurnal shaping, mixed policies) for the scenario
-suite.
+suite; and small metros (shuffle and commuter mobility) pinning the
+handover layer.
 """
 
 from __future__ import annotations
@@ -260,6 +261,92 @@ def _hot_path_records() -> list[dict[str, Any]]:
     return records
 
 
+_METRO_SHUFFLE_DEVICES = 10
+_METRO_SHUFFLE_DURATION_S = 3600.0
+_METRO_COMMUTER_DEVICES = 6
+#: Long enough to cross the commuter departure time (8 h), so the
+#: commuter preset contributes real mid-stream handovers to the record.
+_METRO_COMMUTER_DURATION_S = 36000.0
+_METRO_CHUNK_S = 300.0
+
+
+def _metro_small_records() -> list[dict[str, Any]]:
+    """Digest-pinned small metros: shuffle 4-cell + commuter 2-cell.
+
+    Pins the whole metro layer — mobility timelines, visit windowing,
+    the handover close-out, hierarchical merge and the global end time —
+    down to the float.  Per-visit device results are folded into one
+    sha256 digest per cell over a lossless ``float.hex`` serialisation
+    (the :func:`_hot_path_records` convention), with handover/arrival
+    counts and exact-hex energy totals kept in the clear.
+    """
+    from ..api.metro import MetroRunSpec, execute_metro, metro
+    from ..api.spec import PolicySpec
+
+    grid = (
+        ("metro_4cell", _METRO_SHUFFLE_DEVICES, _METRO_SHUFFLE_DURATION_S,
+         "status_quo"),
+        ("metro_4cell", _METRO_SHUFFLE_DEVICES, _METRO_SHUFFLE_DURATION_S,
+         "makeidle"),
+        ("commuter_2cell", _METRO_COMMUTER_DEVICES,
+         _METRO_COMMUTER_DURATION_S, "makeidle"),
+    )
+    records = []
+    for name, devices, duration_s, policy_scheme in grid:
+        spec = MetroRunSpec(
+            metro=metro(name, devices=devices, duration=duration_s,
+                        chunk_s=_METRO_CHUNK_S),
+            carrier="att_hspa",
+            policy=PolicySpec(scheme=policy_scheme).resolved(100),
+        )
+        result = execute_metro(spec)
+        cells = []
+        for entry in result.cells:
+            device_hash = hashlib.sha256()
+            for device in entry.result.devices:
+                device_hash.update(repr((
+                    device.device_id,
+                    device.policy_name,
+                    device.cohort,
+                    tuple(sorted(
+                        (key, _hex(value))
+                        for key, value in device.breakdown.as_dict().items()
+                    )),
+                    device.packets,
+                    device.dormancy_requests,
+                    device.dormancy_granted,
+                    device.dormancy_denied,
+                    device.delayed_sessions,
+                    _hex(device.total_session_delay_s),
+                )).encode("utf-8"))
+            cells.append({
+                "cell": entry.name,
+                "dormancy": entry.dormancy,
+                "visits": entry.visits,
+                "departures": entry.departures,
+                "arrivals": entry.arrivals,
+                "total_packets": entry.result.total_packets,
+                "total_switches": entry.result.total_switches,
+                "rrc_messages": entry.result.signaling.messages,
+                "dormancy_requests": entry.result.dormancy_requests,
+                "dormancy_denied": entry.result.dormancy_denied,
+                "peak_active_devices": entry.result.peak_active_devices,
+                "total_energy_j_hex": _hex(entry.result.total_energy_j),
+                "device_digest": device_hash.hexdigest(),
+            })
+        records.append({
+            "metro": name,
+            "carrier": spec.carrier,
+            "scheme": policy_scheme,
+            "devices": devices,
+            "handovers": result.handovers,
+            "duration_s_hex": _hex(result.duration_s),
+            "total_energy_j_hex": _hex(result.total_energy_j),
+            "cells": cells,
+        })
+    return records
+
+
 #: Golden suite name -> payload builder.  Adding a suite here makes it
 #: refreshable by ``tools/refresh_golden.py`` and checked by
 #: ``tests/integration/test_golden.py`` with no further wiring.
@@ -268,6 +355,7 @@ GOLDEN_BUILDERS: dict[str, Callable[[], list[dict[str, Any]]]] = {
     "small_cell": _small_cell_records,
     "scenario_cell": _scenario_cell_records,
     "hot_path_1k": _hot_path_records,
+    "metro_small": _metro_small_records,
 }
 
 

@@ -5,8 +5,8 @@ Both of the library's replay engines — the single-device
 :class:`~repro.basestation.cell.CellSimulator` — are thin façades over the
 :class:`SimulationEngine` defined here: a heap-based event queue with typed
 events (packet arrival, scheduled fast-dormancy, MakeActive buffer release,
-inactivity-timer expiry, cell-load sampling) driving one-or-many per-UE
-contexts against one shared clock.  Each :class:`UeContext` bundles an
+inactivity-timer expiry, handover departure, cell-load sampling) driving
+one-or-many per-UE contexts against one shared clock.  Each :class:`UeContext` bundles an
 :class:`~repro.rrc.state_machine.RrcStateMachine`, a
 :class:`~repro.core.policy.RadioPolicy` and an energy accumulator.
 
@@ -128,23 +128,27 @@ class EventKind(IntEnum):
     """Typed kernel events; the integer value is the tie-break priority.
 
     At equal times a buffer release fires before a scheduled fast dormancy,
-    which fires before an inactivity-timer expiry, which fires before a
-    packet arrival — the ordering that reproduces the documented tie-break
-    semantics (a demotion scheduled at exactly a packet's arrival time fires
-    strictly before the packet).
+    which fires before a handover departure, which fires before an
+    inactivity-timer expiry, which fires before a packet arrival — the
+    ordering that reproduces the documented tie-break semantics (a demotion
+    scheduled at exactly a packet's arrival time fires strictly before the
+    packet, and anything scheduled at exactly a UE's departure instant that
+    precedes it in priority is still charged to the departure cell).
     """
 
     RELEASE = 0        # MakeActive buffered-session release
     DORMANCY = 1       # scheduled fast-dormancy request
-    TIMER = 2          # inactivity-timer expiry (cell-load tracking)
-    ARRIVAL = 3        # packet arrival
-    SAMPLE = 4         # periodic cell-load sample
+    HANDOVER = 2       # UE departs this cell (metro mobility)
+    TIMER = 3          # inactivity-timer expiry (cell-load tracking)
+    ARRIVAL = 4        # packet arrival
+    SAMPLE = 5         # periodic cell-load sample
 
 
 #: The event kinds as plain ints — what the hot loop pushes and compares
 #: (an IntEnum ``int()`` call per event is pure overhead).
 _RELEASE = int(EventKind.RELEASE)
 _DORMANCY = int(EventKind.DORMANCY)
+_HANDOVER = int(EventKind.HANDOVER)
 _TIMER = int(EventKind.TIMER)
 _ARRIVAL = int(EventKind.ARRIVAL)
 _SAMPLE = int(EventKind.SAMPLE)
@@ -349,6 +353,7 @@ class UeContext:
         "timer_pending",
         "collect",
         "aborted",
+        "departed",
         "observes_packets",
         "delays_activation",
         "effective_packets",
@@ -373,13 +378,17 @@ class UeContext:
         profile: CarrierProfile,
         policy: RadioPolicy,
         collect: bool,
+        start_time: float = 0.0,
     ) -> None:
         self.ue_id = ue_id
         # Streaming contexts fold state-time/switch totals inside the
         # machine at transition time (bit-equal to draining the recorded
         # history, with no history objects); collect mode records the full
-        # interval/switch timeline for single-UE results.
-        self.machine = RrcStateMachine(profile, start_time=0.0,
+        # interval/switch timeline for single-UE results.  A non-zero
+        # ``start_time`` attaches the UE mid-run (a metro visit that began
+        # with a handover into this cell): its timeline — and therefore its
+        # Idle time — starts at that instant, not at t=0.
+        self.machine = RrcStateMachine(profile, start_time=start_time,
                                        fold_history=not collect)
         self.policy = policy
         self.last_flow_activity: dict[int, float] = {}
@@ -400,6 +409,10 @@ class UeContext:
         self.timer_pending = False
         self.collect = collect
         self.aborted = False
+        # Set by a HANDOVER event: the machine is closed at the departure
+        # instant and the context takes no further events (stale queued
+        # timers are ignored, finalize leaves it untouched).
+        self.departed = False
         # Which optional policy hooks are actually overridden: calling a
         # known no-op base hook per packet is pure overhead, and a policy
         # that never delays activation lets streaming contexts skip the
@@ -688,6 +701,7 @@ class SimulationEngine:
         load: CellLoad | None = None,
         sample_interval_s: float | None = None,
         finish: bool = True,
+        handovers: Mapping[int, float] | None = None,
     ) -> KernelResult:
         """Drive every UE's packet stream through the shared event queue.
 
@@ -714,11 +728,26 @@ class SimulationEngine:
             the event queue drains: the caller resolves the close time
             (possibly across several shard runs) and applies it via
             :meth:`finalize` — or folds the open tails itself.
+        handovers:
+            Optional per-UE departure times (metro mobility).  At its
+            departure instant a UE's MakeActive buffer (if any) is force
+            released, its pending dormancy/timer events are cancelled, its
+            machine is closed with the exact :meth:`RrcStateMachine.finish`
+            float operations, and — in cell mode — it leaves the live load
+            count.  The UE's packet stream must end strictly before its
+            departure time; a later packet aborts the run.  See
+            ``docs/DESIGN.md`` §4 (handover contract).
         """
         if station is not None and load is None:
             raise ValueError("cell mode (station=...) requires a CellLoad")
         if sample_interval_s is not None and sample_interval_s <= 0:
             raise ValueError("sample_interval_s must be positive")
+        if handovers:
+            unknown = [ue_id for ue_id in handovers if ue_id not in contexts]
+            if unknown:
+                raise ValueError(
+                    f"handover scheduled for unknown UE(s) {sorted(unknown)}"
+                )
 
         profile = self._profile
         data_model = self._accountant.data_model
@@ -964,7 +993,36 @@ class SimulationEngine:
             if cell_mode:
                 sync_load(ue)
 
+        def on_handover(ue: UeContext, time: float) -> None:
+            """Close ``ue``'s timeline at its departure instant.
+
+            The order matters: a MakeActive buffer still held at departure
+            is force-released *at* the handover time (its sessions are
+            emitted, delayed and charged to this cell), then every pending
+            dormancy — including the one the release just scheduled — is
+            cancelled, and the machine is closed with the same
+            :meth:`RrcStateMachine.finish` call a run end would use, so the
+            pending timer demotions are applied with the exact float
+            arithmetic of the shard-merge close-out replay.
+            """
+            if ue.buffering:
+                ue.release_seq += 1  # invalidate the scheduled release event
+                release_buffer(ue, time)
+            ue.dormancy_seq += 1
+            ue.timer_pending = False
+            ue.departed = True
+            ue.machine.finish(time)
+            if cell_mode:
+                # The UE leaves this cell's live population whatever state
+                # it closed in; stale queued TIMER events are skipped by
+                # the departed guard instead of re-syncing the load.
+                if ue.was_active:
+                    load.deactivate()
+                    ue.was_active = False
+
         def on_timer(ue: UeContext, time: float) -> None:
+            if ue.departed:
+                return  # stale expiry queued before the UE left the cell
             target = ue.timer_target
             if time < target:
                 # Activity moved the deadline since this event was queued:
@@ -978,10 +1036,14 @@ class SimulationEngine:
             ue.machine.advance_to(time)
             sync_load(ue)
 
-        # Prime one arrival per UE and (optionally) the first load sample.
+        # Prime one arrival per UE, the scheduled departures, and
+        # (optionally) the first load sample.
         for ue_id, source in streams.items():
             sources[ue_id] = _ArrivalSource(source)
             pull_arrival(ue_id, 0.0)
+        if handovers:
+            for ue_id, depart_at in handovers.items():
+                push(depart_at, _HANDOVER, ue_id, None)
         if sample_interval_s is not None and heap:
             push(sample_interval_s, _SAMPLE, -1, None)
 
@@ -1022,6 +1084,9 @@ class SimulationEngine:
                     ue = contexts[ue_id]
                     if payload == ue.release_seq:
                         release_buffer(ue, time)
+                elif kind == _HANDOVER:
+                    real_events -= 1
+                    on_handover(contexts[ue_id], time)
                 else:  # SAMPLE
                     samples.append(
                         LoadSample(
@@ -1080,6 +1145,9 @@ class SimulationEngine:
             raise ValueError("kernel result is already finished")
         cell_mode = result.load is not None
         for ue in result.contexts.values():
+            if ue.departed:
+                # Closed at its handover instant; its timeline ends there.
+                continue
             ue.machine.finish(end_time)
             if cell_mode:
                 active = ue.machine.state is not RadioState.IDLE

@@ -1,0 +1,114 @@
+"""Runner/RunSet integration for metro plans: serial, pooled, cached, exported."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    MetroResult,
+    ProcessPoolRunner,
+    ResultCache,
+    SerialRunner,
+    plan,
+)
+
+
+def _metro_plan(shards: int | None = None):
+    p = (plan()
+         .metros("metro_4cell", devices=10, duration=900.0)
+         .carriers("att_hspa")
+         .policies("status_quo", "makeidle"))
+    if shards is not None:
+        p = p.shards(shards)
+    return p
+
+
+@pytest.fixture(scope="module")
+def serial_runs():
+    return SerialRunner().run(_metro_plan())
+
+
+class TestSerialMetroRuns:
+    def test_results_are_metro_results(self, serial_runs):
+        assert len(serial_runs) == 2
+        for record in serial_runs:
+            assert record.is_metro
+            assert isinstance(record.result, MetroResult)
+            assert record.result.handovers > 0
+
+    def test_group_key_spans_schemes(self, serial_runs):
+        keys = {record.group_key for record in serial_runs}
+        assert len(keys) == 1  # same metro/carrier/shards/seed, scheme varies
+
+    def test_savings_table_refuses_metro_records(self, serial_runs):
+        with pytest.raises(TypeError):
+            serial_runs.savings()
+
+
+class TestMetroRecords:
+    def test_to_records_shape(self, serial_runs):
+        records = serial_runs.to_records()
+        assert len(records) == 2
+        for row in records:
+            assert row["n_cells"] == 4
+            assert row["handovers"] > 0
+            assert set(row["cells"]) == {"north", "east", "south", "west"}
+        by_scheme = {row["scheme"]: row for row in records}
+        makeidle = by_scheme["makeidle"]
+        assert makeidle["saved_percent"] is not None
+        assert makeidle["saved_percent"] > 0
+        # Per-cell rows carry their own baseline-relative savings.
+        for cell_row in makeidle["cells"].values():
+            assert "saved_percent" in cell_row
+            assert "visits" in cell_row
+            assert "denial_rate" in cell_row
+
+    def test_capacity_reported_with_utilization(self, serial_runs):
+        row = serial_runs.to_records()[0]
+        north = row["cells"]["north"]
+        assert north["capacity"] == 3000
+        assert "utilization" in north
+
+    def test_csv_flattens_nested_cells(self, serial_runs, tmp_path):
+        path = tmp_path / "metro.csv"
+        serial_runs.to_csv(path)
+        header = path.read_text(encoding="utf-8").splitlines()[0]
+        assert "cells" not in header.split(",")
+        assert "handovers" in header
+
+
+class TestPoolParity:
+    def test_pool_records_equal_serial(self, serial_runs):
+        pooled = ProcessPoolRunner(jobs=2).run(_metro_plan())
+        serial_rows = serial_runs.to_records()
+        pooled_rows = pooled.to_records()
+        for row in (*serial_rows, *pooled_rows):
+            row.pop("pool_jobs", None)
+            row.pop("pool_clamped", None)
+        assert pooled_rows == serial_rows
+
+    def test_sharded_pool_matches_sharded_serial(self):
+        serial = SerialRunner().run(_metro_plan(shards=2)).to_records()
+        pooled = ProcessPoolRunner(jobs=3).run(_metro_plan(shards=2)).to_records()
+        for row in (*serial, *pooled):
+            row.pop("pool_jobs", None)
+            row.pop("pool_clamped", None)
+        assert pooled == serial
+
+
+class TestMetroCache:
+    def test_repeat_run_hits_cache(self):
+        cache = ResultCache()
+        runner = SerialRunner(cache=cache)
+        first = runner.run(_metro_plan())
+        again = runner.run(_metro_plan())
+        assert not any(r.from_cache for r in first)
+        assert all(r.from_cache for r in again)
+        assert [r.result for r in again] == [r.result for r in first]
+
+    def test_shard_count_partitions_the_cache(self):
+        cache = ResultCache()
+        runner = SerialRunner(cache=cache)
+        runner.run(_metro_plan(shards=1))
+        resharded = runner.run(_metro_plan(shards=2))
+        assert not any(r.from_cache for r in resharded)

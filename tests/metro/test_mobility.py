@@ -1,0 +1,157 @@
+"""Mobility-model tests: shard-invariant, seed-pure residency timelines."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.metro import (
+    CommuterMobility,
+    ShuffleMobility,
+    mobility_from_dict,
+    mobility_seed,
+)
+
+CELLS = ("north", "east", "south", "west")
+
+
+class TestMobilitySeed:
+    def test_crc32_derivation(self):
+        """The documented DESIGN.md §3 substitution: crc32("metro/<s>/<i>")."""
+        assert mobility_seed(7, 42) == zlib.crc32(b"metro/7/42")
+
+    def test_disjoint_from_workload_chain(self):
+        from repro.metro import workload_seed
+
+        assert workload_seed(7, 42) == zlib.crc32(b"metroapp/7/42")
+        assert mobility_seed(7, 42) != workload_seed(7, 42)
+
+
+class TestMoveListInvariants:
+    @pytest.mark.parametrize("model", [
+        ShuffleMobility(mean_residency_s=300.0),
+        CommuterMobility(home="north", work="east", commuter_fraction=0.8,
+                         depart_s=600.0, return_s=2400.0, jitter_s=300.0,
+                         period_s=3600.0),
+    ])
+    def test_moves_are_well_formed(self, model):
+        for index in range(50):
+            moves = model.moves(index, seed=3, duration_s=7200.0,
+                                cell_names=CELLS)
+            names = [name for name, _ in moves]
+            times = [t for _, t in moves]
+            assert times[0] == 0.0
+            assert all(a < b for a, b in zip(times, times[1:]))
+            assert all(x != y for x, y in zip(names, names[1:]))
+            assert all(name in CELLS for name in names)
+            assert all(t < 7200.0 for t in times)
+
+    @pytest.mark.parametrize("model", [
+        ShuffleMobility(),
+        CommuterMobility(home="north", work="east"),
+    ])
+    def test_deterministic_in_index_and_seed(self, model):
+        for index in (0, 1, 17):
+            first = model.moves(index, 5, 86400.0, CELLS)
+            again = model.moves(index, 5, 86400.0, CELLS)
+            assert first == again
+        # Different seed, different draws (for at least one UE of many).
+        assert any(
+            model.moves(i, 5, 86400.0, CELLS) != model.moves(i, 6, 86400.0, CELLS)
+            for i in range(20)
+        )
+
+
+class TestCommuter:
+    def test_non_commuters_stay_home(self):
+        model = CommuterMobility(home="north", work="east",
+                                 commuter_fraction=0.0)
+        for index in range(10):
+            assert model.moves(index, 0, 86400.0, CELLS) == (("north", 0.0),)
+
+    def test_commuters_do_the_round_trip(self):
+        model = CommuterMobility(home="north", work="east",
+                                 commuter_fraction=1.0)
+        moves = model.moves(0, 0, 86400.0, CELLS)
+        assert [name for name, _ in moves] == ["north", "east", "north"]
+        (_, depart), (_, back) = moves[1], moves[2]
+        assert 8 * 3600.0 <= depart <= 8 * 3600.0 + model.jitter_s
+        assert 17 * 3600.0 <= back <= 17 * 3600.0 + model.jitter_s
+
+    def test_multi_day_horizon_repeats_daily(self):
+        model = CommuterMobility(home="north", work="east",
+                                 commuter_fraction=1.0)
+        moves = model.moves(0, 0, 3 * 86400.0, CELLS)
+        # Initial home entry plus one out-and-back per day.
+        assert len(moves) == 1 + 3 * 2
+        day2 = [t for _, t in moves if 86400.0 <= t < 2 * 86400.0]
+        assert len(day2) == 2
+
+    def test_fraction_splits_population(self):
+        model = CommuterMobility(home="north", work="east",
+                                 commuter_fraction=0.5)
+        movers = sum(
+            len(model.moves(i, 0, 86400.0, CELLS)) > 1 for i in range(200)
+        )
+        assert 50 < movers < 150  # the draw is the first RNG use per UE
+
+    def test_short_horizon_has_no_moves(self):
+        """A run ending before the earliest departure never leaves home."""
+        model = CommuterMobility(home="north", work="east",
+                                 commuter_fraction=1.0)
+        assert model.moves(0, 0, 3600.0, CELLS) == (("north", 0.0),)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="different cells"):
+            CommuterMobility(home="a", work="a")
+        with pytest.raises(ValueError, match="depart_s"):
+            CommuterMobility(home="a", work="b", depart_s=0.0)
+        with pytest.raises(ValueError, match="return_s"):
+            CommuterMobility(home="a", work="b", depart_s=100.0,
+                             return_s=50.0)
+        with pytest.raises(ValueError, match="commuter_fraction"):
+            CommuterMobility(home="a", work="b", commuter_fraction=1.5)
+        with pytest.raises(ValueError, match="period_s"):
+            CommuterMobility(home="a", work="b", period_s=3600.0)
+
+    def test_unknown_cells_rejected_by_validate(self):
+        model = CommuterMobility(home="nowhere", work="east")
+        with pytest.raises(ValueError, match="unknown cell 'nowhere'"):
+            model.validate_cells(CELLS)
+
+
+class TestShuffle:
+    def test_residency_scales_with_mean(self):
+        quick = ShuffleMobility(mean_residency_s=60.0)
+        slow = ShuffleMobility(mean_residency_s=6000.0)
+        quick_moves = sum(
+            len(quick.moves(i, 0, 3600.0, CELLS)) for i in range(30)
+        )
+        slow_moves = sum(
+            len(slow.moves(i, 0, 3600.0, CELLS)) for i in range(30)
+        )
+        assert quick_moves > slow_moves
+
+    def test_needs_two_cells(self):
+        with pytest.raises(ValueError, match="at least two cells"):
+            ShuffleMobility().moves(0, 0, 3600.0, ("only",))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="mean_residency_s"):
+            ShuffleMobility(mean_residency_s=0.0)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("model", [
+        ShuffleMobility(mean_residency_s=123.0),
+        CommuterMobility(home="north", work="east", commuter_fraction=0.25),
+    ])
+    def test_round_trip(self, model):
+        clone = mobility_from_dict(model.to_dict())
+        assert clone == model
+        assert clone.fingerprint == model.fingerprint
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown mobility model"):
+            mobility_from_dict({"model": "teleport"})

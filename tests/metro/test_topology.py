@@ -1,0 +1,122 @@
+"""Metro topology and preset-library tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.cells import DormancySpec
+from repro.metro import (
+    Metro,
+    MetroCell,
+    ShuffleMobility,
+    get_metro,
+    metro_names,
+)
+from repro.scenarios import get_scenario
+
+
+def _two_cells():
+    return (MetroCell(name="a"), MetroCell(name="b"))
+
+
+class TestMetroCell:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            MetroCell(name="")
+        with pytest.raises(ValueError, match="capacity"):
+            MetroCell(name="a", capacity=-1)
+
+    def test_round_trip(self):
+        cell = MetroCell(name="work", capacity=2500,
+                         dormancy=DormancySpec(scheme="load_aware", param=240),
+                         scenario=get_scenario("office_day"))
+        clone = MetroCell.from_dict(cell.to_dict())
+        assert clone == cell
+        assert clone.fingerprint == cell.fingerprint
+
+    def test_minimal_round_trip(self):
+        cell = MetroCell(name="home")
+        assert MetroCell.from_dict(cell.to_dict()) == cell
+
+
+class TestMetroValidation:
+    def test_needs_two_cells(self):
+        with pytest.raises(ValueError, match="at least two cells"):
+            Metro(name="m", cells=(MetroCell(name="a"),),
+                  mobility=ShuffleMobility())
+
+    def test_duplicate_cell_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate cell names"):
+            Metro(name="m", cells=(MetroCell(name="a"), MetroCell(name="a")),
+                  mobility=ShuffleMobility())
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            Metro(name="m", cells=_two_cells(), mobility=ShuffleMobility(),
+                  apps=("warcraft",))
+
+    def test_empty_apps_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Metro(name="m", cells=_two_cells(), mobility=ShuffleMobility(),
+                  apps=())
+
+    def test_mobility_cell_references_checked(self):
+        from repro.metro import CommuterMobility
+
+        with pytest.raises(ValueError, match="unknown cell"):
+            Metro(name="m", cells=_two_cells(),
+                  mobility=CommuterMobility(home="a", work="elsewhere"))
+
+    def test_per_cell_dormancy_accepted(self):
+        metro = Metro(name="m", cells=(MetroCell(name="a"), MetroCell(
+            name="b", dormancy=DormancySpec(scheme="rate_limited", param=30))),
+            mobility=ShuffleMobility())
+        assert metro.cells[1].dormancy.scheme == "rate_limited"
+
+
+class TestMetroAccessors:
+    def test_cell_names_and_index(self):
+        metro = Metro(name="m", cells=_two_cells(), mobility=ShuffleMobility())
+        assert metro.cell_names == ("a", "b")
+        assert metro.cell_index("b") == 1
+        with pytest.raises(KeyError, match="no cell named"):
+            metro.cell_index("zzz")
+
+    def test_timeline_is_pure(self):
+        metro = Metro(name="m", cells=_two_cells(), mobility=ShuffleMobility())
+        assert metro.timeline(4, 9, 3600.0) == metro.timeline(4, 9, 3600.0)
+
+    def test_round_trip(self):
+        metro = Metro(name="m", cells=_two_cells(),
+                      mobility=ShuffleMobility(mean_residency_s=120.0),
+                      apps=("im",), description="test metro")
+        clone = Metro.from_dict(metro.to_dict())
+        assert clone == metro
+        assert clone.fingerprint == metro.fingerprint
+
+
+class TestPresets:
+    def test_names(self):
+        assert metro_names() == ("commuter_2cell", "metro_4cell")
+
+    def test_presets_build_and_cache(self):
+        for name in metro_names():
+            metro = get_metro(name)
+            assert metro.name == name
+            assert get_metro(name) is metro  # cached instance
+
+    def test_commuter_preset_shape(self):
+        metro = get_metro("commuter_2cell")
+        assert metro.cell_names == ("home", "work")
+        work = metro.cells[1]
+        assert work.dormancy is not None
+        assert work.dormancy.scheme == "load_aware"
+
+    def test_4cell_preset_shape(self):
+        metro = get_metro("metro_4cell")
+        assert len(metro.cells) == 4
+        assert isinstance(metro.mobility, ShuffleMobility)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown metro"):
+            get_metro("atlantis")

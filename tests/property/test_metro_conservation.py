@@ -1,0 +1,167 @@
+"""Metro conservation properties: tiling, additivity, shard-invariance.
+
+The metro merge contract (DESIGN.md §4) promises three structural
+invariants for any topology, population and shard partitioning:
+
+* **Tiling** — each UE's per-cell state times, summed over every visit
+  in every cell, tile the globally resolved run duration exactly (the
+  UE is always *somewhere*, and visit timelines neither overlap nor
+  leave gaps);
+* **Additivity** — metro totals are the exact float sums of the
+  per-cell totals, which are themselves sums over visit devices;
+* **Shard-invariance** — results are byte-identical at any cell-shard
+  count: per-visit energy breakdowns, packet counts and dormancy
+  counters carry the same bits whether a cell ran as one shard or many.
+
+Plus the bookkeeping identity that makes handover counts trustworthy:
+``handovers == total visits − population`` (every visit after a UE's
+first one began with exactly one handover).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.api.metro import MetroRunSpec, execute_metro, metro
+from repro.api.spec import PolicySpec
+from repro.metro import workload_seed
+from repro.traces.streaming import stream_application_packets
+
+DEVICES = 18
+DURATION_S = 1800.0
+CHUNK_S = 120.0
+
+
+def _execute(metro_name: str, shards: int, scheme: str = "makeidle",
+             devices: int = DEVICES, duration: float = DURATION_S):
+    spec = MetroRunSpec(
+        metro=metro(metro_name, devices=devices, duration=duration,
+                    chunk_s=CHUNK_S),
+        carrier="att_hspa",
+        policy=PolicySpec(scheme=scheme).resolved(100),
+        shards=shards,
+    )
+    return execute_metro(spec)
+
+
+@pytest.fixture(scope="module")
+def shuffle_run():
+    return _execute("metro_4cell", shards=1)
+
+
+def _state_time(device) -> float:
+    b = device.breakdown
+    return b.active_time_s + b.high_idle_time_s + b.idle_time_s
+
+
+class TestTiling:
+    def test_per_ue_state_times_tile_the_duration(self, shuffle_run):
+        """Summed over its visits in every cell, each UE covers [0, E)."""
+        per_ue = {index: 0.0 for index in range(DEVICES)}
+        for entry in shuffle_run.cells:
+            for device in entry.result.devices:
+                per_ue[shuffle_run.ue_index(device.device_id)] += (
+                    _state_time(device)
+                )
+        for index, covered in per_ue.items():
+            assert math.isclose(covered, shuffle_run.duration_s,
+                                rel_tol=1e-9, abs_tol=1e-6), (
+                f"UE {index} covers {covered}, run lasts "
+                f"{shuffle_run.duration_s}"
+            )
+
+    def test_every_cell_reports_the_global_duration(self, shuffle_run):
+        for entry in shuffle_run.cells:
+            assert entry.result.duration_s == shuffle_run.duration_s
+
+
+class TestAdditivity:
+    def test_metro_totals_are_cell_sums(self, shuffle_run):
+        assert shuffle_run.total_energy_j == sum(
+            entry.result.total_energy_j for entry in shuffle_run.cells
+        )
+        assert shuffle_run.total_packets == sum(
+            entry.result.total_packets for entry in shuffle_run.cells
+        )
+        assert shuffle_run.total_switches == sum(
+            entry.result.total_switches for entry in shuffle_run.cells
+        )
+        assert shuffle_run.dormancy_requests == sum(
+            entry.result.dormancy_requests for entry in shuffle_run.cells
+        )
+
+    def test_cell_totals_are_visit_sums(self, shuffle_run):
+        for entry in shuffle_run.cells:
+            assert entry.result.total_energy_j == sum(
+                device.total_energy_j for device in entry.result.devices
+            )
+
+    def test_packets_conserved_against_unwindowed_streams(self, shuffle_run):
+        """Visit windows tile each workload: no packet lost or duplicated."""
+        metro_4cell = metro("metro_4cell").metro
+        expected = 0
+        for index in range(DEVICES):
+            app = metro_4cell.apps[index % len(metro_4cell.apps)]
+            expected += sum(
+                1 for _ in stream_application_packets(
+                    app, duration=DURATION_S,
+                    seed=workload_seed(0, index), chunk_s=CHUNK_S,
+                )
+            )
+        assert shuffle_run.total_packets == expected
+
+
+class TestHandoverAccounting:
+    def test_handovers_equal_visits_minus_population(self, shuffle_run):
+        total_visits = sum(entry.visits for entry in shuffle_run.cells)
+        assert shuffle_run.handovers == total_visits - DEVICES
+        assert shuffle_run.handovers > 0  # 10-min residencies over 30 min
+
+    def test_arrivals_match_departures(self, shuffle_run):
+        """Every departure lands somewhere: global arrivals == departures."""
+        departures = sum(entry.departures for entry in shuffle_run.cells)
+        arrivals = sum(entry.arrivals for entry in shuffle_run.cells)
+        assert departures == arrivals == shuffle_run.handovers
+
+
+class TestShardInvariance:
+    def _device_map(self, result):
+        flat = {}
+        for entry in result.cells:
+            for device in entry.result.devices:
+                assert device.device_id not in flat
+                flat[device.device_id] = (
+                    entry.name,
+                    device.policy_name,
+                    device.cohort,
+                    device.breakdown,
+                    device.packets,
+                    device.dormancy_requests,
+                    device.dormancy_granted,
+                    device.dormancy_denied,
+                    device.delayed_sessions,
+                    device.total_session_delay_s,
+                )
+        return flat
+
+    @pytest.mark.parametrize("metro_name,scheme", [
+        ("metro_4cell", "makeidle"),
+        ("commuter_2cell", "status_quo"),
+    ])
+    def test_byte_identical_across_cell_shard_counts(self, metro_name, scheme):
+        """K ∈ {1, n_cells, 2·n_cells} shards: bit-equal per-visit results."""
+        reference = _execute(metro_name, shards=1, scheme=scheme)
+        n_cells = len(reference.cells)
+        ref_map = self._device_map(reference)
+        for shards in (n_cells, 2 * n_cells):
+            sharded = _execute(metro_name, shards=shards, scheme=scheme)
+            assert sharded.duration_s == reference.duration_s
+            assert self._device_map(sharded) == ref_map
+            assert sharded.total_energy_j == reference.total_energy_j
+            assert sharded.handovers == reference.handovers
+            for ours, theirs in zip(sharded.cells, reference.cells):
+                assert ours.result.signaling == theirs.result.signaling
+                assert ours.departures == theirs.departures
+                assert ours.arrivals == theirs.arrivals

@@ -1,0 +1,196 @@
+"""Kernel handover semantics: closing a UE's context at its departure.
+
+A HANDOVER event (metro mobility) must close the departing UE's timeline
+with the *exact* :meth:`RrcStateMachine.finish` float operations of the
+PR 3 shard-merge close-out replay — that is what makes metro results
+byte-identical at any cell-shard partitioning.  These tests pin the
+contract documented in ``docs/DESIGN.md`` §4:
+
+* the handover close is bit-equal to a manual ``finish(T)`` on the same
+  open run;
+* a MakeActive buffer still held at departure is force-released *at* the
+  departure instant and charged to the departing cell;
+* timer/dormancy events queued before the departure are stale afterwards
+  and must not advance the closed machine;
+* at equal times a scheduled fast dormancy fires *before* the handover
+  (the demotion is charged to the departure cell);
+* departures for unknown UEs are rejected, and a packet arriving after
+  its UE departed aborts the run atomically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import FixedTimerPolicy, StatusQuoPolicy
+from repro.core.makeactive import FixedDelayMakeActive
+from repro.rrc import RadioState
+from repro.rrc.profiles import get_profile
+from repro.sim.engine import SimulationEngine, UeContext
+from repro.traces.packet import Direction, Packet
+
+
+def _packets(*stamps: float) -> list[Packet]:
+    return [Packet(t, 100, Direction.DOWNLINK, 0, "t") for t in stamps]
+
+
+@pytest.fixture
+def att_hspa():
+    return get_profile("att_hspa")
+
+
+class TestHandoverCloseout:
+    def test_handover_close_equals_manual_finish(self, att_hspa):
+        """A departure at T is bit-equal to finish(T) on the open run."""
+        depart_at = 100.0
+        stamps = (0.0, 5.0, 40.0, 80.0)
+
+        engine = SimulationEngine(att_hspa)
+        via_handover = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        engine.run({0: iter(_packets(*stamps))}, {0: via_handover},
+                   handovers={0: depart_at})
+
+        manual = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        open_run = SimulationEngine(att_hspa).run(
+            {0: iter(_packets(*stamps))}, {0: manual}, finish=False,
+        )
+        assert not open_run.finished
+        manual.machine.finish(depart_at)
+
+        assert via_handover.folded_totals() == manual.folded_totals()
+        assert via_handover.machine.now == manual.machine.now
+        assert (via_handover.machine.folded_state_totals()
+                == manual.machine.folded_state_totals())
+
+    def test_departed_machine_is_closed_at_departure_time(self, att_hspa):
+        depart_at = 60.0
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(0.0, 10.0))}, {0: ue}, handovers={0: depart_at},
+        )
+        assert ue.departed
+        assert ue.machine.finished
+        assert ue.machine.now == depart_at
+
+    def test_finalize_leaves_departed_ue_untouched(self, att_hspa):
+        """The shared end-time close skips UEs already closed by departure."""
+        depart_at = 50.0
+        departing = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        staying = UeContext(1, att_hspa, StatusQuoPolicy(), collect=False)
+        engine = SimulationEngine(att_hspa)
+        result = engine.run(
+            {0: iter(_packets(0.0, 10.0)), 1: iter(_packets(0.0, 200.0))},
+            {0: departing, 1: staying},
+            handovers={0: depart_at},
+        )
+        assert departing.machine.now == depart_at
+        # The stayer closes at the shared end time, after the departure.
+        assert staying.machine.now == result.end_time
+        assert result.end_time > depart_at
+
+
+class TestBufferedDepartures:
+    def test_makeactive_buffer_flushes_at_departure(self, att_hspa):
+        """Sessions still buffered when the UE leaves are emitted at T."""
+        # A 30 s delay bound would hold the 10.0 s session until 40.0 —
+        # but the UE departs at 20.0, so the buffer is force-released
+        # there: the session is delayed by 10 s and charged to this cell.
+        policy = FixedDelayMakeActive(30.0)
+        depart_at = 20.0
+        ue = UeContext(0, att_hspa, policy, collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(10.0))}, {0: ue}, handovers={0: depart_at},
+        )
+        assert ue.departed
+        assert not ue.buffering
+        assert ue.delayed_sessions == 1
+        assert ue.total_delay_s == pytest.approx(depart_at - 10.0)
+        # The released packets were emitted at the departure instant.
+        assert ue.last_effective == depart_at
+
+    def test_flushed_buffer_promotes_before_close(self, att_hspa):
+        """The forced release replays its packets: the radio promotes at T."""
+        policy = FixedDelayMakeActive(30.0)
+        depart_at = 20.0
+        ue = UeContext(0, att_hspa, policy, collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(10.0))}, {0: ue}, handovers={0: depart_at},
+        )
+        totals = ue.machine.folded_state_totals()
+        promotions = totals[4]
+        assert promotions > 0  # the release really hit the radio
+
+
+class TestStaleEventsAfterDeparture:
+    def test_stale_timer_after_departure_is_ignored(self, att_hspa):
+        """A TIMER queued before the departure must not reopen the machine."""
+        # FixedTimer(4.5) queues an expiry at 10.0 + timers; departing at
+        # 12.0 (before the full inactivity timeout) leaves that expiry
+        # stale in the heap while UE 1 keeps the clock running past it.
+        policy = FixedTimerPolicy(4.5)
+        depart_at = 12.0
+        departing = UeContext(0, att_hspa, policy, collect=False)
+        staying = UeContext(1, att_hspa, StatusQuoPolicy(), collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(0.0, 10.0)), 1: iter(_packets(0.0, 300.0))},
+            {0: departing, 1: staying},
+            handovers={0: depart_at},
+        )
+        assert departing.machine.now == depart_at
+
+    def test_pending_dormancy_cancelled_at_departure(self, att_hspa):
+        """A dormancy scheduled after T dies with the departure."""
+        # The packet at 2.0 cancels the dormancy scheduled at 4.5 and
+        # reschedules it at 6.5; departing at 5.0 cancels that one too —
+        # the close must come from finish(5.0), not from a demotion.
+        policy = FixedTimerPolicy(4.5)
+        depart_at = 5.0
+        ue = UeContext(0, att_hspa, policy, collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(0.0, 2.0))}, {0: ue}, handovers={0: depart_at},
+        )
+        fast_demotions = ue.machine.folded_state_totals()[6]
+        assert fast_demotions == 0
+        assert ue.machine.now == depart_at
+
+
+class TestEqualTimeOrdering:
+    def test_dormancy_at_departure_instant_fires_first(self, att_hspa):
+        """DORMANCY < HANDOVER: a demotion at exactly T is charged here."""
+        # The packet at 2.0 reschedules the dormancy to exactly 6.5 — the
+        # same instant the UE departs.  Tie-break priority (DORMANCY=1 <
+        # HANDOVER=2) fires the demotion first, so the departing cell
+        # records the fast-dormancy switch.
+        policy = FixedTimerPolicy(4.5)
+        depart_at = 2.0 + 4.5
+        ue = UeContext(0, att_hspa, policy, collect=False)
+        SimulationEngine(att_hspa).run(
+            {0: iter(_packets(0.0, 2.0))}, {0: ue}, handovers={0: depart_at},
+        )
+        fast_demotions = ue.machine.folded_state_totals()[6]
+        assert fast_demotions == 1
+        assert ue.machine.state is RadioState.IDLE
+        assert ue.machine.now == depart_at
+
+
+class TestHandoverValidation:
+    def test_unknown_ue_rejected(self, att_hspa):
+        engine = SimulationEngine(att_hspa)
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(ValueError, match="unknown UE"):
+            engine.run({0: iter(_packets(0.0))}, {0: ue}, handovers={7: 5.0})
+
+    def test_arrival_after_departure_aborts_atomically(self, att_hspa):
+        """The stream must end strictly before T; a later packet aborts."""
+        ue = UeContext(0, att_hspa, StatusQuoPolicy(), collect=False)
+        other = UeContext(1, att_hspa, StatusQuoPolicy(), collect=False)
+        with pytest.raises(RuntimeError, match="finished"):
+            SimulationEngine(att_hspa).run(
+                {0: iter(_packets(0.0, 50.0)), 1: iter(_packets(0.0))},
+                {0: ue, 1: other},
+                handovers={0: 10.0},
+            )
+        # Atomic: no partial timeline observable from any context.
+        for ctx in (ue, other):
+            with pytest.raises(RuntimeError, match="aborted"):
+                ctx.folded_totals()

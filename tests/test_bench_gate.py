@@ -16,11 +16,12 @@ sys.modules.setdefault("check_bench_floor", gate)
 _spec.loader.exec_module(gate)
 
 
-def _bench_file(tmp_path: Path, name: str, pps: float | None) -> Path:
+def _bench_file(tmp_path: Path, name: str, pps: float | None,
+                section: str = "single_1k") -> Path:
     path = tmp_path / name
     payload = {"cpu_count": 4}
     if pps is not None:
-        payload["single_1k"] = {"packets_per_sec": pps}
+        payload[section] = {"packets_per_sec": pps}
     path.write_text(json.dumps(payload), encoding="utf-8")
     return path
 
@@ -72,19 +73,37 @@ class TestMain:
             "--floor", str(floor), "--current", str(current),
         ]) == gate.OK
 
-    def test_missing_floor_skips_missing_current_errors(self, tmp_path,
-                                                        monkeypatch):
+    def test_missing_floor_or_current_skips_cleanly(self, tmp_path,
+                                                    monkeypatch):
         monkeypatch.setattr(gate, "usable_cores", lambda: 8)
         no_floor = _bench_file(tmp_path, "floor.json", None)
         current = _bench_file(tmp_path, "current.json", 50_000.0)
         assert gate.main([
             "--floor", str(no_floor), "--current", str(current),
         ]) == gate.OK
+        # A gated section absent from the fresh run skips cleanly too —
+        # a heavy section may legitimately not be benchmarked on every
+        # runner, and gate ordering must not block its first commit.
         floor = _bench_file(tmp_path, "floor2.json", 60_000.0)
         no_current = _bench_file(tmp_path, "current2.json", None)
         assert gate.main([
             "--floor", str(floor), "--current", str(no_current),
-        ]) == gate.BAD_INPUT
+        ]) == gate.OK
+
+    def test_section_flag_gates_other_sections(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _bench_file(tmp_path, "floor.json", 60_000.0,
+                            section="metro_250k")
+        slow = _bench_file(tmp_path, "current.json", 10_000.0,
+                           section="metro_250k")
+        assert gate.main([
+            "--floor", str(floor), "--current", str(slow),
+            "--section", "metro_250k",
+        ]) == gate.REGRESSION
+        # The same files under the default section have no data: clean skip.
+        assert gate.main([
+            "--floor", str(floor), "--current", str(slow),
+        ]) == gate.OK
 
     def test_bad_tolerance_rejected(self, tmp_path, monkeypatch):
         monkeypatch.setattr(gate, "usable_cores", lambda: 8)

@@ -1,0 +1,103 @@
+"""CLI tests for metro sweeps (``repro-rrc sweep --metro NAME``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+# Small but mobile: 10-minute mean residencies over a 30-minute horizon
+# guarantee handovers without a day-long commuter run.
+SMOKE = [
+    "sweep", "--metro", "metro_4cell", "--devices", "12",
+    "--duration", "1800", "--carriers", "att_hspa",
+    "--schemes", "makeidle",
+]
+
+
+class TestMetroSweep:
+    def test_prints_metro_and_cell_tables(self, capsys):
+        assert main(SMOKE) == 0
+        output = capsys.readouterr().out
+        assert "handovers" in output
+        assert "handovers out" in output  # the per-cell table
+        for cell in ("north", "east", "south", "west"):
+            assert cell in output
+        assert "util %" in output
+
+    def test_smoke_command_shape(self, capsys):
+        """The CI smoke invocation (scaled down) runs end to end."""
+        code = main([
+            "sweep", "--metro", "commuter_2cell", "--devices", "20",
+            "--shards", "2", "--duration", "1800",
+            "--carriers", "att_hspa",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "commuter_2cell" in output
+        assert "home" in output and "work" in output
+
+    def test_json_carries_metro_fields(self, capsys):
+        assert main([*SMOKE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        records = [r for r in payload["records"] if r["scheme"] == "makeidle"]
+        assert records
+        for record in records:
+            assert record["n_cells"] == 4
+            assert record["handovers"] > 0
+            assert set(record["cells"]) == {"north", "east", "south", "west"}
+            east = record["cells"]["east"]
+            assert east["dormancy"].startswith("rate_limited")
+            assert "denial_rate" in east
+
+    def test_default_schemes_include_baseline(self, capsys):
+        assert main([
+            "sweep", "--metro", "metro_4cell", "--devices", "6",
+            "--duration", "900", "--carriers", "att_hspa",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "status_quo" in output
+        assert "makeidle" in output
+
+    def test_plan_round_trips(self, capsys, tmp_path):
+        plan_path = tmp_path / "metroplan.json"
+        assert main([*SMOKE, "--save-plan", str(plan_path)]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "--plan", str(plan_path)]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestMetroErrors:
+    @pytest.mark.parametrize("extra", [
+        ["--cell"],
+        ["--dormancy", "reject_all"],
+        ["--scenario", "office_day"],
+    ])
+    def test_rejects_cell_flags(self, capsys, extra):
+        code = main([
+            "sweep", "--metro", "metro_4cell", "--carriers", "att_hspa",
+            *extra,
+        ])
+        assert code == 2
+        assert "--metro" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("extra", [
+        ["--apps", "im"],
+        ["--population", "verizon_3g"],
+    ])
+    def test_rejects_workload_flags(self, capsys, extra):
+        code = main([
+            "sweep", "--metro", "metro_4cell", "--carriers", "att_hspa",
+            *extra,
+        ])
+        assert code == 2
+        assert "workload mixes" in capsys.readouterr().err
+
+    def test_unknown_preset_is_a_clean_error(self, capsys):
+        code = main([
+            "sweep", "--metro", "gotham", "--carriers", "att_hspa",
+        ])
+        assert code == 2
+        assert "unknown metro" in capsys.readouterr().err

@@ -168,8 +168,23 @@ class CellSpec:
     streaming: bool = True
     chunk_s: float = 300.0
     scenario: Scenario | None = None
+    #: Kernel backend executing this population: ``"scalar"`` (the
+    #: per-event reference kernel) or ``"vector"`` (the numpy batch
+    #: backend, byte-identical results; see
+    #: :mod:`repro.sim.vector_engine`).  Deliberately *not* part of
+    #: :attr:`fingerprint`: both backends produce the same bytes, so
+    #: cache entries are shared across engines.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
+        if not isinstance(self.engine, str):
+            raise TypeError(
+                f"engine must be str, got {type(self.engine).__name__}"
+            )
+        if self.engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vector', got {self.engine!r}"
+            )
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
         if not self.apps and self.scenario is None:
@@ -346,6 +361,8 @@ class CellSpec:
             "streaming": self.streaming,
             "chunk_s": self.chunk_s,
         }
+        if self.engine != "scalar":
+            data["engine"] = self.engine
         if self.scenario is not None:
             # The scenario defines every workload; an apps list here would
             # describe traffic that never runs.
@@ -443,7 +460,8 @@ class CellRunSpec:
 def cell(devices: int, apps: tuple[str, ...] | list[str] | None = None,
          duration: float = 900.0, seed: int = 0, name: str = "",
          streaming: bool = True, chunk_s: float = 300.0,
-         scenario: Scenario | str | None = None) -> CellSpec:
+         scenario: Scenario | str | None = None,
+         engine: str = "scalar") -> CellSpec:
     """A device-population axis entry for cell sweeps.
 
     ``scenario`` selects a heterogeneous population instead of the
@@ -467,6 +485,7 @@ def cell(devices: int, apps: tuple[str, ...] | list[str] | None = None,
     return CellSpec(
         devices=devices, apps=tuple(apps), duration_s=duration, seed=seed,
         name=name, streaming=streaming, chunk_s=chunk_s, scenario=scenario,
+        engine=engine,
     )
 
 
@@ -534,6 +553,7 @@ def execute_cell_shard(spec: CellRunSpec, index: int) -> CellShard:
         load_sample_interval_s=(
             SHARD_SAMPLE_INTERVAL_S if len(sizes) > 1 else None
         ),
+        engine=spec.cell.engine,
     )
     return simulator.run_shard(
         spec.cell.build_devices(spec.policy, start, start + sizes[index])
@@ -557,7 +577,9 @@ def execute_cell(spec: CellRunSpec, shards: int | None = None) -> CellResult:
     count = spec.effective_shards
     if count == 1:
         profile = get_profile(spec.carrier)
-        simulator = CellSimulator(profile, spec.dormancy.build())
+        simulator = CellSimulator(
+            profile, spec.dormancy.build(), engine=spec.cell.engine
+        )
         return simulator.run(spec.cell.build_devices(spec.policy))
     return merge_cell_shards(
         [execute_cell_shard(spec, index) for index in range(count)]

@@ -111,6 +111,21 @@ class RunRecord:
         return 1
 
     @property
+    def engine(self) -> str:
+        """The kernel backend the spec selected (``"scalar"`` for single-UE).
+
+        The *requested* backend — per-UE scalar fallback inside a vector
+        run is reported by the result's ``vector_devices`` counter, and a
+        cache hit may carry a result computed by the other backend (the
+        two are byte-identical, so the cache is shared).
+        """
+        if isinstance(self.spec, CellRunSpec):
+            return self.spec.cell.engine
+        if isinstance(self.spec, MetroRunSpec):
+            return self.spec.metro.engine
+        return "scalar"
+
+    @property
     def group_key(self) -> tuple:
         """The cell this record's schemes compete in.
 
@@ -198,7 +213,8 @@ class RunSet(Sequence[RunRecord]):
         """Partition the records by one or more axes.
 
         ``axes`` entries are ``"trace"``, ``"carrier"``, ``"scheme"``,
-        ``"dormancy"``, ``"shards"`` or ``"seed"``.  With one axis the dict is keyed by
+        ``"dormancy"``, ``"shards"``, ``"engine"`` or ``"seed"``.  With
+        one axis the dict is keyed by
         that axis value; with several, by the tuple of values.  Insertion
         order follows the record order, so iterating the groups preserves
         the plan's axis order.
@@ -209,6 +225,7 @@ class RunSet(Sequence[RunRecord]):
             "scheme": lambda r: r.scheme,
             "dormancy": lambda r: r.dormancy,
             "shards": lambda r: r.shards,
+            "engine": lambda r: r.engine,
             "seed": lambda r: r.seed,
         }
         unknown = [a for a in axes if a not in getters]
@@ -385,7 +402,11 @@ class RunSet(Sequence[RunRecord]):
         normalisation entirely.  Cell-scale records additionally carry the
         base-station aggregates: ``dormancy``, ``shards``, ``devices``,
         ``dormancy_requests``, ``denial_rate``, ``peak_active_devices`` and
-        ``peak_switches_per_minute``.  Scenario cells (whose devices carry
+        ``peak_switches_per_minute``.  Records whose spec selected a
+        non-default kernel backend also carry ``engine``,
+        ``vector_devices`` (devices the batch path actually executed) and
+        ``fallback_devices`` (devices that fell back to the scalar
+        kernel, e.g. for per-packet policy hooks).  Scenario cells (whose devices carry
         cohort labels) also carry ``cohorts``: a per-cohort
         energy/switch/denial breakdown keyed by cohort label, each entry
         normalised against the same cohort of the group's baseline record
@@ -417,6 +438,15 @@ class RunSet(Sequence[RunRecord]):
                     "denial_rate": result.denial_rate,
                     "from_cache": record.from_cache,
                 }
+                if record.engine != "scalar":
+                    row["engine"] = record.engine
+                    vector_visits = sum(
+                        entry.result.vector_devices for entry in result.cells
+                    )
+                    row["vector_devices"] = vector_visits
+                    row["fallback_devices"] = sum(
+                        entry.visits for entry in result.cells
+                    ) - vector_visits
                 if self._execution is not None:
                     row["pool_jobs"] = self._execution.effective_jobs
                     row["pool_clamped"] = self._execution.clamped
@@ -455,6 +485,12 @@ class RunSet(Sequence[RunRecord]):
                     "peak_switches_per_minute": result.peak_switches_per_minute,
                     "from_cache": record.from_cache,
                 }
+                if record.engine != "scalar":
+                    row["engine"] = record.engine
+                    row["vector_devices"] = result.vector_devices
+                    row["fallback_devices"] = (
+                        len(result.devices) - result.vector_devices
+                    )
                 if self._execution is not None:
                     row["pool_jobs"] = self._execution.effective_jobs
                     row["pool_clamped"] = self._execution.clamped

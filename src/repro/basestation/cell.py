@@ -230,6 +230,12 @@ class CellResult:
     peak_active_devices: int
     switch_times: tuple[float, ...] = field(default=(), repr=False)
     load_samples: tuple[LoadSample, ...] = field(default=(), repr=False)
+    #: How many devices ran on the vectorized kernel backend (0 for a
+    #: scalar run; the remainder took the automatic per-UE scalar
+    #: fallback — see :mod:`repro.sim.vector_engine`).  Diagnostic only
+    #: and excluded from equality: both backends produce byte-identical
+    #: results, so a vector result *equals* its scalar twin.
+    vector_devices: int = field(default=0, compare=False)
 
     @property
     def total_energy_j(self) -> float:
@@ -395,6 +401,9 @@ class CellShard:
     load: CellLoad
     load_samples: tuple[LoadSample, ...]
     sample_interval_s: float | None
+    #: Devices of this shard that ran on the vectorized kernel backend
+    #: (0 for scalar shards; vector and scalar shards merge freely).
+    vector_devices: int = 0
 
 
 class _NetworkStation(DormancyStation):
@@ -434,6 +443,14 @@ class CellSimulator:
     load_sample_interval_s:
         When set, the kernel records a cell-load sample every this many
         seconds (``CellResult.load_samples``).
+    engine:
+        Kernel backend: ``"scalar"`` (the event-driven reference) or
+        ``"vector"`` (numpy batch processing, byte-identical results —
+        see :mod:`repro.sim.vector_engine`).  The vector backend falls
+        back to the scalar kernel automatically — per UE for policies
+        with per-packet hooks, for the whole shard when the base-station
+        policy does not unconditionally grant dormancy or numpy is
+        unavailable.
     """
 
     def __init__(
@@ -441,12 +458,18 @@ class CellSimulator:
         profile: CarrierProfile,
         dormancy_policy: DormancyPolicy | None = None,
         load_sample_interval_s: float | None = None,
+        engine: str = "scalar",
     ) -> None:
+        if engine not in ("scalar", "vector"):
+            raise ValueError(
+                f"engine must be 'scalar' or 'vector', got {engine!r}"
+            )
         self._engine = SimulationEngine(profile)
         self._dormancy_policy = (
             dormancy_policy if dormancy_policy is not None else AcceptAllDormancy()
         )
         self._sample_interval = load_sample_interval_s
+        self._backend = engine
 
     @property
     def profile(self) -> CarrierProfile:
@@ -462,6 +485,16 @@ class CellSimulator:
     def engine(self) -> SimulationEngine:
         """The shared event kernel this façade drives."""
         return self._engine
+
+    @property
+    def backend(self) -> str:
+        """The selected kernel backend (``"scalar"`` or ``"vector"``)."""
+        return self._backend
+
+    @property
+    def sample_interval_s(self) -> float | None:
+        """The cell-load sampling cadence (``None``: sampling off)."""
+        return self._sample_interval
 
     def run(self, devices: Sequence[DeviceSpec]) -> CellResult:
         """Simulate all devices and return per-device and aggregate results.
@@ -483,7 +516,20 @@ class CellSimulator:
         shards, and any cross-shard coupling of the dormancy policy (e.g. a
         load-aware switch budget) must be partitioned by the caller — each
         shard's policy instance only ever sees its own shard's load.
+
+        With ``engine="vector"`` the shard is produced by the numpy batch
+        backend (byte-identical results, ``CellShard.vector_devices``
+        records how many devices took the batch path); it silently uses
+        this scalar path when numpy is missing or the base-station policy
+        arbitrates requests against live load.
         """
+        if self._backend == "vector":
+            from ..sim import vector_engine
+
+            if vector_engine.numpy_available() and (
+                vector_engine.station_always_grants(self._dormancy_policy)
+            ):
+                return vector_engine.run_shard_vector(self, devices)
         if not devices:
             raise ValueError("at least one device is required")
         ids = [d.device_id for d in devices]
@@ -534,39 +580,10 @@ class CellSimulator:
             handovers=handovers or None,
         )
 
-        shard_devices = []
-        for spec in devices:
-            ue = contexts[spec.device_id]
-            (data_j, data_time_s, active_time_s, high_idle_time_s,
-             idle_time_s, switch_j) = ue.folded_totals()
-            machine = ue.machine
-            shard_devices.append(
-                ShardDeviceState(
-                    device_id=spec.device_id,
-                    policy_name=spec.policy.name,
-                    data_j=data_j,
-                    data_time_s=data_time_s,
-                    active_time_s=active_time_s,
-                    high_idle_time_s=high_idle_time_s,
-                    idle_time_s=idle_time_s,
-                    switch_j=switch_j,
-                    promotions=ue.promotions,
-                    timer_demotions=ue.timer_demotions,
-                    fast_demotions=ue.fast_demotions,
-                    open_state=machine.state,
-                    open_since=machine.segment_start,
-                    last_activity=machine.last_activity,
-                    packets=ue.packet_count,
-                    dormancy_requests=ue.dormancy_requests,
-                    dormancy_granted=ue.dormancy_granted,
-                    dormancy_denied=ue.dormancy_denied,
-                    session_delays=tuple(ue.session_delays),
-                    delayed_sessions=ue.delayed_sessions,
-                    total_session_delay_s=ue.total_delay_s,
-                    cohort=spec.cohort,
-                    closed=ue.departed,
-                )
-            )
+        shard_devices = [
+            _shard_device_state(spec, contexts[spec.device_id])
+            for spec in devices
+        ]
         return CellShard(
             dormancy_policy_name=self._dormancy_policy.name,
             profile=profile,
@@ -578,6 +595,42 @@ class CellSimulator:
             load_samples=outcome.samples,
             sample_interval_s=self._sample_interval,
         )
+
+
+def _shard_device_state(spec: DeviceSpec, ue: UeContext) -> ShardDeviceState:
+    """Export one kernel context's open folded state for a shard result.
+
+    Shared by the scalar shard run and the vector backend's scalar
+    fallback group — the same reads in the same order either way.
+    """
+    (data_j, data_time_s, active_time_s, high_idle_time_s,
+     idle_time_s, switch_j) = ue.folded_totals()
+    machine = ue.machine
+    return ShardDeviceState(
+        device_id=spec.device_id,
+        policy_name=spec.policy.name,
+        data_j=data_j,
+        data_time_s=data_time_s,
+        active_time_s=active_time_s,
+        high_idle_time_s=high_idle_time_s,
+        idle_time_s=idle_time_s,
+        switch_j=switch_j,
+        promotions=ue.promotions,
+        timer_demotions=ue.timer_demotions,
+        fast_demotions=ue.fast_demotions,
+        open_state=machine.state,
+        open_since=machine.segment_start,
+        last_activity=machine.last_activity,
+        packets=ue.packet_count,
+        dormancy_requests=ue.dormancy_requests,
+        dormancy_granted=ue.dormancy_granted,
+        dormancy_denied=ue.dormancy_denied,
+        session_delays=tuple(ue.session_delays),
+        delayed_sessions=ue.delayed_sessions,
+        total_session_delay_s=ue.total_delay_s,
+        cohort=spec.cohort,
+        closed=ue.departed,
+    )
 
 
 def _close_device(
@@ -774,4 +827,5 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
         peak_active_devices=peak_active,
         switch_times=tuple(load.switch_times),
         load_samples=samples,
+        vector_devices=sum(shard.vector_devices for shard in shards),
     )

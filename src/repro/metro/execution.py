@@ -167,6 +167,7 @@ def run_metro_cell_shard(
     carrier: str,
     shards: int,
     shard_index: int,
+    engine: str = "scalar",
 ) -> CellShard | None:
     """Run UE-block shard ``shard_index`` of one metro cell.
 
@@ -175,7 +176,8 @@ def run_metro_cell_shard(
     own; ``load_aware`` budgets are partitioned proportionally to the
     UE-block sizes — the same documented approximation as single-cell
     sharding, with block size standing in for the (timeline-dependent)
-    visit count.
+    visit count.  ``engine`` selects the kernel backend each cell
+    simulator runs (results are byte-identical either way).
     """
     sizes = shard_sizes(devices, shards)
     if not 0 <= shard_index < len(sizes):
@@ -196,6 +198,7 @@ def run_metro_cell_shard(
         load_sample_interval_s=(
             SHARD_SAMPLE_INTERVAL_S if len(sizes) > 1 else None
         ),
+        engine=engine,
     )
     return simulator.run_shard(specs)
 

@@ -348,6 +348,7 @@ class UeContext:
         "buffered_arrivals",
         "buffered_flows",
         "dormancy_seq",
+        "late_dormancy_seq",
         "release_seq",
         "timer_target",
         "timer_pending",
@@ -398,6 +399,12 @@ class UeContext:
         self.buffered_arrivals: list[SessionDelay] = []
         self.buffered_flows: set[int] = set()
         self.dormancy_seq = 0
+        # Sequence number of a dormancy scheduled with zero effective wait
+        # while processing an ARRIVAL: it pops *after* the kind-1 slot of
+        # its timestamp (right behind the arrival that scheduled it), so
+        # load-log entries it produces are keyed by the arrival's kind to
+        # keep the logged key order equal to pop order.
+        self.late_dormancy_seq = -1
         self.release_seq = 0
         # Inactivity-timer-expiry scheduling (cell mode): the current true
         # deadline (last activity + full demotion horizon) and whether one
@@ -583,6 +590,13 @@ class KernelResult:
     samples: tuple[LoadSample, ...] = ()
     last_emitted: float | None = None
     finished: bool = True
+    #: Time of the last *real* (non-SAMPLE) event the kernel popped —
+    #: including stale timer deferrals and invalidated dormancy events
+    #: that touched no machine.  This is the horizon the periodic
+    #: load-sample chain runs to; the vector backend reads it to
+    #: reconstruct a byte-identical sample series around its scalar
+    #: fallback group.  ``None`` when no real event was processed.
+    last_event_time: float | None = None
 
 
 class SimulationEngine:
@@ -702,6 +716,7 @@ class SimulationEngine:
         sample_interval_s: float | None = None,
         finish: bool = True,
         handovers: Mapping[int, float] | None = None,
+        load_log: list[tuple[float, int, int, str]] | None = None,
     ) -> KernelResult:
         """Drive every UE's packet stream through the shared event queue.
 
@@ -737,6 +752,22 @@ class SimulationEngine:
             count.  The UE's packet stream must end strictly before its
             departure time; a later packet aborts the run.  See
             ``docs/DESIGN.md`` §4 (handover contract).
+        load_log:
+            When given (cell mode), every :class:`CellLoad` mutation this
+            run performs is also appended to the list as ``(event_time,
+            event_kind, ue_id, op)`` with ``op`` one of ``"act"`` /
+            ``"deact"`` / ``"switch"`` — keyed by the *popped event* that
+            caused it, with one deliberate remap: a dormancy that fires at
+            the very timestamp of the ARRIVAL that scheduled it (zero
+            effective wait, e.g. MakeIdle) pops *behind* that arrival —
+            after the kind-1 slot of its timestamp — and is therefore
+            keyed by the arrival kind.  With that remap a stable sort of
+            the entries by ``(time, kind, ue_id)`` reproduces the exact
+            pop order of the heap.  The vector backend uses
+            this to interleave a scalar fallback group's load mutations
+            with analytically derived ones (see
+            :mod:`repro.sim.vector_engine`); normal runs pass ``None``
+            and pay only dead branches.
         """
         if station is not None and load is None:
             raise ValueError("cell mode (station=...) requires a CellLoad")
@@ -808,13 +839,17 @@ class SimulationEngine:
             real_events += 1
             heappush(heap, (timestamp, _ARRIVAL, ue_id, serial, packet))
 
-        def sync_load(ue: UeContext) -> None:
+        def sync_load(ue: UeContext, log_kind: int) -> None:
             """Reconcile the cell's active-device count with ``ue``'s state."""
             active = ue.machine.state is not RadioState.IDLE
             if active and not ue.was_active:
                 load.activate()
+                if load_log is not None:
+                    load_log.append((time, log_kind, ue_id, "act"))
             elif not active and ue.was_active:
                 load.deactivate()
+                if load_log is not None:
+                    load_log.append((time, log_kind, ue_id, "deact"))
             ue.was_active = active
 
         def emit(ue: UeContext, packet: Packet, time: float) -> None:
@@ -857,10 +892,14 @@ class SimulationEngine:
             if cell_mode:
                 if promoted:
                     load.note_switch(time)
+                    if load_log is not None:
+                        load_log.append((time, kind, ue.ue_id, "switch"))
                 # Inline of sync_load: after an emit the machine is Active.
                 if not ue.was_active:
                     load.activate()
                     ue.was_active = True
+                    if load_log is not None:
+                        load_log.append((time, kind, ue.ue_id, "act"))
                 # Move the expiry deadline; queue an event only when none
                 # is in flight (it defers itself forward on early pops).
                 ue.timer_target = time + idle_after
@@ -877,10 +916,18 @@ class SimulationEngine:
             wait = ue.policy.dormancy_wait(time)
             ue.dormancy_seq += 1
             if wait is not None:
+                scheduled = time + wait
+                if scheduled == time and kind == _ARRIVAL:
+                    # Zero effective wait scheduled while an ARRIVAL is being
+                    # processed: the kind-1 slot of this timestamp has already
+                    # passed, so the event pops right behind this arrival and
+                    # its load-log entries are keyed by the arrival's kind
+                    # (see on_dormancy).
+                    ue.late_dormancy_seq = ue.dormancy_seq
                 nonlocal serial, real_events
                 serial += 1
                 real_events += 1
-                heappush(heap, (time + wait, _DORMANCY, ue.ue_id, serial,
+                heappush(heap, (scheduled, _DORMANCY, ue.ue_id, serial,
                                 ue.dormancy_seq))
 
         def release_buffer(ue: UeContext, time: float) -> None:
@@ -988,10 +1035,13 @@ class SimulationEngine:
                 else:
                     ue.dormancy_denied += 1
                     return
+            log_kind = _ARRIVAL if seq == ue.late_dormancy_seq else _DORMANCY
             if ue.machine.request_fast_dormancy(time) and cell_mode:
                 load.note_switch(time)
+                if load_log is not None:
+                    load_log.append((time, log_kind, ue.ue_id, "switch"))
             if cell_mode:
-                sync_load(ue)
+                sync_load(ue, log_kind)
 
         def on_handover(ue: UeContext, time: float) -> None:
             """Close ``ue``'s timeline at its departure instant.
@@ -1019,6 +1069,8 @@ class SimulationEngine:
                 if ue.was_active:
                     load.deactivate()
                     ue.was_active = False
+                    if load_log is not None:
+                        load_log.append((time, _HANDOVER, ue.ue_id, "deact"))
 
         def on_timer(ue: UeContext, time: float) -> None:
             if ue.departed:
@@ -1034,7 +1086,7 @@ class SimulationEngine:
                 return
             ue.timer_pending = False
             ue.machine.advance_to(time)
-            sync_load(ue)
+            sync_load(ue, _TIMER)
 
         # Prime one arrival per UE, the scheduled departures, and
         # (optionally) the first load sample.
@@ -1048,9 +1100,12 @@ class SimulationEngine:
             push(sample_interval_s, _SAMPLE, -1, None)
 
         heappop = heapq.heappop
+        last_real: float | None = None  # newest non-SAMPLE pop time
         try:
             while heap:
                 time, kind, ue_id, _, payload = heappop(heap)
+                if kind != _SAMPLE:
+                    last_real = time
                 if kind == _ARRIVAL:
                     real_events -= 1
                     on_arrival(contexts[ue_id], payload)
@@ -1123,6 +1178,7 @@ class SimulationEngine:
             samples=tuple(samples),
             last_emitted=last_emitted,
             finished=False,
+            last_event_time=last_real,
         )
         if not finish:
             return open_result

@@ -1,0 +1,171 @@
+"""The ``engine=`` surface: spec validation, cache sharing, plan axis, CLI.
+
+The backend selector threads from ``CellSpec``/``MetroSpec`` through the
+plan's ``.engines(...)`` axis, the runner's cache keys and ``to_records``
+— with two deliberate asymmetries under test here:
+
+* invalid names are rejected *eagerly* at declaration, with the same
+  error style as shard-count validation (plan JSON round-trips and the
+  CLI included);
+* the engine is **excluded** from fingerprints and cache keys: both
+  backends produce byte-identical results, so a scalar result may serve
+  a vector request (and vice versa) from cache.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import ExperimentPlan, PolicySpec, ProcessPoolRunner
+from repro.api.cells import CellRunSpec, CellSpec, DormancySpec, cell
+from repro.api.metro import MetroSpec, metro
+from repro.cli import main
+
+
+class TestSpecValidation:
+    def test_cell_spec_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine must be 'scalar' or "
+                                             "'vector', got 'cuda'"):
+            cell(devices=4, apps=("im",), duration=100.0, engine="cuda")
+
+    def test_cell_spec_rejects_non_string_engine(self):
+        with pytest.raises(TypeError, match="engine"):
+            cell(devices=4, apps=("im",), duration=100.0, engine=1)
+
+    def test_metro_spec_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine must be 'scalar' or "
+                                             "'vector', got 'fast'"):
+            metro("metro_4cell", devices=8, duration=100.0, engine="fast")
+
+    def test_engine_excluded_from_fingerprints(self):
+        """Cache contract: byte-identical backends share cache entries."""
+        scalar = cell(devices=4, apps=("im",), duration=100.0)
+        vector = cell(devices=4, apps=("im",), duration=100.0,
+                      engine="vector")
+        assert scalar.fingerprint == vector.fingerprint
+        assert (metro("metro_4cell", devices=8, duration=100.0).fingerprint
+                == metro("metro_4cell", devices=8, duration=100.0,
+                         engine="vector").fingerprint)
+
+    def test_engine_serialised_only_when_non_default(self):
+        assert "engine" not in cell(
+            devices=4, apps=("im",), duration=100.0
+        ).to_dict()
+        assert cell(
+            devices=4, apps=("im",), duration=100.0, engine="vector"
+        ).to_dict()["engine"] == "vector"
+
+
+class TestPlanEnginesAxis:
+    def _cell_plan(self):
+        return (
+            ExperimentPlan()
+            .cells(cell(devices=4, apps=("im",), duration=100.0))
+            .carriers("att_hspa")
+            .policies("fixed_4.5s")
+        )
+
+    def test_engines_axis_multiplies_grid(self):
+        plan = self._cell_plan()
+        assert len(plan.engines("scalar", "vector")) == 2 * len(plan)
+
+    def test_engines_axis_round_trips_through_json(self):
+        plan = self._cell_plan().engines("vector")
+        clone = ExperimentPlan.from_dict(
+            json.loads(json.dumps(plan.to_dict()))
+        )
+        assert clone.engine_names == ("vector",)
+        assert [s.cell.engine for s in clone.build()] == ["vector"]
+        assert clone.describe() == plan.describe()
+
+    def test_engines_axis_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="engine must be 'scalar' or "
+                                             "'vector', got 'gpu'"):
+            self._cell_plan().engines("gpu")
+
+    def test_engines_axis_rejects_non_string(self):
+        with pytest.raises(TypeError, match="engine names must be str"):
+            self._cell_plan().engines(3)
+
+    def test_from_dict_rejects_invalid_engines(self):
+        payload = self._cell_plan().engines("vector").to_dict()
+        payload["engines"] = ["warp"]
+        with pytest.raises(ValueError, match="engine must be"):
+            ExperimentPlan.from_dict(payload)
+
+    def test_engines_axis_requires_device_population(self):
+        plan = ExperimentPlan().apps("im").carriers("att_hspa") \
+            .policies("fixed_4.5s").engines("vector")
+        with pytest.raises(ValueError, match="engines axis only applies"):
+            plan.build()
+
+
+class TestCacheSharingAcrossEngines:
+    def test_scalar_and_vector_specs_share_one_cache_entry(self):
+        def spec(engine):
+            return CellRunSpec(
+                cell=cell(devices=4, apps=("im",), duration=100.0,
+                          engine=engine),
+                carrier="att_hspa",
+                policy=PolicySpec(scheme="fixed_4.5s").resolved(100),
+                dormancy=DormancySpec(),
+            )
+
+        assert spec("scalar").cache_key == spec("vector").cache_key
+        runner = ProcessPoolRunner(jobs=1)
+        runs = runner.run([spec("scalar"), spec("vector")])
+        assert runs.cache_stats.misses == 1
+        assert runs.cache_stats.hits == 1
+        first, second = runs
+        assert not first.from_cache
+        assert second.from_cache
+        assert first.result == second.result
+
+
+class TestRecordColumns:
+    def test_engine_columns_appear_only_for_non_default_backend(self):
+        runs = ProcessPoolRunner(jobs=1).run(
+            ExperimentPlan()
+            .cells(cell(devices=4, apps=("im",), duration=100.0))
+            .carriers("att_hspa")
+            .policies("fixed_4.5s")
+            .engines("scalar", "vector")
+        )
+        by_engine = {row.get("engine", "scalar"): row
+                     for row in runs.to_records()}
+        scalar_row, vector_row = by_engine["scalar"], by_engine["vector"]
+        assert "engine" not in scalar_row
+        assert "vector_devices" not in scalar_row
+        assert vector_row["engine"] == "vector"
+        assert (vector_row["vector_devices"]
+                + vector_row["fallback_devices"] == 4)
+        assert set(runs.group_by("engine")) == {"scalar", "vector"}
+
+
+class TestCliEngineFlag:
+    _BASE = [
+        "sweep", "--cell", "--devices", "6", "--apps", "im",
+        "--carriers", "att_hspa", "--schemes", "fixed",
+        "--duration", "120",
+    ]
+
+    def test_vector_sweep_runs(self, capsys):
+        main(self._BASE + ["--engine", "vector", "--json", "-"])
+        out = capsys.readouterr().out
+        assert '"engine": "vector"' in out
+
+    def test_invalid_engine_rejected_cleanly(self, capsys):
+        assert main(self._BASE + ["--engine", "cuda"]) == 2
+        err = capsys.readouterr().err
+        assert "engine must be 'scalar' or 'vector', got 'cuda'" in err
+
+    def test_engine_without_cell_or_metro_errors(self, capsys):
+        assert main([
+            "sweep", "--apps", "im", "--carriers", "att_hspa",
+            "--schemes", "fixed", "--duration", "120",
+            "--engine", "vector",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--engine" in err and "--cell" in err

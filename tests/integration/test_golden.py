@@ -25,7 +25,13 @@ from pathlib import Path
 
 import pytest
 
-from repro.reporting.golden import GOLDEN_BUILDERS, build_golden, render_golden
+from repro.reporting.golden import (
+    ENGINE_AWARE_SUITES,
+    GOLDEN_BUILDERS,
+    build_golden,
+    render_golden,
+)
+from repro.sim.vector_engine import numpy_available
 
 GOLDEN_DIR = Path(__file__).resolve().parent.parent / "golden"
 
@@ -53,6 +59,38 @@ def test_golden_records_are_byte_exact(suite):
             "If this change is intentional, refresh with "
             "`PYTHONPATH=src python tools/refresh_golden.py` and explain "
             f"why in the commit message.\nFirst differences:\n{preview}"
+        )
+
+
+@pytest.mark.parametrize("suite", sorted(ENGINE_AWARE_SUITES))
+def test_golden_records_are_byte_exact_under_vector_backend(suite):
+    """The vector backend reproduces every golden suite byte-for-byte.
+
+    Same checked-in files, same comparison — only ``engine="vector"``
+    differs.  This is the backend contract at its sharpest: the numpy
+    kernel is not *approximately* the scalar kernel, it is the same
+    floats in the same order, including the scalar-fallback devices the
+    eligibility rules route around the folds (MakeIdle cohorts, the
+    mixed-policy scenario).
+    """
+    if not numpy_available():
+        pytest.skip("numpy unavailable — vector backend falls back to scalar")
+    path = GOLDEN_DIR / f"{suite}.json"
+    expected = path.read_text(encoding="utf-8")
+    actual = render_golden(build_golden(suite, engine="vector"))
+    if actual != expected:
+        diff = "\n".join(
+            difflib.unified_diff(
+                expected.splitlines(), actual.splitlines(),
+                fromfile=f"tests/golden/{suite}.json (checked in)",
+                tofile=f"{suite} (rebuilt, engine=vector)", lineterm="", n=2,
+            )
+        )
+        preview = "\n".join(diff.splitlines()[:60])
+        pytest.fail(
+            f"vector backend drifted from golden suite {suite!r} — the "
+            "byte-identity contract is broken; fix the backend (never "
+            f"refresh goldens for this).\nFirst differences:\n{preview}"
         )
 
 

@@ -1,0 +1,234 @@
+"""Backend parity: ``engine="vector"`` is byte-identical to the scalar kernel.
+
+The vector backend's contract (DESIGN.md §2.3) is *equality, not
+approximation*: whatever the workload, policy, carrier or shard plan,
+``engine="vector"`` must produce the same floats in the same order as the
+scalar kernel — per-device breakdowns, signaling totals, switch times and
+load samples alike.  These tests drive that contract across:
+
+* the carrier × policy equivalence matrix (every profile shape, every
+  standard scheme, eligible and hook-bearing alike);
+* the fallback rules — hook-bearing device policies take the per-UE
+  scalar fallback, arbitrating base stations and a missing numpy demote
+  the whole shard, and ``CellResult.vector_devices`` reports exactly who
+  ran where;
+* mixed vector/scalar shard merges (eligible and fallback devices
+  interleaved across shard boundaries);
+* randomized traces under hypothesis, where the boundary/fold split is
+  exercised at adversarial burst spacings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import PolicySpec, execute_cell
+from repro.api.cells import CellRunSpec, DormancySpec, cell
+from repro.basestation import AcceptAllDormancy, CellSimulator
+from repro.basestation.cell import DeviceSpec
+from repro.core import FixedTimerPolicy
+from repro.rrc.profiles import CARRIER_PROFILES, get_profile
+from repro.sim.vector_engine import numpy_available
+from repro.traces import Direction, Packet, PacketTrace
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(),
+    reason="numpy unavailable — vector backend falls back to scalar",
+)
+
+#: Schemes whose policies keep the base ``observe_packet`` /
+#: ``activation_delay`` hooks and a constant dormancy wait: every device
+#: vectorizes.
+ELIGIBLE_SCHEMES = ("status_quo", "fixed_4.5s")
+#: Hook-bearing schemes: every device takes the per-UE scalar fallback.
+FALLBACK_SCHEMES = ("makeidle", "makeidle+makeactive_learn")
+
+_DEVICES = 10
+_DURATION_S = 300.0
+
+
+def _run_pair(carrier: str, scheme: str, *, dormancy=DormancySpec(),
+              shards: int = 1, scenario: str | None = None,
+              devices: int = _DEVICES):
+    """One cell spec under both backends; returns (scalar, vector)."""
+    results = {}
+    for engine in ("scalar", "vector"):
+        spec = CellRunSpec(
+            cell=cell(devices=devices, scenario=scenario,
+                      apps=None if scenario else ("im", "email", "news"),
+                      duration=_DURATION_S, engine=engine),
+            carrier=carrier,
+            policy=PolicySpec(scheme=scheme).resolved(100),
+            dormancy=dormancy,
+            shards=shards,
+        )
+        results[engine] = execute_cell(spec)
+    return results["scalar"], results["vector"]
+
+
+class TestEquivalenceMatrix:
+    """Carrier × policy grid: full-result equality plus who vectorized."""
+
+    @pytest.mark.parametrize("carrier", sorted(CARRIER_PROFILES))
+    @pytest.mark.parametrize("scheme", ELIGIBLE_SCHEMES)
+    def test_eligible_schemes_vectorize_and_match(self, carrier, scheme):
+        scalar, vector = _run_pair(carrier, scheme)
+        assert vector == scalar
+        assert scalar.vector_devices == 0
+        assert vector.vector_devices == _DEVICES
+
+    @pytest.mark.parametrize("carrier", sorted(CARRIER_PROFILES))
+    @pytest.mark.parametrize("scheme", FALLBACK_SCHEMES)
+    def test_hook_bearing_schemes_fall_back_and_match(self, carrier, scheme):
+        scalar, vector = _run_pair(carrier, scheme)
+        assert vector == scalar
+        assert vector.vector_devices == 0
+
+    @pytest.mark.parametrize("carrier", sorted(CARRIER_PROFILES))
+    def test_trace_trained_timeout_vectorizes_and_matches(self, carrier):
+        """``p95_iat`` trains its constant on the full trace in
+        ``prepare()`` — eligible, but only on materialised traces (the
+        policy itself refuses lazy sources on either backend)."""
+        from repro.traces.streaming import stream_application_packets
+
+        policy_spec = PolicySpec(scheme="p95_iat").resolved(100)
+        results = {}
+        for engine in ("scalar", "vector"):
+            specs = [
+                DeviceSpec(
+                    device_id=index,
+                    trace=PacketTrace(stream_application_packets(
+                        ("im", "email")[index % 2],
+                        duration=_DURATION_S, seed=index, chunk_s=60.0,
+                    )),
+                    policy=policy_spec.build(),
+                )
+                for index in range(_DEVICES)
+            ]
+            simulator = CellSimulator(
+                get_profile(carrier), AcceptAllDormancy(), engine=engine,
+            )
+            results[engine] = simulator.run(specs)
+        assert results["vector"] == results["scalar"]
+        assert results["vector"].vector_devices == _DEVICES
+
+
+class TestFallbackRules:
+    def test_arbitrating_station_demotes_the_whole_shard(self):
+        """A station that may deny requests needs live shard-global load
+        ordering, so the vector path bows out entirely."""
+        scalar, vector = _run_pair(
+            "att_hspa", "fixed_4.5s",
+            dormancy=DormancySpec("rate_limited", 10.0),
+        )
+        assert vector == scalar
+        assert vector.vector_devices == 0
+
+    def test_missing_numpy_falls_back_silently(self, monkeypatch):
+        from repro.sim import vector_engine
+
+        monkeypatch.setattr(vector_engine, "_np", None)
+        assert not vector_engine.numpy_available()
+        scalar, vector = _run_pair("att_hspa", "fixed_4.5s")
+        assert vector == scalar
+        assert vector.vector_devices == 0
+
+    def test_mixed_policy_scenario_splits_the_population(self):
+        """The mixed-policy scenario carries eligible and hook-bearing
+        cohorts in one cell: the split is per-device, not per-shard."""
+        scalar, vector = _run_pair(
+            "att_hspa", "fixed_4.5s", scenario="mixed_policy", devices=9,
+        )
+        assert vector == scalar
+        assert 0 < vector.vector_devices < 9
+
+
+class TestMixedShardMerges:
+    @pytest.mark.parametrize("scheme", ("fixed_4.5s", "makeidle"))
+    def test_sharded_vector_merge_matches_sharded_scalar(self, scheme):
+        scalar, vector = _run_pair("att_hspa", scheme, shards=3)
+        assert vector == scalar
+
+    def test_mixed_policy_sharded_interleaves_backends(self):
+        """Shards holding both eligible and fallback devices merge into
+        the same result the scalar kernel produces — and the vector
+        count sums the per-shard batch populations."""
+        scalar, vector = _run_pair(
+            "att_hspa", "fixed_4.5s", scenario="mixed_policy", devices=9,
+            shards=3,
+        )
+        assert vector == scalar
+        assert 0 < vector.vector_devices < 9
+        # The batch population is a property of the devices, not of the
+        # shard plan: the unsharded run vectorizes the same count.
+        _, unsharded_vector = _run_pair(
+            "att_hspa", "fixed_4.5s", scenario="mixed_policy", devices=9,
+        )
+        assert vector.vector_devices == unsharded_vector.vector_devices
+
+
+def _trace_from_draw(times, sizes, uplinks) -> PacketTrace:
+    return PacketTrace(
+        Packet(timestamp=t, size=s,
+               direction=Direction.UPLINK if up else Direction.DOWNLINK)
+        for t, s, up in zip(sorted(times), sizes, uplinks)
+    )
+
+
+@st.composite
+def _device_populations(draw):
+    """A handful of devices with adversarial burst spacings.
+
+    Gaps cluster around the fixed timer's boundary values (the dormancy
+    wait and the inactivity timeout) so the eligibility fold's
+    fired-event masks and the same-instant heap tie-breaks are hit, not
+    just the easy wide-gap cases.
+    """
+    n_devices = draw(st.integers(min_value=1, max_value=4))
+    timeout = draw(st.sampled_from((0.0, 0.5, 4.5, 12.0)))
+    devices = []
+    for index in range(n_devices):
+        n_packets = draw(st.integers(min_value=0, max_value=12))
+        gaps = draw(st.lists(
+            st.one_of(
+                st.floats(min_value=0.0, max_value=30.0, allow_nan=False),
+                st.sampled_from((0.0, timeout, 4.5, 5.0)),
+            ),
+            min_size=n_packets, max_size=n_packets,
+        ))
+        times = []
+        now = draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        for gap in gaps:
+            now = now + gap
+            times.append(now)
+        sizes = draw(st.lists(st.integers(min_value=0, max_value=3000),
+                              min_size=n_packets, max_size=n_packets))
+        uplinks = draw(st.lists(st.booleans(),
+                                min_size=n_packets, max_size=n_packets))
+        devices.append((index, times, sizes, uplinks))
+    return timeout, devices
+
+
+class TestRandomizedParity:
+    @settings(max_examples=40, deadline=None)
+    @given(population=_device_populations())
+    def test_random_traces_identical_under_both_backends(self, population):
+        timeout, drawn = population
+        results = {}
+        for engine in ("scalar", "vector"):
+            specs = [
+                DeviceSpec(
+                    device_id=index,
+                    trace=_trace_from_draw(times, sizes, uplinks),
+                    policy=FixedTimerPolicy(timeout=timeout),
+                )
+                for index, times, sizes, uplinks in drawn
+            ]
+            simulator = CellSimulator(
+                get_profile("att_hspa"), AcceptAllDormancy(), engine=engine,
+            )
+            results[engine] = simulator.run(specs)
+        assert results["vector"] == results["scalar"]
+        assert results["vector"].vector_devices == len(drawn)

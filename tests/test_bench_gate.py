@@ -100,10 +100,67 @@ class TestMain:
             "--floor", str(floor), "--current", str(slow),
             "--section", "metro_250k",
         ]) == gate.REGRESSION
-        # The same files under the default section have no data: clean skip.
+        # Under an explicit section with no data: clean skip.
         assert gate.main([
             "--floor", str(floor), "--current", str(slow),
+            "--section", "single_1k",
         ]) == gate.OK
+
+    def test_default_gates_every_throughput_section(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        assert "metro_250k" in gate.DEFAULT_SECTIONS
+        assert "sharded_100k" in gate.DEFAULT_SECTIONS
+        assert "vector_1k" in gate.DEFAULT_SECTIONS
+        # A regression in any default section trips the gate even when
+        # the others are healthy.
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({
+            section: {"packets_per_sec": 60_000.0}
+            for section in gate.DEFAULT_SECTIONS
+        }), encoding="utf-8")
+        current_payload = {
+            section: {"packets_per_sec": 59_000.0}
+            for section in gate.DEFAULT_SECTIONS
+        }
+        current_payload["metro_250k"] = {"packets_per_sec": 10_000.0}
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(current_payload), encoding="utf-8")
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.REGRESSION
+        # All healthy: passes.
+        current.write_text(json.dumps({
+            section: {"packets_per_sec": 59_000.0}
+            for section in gate.DEFAULT_SECTIONS
+        }), encoding="utf-8")
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+        ]) == gate.OK
+
+    def test_repeated_section_flags_gate_a_subset(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = tmp_path / "floor.json"
+        floor.write_text(json.dumps({
+            "single_1k": {"packets_per_sec": 60_000.0},
+            "metro_250k": {"packets_per_sec": 60_000.0},
+        }), encoding="utf-8")
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps({
+            "single_1k": {"packets_per_sec": 59_000.0},
+            "metro_250k": {"packets_per_sec": 10_000.0},
+        }), encoding="utf-8")
+        # Only the healthy section requested: passes.
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+            "--section", "single_1k",
+        ]) == gate.OK
+        # Both requested: the regressed one trips it.
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+            "--section", "single_1k", "--section", "metro_250k",
+        ]) == gate.REGRESSION
 
     def test_bad_tolerance_rejected(self, tmp_path, monkeypatch):
         monkeypatch.setattr(gate, "usable_cores", lambda: 8)

@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Benchmark regression gate: fresh throughput vs. the recorded floor.
 
-Compares the freshly measured ``single_1k.packets_per_sec`` (written to
-``BENCH_engine.json`` by ``benchmarks/test_engine_throughput.py``) against
-the *committed* value of the same key — the recorded floor — and fails
-when the fresh number drops below ``tolerance × floor``.  This is what
-keeps future PRs from silently regressing the kernel hot path: CI
-snapshots the committed file before the benchmark overwrites it, then
-runs this gate.
+Compares each gated section's freshly measured ``packets_per_sec``
+(written to ``BENCH_engine.json`` by
+``benchmarks/test_engine_throughput.py``) against the *committed* value
+of the same key — the recorded floor — and fails when any fresh number
+drops below ``tolerance × floor``.  By default every throughput section
+with a recorded floor is gated (``single_1k``, ``sharded_100k``,
+``metro_250k`` and the vector-backend sections); pass ``--section`` one
+or more times to gate a subset.  This is what keeps future PRs from
+silently regressing the kernel hot paths: CI snapshots the committed
+file before the benchmark overwrites it, then runs this gate.
 
 The gate is tolerance-based and **skips cleanly** on constrained runners:
 shared CI boxes jitter by tens of percent, so the default tolerance is
@@ -36,6 +39,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 OK, REGRESSION, BAD_INPUT = 0, 1, 2
 
 SECTION = "single_1k"
+#: Gated by default: every section recording a ``packets_per_sec``
+#: throughput.  Sections without a recorded floor (or absent from the
+#: fresh run) skip cleanly, so adding one here never blocks its first
+#: commit.
+DEFAULT_SECTIONS = (
+    "single_1k", "sharded_100k", "metro_250k", "vector_1k", "vector_100k",
+)
 KEY = "packets_per_sec"
 SKIP_ENV = "REPRO_BENCH_GATE"
 
@@ -113,10 +123,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip cleanly below this many usable cores (default 2)",
     )
     parser.add_argument(
-        "--section", default=SECTION,
-        help=f"BENCH_engine.json section to gate (default {SECTION}); "
-             "sections missing from the fresh run skip cleanly, so gated "
-             "sections can be benchmarked selectively per runner",
+        "--section", action="append", dest="sections", default=None,
+        help="BENCH_engine.json section to gate; repeatable (default: "
+             f"{', '.join(DEFAULT_SECTIONS)}).  Sections missing a "
+             "recorded floor or missing from the fresh run skip cleanly, "
+             "so gated sections can be benchmarked selectively per runner",
     )
     args = parser.parse_args(argv)
 
@@ -135,28 +146,34 @@ def main(argv: list[str] | None = None) -> int:
         print(f"bench gate: --tolerance must be in (0, 1], got {args.tolerance}")
         return BAD_INPUT
 
-    floor = read_section(args.floor, args.section)
-    if floor is None:
-        print(
-            f"bench gate: skipped (no recorded {args.section}.{KEY} floor "
-            f"in {args.floor})"
-        )
-        return OK
-    current = read_section(args.current, args.section)
-    if current is None:
-        # A fresh run may legitimately omit a gated section (e.g. a heavy
-        # metro benchmark not exercised on this runner, or a new section
-        # landing before CI benchmarks it): skip cleanly rather than
-        # failing, so gate ordering never blocks a section's first commit.
-        print(
-            f"bench gate: skipped (no fresh {args.section}.{KEY} in "
-            f"{args.current}; section not benchmarked in this run)"
-        )
-        return OK
-
-    ok, message = evaluate(floor, current, args.tolerance)
-    print(f"bench gate: {message}")
-    return OK if ok else REGRESSION
+    sections = tuple(args.sections) if args.sections else DEFAULT_SECTIONS
+    status = OK
+    for section in sections:
+        floor = read_section(args.floor, section)
+        if floor is None:
+            print(
+                f"bench gate [{section}]: skipped (no recorded "
+                f"{section}.{KEY} floor in {args.floor})"
+            )
+            continue
+        current = read_section(args.current, section)
+        if current is None:
+            # A fresh run may legitimately omit a gated section (e.g. a
+            # heavy metro benchmark not exercised on this runner, or a new
+            # section landing before CI benchmarks it): skip cleanly
+            # rather than failing, so gate ordering never blocks a
+            # section's first commit.
+            print(
+                f"bench gate [{section}]: skipped (no fresh "
+                f"{section}.{KEY} in {args.current}; section not "
+                "benchmarked in this run)"
+            )
+            continue
+        ok, message = evaluate(floor, current, args.tolerance)
+        print(f"bench gate [{section}]: {message}")
+        if not ok:
+            status = REGRESSION
+    return status
 
 
 if __name__ == "__main__":

@@ -34,7 +34,7 @@ sweeps a cohort-weighted, diurnally shaped population, and the run set
 reports per-cohort energy/denial/switch breakdowns.
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, DiskCacheTier, ResultCache, default_cache_dir
 from .cells import (
     CellRunSpec,
     CellSpec,
@@ -86,6 +86,7 @@ from .spec import (
 __all__ = [
     "CacheStats",
     "CellRunSpec",
+    "DiskCacheTier",
     "CellSpec",
     "Cohort",
     "DeviceArchetype",
@@ -111,6 +112,7 @@ __all__ = [
     "TraceSpec",
     "app",
     "cell",
+    "default_cache_dir",
     "default_runner",
     "dormancy",
     "execute",

@@ -11,14 +11,27 @@ once per (trace, carrier) pair and serves every further request from here.
 The hit/miss counters make that claim testable: a correct sweep shows zero
 duplicate status-quo simulations.
 
-The cache is deliberately a plain in-memory mapping: simulation results are
-immutable dataclasses, so sharing them between callers is safe, and the
-process-pool runner deduplicates *before* submitting work so the cache never
-needs to be shared across processes.
+Two tiers:
+
+* **Memory** — a plain LRU-bounded mapping.  Simulation results are
+  immutable, so sharing them between callers is safe, and the
+  process-pool runner deduplicates *before* submitting work so this tier
+  never needs to be shared across processes.
+* **Disk** (optional, :class:`DiskCacheTier`) — content-addressed files
+  keyed by the spec fingerprint, so repeated sweeps across *sessions*
+  (or across cooperating processes) load results instead of
+  re-simulating.  Writes are atomic (temp file + ``os.replace``) and
+  version-stamped; any unreadable, truncated or mismatched file is a
+  clean miss that re-simulates and overwrites.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Hashable, Iterator, Union
 
 from ..sim.results import SimulationResult
@@ -30,18 +43,43 @@ if TYPE_CHECKING:  # avoid a basestation import at runtime for type hints only
 else:
     CachedResult = SimulationResult
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "DiskCacheTier", "ResultCache", "default_cache_dir"]
+
+#: Environment variable that both names the default cache directory and
+#: opts the CLI into the persistent tier without a ``--cache-dir`` flag.
+CACHE_DIR_ENV = "REPRO_RRC_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """The persistent tier's default directory.
+
+    ``$REPRO_RRC_CACHE_DIR`` when set, else ``$XDG_CACHE_HOME/repro-rrc``,
+    else ``~/.cache/repro-rrc``.
+    """
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-rrc"
 
 
 class CacheStats:
-    """A point-in-time snapshot of a cache's counters."""
+    """A point-in-time snapshot of a cache's counters.
 
-    __slots__ = ("hits", "misses", "size")
+    ``disk_hits`` counts lookups the memory tier missed but the
+    persistent tier served (they are *also* counted in ``hits`` — a disk
+    hit is still a lookup served without simulating).
+    """
 
-    def __init__(self, hits: int, misses: int, size: int) -> None:
+    __slots__ = ("hits", "misses", "size", "disk_hits")
+
+    def __init__(self, hits: int, misses: int, size: int,
+                 disk_hits: int = 0) -> None:
         self.hits = hits
         self.misses = misses
         self.size = size
+        self.disk_hits = disk_hits
 
     @property
     def lookups(self) -> int:
@@ -54,32 +92,156 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def __repr__(self) -> str:
+        disk = f", disk_hits={self.disk_hits}" if self.disk_hits else ""
         return (
             f"CacheStats(hits={self.hits}, misses={self.misses}, "
-            f"size={self.size})"
+            f"size={self.size}{disk})"
         )
 
 
+class DiskCacheTier:
+    """Content-addressed persistent result files under one directory.
+
+    Filenames are the SHA-256 of the cache key's canonical ``repr`` —
+    the same nested-primitive-tuple fingerprints the memory tier hashes —
+    so cooperating processes (and later sessions) address the same file
+    for the same spec without coordination.  The stored payload carries a
+    format version and the full key repr; :meth:`load` treats *any*
+    irregularity — unpickling error, truncated file, version or key
+    mismatch — as a clean miss and deletes the offender so the slot heals
+    on the next store.
+
+    Writes go to a temp file in the same directory followed by
+    ``os.replace``, so concurrent writers are safe: readers only ever see
+    a complete file (the atomicity the disk-cache tests exercise).
+    """
+
+    #: Bump when the pickled payload layout (or anything that affects the
+    #: byte-compatibility of stored results) changes: old files then read
+    #: as version mismatches, i.e. clean misses.
+    FORMAT_VERSION = 1
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self._dir = Path(directory) if directory is not None else default_cache_dir()
+        self._loads = 0
+        self._stores = 0
+
+    @property
+    def directory(self) -> Path:
+        """The directory holding the result files."""
+        return self._dir
+
+    @property
+    def loads(self) -> int:
+        """Results served from disk so far."""
+        return self._loads
+
+    @property
+    def stores(self) -> int:
+        """Results written to disk so far."""
+        return self._stores
+
+    @staticmethod
+    def _key_repr(key: Hashable) -> str:
+        return repr(key)
+
+    def path_for(self, key: Hashable) -> Path:
+        """The content-addressed file path of ``key``."""
+        digest = hashlib.sha256(
+            self._key_repr(key).encode("utf-8")
+        ).hexdigest()
+        return self._dir / f"{digest}.pkl"
+
+    def load(self, key: Hashable) -> CachedResult | None:
+        """Return the stored result for ``key``, or ``None`` on any miss.
+
+        Corruption of any kind never propagates: a file that cannot be
+        read, unpickled or validated is removed (best effort) and the
+        caller re-simulates.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != self.FORMAT_VERSION
+                or payload.get("key") != self._key_repr(key)
+            ):
+                raise ValueError("cache file failed validation")
+            result = payload["result"]
+        except FileNotFoundError:
+            return None
+        except Exception:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+        self._loads += 1
+        return result
+
+    def store(self, key: Hashable, result: CachedResult) -> None:
+        """Persist ``result`` under ``key`` atomically (best effort).
+
+        A filesystem that refuses the write (read-only, full, ...) fails
+        quietly: the disk tier is an accelerator, never a correctness
+        dependency.
+        """
+        try:
+            self._dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "format": self.FORMAT_VERSION,
+                "key": self._key_repr(key),
+                "result": result,
+            }
+            fd, tmp = tempfile.mkstemp(
+                dir=self._dir, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self._stores += 1
+
+
 class ResultCache:
-    """In-memory map from run cache keys to simulation results, with counters.
+    """Two-tier map from run cache keys to simulation results, with counters.
 
     A *miss* is recorded when a result is first computed and stored; a *hit*
-    whenever a later lookup is served without simulating.  ``get_or_run`` is
+    whenever a later lookup is served without simulating — from memory or,
+    failing that, from the optional persistent tier.  ``get_or_run`` is
     the serial fast path; the process-pool runner uses ``lookup`` / ``put``
     so it can batch the misses into one executor submission.
 
-    ``max_entries`` bounds the cache with FIFO eviction (oldest stored entry
-    first), so open-ended sweeps over ever-new traces cannot grow memory
-    without limit; ``None`` (the default) keeps everything.
+    ``max_entries`` bounds the in-memory tier with LRU eviction (least
+    recently *used*, so a long sweep's hot baselines survive), keeping
+    long-running sessions bounded; evicted entries remain reachable
+    through the disk tier when one is attached, because every ``put``
+    writes through.  ``None`` (the default) keeps everything in memory.
     """
 
-    def __init__(self, max_entries: int | None = None) -> None:
+    def __init__(self, max_entries: int | None = None,
+                 disk: DiskCacheTier | str | Path | None = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self._entries: dict[Hashable, CachedResult] = {}
         self._max_entries = max_entries
+        if disk is not None and not isinstance(disk, DiskCacheTier):
+            disk = DiskCacheTier(disk)
+        self._disk = disk
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
 
     def _evict_overflow(self) -> None:
         if self._max_entries is None:
@@ -87,11 +249,26 @@ class ResultCache:
         while len(self._entries) > self._max_entries:
             self._entries.pop(next(iter(self._entries)))
 
+    def _touch(self, key: Hashable) -> None:
+        """Move ``key`` to the most-recently-used end of the LRU order."""
+        self._entries[key] = self._entries.pop(key)
+
+    def _disk_load(self, key: Hashable) -> CachedResult | None:
+        if self._disk is None:
+            return None
+        result = self._disk.load(key)
+        if result is not None:
+            # Promote to memory so repeated lookups stay O(1); the
+            # promotion counts toward the LRU bound like any entry.
+            self._entries[key] = result
+            self._evict_overflow()
+        return result
+
     # -- counters --------------------------------------------------------------------
 
     @property
     def hits(self) -> int:
-        """Lookups served from the cache so far."""
+        """Lookups served from the cache so far (either tier)."""
         return self._hits
 
     @property
@@ -100,9 +277,20 @@ class ResultCache:
         return self._misses
 
     @property
+    def disk_hits(self) -> int:
+        """Lookups the memory tier missed but the disk tier served."""
+        return self._disk_hits
+
+    @property
+    def disk(self) -> DiskCacheTier | None:
+        """The attached persistent tier, if any."""
+        return self._disk
+
+    @property
     def stats(self) -> CacheStats:
         """Snapshot of the current counters and size."""
-        return CacheStats(self._hits, self._misses, len(self._entries))
+        return CacheStats(self._hits, self._misses, len(self._entries),
+                          self._disk_hits)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -122,33 +310,63 @@ class ResultCache:
         try:
             result = self._entries[key]
         except KeyError:
+            result = self._disk_load(key)
+            if result is not None:
+                self._hits += 1
+                self._disk_hits += 1
+                return result
             result = run()
             self._entries[key] = result
             self._misses += 1
+            if self._disk is not None:
+                self._disk.store(key, result)
             self._evict_overflow()
             return result
         self._hits += 1
+        self._touch(key)
         return result
 
     def peek(self, key: Hashable) -> CachedResult | None:
-        """Return the cached result without touching the counters."""
-        return self._entries.get(key)
+        """Return the cached result without touching the counters.
+
+        Consults both tiers (a disk result is promoted to memory) but
+        counts neither hits nor misses — the pool runner's dedup pass
+        uses this so its phase-3 bookkeeping owns the counter semantics.
+        """
+        result = self._entries.get(key)
+        if result is not None:
+            return result
+        return self._disk_load(key)
 
     def lookup(self, key: Hashable) -> CachedResult | None:
         """Return the cached result and count a hit, or ``None`` without counting."""
         result = self._entries.get(key)
         if result is not None:
             self._hits += 1
+            self._touch(key)
+            return result
+        result = self._disk_load(key)
+        if result is not None:
+            self._hits += 1
+            self._disk_hits += 1
         return result
 
     def put(self, key: Hashable, result: CachedResult) -> None:
         """Store a freshly computed result, counting one miss."""
         self._entries[key] = result
         self._misses += 1
+        if self._disk is not None:
+            self._disk.store(key, result)
         self._evict_overflow()
 
     def clear(self) -> None:
-        """Drop all entries and reset the counters."""
+        """Drop all in-memory entries and reset the counters.
+
+        The persistent tier is left untouched — its whole point is
+        surviving the in-memory lifecycle; delete its directory to
+        really forget.
+        """
         self._entries.clear()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0

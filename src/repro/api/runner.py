@@ -142,7 +142,8 @@ class _BaseRunner:
     def _delta(self, before: CacheStats) -> CacheStats:
         after = self._cache.stats
         return CacheStats(
-            after.hits - before.hits, after.misses - before.misses, after.size
+            after.hits - before.hits, after.misses - before.misses, after.size,
+            after.disk_hits - before.disk_hits,
         )
 
 
@@ -330,7 +331,7 @@ class ProcessPoolRunner(_BaseRunner):
 #: Module-level runner shared by the thin experiment drivers, so repeated
 #: driver calls in one process (e.g. several figures of one report) reuse
 #: each other's baselines instead of re-simulating them.  Its cache is
-#: FIFO-bounded so long-lived processes sweeping ever-new traces (notebooks,
+#: LRU-bounded so long-lived processes sweeping ever-new traces (notebooks,
 #: services) cannot grow memory without limit.
 _SHARED_RUNNER: SerialRunner | None = None
 _SHARED_CACHE_MAX_ENTRIES = 512

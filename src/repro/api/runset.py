@@ -6,12 +6,21 @@ A runner turns every :class:`~repro.api.spec.RunSpec` of a plan into a
 out of the cache.  The :class:`RunSet` wraps the ordered record sequence
 with the operations every consumer of a sweep needs:
 
-* axis filtering (:meth:`RunSet.only`) and grouping (:meth:`RunSet.group_by`);
+* axis filtering (:meth:`RunSet.only`, :meth:`RunSet.filter`) and grouping
+  (:meth:`RunSet.group_by`);
 * normalising each scheme against the status-quo baseline of its own
   (trace, carrier, seed) cell (:meth:`RunSet.savings`), reusing the
   :class:`~repro.metrics.savings.SavingsReport` machinery;
-* flat export for storage and plotting (:meth:`RunSet.to_records`,
-  :meth:`RunSet.to_csv`, :meth:`RunSet.to_json`).
+* flat export for storage and plotting (:meth:`RunSet.iter_records`,
+  :meth:`RunSet.to_records`, :meth:`RunSet.to_csv`, :meth:`RunSet.to_json`,
+  :meth:`RunSet.to_npz`, and — when pyarrow is installed —
+  :meth:`RunSet.to_parquet`).
+
+All of these work on the *aggregate* columns of the underlying results:
+cell- and metro-scale records sit on the columnar
+:class:`~repro.basestation.table.DeviceTable`, whose totals are computed
+by array reductions, so exporting a million-device sweep never
+materialises a million per-device row objects (see DESIGN.md §5).
 """
 
 from __future__ import annotations
@@ -209,6 +218,17 @@ class RunSet(Sequence[RunRecord]):
         )
         return RunSet(selected, self._cache_stats, self._execution)
 
+    #: Axis name → record accessor, shared by group_by()/filter().
+    _AXIS_GETTERS = {
+        "trace": lambda r: r.trace_label,
+        "carrier": lambda r: r.carrier,
+        "scheme": lambda r: r.scheme,
+        "dormancy": lambda r: r.dormancy,
+        "shards": lambda r: r.shards,
+        "engine": lambda r: r.engine,
+        "seed": lambda r: r.seed,
+    }
+
     def group_by(self, *axes: str) -> dict[Any, "RunSet"]:
         """Partition the records by one or more axes.
 
@@ -219,15 +239,7 @@ class RunSet(Sequence[RunRecord]):
         order follows the record order, so iterating the groups preserves
         the plan's axis order.
         """
-        getters = {
-            "trace": lambda r: r.trace_label,
-            "carrier": lambda r: r.carrier,
-            "scheme": lambda r: r.scheme,
-            "dormancy": lambda r: r.dormancy,
-            "shards": lambda r: r.shards,
-            "engine": lambda r: r.engine,
-            "seed": lambda r: r.seed,
-        }
+        getters = self._AXIS_GETTERS
         unknown = [a for a in axes if a not in getters]
         if unknown or not axes:
             raise ValueError(
@@ -240,6 +252,30 @@ class RunSet(Sequence[RunRecord]):
             grouped.setdefault(key, []).append(record)
         return {k: RunSet(v, self._cache_stats, self._execution)
                 for k, v in grouped.items()}
+
+    def filter(self, predicate: Any = None, **axes: Any) -> "RunSet":
+        """Records matching every axis keyword and the optional predicate.
+
+        Axis keywords are the :meth:`group_by` names (``trace="im"``,
+        ``scheme="makeidle"``, ``shards=4`` ...) and compare by equality;
+        ``predicate`` is an arbitrary ``RunRecord -> bool`` callable for
+        anything the axes cannot express (e.g. ``lambda r:
+        r.result.total_energy_j < 50``).  A generalisation of
+        :meth:`only` — axis comparisons look only at spec metadata, so
+        filtering never touches result payloads unless the predicate does.
+        """
+        getters = self._AXIS_GETTERS
+        unknown = [a for a in axes if a not in getters]
+        if unknown:
+            raise ValueError(
+                f"filter axes must be among {sorted(getters)}, got {unknown}"
+            )
+        selected = tuple(
+            r for r in self._records
+            if all(getters[a](r) == v for a, v in axes.items())
+            and (predicate is None or predicate(r))
+        )
+        return RunSet(selected, self._cache_stats, self._execution)
 
     # -- baseline normalisation ------------------------------------------------------
 
@@ -392,9 +428,14 @@ class RunSet(Sequence[RunRecord]):
             rows[label] = entry
         return rows
 
-    def to_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
-                   ) -> list[dict[str, Any]]:
-        """Flatten the run set into plain dicts, one per record.
+    def iter_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
+                     ) -> Iterator[dict[str, Any]]:
+        """Yield the flat record dicts of :meth:`to_records` lazily.
+
+        One row is materialised at a time, so streaming a large sweep to
+        an incremental writer holds a single row's worth of dicts rather
+        than the whole flattened table.  The baseline index is built
+        upfront from spec metadata only.
 
         When ``baseline_scheme`` is given and the matching baseline record
         exists in the set, each row also carries ``saved_percent`` and
@@ -417,7 +458,6 @@ class RunSet(Sequence[RunRecord]):
             for record in self._records:
                 if record.scheme == baseline_scheme:
                     baselines.setdefault(record.group_key, record)
-        rows: list[dict[str, Any]] = []
         for record in self._records:
             result = record.result
             if record.is_metro:
@@ -465,7 +505,7 @@ class RunSet(Sequence[RunRecord]):
                             result.total_switches / base.total_switches
                         )
                 row["cells"] = self._metro_cell_rows(result, baseline)
-                rows.append(row)
+                yield row
                 continue
             if record.is_cell:
                 row = {
@@ -511,7 +551,7 @@ class RunSet(Sequence[RunRecord]):
                 cohorts = self._cohort_rows(result, baseline)
                 if cohorts:
                     row["cohorts"] = cohorts
-                rows.append(row)
+                yield row
                 continue
             row = {
                 "trace": record.trace_label,
@@ -533,8 +573,12 @@ class RunSet(Sequence[RunRecord]):
                 row["switches_normalized"] = result.switches_normalized(
                     baseline.result
                 )
-            rows.append(row)
-        return rows
+            yield row
+
+    def to_records(self, baseline_scheme: str | None = BASELINE_SCHEME,
+                   ) -> list[dict[str, Any]]:
+        """The :meth:`iter_records` rows as a list (the eager form)."""
+        return list(self.iter_records(baseline_scheme))
 
     def to_csv(self, path: str | Path,
                baseline_scheme: str | None = BASELINE_SCHEME) -> None:
@@ -547,15 +591,7 @@ class RunSet(Sequence[RunRecord]):
         """
         from ..reporting.render import write_csv
 
-        rows = [
-            {k: v for k, v in row.items() if k not in ("cohorts", "cells")}
-            for row in self.to_records(baseline_scheme)
-        ]
-        fieldnames: list[str] = []
-        for row in rows:
-            for name in row:
-                if name not in fieldnames:
-                    fieldnames.append(name)
+        rows, fieldnames = self._flat_rows(baseline_scheme)
         write_csv(rows, path, fieldnames=fieldnames)
 
     def to_json(self, path: str | Path | None = None,
@@ -576,3 +612,86 @@ class RunSet(Sequence[RunRecord]):
         if path is not None:
             Path(path).write_text(text + "\n", encoding="utf-8")
         return text
+
+    def _flat_rows(self, baseline_scheme: str | None
+                   ) -> tuple[list[dict[str, Any]], list[str]]:
+        """Nested-mapping-free rows plus the union of their column names."""
+        rows = [
+            {k: v for k, v in row.items() if k not in ("cohorts", "cells")}
+            for row in self.iter_records(baseline_scheme)
+        ]
+        fieldnames: list[str] = []
+        for row in rows:
+            for name in row:
+                if name not in fieldnames:
+                    fieldnames.append(name)
+        return rows, fieldnames
+
+    def to_npz(self, path: str | Path,
+               baseline_scheme: str | None = BASELINE_SCHEME) -> None:
+        """Write the flat record columns as a compressed numpy ``.npz``.
+
+        One named array per :meth:`to_records` column (nested ``cohorts``
+        / ``cells`` mappings omitted, as in :meth:`to_csv`).  Columns
+        present on only some rows widen: numeric columns to float64 with
+        ``nan`` holes, everything else to strings with ``""`` holes —
+        so mixed single-UE/cell sweeps still round-trip.  Requires numpy.
+        """
+        try:
+            import numpy as np
+        except ImportError as exc:  # pragma: no cover - numpy is baked in
+            raise RuntimeError(
+                "RunSet.to_npz requires numpy; use to_csv()/to_json()"
+            ) from exc
+
+        rows, fieldnames = self._flat_rows(baseline_scheme)
+
+        def column(name: str):
+            values = [row.get(name) for row in rows]
+            present = [v for v in values if v is not None]
+            if present and all(isinstance(v, bool) for v in present):
+                return np.array(
+                    [bool(v) for v in values], dtype=np.bool_
+                ) if None not in values else np.array(
+                    ["" if v is None else str(v) for v in values]
+                )
+            if (present and None not in values
+                    and all(type(v) is int for v in present)):
+                return np.array(values, dtype=np.int64)
+            if present and all(isinstance(v, (int, float)) for v in present):
+                return np.array(
+                    [float("nan") if v is None else float(v) for v in values],
+                    dtype=np.float64,
+                )
+            return np.array(["" if v is None else str(v) for v in values])
+
+        np.savez_compressed(
+            Path(path), **{name: column(name) for name in fieldnames}
+        )
+
+    def to_parquet(self, path: str | Path,
+                   baseline_scheme: str | None = BASELINE_SCHEME) -> None:
+        """Write the flat record table as a parquet file (needs pyarrow).
+
+        Same flat columns as :meth:`to_csv` / :meth:`to_npz`.  pyarrow is
+        an *optional* dependency: without it this raises a
+        :class:`RuntimeError` naming the alternatives instead of an
+        ImportError from deep inside an export pipeline.
+        """
+        try:
+            import pyarrow as pa
+            import pyarrow.parquet as pq
+        except ImportError as exc:
+            raise RuntimeError(
+                "RunSet.to_parquet requires the optional dependency "
+                "pyarrow; install it, or export with to_npz()/to_csv()/"
+                "to_json() instead"
+            ) from exc
+
+        rows, fieldnames = self._flat_rows(baseline_scheme)
+        # Normalise ragged rows so every column exists in every row —
+        # from_pylist infers a unified schema with nulls for the holes.
+        table = pa.Table.from_pylist(
+            [{name: row.get(name) for name in fieldnames} for row in rows]
+        )
+        pq.write_table(table, str(path))

@@ -23,6 +23,7 @@ from .cell import (
     DeviceSpec,
     merge_cell_shards,
 )
+from .table import DeviceTable, FloatArray, ShardTable
 from .policies import (
     AcceptAllDormancy,
     DormancyDecision,
@@ -41,11 +42,14 @@ __all__ = [
     "CohortBreakdown",
     "DeviceResult",
     "DeviceSpec",
+    "DeviceTable",
     "DormancyDecision",
     "DormancyPolicy",
+    "FloatArray",
     "LoadAwareDormancy",
     "RateLimitedDormancy",
     "RejectAllDormancy",
+    "ShardTable",
     "merge_cell_shards",
     "partition_switch_budget",
 ]

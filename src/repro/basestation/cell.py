@@ -49,10 +49,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Iterable, Sequence, Union
 
 from ..core.policy import RadioPolicy
-from ..energy.accounting import EnergyBreakdown, assemble_breakdown
+from ..energy.accounting import EnergyBreakdown
 from ..metrics.switches import peak_per_window
 from ..rrc.profiles import CarrierProfile
 from ..rrc.signaling import SignalingLoad, signaling_costs_for
@@ -73,6 +73,15 @@ from .policies import (
     CellLoadSnapshot,
     DormancyPolicy,
 )
+from .table import (
+    DeviceTable,
+    FloatArray,
+    ShardTable,
+    _float_col,
+    _int_col,
+    _np,
+    derive_tail_columns,
+)
 
 __all__ = [
     "CellResult",
@@ -81,7 +90,10 @@ __all__ = [
     "CohortBreakdown",
     "DeviceResult",
     "DeviceSpec",
+    "DeviceTable",
+    "FloatArray",
     "ShardDeviceState",
+    "ShardTable",
     "merge_cell_shards",
 ]
 
@@ -221,14 +233,22 @@ class CohortBreakdown:
 
 @dataclass(frozen=True)
 class CellResult:
-    """Aggregate outcome of a cell simulation."""
+    """Aggregate outcome of a cell simulation.
+
+    ``devices`` is stored columnar (:class:`~repro.basestation.table.DeviceTable`,
+    one numpy column per field); indexing and iteration materialise the
+    familiar :class:`DeviceResult` rows on demand, and a plain sequence of
+    rows passed to the constructor is normalised into a table.  The
+    cell-wide aggregates push down to column operations that replicate the
+    row-based left-fold sums bit for bit (see ``docs/DESIGN.md`` §5).
+    """
 
     dormancy_policy_name: str
-    devices: tuple[DeviceResult, ...]
+    devices: DeviceTable
     signaling: SignalingLoad
     duration_s: float
     peak_active_devices: int
-    switch_times: tuple[float, ...] = field(default=(), repr=False)
+    switch_times: FloatArray = field(default=(), repr=False)
     load_samples: tuple[LoadSample, ...] = field(default=(), repr=False)
     #: How many devices ran on the vectorized kernel backend (0 for a
     #: scalar run; the remainder took the automatic per-UE scalar
@@ -237,10 +257,20 @@ class CellResult:
     #: results, so a vector result *equals* its scalar twin.
     vector_devices: int = field(default=0, compare=False)
 
-    @property
+    def __post_init__(self) -> None:
+        if not isinstance(self.devices, DeviceTable):
+            object.__setattr__(
+                self, "devices", DeviceTable.from_rows(tuple(self.devices))
+            )
+        if not isinstance(self.switch_times, FloatArray):
+            object.__setattr__(
+                self, "switch_times", FloatArray(self.switch_times)
+            )
+
+    @cached_property
     def total_energy_j(self) -> float:
-        """Energy summed over every device, joules."""
-        return sum(d.total_energy_j for d in self.devices)
+        """Energy summed over every device, joules (columnar left fold)."""
+        return self.devices.total_energy_j()
 
     @property
     def total_switches(self) -> int:
@@ -250,17 +280,17 @@ class CellResult:
     @property
     def total_packets(self) -> int:
         """Packets transferred summed over every device."""
-        return sum(d.packets for d in self.devices)
+        return self.devices.int_total("packets")
 
     @property
     def dormancy_requests(self) -> int:
         """Fast-dormancy requests summed over every device."""
-        return sum(d.dormancy_requests for d in self.devices)
+        return self.devices.int_total("dormancy_requests")
 
     @property
     def dormancy_denied(self) -> int:
         """Denied fast-dormancy requests summed over every device."""
-        return sum(d.dormancy_denied for d in self.devices)
+        return self.devices.int_total("dormancy_denied")
 
     @property
     def denial_rate(self) -> float:
@@ -269,31 +299,20 @@ class CellResult:
         return self.dormancy_denied / requests if requests else 0.0
 
     @cached_property
-    def _sorted_switch_times(self) -> tuple[float, ...]:
-        """Switch timestamps sorted once and reused by windowed metrics."""
-        return tuple(sorted(self.switch_times))
-
-    @cached_property
     def peak_switches_per_minute(self) -> int:
         """Largest number of switches observed in any 60-second window.
 
         Computed (and the underlying timestamps sorted) once on first
-        access; repeated reads are O(1).
+        access; repeated reads are O(1).  The two-pointer sweep itself
+        stays scalar so its float comparisons match the pinned golden
+        values exactly.
         """
-        return peak_per_window(self._sorted_switch_times, _LOAD_WINDOW_S,
-                               presorted=True)
-
-    @cached_property
-    def _devices_by_id(self) -> Mapping[int, DeviceResult]:
-        """Device-id index built once on first lookup."""
-        return {result.device_id: result for result in self.devices}
+        return peak_per_window(self.switch_times.sorted().tolist(),
+                               _LOAD_WINDOW_S, presorted=True)
 
     def device(self, device_id: int) -> DeviceResult:
         """Return the result for one device id (O(1) after the first call)."""
-        try:
-            return self._devices_by_id[device_id]
-        except KeyError:
-            raise KeyError(f"no device with id {device_id}") from None
+        return self.devices.by_id(device_id)
 
     def cohorts(self) -> tuple[str, ...]:
         """Cohort labels present in this cell, in first-device order.
@@ -301,11 +320,7 @@ class CellResult:
         Empty for homogeneous (non-scenario) populations, whose devices
         all carry the default ``""`` label.
         """
-        seen: dict[str, None] = {}
-        for device in self.devices:
-            if device.cohort and device.cohort not in seen:
-                seen[device.cohort] = None
-        return tuple(seen)
+        return self.devices.cohorts()
 
     def cohort_breakdown(self) -> dict[str, CohortBreakdown]:
         """Per-cohort aggregates, keyed by cohort label in first-device order.
@@ -313,27 +328,24 @@ class CellResult:
         Devices without a cohort label (homogeneous populations) are
         grouped under ``""``; for scenario populations every device is
         labelled, so the cohort totals partition the cell totals exactly
-        (a conservation law asserted by the property tests).
+        (a conservation law asserted by the property tests).  Group sums
+        are columnar but fold left over the group's rows in device order,
+        matching the row-based sums bit for bit.
         """
-        grouped: dict[str, list[DeviceResult]] = {}
-        for device in self.devices:
-            grouped.setdefault(device.cohort, []).append(device)
         breakdown: dict[str, CohortBreakdown] = {}
-        for cohort, members in grouped.items():
+        for cohort, group in self.devices.cohort_groups().items():
             breakdown[cohort] = CohortBreakdown(
                 cohort=cohort,
-                devices=len(members),
-                energy_j=sum(d.total_energy_j for d in members),
-                switches=sum(d.breakdown.switch_count for d in members),
-                promotions=sum(d.breakdown.promotions for d in members),
-                demotions=sum(d.breakdown.demotions for d in members),
-                packets=sum(d.packets for d in members),
-                dormancy_requests=sum(d.dormancy_requests for d in members),
-                dormancy_denied=sum(d.dormancy_denied for d in members),
-                delayed_sessions=sum(d.delayed_sessions for d in members),
-                total_session_delay_s=sum(
-                    d.total_session_delay_s for d in members
-                ),
+                devices=int(group["devices"]),
+                energy_j=float(group["energy_j"]),
+                switches=int(group["promotions"]) + int(group["demotions"]),
+                promotions=int(group["promotions"]),
+                demotions=int(group["demotions"]),
+                packets=int(group["packets"]),
+                dormancy_requests=int(group["dormancy_requests"]),
+                dormancy_denied=int(group["dormancy_denied"]),
+                delayed_sessions=int(group["delayed_sessions"]),
+                total_session_delay_s=float(group["total_session_delay_s"]),
             )
         return breakdown
 
@@ -395,7 +407,7 @@ class CellShard:
     dormancy_policy_name: str
     profile: CarrierProfile
     trailing_time: float
-    devices: tuple[ShardDeviceState, ...]
+    devices: ShardTable
     last_emitted: float | None
     max_now: float
     load: CellLoad
@@ -404,6 +416,25 @@ class CellShard:
     #: Devices of this shard that ran on the vectorized kernel backend
     #: (0 for scalar shards; vector and scalar shards merge freely).
     vector_devices: int = 0
+
+    def __post_init__(self) -> None:
+        # Normalise a row tuple (the shard runners build rows; so may
+        # tests) into the columnar partial the merge layer consumes.
+        if not isinstance(self.devices, ShardTable):
+            object.__setattr__(
+                self, "devices", ShardTable.from_rows(tuple(self.devices))
+            )
+        # Compact the kernel's boxed switch-time list into one float
+        # column: the shard outlives the run (often crossing a process
+        # boundary) and the merge only reads the finished timeline, so
+        # holding millions of boxed floats per shard would dominate RSS
+        # at population scale.
+        load = self.load
+        if _np is not None and isinstance(load.switch_times, list):
+            load.switch_times = _np.asarray(load.switch_times,
+                                            dtype=_np.float64)
+            load._recent = []
+            load._recent_start = 0
 
 
 class _NetworkStation(DormancyStation):
@@ -693,6 +724,115 @@ def _close_device(
     return active, high, idle, timer_demotions
 
 
+def _close_columns(
+    combined: ShardTable, profile: CarrierProfile, end_time: float
+) -> tuple[list[float], list[float], list[float], list[int]]:
+    """Close every open timeline of ``combined`` at ``end_time``.
+
+    The columnar form of :func:`_close_device`: the columns are pulled to
+    Python scalars once and each device runs the identical scalar float
+    ops (the boundary comparisons and per-interval additions of
+    :meth:`RrcStateMachine.finish`, in the same order), so the closed
+    state times are bit-equal to a per-row close at any shard count.
+    Handover-closed devices pass through untouched.  Returns the closed
+    ``(active_time_s, high_idle_time_s, idle_time_s, timer_demotions)``
+    lists.
+    """
+    active = combined.column("active_time_s").tolist()
+    high = combined.column("high_idle_time_s").tolist()
+    idle = combined.column("idle_time_s").tolist()
+    tdem = combined.column("timer_demotions").tolist()
+    closed = combined.closed_flags.tolist()
+    states = combined.open_state_codes.tolist()
+    open_since = combined.column("open_since").tolist()
+    last_activity = combined.column("last_activity").tolist()
+
+    t1 = profile.t1
+    t2 = profile.t2
+    has_high = profile.has_high_idle_state
+    code_active = combined.state_code(RadioState.ACTIVE)
+    code_high = combined.state_code(RadioState.HIGH_IDLE)
+    code_idle = combined.state_code(RadioState.IDLE)
+    code_promoting = combined.state_code(RadioState.PROMOTING)
+
+    for i in range(len(active)):
+        if closed[i]:
+            # A handover already closed this timeline at its departure
+            # instant; the exported totals are final.
+            continue
+        a = active[i]
+        h = high[i]
+        idl = idle[i]
+        td = tdem[i]
+        state = states[i]
+        seg = open_since[i]
+        if state == code_active:
+            demote_at = last_activity[i] + t1
+            if end_time >= demote_at:
+                if has_high:
+                    if demote_at > seg:
+                        a = a + (demote_at - seg)
+                    td += 1
+                    state = code_high
+                    seg = demote_at
+                    idle_at = demote_at + t2
+                    if end_time >= idle_at:
+                        if idle_at > seg:
+                            h = h + (idle_at - seg)
+                        td += 1
+                        state = code_idle
+                        seg = idle_at
+                else:
+                    if demote_at > seg:
+                        a = a + (demote_at - seg)
+                    td += 1
+                    state = code_idle
+                    seg = demote_at
+        elif state == code_high:
+            idle_at = seg + t2
+            if end_time >= idle_at:
+                if idle_at > seg:
+                    h = h + (idle_at - seg)
+                td += 1
+                state = code_idle
+                seg = idle_at
+        if end_time > seg:
+            tail = end_time - seg
+            if state == code_active or state == code_promoting:
+                a = a + tail
+            elif state == code_high:
+                h = h + tail
+            else:
+                idl = idl + tail
+        active[i] = a
+        high[i] = h
+        idle[i] = idl
+        tdem[i] = td
+    return active, high, idle, tdem
+
+
+def _merged_switch_times(shards: Sequence[CellShard]) -> FloatArray:
+    """All shards' switch timestamps as one time-ordered column.
+
+    Each shard's timeline is time-ordered and the device partitions are
+    disjoint, so a value sort of the concatenation equals the streamed
+    heap-merge interleaving (equal floats are interchangeable).
+    """
+    if len(shards) == 1:
+        return FloatArray(shards[0].load.switch_times)
+    if _np is not None:
+        parts = [
+            _np.asarray(shard.load.switch_times, dtype=_np.float64)
+            for shard in shards
+        ]
+        return FloatArray(_np.sort(_np.concatenate(parts)))
+    merged: list[float] = []
+    for shard in shards:
+        merged.extend(shard.load.switch_times)
+    merged.sort()
+    return FloatArray(merged)
+
+
 def _merge_load_samples(shards: Sequence[CellShard]) -> tuple[LoadSample, ...]:
     """Align every shard's samples on the shared grid and sum them.
 
@@ -744,8 +884,17 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
             raise ValueError("shards were run with different trailing times")
         if shard.sample_interval_s != first.sample_interval_s:
             raise ValueError("shards were run with different sample grids")
-    ids = [dev.device_id for shard in shards for dev in shard.devices]
-    if len(set(ids)) != len(ids):
+
+    combined = (
+        first.devices if len(shards) == 1
+        else ShardTable.concat([shard.devices for shard in shards])
+    )
+    ids = combined.column("device_id")
+    if _np is not None:
+        unique_ids = int(_np.unique(ids).size)
+    else:
+        unique_ids = len(set(ids.tolist()))
+    if unique_ids != len(combined):
         raise ValueError("shards overlap: device ids must be unique across shards")
 
     emitted = [s.last_emitted for s in shards if s.last_emitted is not None]
@@ -755,58 +904,62 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
 
     profile = first.profile
     costs = signaling_costs_for(profile.technology)
-    promotions = timer_demotions = fast_demotions = 0
-    device_results = []
-    for shard in shards:
-        for dev in shard.devices:
-            if dev.closed:
-                # A handover already closed this timeline at its departure
-                # instant; the exported totals are final.
-                active_time_s = dev.active_time_s
-                high_idle_time_s = dev.high_idle_time_s
-                idle_time_s = dev.idle_time_s
-                closed_timer_demotions = dev.timer_demotions
-            else:
-                (active_time_s, high_idle_time_s, idle_time_s,
-                 closed_timer_demotions) = _close_device(dev, profile, end_time)
-            breakdown = assemble_breakdown(
-                profile,
-                data_j=dev.data_j,
-                data_time_s=dev.data_time_s,
-                active_time_s=active_time_s,
-                high_idle_time_s=high_idle_time_s,
-                idle_time_s=idle_time_s,
-                switch_j=dev.switch_j,
-                promotions=dev.promotions,
-                demotions=closed_timer_demotions + dev.fast_demotions,
-            )
-            promotions += dev.promotions
-            timer_demotions += closed_timer_demotions
-            fast_demotions += dev.fast_demotions
-            device_results.append(
-                DeviceResult(
-                    device_id=dev.device_id,
-                    policy_name=dev.policy_name,
-                    breakdown=breakdown,
-                    dormancy_requests=dev.dormancy_requests,
-                    dormancy_granted=dev.dormancy_granted,
-                    dormancy_denied=dev.dormancy_denied,
-                    packets=dev.packets,
-                    cohort=dev.cohort,
-                    session_delays=dev.session_delays,
-                    delayed_sessions=dev.delayed_sessions,
-                    total_session_delay_s=dev.total_session_delay_s,
-                )
-            )
 
-    load = CellLoad.merged([shard.load for shard in shards])
+    # Close every open timeline with the exact per-device scalar float ops
+    # (see _close_columns / _close_device), then derive the energy columns
+    # elementwise — the same op sequence assemble_breakdown runs per row.
+    active_l, high_l, idle_l, tdem_l = _close_columns(
+        combined, profile, end_time
+    )
+    active_col = _float_col(active_l)
+    high_col = _float_col(high_l)
+    idle_col = _float_col(idle_l)
+    data_time_col = combined.column("data_time_s")
+    active_tail_j, high_idle_tail_j, idle_j = derive_tail_columns(
+        profile, data_time_col, active_col, high_col, idle_col
+    )
+    fast_l = combined.column("fast_demotions").tolist()
+    demotions_col = _int_col([t + f for t, f in zip(tdem_l, fast_l)])
+
+    promotions = sum(combined.column("promotions").tolist())
+    timer_demotions = sum(tdem_l)
+    fast_demotions = sum(fast_l)
+
+    device_table = DeviceTable.from_columns(
+        {
+            "data_j": combined.column("data_j"),
+            "active_tail_j": active_tail_j,
+            "high_idle_tail_j": high_idle_tail_j,
+            "idle_j": idle_j,
+            "switch_j": combined.column("switch_j"),
+            "data_time_s": data_time_col,
+            "active_time_s": active_col,
+            "high_idle_time_s": high_col,
+            "idle_time_s": idle_col,
+            "total_session_delay_s": combined.column("total_session_delay_s"),
+            "device_id": ids,
+            "promotions": combined.column("promotions"),
+            "demotions": demotions_col,
+            "packets": combined.column("packets"),
+            "dormancy_requests": combined.column("dormancy_requests"),
+            "dormancy_granted": combined.column("dormancy_granted"),
+            "dormancy_denied": combined.column("dormancy_denied"),
+            "delayed_sessions": combined.column("delayed_sessions"),
+        },
+        combined.policy_codes, combined.policy_cats,
+        combined.cohort_codes, combined.cohort_cats,
+        combined.delays,
+    )
+
     samples = _merge_load_samples(shards)
     if len(shards) == 1:
-        peak_active = load.peak_active_devices  # exact
+        peak_active = first.load.peak_active_devices  # exact
     elif samples:
         peak_active = max(sample.active_devices for sample in samples)
     else:
-        peak_active = load.peak_active_devices  # sum of shard peaks: upper bound
+        # Sum of per-shard peaks: an upper bound (shards peak at
+        # different moments) — same rule CellLoad.merged applies.
+        peak_active = sum(shard.load.peak_active_devices for shard in shards)
 
     signaling = SignalingLoad(
         promotions=promotions,
@@ -821,11 +974,11 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
     )
     return CellResult(
         dormancy_policy_name=first.dormancy_policy_name,
-        devices=tuple(device_results),
+        devices=device_table,
         signaling=signaling,
         duration_s=end_time,
         peak_active_devices=peak_active,
-        switch_times=tuple(load.switch_times),
+        switch_times=_merged_switch_times(shards),
         load_samples=samples,
         vector_devices=sum(shard.vector_devices for shard in shards),
     )

@@ -160,6 +160,18 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--window-size", type=int, default=100)
     sweep.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = serial)")
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist results to a content-addressed disk cache under DIR, "
+             "so repeated identical sweeps (even across processes) load "
+             "instead of re-simulating; default DIR is $REPRO_RRC_CACHE_DIR "
+             "or ~/.cache/repro-rrc when the env var enables the tier",
+    )
+    sweep.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="ignore $REPRO_RRC_CACHE_DIR and run without the persistent "
+             "result cache",
+    )
     sweep.add_argument("--csv", help="write the record table as CSV")
     sweep.add_argument(
         "--json", nargs="?", const="-", default=None, metavar="PATH",
@@ -406,6 +418,25 @@ def _build_sweep_plan(args: argparse.Namespace):
     return p
 
 
+def _sweep_cache(args: argparse.Namespace):
+    """The sweep's :class:`ResultCache`, with the disk tier when enabled.
+
+    ``--cache-dir DIR`` enables it explicitly; ``$REPRO_RRC_CACHE_DIR``
+    enables it implicitly (so CI and cron jobs opt whole pipelines in
+    without touching every invocation); ``--no-disk-cache`` wins over both.
+    """
+    import os as _os
+
+    from .api.cache import CACHE_DIR_ENV, DiskCacheTier, ResultCache
+
+    if args.no_disk_cache:
+        return ResultCache()
+    directory = args.cache_dir or _os.environ.get(CACHE_DIR_ENV)
+    if directory is None:
+        return ResultCache()
+    return ResultCache(disk=DiskCacheTier(directory))
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .api import ProcessPoolRunner, SerialRunner
     from .config import save_plan
@@ -420,7 +451,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # shard unless --jobs asks for more.
         max_shards = max(sweep_plan.shard_counts, default=1)
         jobs = args.jobs if args.jobs > 1 else max_shards
-        runner = ProcessPoolRunner(jobs=jobs) if jobs > 1 else SerialRunner()
+        cache = _sweep_cache(args)
+        runner = (ProcessPoolRunner(jobs=jobs, cache=cache) if jobs > 1
+                  else SerialRunner(cache=cache))
         print(sweep_plan.describe(), file=sys.stderr)
         runs = runner.run(sweep_plan)
     except (KeyError, ValueError, OSError) as exc:
@@ -567,9 +600,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     stats = runs.cache_stats
     if stats is not None:
+        disk = (f"  disk hits: {stats.disk_hits}"
+                if getattr(stats, "disk_hits", 0) else "")
         print(
             f"runs: {len(runs)}  simulated: {stats.misses}  "
-            f"cache hits: {stats.hits}",
+            f"cache hits: {stats.hits}{disk}",
             file=sys.stderr,
         )
     if args.csv:

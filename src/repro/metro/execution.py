@@ -328,12 +328,11 @@ def merge_metro_shards(
                 injected[0], last_emitted=global_emitted, max_now=global_now
             )
             result = merge_cell_shards(injected)
-            departures = sum(
-                1 for s in partials for dev in s.devices if dev.closed
-            )
+            # Columnar counts over the shard partials — no row views are
+            # materialised just to count handover departures/arrivals.
+            departures = sum(s.devices.count_closed() for s in partials)
             arrivals = sum(
-                1 for s in partials for dev in s.devices
-                if dev.device_id >= devices
+                s.devices.count_ids_at_least(devices) for s in partials
             )
         else:
             result = CellResult(

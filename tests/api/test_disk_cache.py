@@ -1,0 +1,197 @@
+"""Tests for the persistent result-cache tier (repro.api.cache).
+
+Covers the ISSUE-8 contract: cross-process (here cross-*instance*) hits,
+version-stamp and truncation corruption handled as clean misses that
+re-simulate, atomic writes under concurrent writers, and the LRU bound
+on the in-memory tier spilling to disk instead of forgetting.
+"""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.api.cache import (
+    CacheStats,
+    DiskCacheTier,
+    ResultCache,
+    default_cache_dir,
+)
+
+
+def _key(i=0):
+    return ("trace", f"fp{i}"), ("carrier", "att_hspa"), ("scheme", "makeidle")
+
+
+class TestDefaultCacheDir:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_RRC_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_RRC_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro-rrc"
+
+
+class TestDiskCacheTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        writer = DiskCacheTier(tmp_path)
+        writer.store(_key(), {"energy": 42.0})
+        reader = DiskCacheTier(tmp_path)  # a "new process"
+        assert reader.load(_key()) == {"energy": 42.0}
+        assert reader.loads == 1
+
+    def test_missing_file_is_a_miss(self, tmp_path):
+        assert DiskCacheTier(tmp_path).load(_key()) is None
+
+    def test_different_keys_use_different_files(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.store(_key(0), "a")
+        tier.store(_key(1), "b")
+        assert tier.path_for(_key(0)) != tier.path_for(_key(1))
+        assert tier.load(_key(0)) == "a"
+        assert tier.load(_key(1)) == "b"
+
+    def test_version_mismatch_is_a_clean_miss(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.store(_key(), "payload")
+        path = tier.path_for(_key())
+        stale = pickle.loads(path.read_bytes())
+        stale["format"] = DiskCacheTier.FORMAT_VERSION + 1
+        path.write_bytes(pickle.dumps(stale))
+        assert tier.load(_key()) is None
+        assert not path.exists()  # the bad file is removed
+        tier.store(_key(), "payload")  # and the slot heals
+        assert tier.load(_key()) == "payload"
+
+    def test_truncated_file_is_a_clean_miss(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.store(_key(), list(range(1000)))
+        path = tier.path_for(_key())
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        assert tier.load(_key()) is None
+        assert not path.exists()
+
+    def test_garbage_file_is_a_clean_miss(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        path = tier.path_for(_key())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle at all")
+        assert tier.load(_key()) is None
+
+    def test_hash_collision_key_mismatch_is_a_miss(self, tmp_path):
+        # Simulate two keys colliding on one file: the payload's stored
+        # key repr must not match, so the reader treats it as corruption.
+        tier = DiskCacheTier(tmp_path)
+        tier.store(_key(0), "a")
+        colliding = tier.path_for(_key(1))
+        colliding.write_bytes(tier.path_for(_key(0)).read_bytes())
+        assert tier.load(_key(1)) is None
+
+    def test_unwritable_directory_fails_quietly(self, tmp_path):
+        # A *file* where the cache directory should go: mkdir fails with
+        # OSError regardless of privileges (chmod tricks don't bind root).
+        blocked = tmp_path / "not-a-dir"
+        blocked.write_text("occupied")
+        tier = DiskCacheTier(blocked / "cache")
+        tier.store(_key(), "ignored")  # must not raise
+        assert tier.stores == 0
+        assert tier.load(_key()) is None
+
+    def test_concurrent_writers_leave_a_complete_file(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        payload = list(range(20000))
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(20):
+                    tier.store(_key(), payload)
+                    loaded = DiskCacheTier(tmp_path).load(_key())
+                    # Atomic replace: a reader sees a full payload or a
+                    # miss, never a torn file surfaced as an exception.
+                    assert loaded is None or loaded == payload
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert tier.load(_key()) == payload
+        leftovers = list(tmp_path.glob(".tmp-*"))
+        assert leftovers == []
+
+
+class TestResultCacheDiskTier:
+    def test_second_cache_hits_without_running(self, tmp_path):
+        first = ResultCache(disk=tmp_path)
+        assert first.get_or_run(_key(), lambda: "fresh") == "fresh"
+        assert (first.hits, first.misses) == (0, 1)
+
+        second = ResultCache(disk=tmp_path)
+
+        def boom():
+            raise AssertionError("should have been served from disk")
+
+        assert second.get_or_run(_key(), boom) == "fresh"
+        assert (second.hits, second.misses) == (1, 0)
+        assert second.disk_hits == 1
+        assert second.stats.disk_hits == 1
+
+    def test_lookup_consults_disk(self, tmp_path):
+        ResultCache(disk=tmp_path).put(_key(), "stored")
+        cache = ResultCache(disk=tmp_path)
+        assert cache.lookup(_key()) == "stored"
+        assert (cache.hits, cache.disk_hits) == (1, 1)
+
+    def test_peek_counts_nothing(self, tmp_path):
+        ResultCache(disk=tmp_path).put(_key(), "stored")
+        cache = ResultCache(disk=tmp_path)
+        assert cache.peek(_key()) == "stored"
+        assert (cache.hits, cache.misses, cache.disk_hits) == (0, 0, 0)
+
+    def test_eviction_spills_to_disk_not_oblivion(self, tmp_path):
+        cache = ResultCache(max_entries=2, disk=tmp_path)
+        for i in range(4):
+            cache.put(_key(i), f"result{i}")
+        assert len(cache) == 2  # memory stays bounded...
+        for i in range(4):     # ...but nothing is forgotten
+            assert cache.get_or_run(_key(i), lambda: "rerun") == f"result{i}"
+
+    def test_clear_preserves_the_disk_tier(self, tmp_path):
+        cache = ResultCache(disk=tmp_path)
+        cache.put(_key(), "kept")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get_or_run(_key(), lambda: "rerun") == "kept"
+        assert cache.disk_hits == 1
+
+
+class TestLruBound:
+    def test_hit_refreshes_recency(self):
+        cache = ResultCache(max_entries=2)
+        cache.put(_key(0), "a")
+        cache.put(_key(1), "b")
+        assert cache.lookup(_key(0)) == "a"  # 0 becomes most recent
+        cache.put(_key(2), "c")              # evicts 1, not 0
+        assert _key(0) in cache
+        assert _key(1) not in cache
+        assert _key(2) in cache
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestCacheStatsCompat:
+    def test_positional_three_arg_construction(self):
+        stats = CacheStats(3, 2, 5)
+        assert (stats.hits, stats.misses, stats.size) == (3, 2, 5)
+        assert stats.disk_hits == 0
+        assert stats.lookups == 5
+        assert stats.hit_rate == pytest.approx(0.6)

@@ -26,6 +26,15 @@ def _bench_file(tmp_path: Path, name: str, pps: float | None,
     return path
 
 
+def _memory_file(tmp_path: Path, name: str, rss: float,
+                 ceiling: float) -> Path:
+    path = tmp_path / name
+    path.write_text(json.dumps({
+        "cell_1m": {"rss_now_mb": rss, "rss_ceiling_mb": ceiling},
+    }), encoding="utf-8")
+    return path
+
+
 class TestEvaluate:
     def test_passes_at_and_above_threshold(self):
         ok, message = gate.evaluate(60_000.0, 27_000.0, tolerance=0.45)
@@ -160,6 +169,63 @@ class TestMain:
         assert gate.main([
             "--floor", str(floor), "--current", str(current),
             "--section", "single_1k", "--section", "metro_250k",
+        ]) == gate.REGRESSION
+
+    def test_memory_regression_trips_the_gate(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _memory_file(tmp_path, "floor.json", rss=390.0, ceiling=440.0)
+        bloated = _memory_file(tmp_path, "current.json", rss=612.0,
+                               ceiling=440.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(bloated),
+            "--section", "cell_1m",
+        ]) == gate.REGRESSION
+
+    def test_memory_within_ceiling_passes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _memory_file(tmp_path, "floor.json", rss=390.0, ceiling=440.0)
+        current = _memory_file(tmp_path, "current.json", rss=410.0,
+                               ceiling=440.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(current),
+            "--section", "cell_1m",
+        ]) == gate.OK
+
+    def test_memory_section_absent_from_fresh_run_skips(self, tmp_path,
+                                                        monkeypatch):
+        # cell_1m is opt-in (REPRO_BENCH_1M=1); a run without it must not
+        # trip the gate.
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _memory_file(tmp_path, "floor.json", rss=390.0, ceiling=440.0)
+        no_current = _bench_file(tmp_path, "current.json", 50_000.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(no_current),
+            "--section", "cell_1m",
+        ]) == gate.OK
+
+    def test_committed_ceiling_wins_over_fresh_one(self, tmp_path,
+                                                   monkeypatch):
+        # A PR cannot dodge the gate by shipping a looser ceiling in the
+        # fresh file: the floor snapshot's ceiling binds.
+        monkeypatch.setattr(gate, "usable_cores", lambda: 8)
+        floor = _memory_file(tmp_path, "floor.json", rss=390.0, ceiling=440.0)
+        dodger = _memory_file(tmp_path, "current.json", rss=612.0,
+                              ceiling=9_999.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(dodger),
+            "--section", "cell_1m",
+        ]) == gate.REGRESSION
+
+    def test_memory_gate_runs_even_on_constrained_runners(self, tmp_path,
+                                                          monkeypatch):
+        # Resident set does not jitter with core contention, so unlike
+        # the throughput sections the memory gate binds below --min-cores.
+        monkeypatch.setattr(gate, "usable_cores", lambda: 1)
+        floor = _memory_file(tmp_path, "floor.json", rss=390.0, ceiling=440.0)
+        bloated = _memory_file(tmp_path, "current.json", rss=612.0,
+                               ceiling=440.0)
+        assert gate.main([
+            "--floor", str(floor), "--current", str(bloated),
         ]) == gate.REGRESSION
 
     def test_bad_tolerance_rejected(self, tmp_path, monkeypatch):

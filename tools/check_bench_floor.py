@@ -18,6 +18,14 @@ generous (anything slower than ~2.2x the floor trips it), machines with fewer th
 ``--min-cores`` usable cores skip (their numbers measure contention, not
 the code), and ``REPRO_BENCH_GATE=skip`` force-skips.
 
+One section is gated on *memory* instead of throughput: ``cell_1m``
+records the resident set (``rss_now_mb``) of the million-device streamed
+cell, and its fresh value must stay under the committed
+``rss_ceiling_mb`` of the floor snapshot.  Memory does not jitter with
+core contention, so this check runs even below ``--min-cores``; like the
+throughput sections it skips cleanly when the (opt-in,
+``REPRO_BENCH_1M=1``) section is absent from the fresh run.
+
 Usage::
 
     cp BENCH_engine.json /tmp/bench_floor.json       # before the bench run
@@ -45,21 +53,34 @@ SECTION = "single_1k"
 #: commit.
 DEFAULT_SECTIONS = (
     "single_1k", "sharded_100k", "metro_250k", "vector_1k", "vector_100k",
+    "cell_1m",
 )
 KEY = "packets_per_sec"
+#: The memory-gated section and its keys (see module docstring).
+MEMORY_SECTION = "cell_1m"
+MEMORY_KEY = "rss_now_mb"
+MEMORY_CEILING_KEY = "rss_ceiling_mb"
+#: Fallback ceiling when neither snapshot carries one (matches the
+#: committed MILLION_RSS_CEILING_MB of the benchmark).
+DEFAULT_RSS_CEILING_MB = 440.0
 SKIP_ENV = "REPRO_BENCH_GATE"
 
 
-def read_section(path: Path, section: str) -> float | None:
-    """The recorded packets/sec of ``section`` in ``path``, or None."""
+def read_value(path: Path, section: str, key: str) -> float | None:
+    """The recorded ``section.key`` number in ``path``, or None."""
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
     except (OSError, json.JSONDecodeError):
         return None
-    value = data.get(section, {}).get(KEY) if isinstance(data, dict) else None
+    value = data.get(section, {}).get(key) if isinstance(data, dict) else None
     if isinstance(value, (int, float)) and value > 0:
         return float(value)
     return None
+
+
+def read_section(path: Path, section: str) -> float | None:
+    """The recorded packets/sec of ``section`` in ``path``, or None."""
+    return read_value(path, section, KEY)
 
 
 def usable_cores() -> int:
@@ -101,6 +122,42 @@ def evaluate(floor_pps: float, current_pps: float,
     )
 
 
+def evaluate_memory(ceiling_mb: float, current_mb: float) -> tuple[bool, str]:
+    """Gate verdict: does the fresh resident set stay under the ceiling?"""
+    if current_mb <= ceiling_mb:
+        return True, (
+            f"ok: resident set {current_mb:,.1f} MB <= committed ceiling "
+            f"{ceiling_mb:,.1f} MB"
+        )
+    return False, (
+        f"REGRESSION: resident set {current_mb:,.1f} MB > committed "
+        f"ceiling {ceiling_mb:,.1f} MB; the streamed million-device path "
+        "started materialising more than the struct-of-arrays core "
+        "should — fix the regression, or raise the recorded ceiling with "
+        "an explicit justification in the commit message"
+    )
+
+
+def gate_memory(floor_path: Path, current_path: Path) -> int:
+    """Run the ``cell_1m`` resident-set gate; returns OK or REGRESSION."""
+    current = read_value(current_path, MEMORY_SECTION, MEMORY_KEY)
+    if current is None:
+        print(
+            f"bench gate [{MEMORY_SECTION}]: skipped (no fresh "
+            f"{MEMORY_SECTION}.{MEMORY_KEY} in {current_path}; the "
+            "million-device section is opt-in via REPRO_BENCH_1M=1)"
+        )
+        return OK
+    ceiling = (
+        read_value(floor_path, MEMORY_SECTION, MEMORY_CEILING_KEY)
+        or read_value(current_path, MEMORY_SECTION, MEMORY_CEILING_KEY)
+        or DEFAULT_RSS_CEILING_MB
+    )
+    ok, message = evaluate_memory(ceiling, current)
+    print(f"bench gate [{MEMORY_SECTION}]: {message}")
+    return OK if ok else REGRESSION
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -134,21 +191,26 @@ def main(argv: list[str] | None = None) -> int:
     if os.environ.get(SKIP_ENV, "").lower() == "skip":
         print(f"bench gate: skipped ({SKIP_ENV}=skip)")
         return OK
-    cores = usable_cores()
-    if cores < args.min_cores:
-        print(
-            f"bench gate: skipped ({cores} usable core(s) < "
-            f"--min-cores {args.min_cores}; this machine measures "
-            "contention, not the code)"
-        )
-        return OK
     if not 0 < args.tolerance <= 1:
         print(f"bench gate: --tolerance must be in (0, 1], got {args.tolerance}")
         return BAD_INPUT
 
+    cores = usable_cores()
     sections = tuple(args.sections) if args.sections else DEFAULT_SECTIONS
     status = OK
     for section in sections:
+        if section == MEMORY_SECTION:
+            # Memory-gated: resident set does not jitter with core
+            # contention, so this runs even below --min-cores.
+            status = max(status, gate_memory(args.floor, args.current))
+            continue
+        if cores < args.min_cores:
+            print(
+                f"bench gate [{section}]: skipped ({cores} usable "
+                f"core(s) < --min-cores {args.min_cores}; this machine "
+                "measures contention, not the code)"
+            )
+            continue
         floor = read_section(args.floor, section)
         if floor is None:
             print(

@@ -33,6 +33,12 @@ the repo root so the perf trajectory is tracked across PRs:
 * ``vector_100k`` — the 100k-device sharded cell of ``sharded_100k``
   re-run under ``engine="vector"``, recording the backend's throughput
   on the sparse-traffic regime side-by-side with the scalar number;
+* ``learning_10k`` — the 10k-device streamed cell running the
+  Learn-α MakeIdle+MakeActive scheme: per-UE online learners updated
+  in-kernel at release time, single-process vs sharded pool with the
+  byte-identity contract asserted (learner state never crosses a shard
+  boundary), recording the learning layer's throughput alongside the
+  learning-curve summary (learners, iterations, first→final delay);
 * ``cell_1m`` — the 1,000,000-device streamed cell on the columnar
   result core, opt-in via ``REPRO_BENCH_1M=1`` (it adds minutes to a
   bench run): completes in one container and records ``rss_now_mb``,
@@ -97,6 +103,9 @@ METRO_SHARDS = 8
 VECTOR_DEVICES = 1000
 VECTOR_APPS = ("social", "news")
 VECTOR_DURATION_S = 600.0
+LEARNING_DEVICES = 10_000
+LEARNING_DURATION_S = 60.0
+LEARNING_SHARDS = 4
 MILLION_DEVICES = 1_000_000
 MILLION_DURATION_S = 30.0
 MILLION_SHARDS = 16
@@ -108,7 +117,7 @@ BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 _BENCH_SECTIONS = (
     "single_1k", "sharded_10k", "sharded_100k", "sharded_scenario",
-    "metro_250k", "vector_1k", "vector_100k", "cell_1m",
+    "metro_250k", "vector_1k", "vector_100k", "learning_10k", "cell_1m",
 )
 
 
@@ -668,6 +677,85 @@ def test_vector_100k_sharded_cell_records():
 
     print_figure(
         "Vector backend — 100k-device sharded cell",
+        "\n".join(f"{key}: {value}" for key, value in record.items())
+        + f"\n(written to {BENCH_PATH.name})",
+    )
+
+
+def test_learning_10k_device_cell_matches_and_records():
+    """10k devices on the Learn-α scheme: sharded byte-identity + throughput.
+
+    Every device owns a fresh two-layer learner (Fixed-Share experts under
+    a Learn-α top layer) updated in-kernel at each buffered release —
+    this section measures what that per-release weight update costs at
+    population scale, and re-asserts the streaming learning contract at
+    benchmark scale: the sharded run's per-device records, including the
+    ``learn_*`` learning-curve columns, are byte-identical to the
+    single-process reference.
+    """
+    def spec(shards: int) -> CellRunSpec:
+        return CellRunSpec(
+            cell=cell(devices=LEARNING_DEVICES, apps=("im", "email"),
+                      duration=LEARNING_DURATION_S, streaming=True,
+                      chunk_s=60.0),
+            carrier="att_hspa",
+            policy=PolicySpec(scheme="makeidle+makeactive_learn").resolved(100),
+            dormancy=DormancySpec(),
+            shards=shards,
+        )
+
+    start = time.perf_counter()
+    single = execute_cell(spec(1))
+    single_elapsed = time.perf_counter() - start
+
+    runner = ProcessPoolRunner(jobs=LEARNING_SHARDS)
+    start = time.perf_counter()
+    sharded_runs = runner.run([spec(LEARNING_SHARDS)])
+    sharded = sharded_runs.records[0].result
+    sharded_elapsed = time.perf_counter() - start
+    execution = sharded_runs.execution
+
+    # The streaming learning contract at benchmark scale: per-UE learner
+    # state never crosses a shard boundary.
+    assert sharded.devices == single.devices
+    assert sharded.signaling == single.signaling
+    assert sharded.switch_times == single.switch_times
+    assert sharded.learning_summary() == single.learning_summary()
+
+    packets = single.total_packets
+    assert packets > 0
+    summary = single.learning_summary()
+    assert summary["learning_devices"] > 0
+    record = _update_bench("learning_10k", {
+        "devices": LEARNING_DEVICES,
+        "duration_s": LEARNING_DURATION_S,
+        "scheme": "makeidle+makeactive_learn",
+        "shards": LEARNING_SHARDS,
+        "pool_jobs": execution.effective_jobs,
+        "pool_used": execution.pool_used,
+        "pool_clamped": execution.clamped,
+        "packets": packets,
+        "single_elapsed_s": round(single_elapsed, 3),
+        "sharded_elapsed_s": round(sharded_elapsed, 3),
+        "single_packets_per_sec": round(packets / single_elapsed, 1),
+        # The floor-gated headline number is the single-process kernel's:
+        # it isolates the learning layer's per-release cost from pool
+        # scheduling.
+        "packets_per_sec": round(packets / single_elapsed, 1),
+        "sharded_packets_per_sec": round(packets / sharded_elapsed, 1),
+        "learning_devices": summary["learning_devices"],
+        "learn_iterations": summary["learn_iterations"],
+        "learn_iterations_per_sec": round(
+            summary["learn_iterations"] / single_elapsed, 1
+        ),
+        "mean_delay_first_s": round(summary["mean_delay_first_s"], 3),
+        "mean_delay_final_s": round(summary["mean_delay_final_s"], 3),
+        "byte_identical_devices": True,
+        "rss_now_mb": round(_rss_now_mb(), 1),
+    })
+
+    print_figure(
+        "Learning layer — 10k-device Learn-α cell, sharded vs 1 process",
         "\n".join(f"{key}: {value}" for key, value in record.items())
         + f"\n(written to {BENCH_PATH.name})",
     )

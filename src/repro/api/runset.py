@@ -548,6 +548,14 @@ class RunSet(Sequence[RunRecord]):
                         row["switches_normalized"] = (
                             result.total_switches / base.total_switches
                         )
+                learning = result.learning_summary()
+                if learning["learning_devices"]:
+                    # Learning-curve columns, only for cells that actually
+                    # ran an online learner (keeps non-learning rows flat).
+                    row["learning_devices"] = learning["learning_devices"]
+                    row["learn_iterations"] = learning["learn_iterations"]
+                    row["learn_delay_first_s"] = learning["mean_delay_first_s"]
+                    row["learn_delay_final_s"] = learning["mean_delay_final_s"]
                 cohorts = self._cohort_rows(result, baseline)
                 if cohorts:
                     row["cohorts"] = cohorts

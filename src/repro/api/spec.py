@@ -22,7 +22,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Mapping
 
 from ..config import KNOWN_SCHEMES
-from ..core.controller import standard_policies
+from ..core.controller import build_scheme
 from ..core.policy import RadioPolicy, StatusQuoPolicy
 from ..rrc.profiles import get_profile
 from ..sim.results import SimulationResult
@@ -256,13 +256,19 @@ class PolicySpec:
         return replace(self, window_size=default_window)
 
     def build(self) -> RadioPolicy:
-        """Construct a fresh policy instance."""
+        """Construct a fresh policy instance.
+
+        Built through :func:`~repro.core.controller.build_scheme` so only the
+        requested scheme is constructed (cell builders call this once per
+        device) and every call returns a policy whose learner state is owned
+        by exactly one UE.
+        """
         if self.factory is not None:
             return self.factory()
         if self.scheme == "status_quo":
             return StatusQuoPolicy()
         window = self.window_size if self.window_size is not None else 100
-        return standard_policies(window)[self.scheme]
+        return build_scheme(self.scheme, window)
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serialisable form (factory policies cannot be serialised)."""

@@ -145,6 +145,34 @@ class DeviceSpec:
             )
 
 
+def _check_policy_isolation(devices: Sequence[DeviceSpec]) -> None:
+    """Reject a *stateful* policy instance shared by several devices.
+
+    A policy that learns from the packet stream (overrides
+    ``observe_packet`` or ``on_release`` — the online learners and
+    MakeIdle's window) carries per-UE state; sharing one instance across
+    devices leaks expert weights and inter-arrival history between UEs and
+    breaks shard byte-identity.  Stateless decision policies (fixed timers,
+    the status quo) may be shared freely.
+    """
+    owners: dict[int, int] = {}
+    for spec in devices:
+        cls = type(spec.policy)
+        if (
+            cls.observe_packet is RadioPolicy.observe_packet
+            and cls.on_release is RadioPolicy.on_release
+        ):
+            continue
+        owner = owners.setdefault(id(spec.policy), spec.device_id)
+        if owner != spec.device_id:
+            raise ValueError(
+                f"devices {owner} and {spec.device_id} share one "
+                f"{cls.__name__} instance; stateful policies must be "
+                "built fresh per device (use PolicySpec.build() or "
+                "repro.core.controller.build_scheme per UE)"
+            )
+
+
 @dataclass(frozen=True)
 class DeviceResult:
     """Per-device outcome of a cell simulation."""
@@ -163,6 +191,12 @@ class DeviceResult:
     session_delays: tuple[SessionDelay, ...] = field(default=(), repr=False)
     delayed_sessions: int = 0
     total_session_delay_s: float = 0.0
+    #: Learning-curve summary of this device's online learner (MakeActive
+    #: Learn-α): completed learning iterations and the delay used at the
+    #: first and last of them.  All zero for non-learning policies.
+    learn_iterations: int = 0
+    learn_delay_first_s: float = 0.0
+    learn_delay_final_s: float = 0.0
 
     @property
     def total_energy_j(self) -> float:
@@ -199,6 +233,9 @@ class CohortBreakdown:
     dormancy_denied: int
     delayed_sessions: int
     total_session_delay_s: float
+    #: Learning iterations completed by this cohort's online learners
+    #: (0 for cohorts running non-learning policies).
+    learn_iterations: int = 0
 
     @property
     def denial_rate(self) -> float:
@@ -228,6 +265,7 @@ class CohortBreakdown:
             "denial_rate": self.denial_rate,
             "delayed_sessions": self.delayed_sessions,
             "total_session_delay_s": self.total_session_delay_s,
+            "learn_iterations": self.learn_iterations,
         }
 
 
@@ -346,8 +384,13 @@ class CellResult:
                 dormancy_denied=int(group["dormancy_denied"]),
                 delayed_sessions=int(group["delayed_sessions"]),
                 total_session_delay_s=float(group["total_session_delay_s"]),
+                learn_iterations=int(group["learn_iterations"]),
             )
         return breakdown
+
+    def learning_summary(self) -> dict[str, float | int]:
+        """Cell-wide learning-curve summary (see ``DeviceTable.learning_summary``)."""
+        return self.devices.learning_summary()
 
 
 @dataclass(frozen=True)
@@ -388,6 +431,11 @@ class ShardDeviceState:
     delayed_sessions: int
     total_session_delay_s: float
     cohort: str = ""
+    #: Online-learning summary captured at shard export (the learner lives
+    #: and dies inside its shard, so these are already final).
+    learn_iterations: int = 0
+    learn_delay_first_s: float = 0.0
+    learn_delay_final_s: float = 0.0
     #: True when a handover already closed this device's timeline at its
     #: departure instant: the exported state-time totals are final and the
     #: merge must *not* extend them to the global end time.
@@ -554,6 +602,7 @@ class CellSimulator:
         this scalar path when numpy is missing or the base-station policy
         arbitrates requests against live load.
         """
+        _check_policy_isolation(devices)
         if self._backend == "vector":
             from ..sim import vector_engine
 
@@ -574,7 +623,7 @@ class CellSimulator:
         streams: dict[int, Iterable[Packet]] = {}
         for spec in devices:
             if isinstance(spec.trace, PacketTrace):
-                prepared = spec.trace
+                spec.policy.prepare(spec.trace, profile)
             elif getattr(spec.policy, "requires_trace", False):
                 # Offline policies (oracle, trace-trained baselines) read
                 # the whole trace in prepare(); feeding them an empty one
@@ -586,8 +635,10 @@ class CellSimulator:
                     "(PacketTrace) for this device instead"
                 )
             else:
-                prepared = PacketTrace(())
-            spec.policy.prepare(prepared, profile)
+                # Streaming path: profile-only binding, no trace ever
+                # materialised.  Online learners set up their energy model
+                # here and learn packet-by-packet inside the kernel.
+                spec.policy.bind_profile(profile)
             spec.policy.reset()
             contexts[spec.device_id] = UeContext(
                 spec.device_id, profile, spec.policy, collect=False,
@@ -637,6 +688,9 @@ def _shard_device_state(spec: DeviceSpec, ue: UeContext) -> ShardDeviceState:
     (data_j, data_time_s, active_time_s, high_idle_time_s,
      idle_time_s, switch_j) = ue.folded_totals()
     machine = ue.machine
+    records = tuple(spec.policy.learning_records())
+    first_delay = float(getattr(records[0], "delay_used", 0.0)) if records else 0.0
+    final_delay = float(getattr(records[-1], "delay_used", 0.0)) if records else 0.0
     return ShardDeviceState(
         device_id=spec.device_id,
         policy_name=spec.policy.name,
@@ -660,6 +714,9 @@ def _shard_device_state(spec: DeviceSpec, ue: UeContext) -> ShardDeviceState:
         delayed_sessions=ue.delayed_sessions,
         total_session_delay_s=ue.total_delay_s,
         cohort=spec.cohort,
+        learn_iterations=len(records),
+        learn_delay_first_s=first_delay,
+        learn_delay_final_s=final_delay,
         closed=ue.departed,
     )
 
@@ -945,6 +1002,9 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
             "dormancy_granted": combined.column("dormancy_granted"),
             "dormancy_denied": combined.column("dormancy_denied"),
             "delayed_sessions": combined.column("delayed_sessions"),
+            "learn_iterations": combined.column("learn_iterations"),
+            "learn_delay_first_s": combined.column("learn_delay_first_s"),
+            "learn_delay_final_s": combined.column("learn_delay_final_s"),
         },
         combined.policy_codes, combined.policy_cats,
         combined.cohort_codes, combined.cohort_cats,

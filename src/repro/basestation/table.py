@@ -354,12 +354,12 @@ class DeviceTable(Sequence["DeviceResult"]):
     _FLOAT_COLS = (
         "data_j", "active_tail_j", "high_idle_tail_j", "idle_j", "switch_j",
         "data_time_s", "active_time_s", "high_idle_time_s", "idle_time_s",
-        "total_session_delay_s",
+        "total_session_delay_s", "learn_delay_first_s", "learn_delay_final_s",
     )
     _INT_COLS = (
         "device_id", "promotions", "demotions", "packets",
         "dormancy_requests", "dormancy_granted", "dormancy_denied",
-        "delayed_sessions",
+        "delayed_sessions", "learn_iterations",
     )
 
     __slots__ = (
@@ -401,14 +401,14 @@ class DeviceTable(Sequence["DeviceResult"]):
             cols[name] = _float_col(
                 [getattr(r.breakdown, name) for r in rows]
             )
-        cols["total_session_delay_s"] = _float_col(
-            [r.total_session_delay_s for r in rows]
-        )
+        for name in ("total_session_delay_s", "learn_delay_first_s",
+                     "learn_delay_final_s"):
+            cols[name] = _float_col([getattr(r, name) for r in rows])
         for name in ("promotions", "demotions"):
             cols[name] = _int_col([getattr(r.breakdown, name) for r in rows])
         for name in ("device_id", "packets", "dormancy_requests",
                      "dormancy_granted", "dormancy_denied",
-                     "delayed_sessions"):
+                     "delayed_sessions", "learn_iterations"):
             cols[name] = _int_col([getattr(r, name) for r in rows])
         policy_codes, policy_cats = _encode_labels(
             [r.policy_name for r in rows]
@@ -471,6 +471,9 @@ class DeviceTable(Sequence["DeviceResult"]):
             ),
             delayed_sessions=int(c["delayed_sessions"][i]),
             total_session_delay_s=float(c["total_session_delay_s"][i]),
+            learn_iterations=int(c["learn_iterations"][i]),
+            learn_delay_first_s=float(c["learn_delay_first_s"][i]),
+            learn_delay_final_s=float(c["learn_delay_final_s"][i]),
         )
 
     def __getitem__(self, index):
@@ -521,6 +524,9 @@ class DeviceTable(Sequence["DeviceResult"]):
                 session_delays=self._delays.row(offsets[i], offsets[i + 1]),
                 delayed_sessions=c["delayed_sessions"][i],
                 total_session_delay_s=c["total_session_delay_s"][i],
+                learn_iterations=c["learn_iterations"][i],
+                learn_delay_first_s=c["learn_delay_first_s"][i],
+                learn_delay_final_s=c["learn_delay_final_s"][i],
             )
 
     def __eq__(self, other: object) -> bool:
@@ -596,6 +602,35 @@ class DeviceTable(Sequence["DeviceResult"]):
         """Non-empty cohort labels in first-device order."""
         return tuple(label for label in self._cohort_cats if label)
 
+    def learning_summary(self) -> dict[str, float | int]:
+        """Aggregate learning-curve summary over the cell's learning devices.
+
+        ``learning_devices`` counts devices whose policy completed at least
+        one learning iteration; the delay means are strict left folds over
+        those devices in device order (divided once at the end), matching
+        what a row loop would compute.
+        """
+        c = self._cols
+        iters = c["learn_iterations"]
+        if _np is not None:
+            mask = iters > 0
+            learners = int(mask.sum())
+            total_iters = int(iters[mask].sum()) if learners else 0
+            first = _fold_sum(c["learn_delay_first_s"][mask])
+            final = _fold_sum(c["learn_delay_final_s"][mask])
+        else:
+            idx = [i for i, v in enumerate(iters) if v > 0]
+            learners = len(idx)
+            total_iters = sum(iters[i] for i in idx)
+            first = sum((c["learn_delay_first_s"][i] for i in idx), 0.0)
+            final = sum((c["learn_delay_final_s"][i] for i in idx), 0.0)
+        return {
+            "learning_devices": learners,
+            "learn_iterations": total_iters,
+            "mean_delay_first_s": first / learners if learners else 0.0,
+            "mean_delay_final_s": final / learners if learners else 0.0,
+        }
+
     def cohort_groups(self) -> dict[str, dict[str, float | int]]:
         """Per-cohort aggregate columns, keyed by label in first-seen order.
 
@@ -615,7 +650,7 @@ class DeviceTable(Sequence["DeviceResult"]):
                     name: int(c[name][mask].sum()) if count else 0
                     for name in ("promotions", "demotions", "packets",
                                  "dormancy_requests", "dormancy_denied",
-                                 "delayed_sessions")
+                                 "delayed_sessions", "learn_iterations")
                 }
             else:
                 idx = [i for i, v in enumerate(self._cohort_codes)
@@ -628,7 +663,7 @@ class DeviceTable(Sequence["DeviceResult"]):
                     name: sum(c[name][i] for i in idx)
                     for name in ("promotions", "demotions", "packets",
                                  "dormancy_requests", "dormancy_denied",
-                                 "delayed_sessions")
+                                 "delayed_sessions", "learn_iterations")
                 }
             groups[label] = {
                 "devices": count,
@@ -651,12 +686,12 @@ class ShardTable(Sequence["ShardDeviceState"]):
     _FLOAT_COLS = (
         "data_j", "data_time_s", "active_time_s", "high_idle_time_s",
         "idle_time_s", "switch_j", "open_since", "last_activity",
-        "total_session_delay_s",
+        "total_session_delay_s", "learn_delay_first_s", "learn_delay_final_s",
     )
     _INT_COLS = (
         "device_id", "promotions", "timer_demotions", "fast_demotions",
         "packets", "dormancy_requests", "dormancy_granted",
-        "dormancy_denied", "delayed_sessions",
+        "dormancy_denied", "delayed_sessions", "learn_iterations",
     )
 
     __slots__ = (
@@ -749,6 +784,9 @@ class ShardTable(Sequence["ShardDeviceState"]):
             delayed_sessions=int(c["delayed_sessions"][i]),
             total_session_delay_s=float(c["total_session_delay_s"][i]),
             cohort=self._cohort_cats[self._cohort_codes[i]],
+            learn_iterations=int(c["learn_iterations"][i]),
+            learn_delay_first_s=float(c["learn_delay_first_s"][i]),
+            learn_delay_final_s=float(c["learn_delay_final_s"][i]),
             closed=bool(self._closed[i]),
         )
 

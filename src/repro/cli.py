@@ -309,6 +309,8 @@ _SCHEME_ALIASES = {
     "makeactive_learn": "makeidle+makeactive_learn",
     "makeactive_fixed": "makeidle+makeactive_fixed",
     "fixed": "fixed_4.5s",
+    "hist": "makeidle_hist",
+    "rate": "makeidle_rate",
 }
 
 

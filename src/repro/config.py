@@ -28,8 +28,10 @@ __all__ = [
     "save_plan",
 ]
 
-#: Scheme names understood by :func:`repro.core.controller.standard_policies`,
-#: plus the status-quo baseline.
+#: Scheme names understood by :func:`repro.core.controller.build_scheme`:
+#: the paper's six comparison schemes, the status-quo baseline, and the
+#: predictor-ablation MakeIdle variants (decayed histogram / exponential
+#: rate) that the learning tournament sweeps alongside them.
 KNOWN_SCHEMES: tuple[str, ...] = (
     "status_quo",
     "fixed_4.5s",
@@ -38,6 +40,8 @@ KNOWN_SCHEMES: tuple[str, ...] = (
     "oracle",
     "makeidle+makeactive_learn",
     "makeidle+makeactive_fixed",
+    "makeidle_hist",
+    "makeidle_rate",
 )
 
 

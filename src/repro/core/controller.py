@@ -12,6 +12,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..learning.predictors import (
+    DecayedHistogramPredictor,
+    ExponentialRatePredictor,
+    PredictiveMakeIdlePolicy,
+)
 from ..rrc.profiles import CarrierProfile
 from ..traces.packet import Packet, PacketTrace
 from .baselines import FixedTimerPolicy, PercentileIatPolicy
@@ -20,7 +25,12 @@ from .makeidle import MakeIdlePolicy
 from .oracle import OraclePolicy
 from .policy import RadioPolicy, StatusQuoPolicy
 
-__all__ = ["CombinedPolicy", "standard_policies", "SCHEME_ORDER"]
+__all__ = [
+    "CombinedPolicy",
+    "build_scheme",
+    "standard_policies",
+    "SCHEME_ORDER",
+]
 
 #: Scheme keys in the order the paper's figures list them.
 SCHEME_ORDER: tuple[str, ...] = (
@@ -68,6 +78,15 @@ class CombinedPolicy(RadioPolicy):
         self._idle.prepare(trace, profile)
         self._active.prepare(trace, profile)
 
+    def bind_profile(self, profile: CarrierProfile) -> None:
+        self._idle.bind_profile(profile)
+        self._active.bind_profile(profile)
+
+    def learning_records(self) -> Sequence[object]:
+        return tuple(self._idle.learning_records()) + tuple(
+            self._active.learning_records()
+        )
+
     def reset(self) -> None:
         self._idle.reset()
         self._active.reset()
@@ -87,6 +106,48 @@ class CombinedPolicy(RadioPolicy):
         self._active.on_release(release_time, arrival_times)
 
 
+def build_scheme(scheme: str, window_size: int = 100) -> RadioPolicy:
+    """Build exactly one scheme's policy — a fresh instance on every call.
+
+    Unlike :func:`standard_policies`, which materialises the whole
+    comparison set, this constructs only the requested scheme: cell
+    population builders call it once per device, so each UE does O(1)
+    construction work and — crucially for the online learners — owns a
+    learner instance no other UE (or shard) shares.
+    """
+    if scheme == "status_quo":
+        return StatusQuoPolicy()
+    if scheme == "fixed_4.5s":
+        return FixedTimerPolicy(4.5)
+    if scheme == "p95_iat":
+        return PercentileIatPolicy(95.0)
+    if scheme == "makeidle":
+        return MakeIdlePolicy(window_size=window_size)
+    if scheme == "oracle":
+        return OraclePolicy()
+    if scheme == "makeidle+makeactive_learn":
+        return CombinedPolicy(
+            MakeIdlePolicy(window_size=window_size),
+            LearningMakeActive(),
+            name="makeidle+makeactive_learn",
+        )
+    if scheme == "makeidle+makeactive_fixed":
+        return CombinedPolicy(
+            MakeIdlePolicy(window_size=window_size),
+            FixedDelayMakeActive(),
+            name="makeidle+makeactive_fixed",
+        )
+    if scheme == "makeidle_hist":
+        return PredictiveMakeIdlePolicy(
+            DecayedHistogramPredictor(), name="makeidle_hist"
+        )
+    if scheme == "makeidle_rate":
+        return PredictiveMakeIdlePolicy(
+            ExponentialRatePredictor(), name="makeidle_rate"
+        )
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
 def standard_policies(window_size: int = 100) -> dict[str, RadioPolicy]:
     """Build the six schemes compared throughout the paper's evaluation.
 
@@ -94,19 +155,4 @@ def standard_policies(window_size: int = 100) -> dict[str, RadioPolicy]:
     it is the normalisation baseline rather than a compared scheme (use
     :class:`~repro.core.policy.StatusQuoPolicy` directly for it).
     """
-    return {
-        "fixed_4.5s": FixedTimerPolicy(4.5),
-        "p95_iat": PercentileIatPolicy(95.0),
-        "makeidle": MakeIdlePolicy(window_size=window_size),
-        "oracle": OraclePolicy(),
-        "makeidle+makeactive_learn": CombinedPolicy(
-            MakeIdlePolicy(window_size=window_size),
-            LearningMakeActive(),
-            name="makeidle+makeactive_learn",
-        ),
-        "makeidle+makeactive_fixed": CombinedPolicy(
-            MakeIdlePolicy(window_size=window_size),
-            FixedDelayMakeActive(),
-            name="makeidle+makeactive_fixed",
-        ),
-    }
+    return {key: build_scheme(key, window_size) for key in SCHEME_ORDER}

@@ -147,7 +147,11 @@ class LearningMakeActive(RadioPolicy):
         )
         self._loss = MakeActiveLoss(gamma=gamma)
         self._history: list[LearningRecord] = []
-        self._pending_delay: float = self._learner.predict()
+        # The delay proposed by the most recent activation_delay() call,
+        # consumed (set back to None) by the on_release() it paired with.
+        # None means "no outstanding decision": a release that never
+        # consulted the learner must not record a stale proposal.
+        self._pending_delay: float | None = None
 
     # -- views -------------------------------------------------------------------------
 
@@ -171,7 +175,10 @@ class LearningMakeActive(RadioPolicy):
     def reset(self) -> None:
         self._learner.reset()
         self._history.clear()
-        self._pending_delay = self._learner.predict()
+        self._pending_delay = None
+
+    def learning_records(self) -> Sequence[LearningRecord]:
+        return tuple(self._history)
 
     def activation_delay(self, now: float) -> float:
         self._pending_delay = self._learner.predict()
@@ -180,7 +187,14 @@ class LearningMakeActive(RadioPolicy):
     def on_release(self, release_time: float, arrival_times: Sequence[float]) -> None:
         if not arrival_times:
             return
+        # Pair this release with the decision that opened its buffer window;
+        # a release the learner was never asked about (no activation_delay
+        # since the last release) records the realised delay instead of the
+        # stale previous proposal.
+        pending = self._pending_delay
+        self._pending_delay = None
         first = arrival_times[0]
+        delay_used = pending if pending is not None else release_time - first
         offsets = [t - first for t in arrival_times]
         losses = [self._loss(value, offsets) for value in self._learner.expert_values]
         self._learner.update(losses)
@@ -189,7 +203,7 @@ class LearningMakeActive(RadioPolicy):
             LearningRecord(
                 iteration=len(self._history) + 1,
                 time=release_time,
-                delay_used=self._pending_delay,
+                delay_used=delay_used,
                 buffered_sessions=len(arrival_times),
                 mean_session_delay=sum(delays) / len(delays),
             )

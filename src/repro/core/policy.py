@@ -63,6 +63,26 @@ class RadioPolicy:
         The default does nothing.
         """
 
+    def bind_profile(self, profile: CarrierProfile) -> None:
+        """Profile-only preparation — the streaming entry point.
+
+        Streamed cells and metros never materialise a trace, so they call
+        this instead of :meth:`prepare`.  Online policies override it (or
+        inherit this default, which forwards to :meth:`prepare` with an
+        empty trace); policies with ``requires_trace`` set are rejected by
+        the streaming layers before this is reached.
+        """
+        self.prepare(PacketTrace(()), profile)
+
+    def learning_records(self) -> Sequence[object]:
+        """Per-iteration learning records accumulated during the run.
+
+        Online learners (e.g. ``LearningMakeActive``) return their history
+        so cell results can expose learning-curve columns; stateless
+        policies return an empty sequence.
+        """
+        return ()
+
     def reset(self) -> None:
         """Clear all per-run state so the policy can be reused on another trace."""
 

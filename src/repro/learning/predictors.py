@@ -23,6 +23,7 @@ touching the simulator.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections import deque
 from typing import Protocol, Sequence
 
@@ -135,7 +136,9 @@ class DecayedHistogramPredictor:
         count = max(2, int(math.ceil(decades * bins_per_decade)) + 1)
         ratio = (max_gap / min_gap) ** (1.0 / (count - 1))
         self._edges = tuple(min_gap * ratio**i for i in range(count))
-        self._masses = [0.0] * (count + 1)  # underflow bin + one per edge
+        # underflow bin + one per edge + a true overflow bin, so gaps past
+        # max_gap never pollute the last in-range bin's mass.
+        self._masses = [0.0] * (count + 2)
         self._seen = 0
 
     @property
@@ -176,16 +179,18 @@ class DecayedHistogramPredictor:
     def _bin_index(self, gap: float) -> int:
         if gap < self._min_gap:
             return 0
-        for index, edge in enumerate(self._edges):
-            if gap <= edge:
-                return index + 1
-        return len(self._masses) - 1
+        if gap > self._edges[-1]:
+            return len(self._masses) - 1  # overflow: beyond the last edge
+        return bisect_left(self._edges, gap) + 1
 
     def _bin_representative(self, index: int) -> float:
         if index == 0:
             return self._min_gap / 2.0
-        if index >= len(self._edges):
-            return self._max_gap
+        if index > len(self._edges):
+            # Overflow bin: extend the log-spaced grid by one geometric step
+            # so the representative sits beyond max_gap, mirroring how every
+            # in-range bin uses the geometric mean of its edges.
+            return self._edges[-1] * math.sqrt(self._edges[-1] / self._edges[-2])
         lower = self._min_gap if index == 1 else self._edges[index - 2]
         upper = self._edges[index - 1]
         return math.sqrt(lower * upper)
@@ -277,6 +282,11 @@ class PredictiveMakeIdlePolicy(RadioPolicy):
         return self._predictor
 
     def prepare(self, trace: PacketTrace, profile: CarrierProfile) -> None:
+        # Only the profile is read — streaming runs call bind_profile()
+        # directly and never materialise a trace.
+        self.bind_profile(profile)
+
+    def bind_profile(self, profile: CarrierProfile) -> None:
         self._model = TailEnergyModel(profile)
         threshold = self._model.t_threshold
         step = threshold / (self._candidate_count - 1)

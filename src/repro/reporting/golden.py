@@ -262,6 +262,86 @@ def _hot_path_records(engine: str = "scalar") -> list[dict[str, Any]]:
     return records
 
 
+_TOURNAMENT_DEVICES = 9
+_TOURNAMENT_DURATION_S = 400.0
+#: Shard counts the tournament cell is pinned at.  Equal device digests
+#: across these records *are* the streaming-learning shard contract: the
+#: per-UE learner state never crosses a shard boundary.
+_TOURNAMENT_SHARDS = (1, 3)
+
+
+def _learning_tournament_records(engine: str = "scalar") -> list[dict[str, Any]]:
+    """Digest-pinned policy-tournament cell at K ∈ {1, 3} shards.
+
+    One ``learning_rollout`` scenario cell — a Learn-α MakeActive fleet, a
+    histogram-predictor pilot cohort and a control cohort on the policy
+    axis — executed single-process and sharded.  Per-device records
+    (including the ``learn_*`` learning-curve columns) are folded into a
+    sha256 digest over the lossless ``float.hex`` serialisation; the two
+    records sharing one ``device_digest`` pins the streaming learning
+    contract: sharding must not move a single learned float.
+    """
+    from ..api.cells import CellRunSpec, DormancySpec, cell, execute_cell
+    from ..api.spec import PolicySpec
+
+    records = []
+    for shards in _TOURNAMENT_SHARDS:
+        spec = CellRunSpec(
+            cell=cell(devices=_TOURNAMENT_DEVICES, scenario="learning_rollout",
+                      duration=_TOURNAMENT_DURATION_S, engine=engine),
+            carrier="att_hspa",
+            policy=PolicySpec(scheme="makeidle+makeactive_learn").resolved(100),
+            dormancy=DormancySpec(),
+            shards=shards,
+        )
+        result = execute_cell(spec)
+        device_hash = hashlib.sha256()
+        for device in result.devices:
+            device_hash.update(repr((
+                device.device_id,
+                device.policy_name,
+                device.cohort,
+                tuple(sorted(
+                    (key, _hex(value))
+                    for key, value in device.breakdown.as_dict().items()
+                )),
+                device.packets,
+                device.dormancy_requests,
+                device.dormancy_granted,
+                device.dormancy_denied,
+                device.delayed_sessions,
+                _hex(device.total_session_delay_s),
+                device.learn_iterations,
+                _hex(device.learn_delay_first_s),
+                _hex(device.learn_delay_final_s),
+            )).encode("utf-8"))
+        switch_hash = hashlib.sha256(
+            repr([_hex(t) for t in result.switch_times]).encode("utf-8")
+        )
+        summary = result.learning_summary()
+        records.append({
+            "cell": "learning_rollout_tournament",
+            "carrier": spec.carrier,
+            "scheme": spec.policy.scheme,
+            "dormancy": spec.dormancy.label,
+            "shards": shards,
+            "devices": len(result.devices),
+            "total_packets": result.total_packets,
+            "total_switches": result.total_switches,
+            "rrc_messages": result.signaling.messages,
+            "peak_switches_per_minute": result.peak_switches_per_minute,
+            "duration_s_hex": _hex(result.duration_s),
+            "total_energy_j_hex": _hex(result.total_energy_j),
+            "learning_devices": summary["learning_devices"],
+            "learn_iterations": summary["learn_iterations"],
+            "mean_delay_first_s_hex": _hex(summary["mean_delay_first_s"]),
+            "mean_delay_final_s_hex": _hex(summary["mean_delay_final_s"]),
+            "device_digest": device_hash.hexdigest(),
+            "switch_times_digest": switch_hash.hexdigest(),
+        })
+    return records
+
+
 _METRO_SHUFFLE_DEVICES = 10
 _METRO_SHUFFLE_DURATION_S = 3600.0
 _METRO_COMMUTER_DEVICES = 6
@@ -356,6 +436,7 @@ GOLDEN_BUILDERS: dict[str, Callable[[], list[dict[str, Any]]]] = {
     "small_cell": _small_cell_records,
     "scenario_cell": _scenario_cell_records,
     "hot_path_1k": _hot_path_records,
+    "learning_tournament": _learning_tournament_records,
     "metro_small": _metro_small_records,
 }
 
@@ -364,7 +445,8 @@ GOLDEN_BUILDERS: dict[str, Callable[[], list[dict[str, Any]]]] = {
 #: does not exist on the single-UE path, so the suite is backend-
 #: invariant by construction.
 ENGINE_AWARE_SUITES = frozenset(
-    {"small_cell", "scenario_cell", "hot_path_1k", "metro_small"}
+    {"small_cell", "scenario_cell", "hot_path_1k", "learning_tournament",
+     "metro_small"}
 )
 
 

@@ -1,6 +1,6 @@
 """The built-in scenario library.
 
-Four presets span the axes the scenario subsystem opens:
+Five presets span the axes the scenario subsystem opens:
 
 * ``uniform`` — one homogeneous cohort, no shaping: the scenario-layer
   rendering of the pre-scenario synthetic cell (a useful control);
@@ -10,7 +10,10 @@ Four presets span the axes the scenario subsystem opens:
 * ``mixed_policy`` — a heterogeneous cell where cohorts run *different*
   device-side schemes (legacy status-quo handsets sharing the cell with
   MakeIdle+MakeActive adopters), the deployment-transition question the
-  paper's §8 leaves open.
+  paper's §8 leaves open;
+* ``learning_rollout`` — the policy-tournament cell: a Learn-α MakeActive
+  fleet and a decayed-histogram MakeIdle pilot cohort sharing the cell
+  with a control cohort on the sweep's policy axis.
 
 Presets are ordinary :class:`~repro.scenarios.scenario.Scenario` values —
 copy one with :func:`dataclasses.replace` to make variants — and
@@ -88,10 +91,41 @@ _MIXED_POLICY = Scenario(
     ),
 )
 
+_LEARNING_ROLLOUT = Scenario(
+    name="learning_rollout",
+    description="policy tournament cell: Learn-α MakeActive adopters, "
+                "histogram-predictor MakeIdle pilots, and a cohort on the "
+                "sweep's policy axis",
+    cohorts=(
+        Cohort(
+            name="learn_alpha_fleet",
+            archetype=get_archetype("background_chatter"),
+            weight=0.4,
+            policy=PolicySpec(scheme="makeidle+makeactive_learn",
+                              window_size=100),
+        ),
+        Cohort(
+            name="hist_pilots",
+            archetype=get_archetype("idle_messenger"),
+            weight=0.3,
+            policy=PolicySpec(scheme="makeidle_hist"),
+        ),
+        Cohort(
+            name="control",
+            archetype=get_archetype("office_worker"),
+            weight=0.3,
+            # No override: this cohort runs whatever the policy axis says.
+        ),
+    ),
+)
+
 #: The preset library, keyed by scenario name.
 SCENARIO_PRESETS: dict[str, Scenario] = {
     scenario.name: scenario
-    for scenario in (_UNIFORM, _OFFICE_DAY, _EVENING_PEAK, _MIXED_POLICY)
+    for scenario in (
+        _UNIFORM, _OFFICE_DAY, _EVENING_PEAK, _MIXED_POLICY,
+        _LEARNING_ROLLOUT,
+    )
 }
 
 

@@ -585,7 +585,7 @@ def run_shard_vector(
     fallback: list["DeviceSpec"] = []
     for spec in devices:
         if isinstance(spec.trace, PacketTrace):
-            prepared = spec.trace
+            spec.policy.prepare(spec.trace, profile)
         elif getattr(spec.policy, "requires_trace", False):
             raise ValueError(
                 f"device {spec.device_id}: policy {spec.policy.name!r} "
@@ -594,8 +594,8 @@ def run_shard_vector(
                 "(PacketTrace) for this device instead"
             )
         else:
-            prepared = PacketTrace(())
-        spec.policy.prepare(prepared, profile)
+            # Streaming path: profile-only binding (see RadioPolicy.bind_profile).
+            spec.policy.bind_profile(profile)
         spec.policy.reset()
         ok, wait = constant_dormancy_wait(spec.policy)
         if ok:

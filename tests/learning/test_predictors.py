@@ -62,8 +62,50 @@ class TestDecayedHistogramPredictor:
         predictor.observe(500.0)
         gaps, weights = predictor.weighted_gaps()
         assert min(gaps) < 0.1
-        assert max(gaps) == pytest.approx(10.0)
+        # The overflow representative extends the log grid one geometric
+        # step beyond the last edge, so it must lie strictly past max_gap.
+        assert max(gaps) > 10.0
         assert len(weights) == 2
+
+    def test_overflow_does_not_pollute_last_bin(self):
+        # Regression: gaps past max_gap used to share a mass slot with the
+        # last in-range bin (and report max_gap as its representative).
+        predictor = DecayedHistogramPredictor(
+            decay=0.5, min_gap=0.1, max_gap=10.0
+        )
+        edges = predictor.bin_edges
+        last_in_range = edges[-1]  # == max_gap
+        predictor.observe(last_in_range)  # lands in the last real bin
+        predictor.observe(500.0)  # overflow
+        gaps, weights = predictor.weighted_gaps()
+        assert len(gaps) == 2
+        in_range, overflow = sorted(gaps)
+        # Last in-range bin: geometric mean of its edges, <= max_gap.
+        assert edges[-2] < in_range <= 10.0
+        assert overflow > 10.0
+        # Distinct mass slots: one decayed observation each.
+        weight_of = dict(zip(gaps, weights))
+        assert weight_of[in_range] == pytest.approx(0.5)
+        assert weight_of[overflow] == pytest.approx(1.0)
+
+    def test_bisect_index_matches_linear_scan(self):
+        # The bisect-based _bin_index must agree with the O(bins) linear
+        # scan it replaced on every in-range gap, including exact edges.
+        predictor = DecayedHistogramPredictor(min_gap=0.1, max_gap=10.0)
+        edges = predictor.bin_edges
+
+        def linear_index(gap):
+            if gap < 0.1:
+                return 0
+            for index, edge in enumerate(edges):
+                if gap <= edge:
+                    return index + 1
+            return len(edges) + 1  # the (new) overflow slot
+
+        probes = [0.0, 0.05, 0.1, 0.100001, 1.0, 9.999, 10.0, 10.1, 1e6]
+        probes += list(edges) + [e * 1.0000001 for e in edges]
+        for gap in probes:
+            assert predictor._bin_index(gap) == linear_index(gap), gap
 
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):

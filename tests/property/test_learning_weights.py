@@ -1,0 +1,137 @@
+"""Property tests for the Fixed-Share / Learn-α weight updates.
+
+The streaming learning contract (DESIGN.md §6) lets these learners run
+unattended inside million-device kernels, so their weight vectors must be
+unconditionally well-formed: normalised, non-negative and finite after any
+sequence of admissible losses — including the degenerate extremes (all-zero
+losses, astronomically large losses, infinite losses) that a pathological
+traffic mix can produce.  The reductions pinned here (``alpha=0`` and a
+single expert both recover plain exponential weights) are the textbook
+identities of Herbster & Warmuth's Fixed-Share construction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import FixedShareExperts, LearnAlpha
+
+#: Admissible per-expert losses, deliberately including the extremes the
+#: issue calls out: exactly 0, huge-but-finite (1e3), and infinity.
+extreme_losses = st.one_of(
+    st.just(0.0),
+    st.just(1e3),
+    st.just(math.inf),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+)
+
+
+def _loss_rounds(n_experts: int):
+    return st.lists(
+        st.lists(extreme_losses, min_size=n_experts, max_size=n_experts),
+        min_size=1,
+        max_size=12,
+    )
+
+
+def _assert_simplex(weights) -> None:
+    assert all(w >= 0.0 for w in weights)
+    assert all(math.isfinite(w) for w in weights)
+    assert math.isclose(sum(weights), 1.0, rel_tol=1e-9, abs_tol=1e-12)
+
+
+class TestFixedShareWeightInvariants:
+    @given(rounds=_loss_rounds(4), alpha=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200)
+    def test_weights_stay_on_the_simplex(self, rounds, alpha):
+        learner = FixedShareExperts((1.0, 2.0, 3.0, 4.0), alpha=alpha)
+        for losses in rounds:
+            learner.update(losses)
+            _assert_simplex(learner.weights)
+            assert math.isfinite(learner.predict())
+
+    @given(rounds=_loss_rounds(1), alpha=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_single_expert_weight_is_always_one(self, rounds, alpha):
+        learner = FixedShareExperts((5.0,), alpha=alpha)
+        for losses in rounds:
+            learner.update(losses)
+            assert learner.weights == (1.0,)
+            assert learner.predict() == 5.0
+
+    def test_all_infinite_losses_fall_back_to_uniform(self):
+        learner = FixedShareExperts((1.0, 2.0, 3.0), alpha=0.3)
+        learner.update([0.0, 1.0, 2.0])  # move off uniform first
+        learner.update([math.inf] * 3)
+        _assert_simplex(learner.weights)
+        assert learner.weights == (1 / 3, 1 / 3, 1 / 3)
+
+
+def _exponential_weights(losses_rounds, n):
+    """Reference implementation: plain (static) exponential weights."""
+    weights = [1.0 / n] * n
+    for losses in losses_rounds:
+        boosted = [w * math.exp(-l) for w, l in zip(weights, losses)]
+        total = sum(boosted)
+        if total <= 0.0:
+            weights = [1.0 / n] * n
+        else:
+            weights = [b / total for b in boosted]
+    return weights
+
+
+class TestExponentialWeightReductions:
+    @given(rounds=_loss_rounds(3))
+    @settings(max_examples=150)
+    def test_alpha_zero_is_exactly_exponential_weights(self, rounds):
+        learner = FixedShareExperts((1.0, 2.0, 3.0), alpha=0.0)
+        for losses in rounds:
+            learner.update(losses)
+        expected = _exponential_weights(rounds, 3)
+        assert learner.weights == tuple(expected)
+
+    @given(rounds=_loss_rounds(1), alpha=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=100)
+    def test_n_one_is_exactly_exponential_weights(self, rounds, alpha):
+        # With a single expert the switching kernel is the identity, so any
+        # alpha reduces to the (trivial) exponential-weights update.
+        learner = FixedShareExperts((7.0,), alpha=alpha)
+        for losses in rounds:
+            learner.update(losses)
+        assert learner.weights == tuple(_exponential_weights(rounds, 1))
+
+
+class TestLearnAlphaWeightInvariants:
+    @given(rounds=_loss_rounds(3))
+    @settings(max_examples=100)
+    def test_both_layers_stay_on_the_simplex(self, rounds):
+        learner = LearnAlpha((1.0, 2.0, 3.0), alphas=(0.0, 0.1, 0.5))
+        for losses in rounds:
+            prediction = learner.update(losses)
+            _assert_simplex(learner.alpha_weights)
+            assert math.isfinite(prediction)
+            assert 0.0 <= learner.effective_alpha <= 1.0
+
+    @given(rounds=_loss_rounds(2))
+    @settings(max_examples=100)
+    def test_single_alpha_expert_top_layer_is_degenerate(self, rounds):
+        learner = LearnAlpha((1.0, 2.0), alphas=(0.2,))
+        for losses in rounds:
+            learner.update(losses)
+            assert learner.alpha_weights == (1.0,)
+
+    def test_infinite_losses_keep_prediction_in_expert_range(self):
+        learner = LearnAlpha((1.0, 2.0, 3.0, 4.0))
+        for _ in range(5):
+            learner.update([math.inf, 1e3, 0.0, math.inf])
+            _assert_simplex(learner.alpha_weights)
+            prediction = learner.predict()
+            assert 1.0 <= prediction <= 4.0
+
+    def test_rejects_negative_losses(self):
+        with pytest.raises(ValueError):
+            FixedShareExperts((1.0, 2.0)).update([-0.1, 0.0])

@@ -53,7 +53,7 @@ SECTION = "single_1k"
 #: commit.
 DEFAULT_SECTIONS = (
     "single_1k", "sharded_100k", "metro_250k", "vector_1k", "vector_100k",
-    "cell_1m",
+    "learning_10k", "cell_1m",
 )
 KEY = "packets_per_sec"
 #: The memory-gated section and its keys (see module docstring).

@@ -1,11 +1,25 @@
-"""Setuptools shim.
+"""Setuptools packaging for the repro library.
 
-The project metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works on environments whose setuptools predates full
-PEP 660 editable-install support (it lets pip fall back to the legacy
-``setup.py develop`` code path).
+Kept deliberately minimal: the library vendors no build-time machinery and
+the only install-time surface beyond the packages themselves is the
+``repro-lint`` console script, which exposes the determinism-contract
+linter (:mod:`repro.devtools.lint`) to developer shells and CI.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-conext-rrc",
+    description=(
+        "Reproduction of Deng & Balakrishnan, 'Traffic-aware techniques to "
+        "reduce 3G/LTE wireless energy consumption' (CoNEXT 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-lint = repro.devtools.lint.cli:main",
+        ],
+    },
+)

@@ -23,7 +23,7 @@ from typing import Any, Callable, Mapping
 
 from ..config import KNOWN_SCHEMES
 from ..core.controller import build_scheme
-from ..core.policy import RadioPolicy, StatusQuoPolicy
+from ..core.policy import RadioPolicy
 from ..rrc.profiles import get_profile
 from ..sim.results import SimulationResult
 from ..sim.simulator import TraceSimulator
@@ -266,7 +266,7 @@ class PolicySpec:
         if self.factory is not None:
             return self.factory()
         if self.scheme == "status_quo":
-            return StatusQuoPolicy()
+            return build_scheme("status_quo")
         window = self.window_size if self.window_size is not None else 100
         return build_scheme(self.scheme, window)
 

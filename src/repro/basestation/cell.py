@@ -978,9 +978,9 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
     fast_l = combined.column("fast_demotions").tolist()
     demotions_col = _int_col([t + f for t, f in zip(tdem_l, fast_l)])
 
-    promotions = sum(combined.column("promotions").tolist())
-    timer_demotions = sum(tdem_l)
-    fast_demotions = sum(fast_l)
+    promotions = sum(combined.column("promotions").tolist())  # repro-lint: allow[left-fold] reason=integer switch counts; exact order-independent arithmetic
+    timer_demotions = sum(tdem_l)  # repro-lint: allow[left-fold] reason=integer switch counts; exact order-independent arithmetic
+    fast_demotions = sum(fast_l)  # repro-lint: allow[left-fold] reason=integer switch counts; exact order-independent arithmetic
 
     device_table = DeviceTable.from_columns(
         {
@@ -1019,7 +1019,7 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
     else:
         # Sum of per-shard peaks: an upper bound (shards peak at
         # different moments) — same rule CellLoad.merged applies.
-        peak_active = sum(shard.load.peak_active_devices for shard in shards)
+        peak_active = sum(shard.load.peak_active_devices for shard in shards)  # repro-lint: allow[left-fold] reason=integer per-shard peaks; exact arithmetic
 
     signaling = SignalingLoad(
         promotions=promotions,
@@ -1040,5 +1040,5 @@ def merge_cell_shards(shards: Sequence[CellShard]) -> CellResult:
         peak_active_devices=peak_active,
         switch_times=_merged_switch_times(shards),
         load_samples=samples,
-        vector_devices=sum(shard.vector_devices for shard in shards),
+        vector_devices=sum(shard.vector_devices for shard in shards),  # repro-lint: allow[left-fold] reason=integer device count; exact arithmetic
     )

@@ -211,12 +211,12 @@ def partition_switch_budget(
         raise ValueError("at least one shard is required")
     if any(size < 1 for size in shard_sizes):
         raise ValueError(f"shard sizes must be positive, got {list(shard_sizes)}")
-    total = sum(shard_sizes)
+    total = sum(shard_sizes)  # repro-lint: allow[left-fold] reason=integer shard sizes; exact order-independent arithmetic
     shares = [budget * size // total for size in shard_sizes]
     by_remainder = sorted(
         range(len(shard_sizes)),
         key=lambda index: (-(budget * shard_sizes[index] % total), index),
     )
-    for index in by_remainder[: budget - sum(shares)]:
+    for index in by_remainder[: budget - sum(shares)]:  # repro-lint: allow[left-fold] reason=integer largest-remainder shares; exact arithmetic
         shares[index] += 1
     return [max(1, share) for share in shares]

@@ -114,15 +114,18 @@ def _fold_sum(col: Any) -> float:
         return 0.0
     if _np is not None:
         return float(_np.add.accumulate(col)[-1])
-    return sum(col.tolist())
+    total = 0.0
+    for value in col.tolist():  # the explicit left fold the docstring pins
+        total += value
+    return total
 
 
 def _int_sum(col: Any) -> int:
     if len(col) == 0:
         return 0
     if _np is not None:
-        return int(col.sum())
-    return sum(col)
+        return int(col.sum())  # repro-lint: allow[left-fold] reason=integer column; exact order-independent arithmetic
+    return sum(col)  # repro-lint: allow[left-fold] reason=integer column; exact order-independent arithmetic
 
 
 def _encode_labels(labels: Sequence[str]) -> tuple[Any, tuple[str, ...]]:
@@ -614,16 +617,19 @@ class DeviceTable(Sequence["DeviceResult"]):
         iters = c["learn_iterations"]
         if _np is not None:
             mask = iters > 0
-            learners = int(mask.sum())
-            total_iters = int(iters[mask].sum()) if learners else 0
+            learners = int(mask.sum())  # repro-lint: allow[left-fold] reason=boolean mask count; exact integer arithmetic
+            total_iters = int(iters[mask].sum()) if learners else 0  # repro-lint: allow[left-fold] reason=integer iteration count; exact arithmetic
             first = _fold_sum(c["learn_delay_first_s"][mask])
             final = _fold_sum(c["learn_delay_final_s"][mask])
         else:
             idx = [i for i, v in enumerate(iters) if v > 0]
             learners = len(idx)
-            total_iters = sum(iters[i] for i in idx)
-            first = sum((c["learn_delay_first_s"][i] for i in idx), 0.0)
-            final = sum((c["learn_delay_final_s"][i] for i in idx), 0.0)
+            total_iters = sum(iters[i] for i in idx)  # repro-lint: allow[left-fold] reason=integer iteration count; exact arithmetic
+            first = 0.0
+            final = 0.0
+            for i in idx:  # strict left fold in device order (DESIGN.md §5)
+                first += c["learn_delay_first_s"][i]
+                final += c["learn_delay_final_s"][i]
         return {
             "learning_devices": learners,
             "learn_iterations": total_iters,
@@ -643,11 +649,11 @@ class DeviceTable(Sequence["DeviceResult"]):
         for code, label in enumerate(self._cohort_cats):
             if _np is not None:
                 mask = self._cohort_codes == code
-                count = int(mask.sum())
+                count = int(mask.sum())  # repro-lint: allow[left-fold] reason=boolean mask count; exact integer arithmetic
                 energy = _fold_sum(self._row_totals()[mask])
                 delay = _fold_sum(c["total_session_delay_s"][mask])
                 ints = {
-                    name: int(c[name][mask].sum()) if count else 0
+                    name: int(c[name][mask].sum()) if count else 0  # repro-lint: allow[left-fold] reason=integer columns; exact arithmetic
                     for name in ("promotions", "demotions", "packets",
                                  "dormancy_requests", "dormancy_denied",
                                  "delayed_sessions", "learn_iterations")
@@ -657,10 +663,13 @@ class DeviceTable(Sequence["DeviceResult"]):
                        if v == code]
                 count = len(idx)
                 totals = self._row_totals()
-                energy = sum(totals[i] for i in idx)
-                delay = sum(c["total_session_delay_s"][i] for i in idx)
+                energy = 0.0
+                delay = 0.0
+                for i in idx:  # strict left fold in device order (DESIGN.md §5)
+                    energy += totals[i]
+                    delay += c["total_session_delay_s"][i]
                 ints = {
-                    name: sum(c[name][i] for i in idx)
+                    name: sum(c[name][i] for i in idx)  # repro-lint: allow[left-fold] reason=integer columns; exact arithmetic
                     for name in ("promotions", "demotions", "packets",
                                  "dormancy_requests", "dormancy_denied",
                                  "delayed_sessions", "learn_iterations")
@@ -879,8 +888,8 @@ class ShardTable(Sequence["ShardDeviceState"]):
         """Devices whose id is ``>= bound`` (metro arrival counting)."""
         ids = self._cols["device_id"]
         if _np is not None:
-            return int((ids >= bound).sum())
-        return sum(1 for v in ids if v >= bound)
+            return int((ids >= bound).sum())  # repro-lint: allow[left-fold] reason=boolean mask count; exact integer arithmetic
+        return sum(1 for v in ids if v >= bound)  # repro-lint: allow[left-fold] reason=integer count; exact arithmetic
 
     def state_code(self, state: RadioState) -> int:
         """The small-int code of ``state`` in the open-state column."""

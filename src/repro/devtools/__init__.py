@@ -1,0 +1,10 @@
+"""Developer tooling for the repro codebase.
+
+Nothing in this package is part of the library's runtime surface: it holds
+static-analysis and maintenance tools that operate *on* the source tree
+(reading it as text) and therefore must stay importable with no third-party
+dependencies installed — CI runs :mod:`repro.devtools.lint` on interpreter
+matrices that deliberately omit numpy.
+"""
+
+__all__ = ["lint"]

@@ -1,0 +1,32 @@
+"""repro-lint: AST-based determinism-contract checks for this codebase.
+
+The byte-identity guarantees this repo ships (shard merges, the vector
+backend, the columnar core, streaming learners) rest on conventions
+documented in ``docs/DESIGN.md`` — hashed seed derivation, strict left-fold
+accumulation, pure-function kernels, per-UE policy isolation.  This package
+machine-checks those conventions: each rule names the contract section it
+enforces and the historical bug that motivated it, findings are suppressed
+per line with ``# repro-lint: allow[rule] reason=...`` pragmas or
+grandfathered in the committed baseline, and CI fails on anything else.
+
+The linter reads source as text (``ast``) and never imports the code under
+analysis, so it runs on interpreters without the library's optional
+dependencies installed.
+"""
+
+from .baseline import Baseline, BaselineEntry, BaselineError
+from .engine import LintEngine, LintResult
+from .findings import Finding
+from .rules import ALL_RULES, build_rules, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "build_rules",
+    "rule_ids",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro.devtools.lint`` — same entry as the repro-lint script."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,141 @@
+"""The committed baseline of grandfathered findings.
+
+The baseline is a JSON file (``.repro-lint-baseline.json`` at the repo root)
+listing findings that predate the linter and are accepted *for now*, each
+with a tracking note.  Entries match on ``(rule, path, stripped source
+line)`` — not line numbers — so edits elsewhere in a file do not invalidate
+them, and they match as a multiset: two identical lines need two entries.
+
+A baselined finding does not fail the run; an entry whose finding has
+disappeared is reported as *stale* so the file shrinks as debt is paid.
+``repro-lint --write-baseline`` regenerates the file from the current tree
+(preserving notes for entries that survive).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    note: str = ""
+
+    def key(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+    def to_dict(self) -> dict[str, str]:
+        data = {"rule": self.rule, "path": self.path, "context": self.context}
+        if self.note:
+            data["note"] = self.note
+        return data
+
+
+class Baseline:
+    """Multiset of grandfathered findings with consume-once matching."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        self.entries: list[BaselineEntry] = list(entries or [])
+        self._available: dict[tuple[str, str, str], list[BaselineEntry]] = {}
+        for entry in self.entries:
+            self._available.setdefault(entry.key(), []).append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def consume(self, finding: Finding) -> BaselineEntry | None:
+        """Match ``finding`` against one unconsumed entry, if any."""
+        bucket = self._available.get(finding.key())
+        if bucket:
+            return bucket.pop()
+        return None
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        """Entries no current finding matched — debt already paid."""
+        return [entry for bucket in self._available.values() for entry in bucket]
+
+    # -- persistence ------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls([])
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise BaselineError(
+                f"baseline {path} has unsupported format "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries = []
+        for raw in data.get("entries", []):
+            if not isinstance(raw, dict):
+                raise BaselineError(f"baseline {path}: malformed entry {raw!r}")
+            try:
+                entries.append(
+                    BaselineEntry(
+                        rule=str(raw["rule"]),
+                        path=str(raw["path"]),
+                        context=str(raw["context"]),
+                        note=str(raw.get("note", "")),
+                    )
+                )
+            except KeyError as exc:
+                raise BaselineError(
+                    f"baseline {path}: entry missing {exc} field: {raw!r}"
+                ) from exc
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], previous: "Baseline | None" = None
+    ) -> "Baseline":
+        """Build a fresh baseline, carrying notes over from ``previous``."""
+        notes: dict[tuple[str, str, str], list[str]] = {}
+        if previous is not None:
+            for entry in previous.entries:
+                if entry.note:
+                    notes.setdefault(entry.key(), []).append(entry.note)
+        entries = []
+        for finding in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            carried = notes.get(finding.key())
+            note = carried.pop(0) if carried else ""
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    context=finding.context,
+                    note=note,
+                )
+            )
+        return cls(entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "comment": (
+                "Grandfathered repro-lint findings. Every entry is debt: "
+                "fix the code or promote the entry to an inline pragma with "
+                "a reason. Matched on (rule, path, stripped line), so line "
+                "numbers never go stale; remove entries as they are fixed "
+                "(`repro-lint --write-baseline` regenerates)."
+            ),
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+class BaselineError(RuntimeError):
+    """A baseline file exists but cannot be used."""

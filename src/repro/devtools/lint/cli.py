@@ -1,0 +1,191 @@
+"""The ``repro-lint`` command line.
+
+Typical invocations::
+
+    repro-lint src tools benchmarks              # the CI gate
+    repro-lint --list-rules                      # what is enforced, and why
+    repro-lint --format json src                 # machine-readable findings
+    repro-lint --write-baseline src tools benchmarks   # re-grandfather
+
+Exit codes: 0 clean (baselined/suppressed findings included), 1 at least
+one violation, 2 usage or environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+from typing import Sequence, TextIO
+
+from .baseline import Baseline, BaselineError, DEFAULT_BASELINE_NAME
+from .engine import LintEngine
+from .report import render_github_annotations, render_json, render_text
+from .rules import ALL_RULES, build_rules
+
+
+def find_root(start: Path) -> Path:
+    """Walk up from ``start`` to the repo root (marked by .git or setup.py)."""
+    current = start.resolve()
+    for candidate in (current, *current.parents):
+        if (candidate / ".git").exists() or (candidate / "setup.py").exists():
+            return candidate
+    return current
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static determinism-contract checks for the repro codebase: "
+            "machine-checks the byte-identity rules DESIGN.md documents."
+        ),
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["src", "tools", "benchmarks"],
+        help="files or directories to lint, relative to --root "
+        "(default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repo root rule scopes resolve against "
+        "(default: auto-detected from the working directory)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file: report grandfathered findings too",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings "
+        "(suppressed findings stay suppressed; notes are carried over)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--github-annotations",
+        action="store_true",
+        help="additionally emit ::error workflow commands on stderr "
+        "(auto-enabled when GITHUB_ACTIONS=true)",
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="RULE",
+        help="run only these rules (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="RULE",
+        help="skip these rules (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule with its contract and scope, then exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also report unused pragmas",
+    )
+    return parser
+
+
+def _split_rule_args(values: Sequence[str] | None) -> list[str] | None:
+    if not values:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(v.strip() for v in value.split(",") if v.strip())
+    return out or None
+
+
+def list_rules(out: TextIO) -> None:
+    for cls in ALL_RULES:
+        out.write(f"{cls.id}\n")
+        out.write(f"    {cls.title}\n")
+        out.write(f"    contract: {cls.contract}\n")
+        scope = ", ".join(cls.scope) if cls.scope else "everything linted"
+        out.write(f"    scope: {scope}\n")
+        out.write(f"    fix: {cls.hint}\n")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        list_rules(sys.stdout)
+        return 0
+
+    root = args.root.resolve() if args.root else find_root(Path.cwd())
+    baseline_path = (
+        args.baseline if args.baseline is not None
+        else root / DEFAULT_BASELINE_NAME
+    )
+
+    try:
+        rules = build_rules(
+            select=_split_rule_args(args.select),
+            ignore=_split_rule_args(args.ignore),
+        )
+    except ValueError as exc:
+        parser.error(str(exc))  # exits 2
+
+    try:
+        previous = Baseline.load(baseline_path)
+    except BaselineError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    baseline = Baseline([]) if (args.no_baseline or args.write_baseline) else (
+        Baseline(previous.entries)
+    )
+
+    engine = LintEngine(root=root, rules=rules, baseline=baseline)
+    try:
+        result = engine.run([Path(t) for t in args.targets])
+    except FileNotFoundError as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        fresh = Baseline.from_findings(result.violations, previous=previous)
+        fresh.write(baseline_path)
+        print(
+            f"wrote {len(fresh)} baseline entries to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        render_json(result, sys.stdout)
+    else:
+        render_text(result, sys.stdout, verbose=args.verbose)
+
+    if args.github_annotations or os.environ.get("GITHUB_ACTIONS") == "true":
+        render_github_annotations(result, sys.stderr)
+
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""The lint engine: discover, parse, run rules, suppress, baseline.
+
+Pure static analysis — files are read as text and parsed with :mod:`ast`;
+the code under analysis is never imported, so the linter runs identically
+on interpreters with or without the library's optional dependencies.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding
+from .pragmas import Pragma, scan_pragmas, suppresses
+from .rules import ParsedModule, Rule, build_rules
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass(slots=True)
+class LintResult:
+    """Everything one lint run produced, pre-partitioned for reporting."""
+
+    violations: list[Finding] = field(default_factory=list)
+    baselined: list[tuple[Finding, BaselineEntry]] = field(default_factory=list)
+    suppressed: list[tuple[Finding, Pragma]] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    unused_pragmas: list[tuple[str, Pragma]] = field(default_factory=list)
+    files_checked: int = 0
+    active_rules: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations else 0
+
+    def all_findings(self) -> list[Finding]:
+        """Every raw finding (violations + baselined + suppressed)."""
+        return (
+            self.violations
+            + [f for f, _ in self.baselined]
+            + [f for f, _ in self.suppressed]
+        )
+
+
+class LintEngine:
+    def __init__(
+        self,
+        root: Path,
+        rules: list[Rule] | None = None,
+        baseline: Baseline | None = None,
+    ) -> None:
+        self.root = root.resolve()
+        self.rules = rules if rules is not None else build_rules()
+        self.baseline = baseline if baseline is not None else Baseline([])
+
+    # -- discovery --------------------------------------------------------
+
+    def discover(self, targets: list[Path]) -> list[Path]:
+        """Expand file/directory targets into a sorted list of .py files."""
+        files: set[Path] = set()
+        for target in targets:
+            resolved = target if target.is_absolute() else self.root / target
+            if resolved.is_dir():
+                for candidate in sorted(resolved.rglob("*.py")):
+                    if not _SKIP_DIRS.intersection(candidate.parts):
+                        files.add(candidate)
+            elif resolved.is_file():
+                files.add(resolved)
+            else:
+                raise FileNotFoundError(f"lint target does not exist: {target}")
+        return sorted(files)
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, targets: list[Path]) -> LintResult:
+        result = LintResult(active_rules=[rule.id for rule in self.rules])
+        for path in self.discover(targets):
+            self._lint_file(path, result)
+        result.stale_baseline = self.baseline.stale_entries()
+        return result
+
+    def _lint_file(self, path: Path, result: LintResult) -> None:
+        relpath = self._relpath(path)
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        result.files_checked += 1
+
+        pragma_table, bad_pragmas = scan_pragmas(lines)
+        for finding in bad_pragmas:
+            self._route(
+                dataclasses.replace(finding, path=relpath), pragma_table, result
+            )
+
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            result.violations.append(
+                Finding(
+                    rule="parse-error",
+                    path=relpath,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    hint="repro-lint needs syntactically valid Python",
+                    context=(exc.text or "").strip(),
+                )
+            )
+            return
+
+        module = ParsedModule(
+            relpath=relpath, source=source, lines=tuple(lines), tree=tree
+        )
+        seen: set[tuple[str, str, int, str]] = set()
+        for rule in self.rules:
+            if not rule.applies_to(relpath):
+                continue
+            for finding in rule.check(module):
+                dedup = (finding.rule, finding.path, finding.line, finding.message)
+                if dedup in seen:
+                    continue
+                seen.add(dedup)
+                self._route(finding, pragma_table, result)
+
+        for lineno in sorted(pragma_table):
+            pragma = pragma_table[lineno]
+            if pragma.used == 0:
+                result.unused_pragmas.append((relpath, pragma))
+
+    def _route(
+        self,
+        finding: Finding,
+        pragma_table: dict[int, Pragma],
+        result: LintResult,
+    ) -> None:
+        pragma = pragma_table.get(finding.line)
+        if suppresses(pragma, finding.rule):
+            assert pragma is not None
+            result.suppressed.append((finding, pragma))
+            return
+        entry = self.baseline.consume(finding)
+        if entry is not None:
+            result.baselined.append((finding, entry))
+            return
+        result.violations.append(finding)

@@ -1,0 +1,44 @@
+"""The finding record shared by rules, suppression, baselining and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One determinism-contract violation anchored to a source line.
+
+    ``context`` is the stripped text of the flagged physical line; the
+    committed baseline matches on ``(rule, path, context)`` rather than on
+    line numbers so unrelated edits above a grandfathered finding do not
+    invalidate the baseline.
+    """
+
+    rule: str
+    path: str  # repo-relative POSIX path
+    line: int  # 1-based physical line of the flagged node
+    col: int  # 0-based column offset
+    message: str
+    hint: str = ""
+    contract: str = ""  # the DESIGN.md section this rule enforces
+    context: str = field(default="", compare=False)
+
+    def key(self) -> tuple[str, str, str]:
+        """Baseline-matching key — line numbers deliberately excluded."""
+        return (self.rule, self.path, self.context)
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "hint": self.hint,
+            "contract": self.contract,
+            "context": self.context,
+        }

@@ -1,0 +1,99 @@
+"""Per-line suppression pragmas.
+
+A finding is suppressed by annotating the flagged physical line::
+
+    total = sum(counts)  # repro-lint: allow[left-fold] reason=integer counts
+
+Rules are comma-separated inside the brackets (``allow[left-fold,float-eq]``)
+and the reason is mandatory: an ``allow`` with no reason does not suppress
+anything and instead raises a ``bad-pragma`` finding, so every accepted
+exception carries its justification next to the code it excuses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .findings import Finding
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[(?P<rules>[^\]]*)\]\s*(?:reason=(?P<reason>.*\S))?\s*$"
+)
+
+#: Engine-level finding ids that no pragma may suppress (a malformed pragma
+#: must not be able to excuse itself).
+UNSUPPRESSABLE = frozenset({"bad-pragma", "parse-error"})
+
+
+@dataclass(slots=True)
+class Pragma:
+    """One parsed ``allow`` pragma and its use count."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: int = field(default=0)
+
+
+def scan_pragmas(lines: list[str]) -> tuple[dict[int, Pragma], list[Finding]]:
+    """Parse every pragma comment in ``lines`` (1-based line keys).
+
+    Returns the pragma table plus ``bad-pragma`` findings for malformed
+    entries (empty rule list or missing reason).
+    """
+    table: dict[int, Pragma] = {}
+    bad: list[Finding] = []
+    for lineno, raw in enumerate(lines, start=1):
+        match = PRAGMA_RE.search(raw)
+        if match is None:
+            if "repro-lint:" in raw and not raw.lstrip().startswith("#: "):
+                # A pragma-looking comment that did not parse is almost
+                # certainly a typo'd suppression — surface it rather than
+                # silently ignoring it.  Documentation prose mentioning the
+                # literal marker lives in docstrings, which contain no "#".
+                if re.search(r"#\s*repro-lint:", raw):
+                    bad.append(
+                        _bad_pragma(lineno, raw, "unrecognised pragma syntax")
+                    )
+            continue
+        rules = tuple(
+            r.strip() for r in match.group("rules").split(",") if r.strip()
+        )
+        reason = (match.group("reason") or "").strip()
+        if not rules:
+            bad.append(_bad_pragma(lineno, raw, "empty rule list in allow[...]"))
+            continue
+        if not reason:
+            bad.append(
+                _bad_pragma(
+                    lineno,
+                    raw,
+                    "missing reason= — every suppression must say why",
+                )
+            )
+            continue
+        table[lineno] = Pragma(line=lineno, rules=rules, reason=reason)
+    return table, bad
+
+
+def _bad_pragma(lineno: int, raw: str, detail: str) -> Finding:
+    return Finding(
+        rule="bad-pragma",
+        path="",  # filled in by the engine, which knows the relpath
+        line=lineno,
+        col=max(raw.find("#"), 0),
+        message=f"malformed repro-lint pragma: {detail}",
+        hint="write `# repro-lint: allow[rule-id] reason=...` with a non-empty reason",
+        context=raw.strip(),
+    )
+
+
+def suppresses(pragma: Pragma | None, rule: str) -> bool:
+    """Whether ``pragma`` (possibly None) suppresses ``rule`` on its line."""
+    if pragma is None or rule in UNSUPPRESSABLE:
+        return False
+    if rule in pragma.rules:
+        pragma.used += 1
+        return True
+    return False

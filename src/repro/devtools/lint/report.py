@@ -1,0 +1,100 @@
+"""Reporters: human text, machine JSON, GitHub Actions annotations."""
+
+from __future__ import annotations
+
+import json
+from typing import TextIO
+
+from .engine import LintResult
+from .findings import Finding
+
+REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, out: TextIO, verbose: bool = False) -> None:
+    for finding in sorted(
+        result.violations, key=lambda f: (f.path, f.line, f.rule)
+    ):
+        out.write(f"{finding.location()}: [{finding.rule}] {finding.message}\n")
+        if finding.context:
+            out.write(f"    {finding.context}\n")
+        if finding.hint:
+            out.write(f"    fix: {finding.hint}\n")
+        if finding.contract:
+            out.write(f"    contract: {finding.contract}\n")
+    for entry in result.stale_baseline:
+        out.write(
+            f"stale baseline entry: [{entry.rule}] {entry.path} "
+            f"({entry.context!r}) — fixed? run --write-baseline to drop it\n"
+        )
+    if verbose:
+        for path, pragma in result.unused_pragmas:
+            out.write(
+                f"{path}:{pragma.line}: unused pragma allow"
+                f"[{','.join(pragma.rules)}] — suppresses nothing\n"
+            )
+    out.write(
+        f"{result.files_checked} files checked, "
+        f"{len(result.active_rules)} rules active: "
+        f"{len(result.violations)} violations, "
+        f"{len(result.suppressed)} suppressed by pragma, "
+        f"{len(result.baselined)} baselined"
+        + (f", {len(result.stale_baseline)} stale baseline entries"
+           if result.stale_baseline else "")
+        + "\n"
+    )
+
+
+def render_json(result: LintResult, out: TextIO) -> None:
+    payload = {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "active_rules": result.active_rules,
+        "violations": [f.to_dict() for f in result.violations],
+        "suppressed": [
+            {**f.to_dict(), "reason": p.reason} for f, p in result.suppressed
+        ],
+        "baselined": [
+            {**f.to_dict(), "note": e.note} for f, e in result.baselined
+        ],
+        "stale_baseline": [e.to_dict() for e in result.stale_baseline],
+        "unused_pragmas": [
+            {"path": path, "line": p.line, "rules": list(p.rules)}
+            for path, p in result.unused_pragmas
+        ],
+        "exit_code": result.exit_code,
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def render_github_annotations(result: LintResult, out: TextIO) -> None:
+    """``::error`` workflow commands — GitHub renders them inline on the PR."""
+    for finding in result.violations:
+        out.write(_annotation("error", finding))
+    for entry in result.stale_baseline:
+        out.write(
+            f"::warning file={entry.path},title=repro-lint stale baseline::"
+            f"[{entry.rule}] baseline entry no longer matches any finding "
+            f"({_escape(entry.context)})\n"
+        )
+
+
+def _annotation(level: str, finding: Finding) -> str:
+    message = finding.message
+    if finding.hint:
+        message += f" — fix: {finding.hint}"
+    if finding.contract:
+        message += f" ({finding.contract})"
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col + 1},title=repro-lint {finding.rule}::"
+        f"{_escape(message)}\n"
+    )
+
+
+def _escape(text: str) -> str:
+    """GitHub workflow-command data escaping."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )

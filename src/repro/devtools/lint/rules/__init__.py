@@ -1,0 +1,63 @@
+"""The rule registry.
+
+``ALL_RULES`` is the canonical ordered list of contract rules; the engine
+instantiates from here and the CLI's ``--list-rules`` / ``--select`` /
+``--ignore`` resolve against it.  Adding a rule = adding a module with a
+:class:`~repro.devtools.lint.rules.base.Rule` subclass and listing its
+class below.
+"""
+
+from __future__ import annotations
+
+from .base import ParsedModule, Rule
+from .float_eq import FloatEqRule
+from .hot_path_slots import HotPathSlotsRule
+from .kernel_nondeterminism import KernelNondeterminismRule
+from .left_fold import LeftFoldRule
+from .registry_bypass import RegistryBypassRule
+from .seed_stride import SeedStrideRule
+from .shared_mutable_policy import SharedMutablePolicyRule
+from .unordered_iteration import UnorderedIterationRule
+
+__all__ = [
+    "ALL_RULES",
+    "ParsedModule",
+    "Rule",
+    "build_rules",
+    "rule_ids",
+]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    SeedStrideRule,
+    LeftFoldRule,
+    KernelNondeterminismRule,
+    UnorderedIterationRule,
+    FloatEqRule,
+    RegistryBypassRule,
+    HotPathSlotsRule,
+    SharedMutablePolicyRule,
+)
+
+
+def rule_ids() -> list[str]:
+    return [cls.id for cls in ALL_RULES]
+
+
+def build_rules(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Rule]:
+    """Instantiate the active rule set, validating unknown ids loudly."""
+    known = set(rule_ids())
+    for requested in (select or []) + (ignore or []):
+        if requested not in known:
+            raise ValueError(
+                f"unknown rule {requested!r} (known: {', '.join(sorted(known))})"
+            )
+    active = []
+    for cls in ALL_RULES:
+        if select and cls.id not in select:
+            continue
+        if ignore and cls.id in ignore:
+            continue
+        active.append(cls())
+    return active

@@ -1,0 +1,64 @@
+"""float-eq: exact float equality only at documented tie-break boundaries.
+
+The contract (DESIGN.md §1): the kernel's tie-breaks are *defined* as exact
+float comparisons (equal-time event ordering, zero-gap boundaries), and
+those few comparisons are documented.  Everywhere else, ``==``/``!=``
+between float expressions is almost always a latent bug — a quantity that
+arrives through a different (but mathematically equal) sequence of float
+ops will not compare equal.  Each legitimate exact comparison carries a
+pragma naming the boundary it implements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule, call_name
+
+
+def _is_floatish(node: ast.AST) -> bool:
+    """Conservatively: literally-float expressions only.
+
+    Variables of float type are invisible to an untyped AST; the rule
+    anchors on float literals, ``float(...)`` conversions and unary minus
+    of either, which is where the repo's exact comparisons actually live.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand)
+    if isinstance(node, ast.Call) and call_name(node) == "float":
+        return True
+    return False
+
+
+class FloatEqRule(Rule):
+    id = "float-eq"
+    title = "exact float equality comparison"
+    contract = "DESIGN.md §1"
+    hint = (
+        "if this implements a documented tie-break/boundary, add "
+        "`# repro-lint: allow[float-eq] reason=<which boundary>`; otherwise "
+        "compare against an ordering (<, <=) or use math.isclose"
+    )
+    scope = ("src/", "tools/")
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floatish(left) or _is_floatish(right):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield self.finding(
+                        module,
+                        node,
+                        f"exact float `{symbol}` comparison — only documented "
+                        "tie-break boundaries may compare floats exactly",
+                    )
+                    break  # one finding per comparison chain

@@ -1,0 +1,91 @@
+"""kernel-nondeterminism: no ambient entropy or wall clocks in kernel code.
+
+The contract (DESIGN.md §§1–2): a kernel run is a pure function of (trace,
+profile, policy, seed).  Global-state randomness (``random.random`` and
+friends), wall/monotonic clocks, process entropy (``os.urandom``,
+``uuid``, ``secrets``) and the per-process-salted builtin ``hash()`` all
+break replay — ``random.Random(seed)`` instances and ``zlib.crc32`` are
+the sanctioned sources.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule
+
+#: random-module attributes that are fine: seeded generator classes.
+_RANDOM_OK = frozenset({"Random"})
+
+_CLOCK_ATTRS = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+     "perf_counter_ns", "process_time"}
+)
+_DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+_ENTROPY_MODULES = frozenset({"uuid", "secrets"})
+
+
+class KernelNondeterminismRule(Rule):
+    id = "kernel-nondeterminism"
+    title = "ambient entropy / wall clock in kernel code"
+    contract = "DESIGN.md §1–§2"
+    hint = (
+        "kernel results are a pure function of (trace, profile, policy, "
+        "seed): use random.Random(seed) / zlib.crc32 labels, and take "
+        "timestamps from the event stream, never the host"
+    )
+    scope = (
+        "src/repro/sim/",
+        "src/repro/core/",
+        "src/repro/metro/",
+        "tools/refresh_golden.py",
+        "tools/check_bench_floor.py",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute):
+                yield from self._check_attribute(module, node)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id == "hash":
+                    yield self.finding(
+                        module,
+                        node,
+                        "builtin hash() is salted per process — use "
+                        "zlib.crc32 on a namespaced label",
+                    )
+
+    def _check_attribute(
+        self, module: ParsedModule, node: ast.Attribute
+    ) -> Iterator[Finding]:
+        base = node.value
+        base_name = base.id if isinstance(base, ast.Name) else ""
+        if base_name == "random" and node.attr not in _RANDOM_OK:
+            yield self.finding(
+                module,
+                node,
+                f"random.{node.attr} uses the shared global generator — "
+                "construct random.Random(seed) instead",
+            )
+        elif base_name == "time" and node.attr in _CLOCK_ATTRS:
+            yield self.finding(
+                module, node, f"time.{node.attr} reads the host clock"
+            )
+        elif node.attr in _DATETIME_ATTRS and (
+            base_name == "datetime"
+            or (isinstance(base, ast.Attribute) and base.attr == "datetime")
+        ):
+            yield self.finding(
+                module, node, f"datetime {node.attr}() reads the host clock"
+            )
+        elif base_name == "os" and node.attr == "urandom":
+            yield self.finding(module, node, "os.urandom is process entropy")
+        elif base_name in _ENTROPY_MODULES:
+            yield self.finding(
+                module,
+                node,
+                f"{base_name}.{node.attr} draws process entropy",
+            )

@@ -1,0 +1,55 @@
+"""left-fold: identity-critical modules accumulate with explicit left folds.
+
+The contract (DESIGN.md §§2.1, 5): every float total that reaches a record
+is produced by a strict left fold — ``+=`` in source order or
+``np.add.accumulate`` — because the shard merge *replays* the same IEEE-754
+additions in the same order.  ``math.fsum`` (compensated) and ``np.sum``
+(pairwise) produce different partial sums; the builtin ``sum()`` happens to
+left-fold today but hides the contract and invites a numpy swap, so inside
+the scoped modules every reduction must either spell the fold out or carry
+a pragma explaining why it is exempt (e.g. exact integer arithmetic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule, call_name
+
+_BANNED_CALLS = frozenset({"sum", "fsum", "math.fsum", "np.sum", "numpy.sum"})
+_BANNED_ATTRS = frozenset({"sum", "fsum", "nansum", "cumsum"})
+
+
+class LeftFoldRule(Rule):
+    id = "left-fold"
+    title = "reduction bypasses the strict left-fold contract"
+    contract = "DESIGN.md §2.1, §5"
+    hint = (
+        "accumulate with an explicit `+=` loop or np.add.accumulate (strict "
+        "left fold, same IEEE-754 partial sums the shard merge replays); "
+        "integer reductions are exact — pragma them with that reason"
+    )
+    scope = (
+        "src/repro/sim/",
+        "src/repro/basestation/",
+        "src/repro/metro/execution.py",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            tail = name.split(".")[-1]
+            if name in _BANNED_CALLS or (
+                isinstance(node.func, ast.Attribute) and tail in _BANNED_ATTRS
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}(...)` in an identity-critical module — the "
+                    "accumulation order is the contract, not an "
+                    "implementation detail",
+                )

@@ -1,0 +1,77 @@
+"""registry-bypass: library code builds policies through build_scheme.
+
+The contract (DESIGN.md §6): ``repro.core.controller.build_scheme`` is the
+single construction point for scheme policies — it guarantees a fresh
+instance per call, which is what makes per-UE learner isolation (the PR 9
+rule) auditable.  Direct construction of a policy class in library code
+bypasses the registry: it can silently drift from the scheme's canonical
+parameters and reintroduce shared-instance hazards.  Tests, benchmarks and
+``repro.core`` itself (where the classes live) are exempt by scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule
+
+#: The registry-managed policy classes (every constructor build_scheme owns).
+POLICY_CLASSES = frozenset(
+    {
+        "StatusQuoPolicy",
+        "FixedTimerPolicy",
+        "PercentileIatPolicy",
+        "MakeIdlePolicy",
+        "OraclePolicy",
+        "CombinedPolicy",
+        "LearningMakeActive",
+        "FixedDelayMakeActive",
+        "PredictiveMakeIdlePolicy",
+        "TopHintPolicy",
+        "TailEnderPolicy",
+        "TailTheftPolicy",
+        "InteractiveAwarePolicy",
+    }
+)
+
+
+class RegistryBypassRule(Rule):
+    id = "registry-bypass"
+    title = "direct policy construction outside the registry"
+    contract = "DESIGN.md §6"
+    hint = (
+        "construct through repro.core.controller.build_scheme(scheme, "
+        "window_size) — the registry is the per-UE freshness guarantee; if "
+        "the call site needs the live instance's internals, pragma it with "
+        "that reason"
+    )
+    # Library code only: repro.core defines the classes and hosts the
+    # registry, tests/benchmarks intentionally construct exotic variants.
+    scope = ("src/repro/",)
+
+    _EXEMPT = ("src/repro/core/",)
+
+    def applies_to(self, relpath: str) -> bool:
+        if any(relpath.startswith(prefix) for prefix in self._EXEMPT):
+            return False
+        return super().applies_to(relpath)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = ""
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in POLICY_CLASSES:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {name}(...) construction bypasses the "
+                    "build_scheme registry",
+                )

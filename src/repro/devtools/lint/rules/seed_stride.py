@@ -1,0 +1,84 @@
+"""seed-stride: arithmetic seed derivation must be the hashed crc32 idiom.
+
+The contract (DESIGN.md §3, "substitution rule for non-public traces"):
+derived seeds are ``zlib.crc32(f"<namespace>/<seed>/<index>".encode())`` —
+never linear/multiplicative strides like ``seed + 13 * index``.  Strided
+rules alias under composition: with consecutive per-device base seeds,
+device ``i``'s application ``k`` replays device ``i + 13k``'s index-0
+stream (the PR 3 app-seed bug), and a linear chunk stride made device
+``i``'s chunk ``k`` identical to device ``i + 7919k``'s chunk 0 (the PR 2
+chunk-seed bug).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule, walk_skipping_calls
+
+#: Hashing calls whose arguments are exempt: a seed interpolated into the
+#: string fed to crc32 (or a sibling digest) is the sanctioned idiom.
+_HASH_CALLS = frozenset({"crc32", "adler32", "sha256", "md5", "blake2b"})
+
+#: Arithmetic that combines a seed into a stride.  Mod/flooring are left
+#: alone (``crc32(...) % 2**31`` style range folding is fine).
+_STRIDE_OPS = (
+    ast.Add,
+    ast.Sub,
+    ast.Mult,
+    ast.BitXor,
+    ast.BitOr,
+    ast.LShift,
+    ast.RShift,
+)
+
+
+def _mentions_seed(node: ast.AST) -> bool:
+    for sub in walk_skipping_calls(node, _HASH_CALLS):
+        if isinstance(sub, ast.Name) and "seed" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "seed" in sub.attr.lower():
+            return True
+        if isinstance(sub, ast.arg) and "seed" in sub.arg.lower():
+            return True
+    return False
+
+
+class SeedStrideRule(Rule):
+    id = "seed-stride"
+    title = "arithmetic seed derivation"
+    contract = "DESIGN.md §3"
+    hint = (
+        "derive seeds by hashing a namespaced label: "
+        'zlib.crc32(f"<ns>/{seed}/{index}".encode()) — strided rules alias '
+        "under composition (PR 2 chunk-seed and PR 3 app-seed bugs)"
+    )
+    scope = (
+        "src/repro/traces/",
+        "src/repro/scenarios/",
+        "src/repro/metro/",
+        "tools/",
+        "benchmarks/",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        seen_lines: set[int] = set()
+        for node in walk_skipping_calls(module.tree, _HASH_CALLS):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, _STRIDE_OPS):
+                continue
+            if not (_mentions_seed(node.left) or _mentions_seed(node.right)):
+                continue
+            if node.lineno in seen_lines:
+                continue  # nested BinOps on one line are one derivation
+            seen_lines.add(node.lineno)
+            op = type(node.op).__name__
+            yield self.finding(
+                module,
+                node,
+                f"seed combined arithmetically ({op}) — strided seed "
+                "derivations alias under composition",
+            )

@@ -1,0 +1,114 @@
+"""shared-mutable-policy: one stateful policy instance per device, always.
+
+The contract (DESIGN.md §6, enforced at runtime by
+``_check_policy_isolation`` since PR 9): a stateful policy instance may
+serve exactly one device id — learners fold per-UE history, so sharing an
+instance across devices corrupts every participant.  The runtime check
+fires late (at cell construction); this rule catches the classic aliasing
+shapes at the call site, where the fix is cheap:
+
+* ``[policy] * n`` / ``(policy,) * n`` — n references to one instance;
+* ``[policy for _ in ids]`` — same, spelled as a comprehension;
+* ``itertools.repeat(policy, n)`` and ``dict.fromkeys(ids, policy)``.
+
+A name is policy-ish when it says so (``...policy...``, ``...learner...``)
+or when the replicated element is itself a policy-class construction
+evaluated once outside the replication.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule, call_name
+from .registry_bypass import POLICY_CLASSES
+
+
+def _policyish_name(name: str) -> bool:
+    lowered = name.lower()
+    return "policy" in lowered or "learner" in lowered
+
+
+def _is_policy_element(node: ast.AST) -> bool:
+    """A bare policy-ish name, or a one-shot policy construction."""
+    if isinstance(node, ast.Name):
+        return _policyish_name(node.id)
+    if isinstance(node, ast.Attribute):
+        return _policyish_name(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        cls = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        return cls in POLICY_CLASSES
+    return False
+
+
+def _comp_targets(comp: ast.ListComp | ast.SetComp | ast.GeneratorExp) -> set[str]:
+    names: set[str] = set()
+    for gen in comp.generators:
+        for sub in ast.walk(gen.target):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+    return names
+
+
+class SharedMutablePolicyRule(Rule):
+    id = "shared-mutable-policy"
+    title = "one policy instance replicated across devices"
+    contract = "DESIGN.md §6"
+    hint = (
+        "construct a fresh instance per device — build_scheme(scheme, "
+        "window) inside the loop/comprehension — so each UE owns its "
+        "learner state"
+    )
+    scope = ("src/repro/",)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+                for seq, other in ((node.left, node.right), (node.right, node.left)):
+                    if (
+                        isinstance(seq, (ast.List, ast.Tuple))
+                        and len(seq.elts) == 1
+                        and _is_policy_element(seq.elts[0])
+                    ):
+                        yield self.finding(
+                            module,
+                            node,
+                            "sequence-multiplication replicates one policy "
+                            "instance across every element",
+                        )
+                        break
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                elt = node.elt
+                if (
+                    isinstance(elt, ast.Name)
+                    and _policyish_name(elt.id)
+                    and elt.id not in _comp_targets(node)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        f"comprehension yields the same pre-built "
+                        f"`{elt.id}` instance for every element",
+                    )
+            elif isinstance(node, ast.Call):
+                name = call_name(node)
+                if name in ("itertools.repeat", "repeat") and node.args:
+                    if _is_policy_element(node.args[0]):
+                        yield self.finding(
+                            module,
+                            node,
+                            "itertools.repeat replicates one policy instance",
+                        )
+                elif name.endswith(".fromkeys") and len(node.args) >= 2:
+                    if _is_policy_element(node.args[1]):
+                        yield self.finding(
+                            module,
+                            node,
+                            "dict.fromkeys binds one policy instance to "
+                            "every key",
+                        )

@@ -1,0 +1,86 @@
+"""unordered-iteration: never iterate a set where order can reach results.
+
+The contract (DESIGN.md §2): event ordering, record emission and digest
+computation are total orders.  CPython dicts iterate in insertion order
+(deterministic given deterministic insertion), but set iteration order
+depends on element hashes — and str hashes are salted per process — so in
+identity-critical modules a set must pass through ``sorted(...)`` before
+its elements can feed a loop, a comprehension or ``.pop()``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..findings import Finding
+from .base import ParsedModule, Rule, call_name
+
+#: set-returning method names (on any object — conservatively set-ish).
+_SET_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference"}
+)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in ("set", "frozenset"):
+            return True
+        if name.split(".")[-1] in _SET_METHODS:
+            return True
+    return False
+
+
+class UnorderedIterationRule(Rule):
+    id = "unordered-iteration"
+    title = "iteration over an unordered set"
+    contract = "DESIGN.md §2"
+    hint = (
+        "wrap the set in sorted(...) before iterating (str hashes are "
+        "salted per process, so set order is not even stable across runs)"
+    )
+    scope = (
+        "src/repro/sim/",
+        "src/repro/basestation/",
+        "src/repro/metro/",
+        "src/repro/rrc/",
+        "src/repro/traces/streaming.py",
+        "src/repro/reporting/golden.py",
+        "tools/",
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.For) and _is_set_expr(node.iter):
+                yield self.finding(
+                    module,
+                    node.iter,
+                    "for-loop iterates a set directly — element order is "
+                    "hash-dependent",
+                )
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for gen in node.generators:
+                    if _is_set_expr(gen.iter):
+                        yield self.finding(
+                            module,
+                            gen.iter,
+                            "comprehension iterates a set directly — "
+                            "element order is hash-dependent",
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "pop"
+                    and not node.args
+                    and _is_set_expr(func.value)
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "set.pop() removes a hash-ordered arbitrary element",
+                    )

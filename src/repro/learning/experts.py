@@ -143,7 +143,7 @@ class FixedShareExperts:
         else:
             boosted = [b / total for b in boosted]
             n = len(boosted)
-            if n == 1 or self._alpha == 0.0:
+            if n == 1 or self._alpha == 0.0:  # repro-lint: allow[float-eq] reason=documented Learn-α reduction: α=0.0 must reduce exactly to Fixed-Share (property-tested)
                 self._weights = boosted
             else:
                 share = self._alpha / (n - 1)

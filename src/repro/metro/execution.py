@@ -135,7 +135,7 @@ def build_metro_shard_devices(
                 )
 
         for ordinal, enter, leave in visits:
-            if enter == 0.0 and leave is None:
+            if enter == 0.0 and leave is None:  # repro-lint: allow[float-eq] reason=timeline-start boundary: enter is constructed as literal 0.0 for the first visit
                 # Whole-horizon stay: no window needed.
                 source = fresh_stream()
             else:
@@ -184,7 +184,7 @@ def run_metro_cell_shard(
         raise ValueError(
             f"shard index {shard_index} out of range [0, {len(sizes)})"
         )
-    begin = sum(sizes[:shard_index])
+    begin = sum(sizes[:shard_index])  # repro-lint: allow[left-fold] reason=integer shard offsets; exact order-independent arithmetic
     specs = build_metro_shard_devices(
         metro, cell_index, devices, duration_s, seed, chunk_s, policy,
         begin, begin + sizes[shard_index],
@@ -257,31 +257,34 @@ class MetroResult:
     @property
     def handovers(self) -> int:
         """Total mid-stream handovers (equals total visits − population)."""
-        return sum(entry.departures for entry in self.cells)
+        return sum(entry.departures for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer handover count; exact order-independent arithmetic
 
     @property
     def total_energy_j(self) -> float:
-        return sum(entry.result.total_energy_j for entry in self.cells)
+        total = 0.0
+        for entry in self.cells:  # strict left fold in cell order (DESIGN.md §2.1)
+            total += entry.result.total_energy_j
+        return total
 
     @property
     def total_switches(self) -> int:
-        return sum(entry.result.total_switches for entry in self.cells)
+        return sum(entry.result.total_switches for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer switch count; exact order-independent arithmetic
 
     @property
     def total_packets(self) -> int:
-        return sum(entry.result.total_packets for entry in self.cells)
+        return sum(entry.result.total_packets for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer packet count; exact order-independent arithmetic
 
     @property
     def total_messages(self) -> int:
-        return sum(entry.result.signaling.messages for entry in self.cells)
+        return sum(entry.result.signaling.messages for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer message count; exact order-independent arithmetic
 
     @property
     def dormancy_requests(self) -> int:
-        return sum(entry.result.dormancy_requests for entry in self.cells)
+        return sum(entry.result.dormancy_requests for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer request count; exact order-independent arithmetic
 
     @property
     def dormancy_denied(self) -> int:
-        return sum(entry.result.dormancy_denied for entry in self.cells)
+        return sum(entry.result.dormancy_denied for entry in self.cells)  # repro-lint: allow[left-fold] reason=integer denial count; exact order-independent arithmetic
 
     @property
     def denial_rate(self) -> float:
@@ -330,8 +333,8 @@ def merge_metro_shards(
             result = merge_cell_shards(injected)
             # Columnar counts over the shard partials — no row views are
             # materialised just to count handover departures/arrivals.
-            departures = sum(s.devices.count_closed() for s in partials)
-            arrivals = sum(
+            departures = sum(s.devices.count_closed() for s in partials)  # repro-lint: allow[left-fold] reason=integer departure count; exact order-independent arithmetic
+            arrivals = sum(  # repro-lint: allow[left-fold] reason=integer arrival count; exact order-independent arithmetic
                 s.devices.count_ids_at_least(devices) for s in partials
             )
         else:

@@ -33,7 +33,7 @@ from .profiles import CarrierProfile
 __all__ = ["TransitionTable", "transition_table"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransitionTable:
     """Flat per-profile constants for the per-event hot path."""
 

@@ -225,11 +225,11 @@ class Scenario:
         """
         intensity = cohort.archetype.intensity
         if self.shape is None:
-            if intensity == 1.0:
+            if intensity == 1.0:  # repro-lint: allow[float-eq] reason=exact unshaped passthrough: intensity 1.0 must take the byte-identical ungated path (DESIGN.md §3.1)
                 return None
             return lambda time_s: intensity
         shape = self.shape
-        if intensity == 1.0:
+        if intensity == 1.0:  # repro-lint: allow[float-eq] reason=exact unshaped passthrough: intensity 1.0 must take the byte-identical ungated path (DESIGN.md §3.1)
             return shape
         return lambda time_s: intensity * shape.rate_at(time_s)
 

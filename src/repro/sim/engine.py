@@ -195,7 +195,7 @@ class _ArrivalSource:
                 return block[0]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoadSample:
     """One point of the cell-load time series recorded by SAMPLE events."""
 
@@ -290,15 +290,15 @@ class CellLoad:
         if any(load.window_s != window for load in loads):
             raise ValueError("cannot merge CellLoads with different windows")
         combined = cls(
-            total_devices=sum(load.total_devices for load in loads),
+            total_devices=sum(load.total_devices for load in loads),  # repro-lint: allow[left-fold] reason=integer device count; exact order-independent arithmetic
             window_s=window,
         )
         combined.switch_times = list(
             heapq.merge(*(load.switch_times for load in loads))
         )
         combined._recent = list(combined.switch_times)
-        combined.active_devices = sum(load.active_devices for load in loads)
-        combined.peak_active_devices = sum(
+        combined.active_devices = sum(load.active_devices for load in loads)  # repro-lint: allow[left-fold] reason=integer device count; exact order-independent arithmetic
+        combined.peak_active_devices = sum(  # repro-lint: allow[left-fold] reason=integer per-shard peaks; exact order-independent arithmetic
             load.peak_active_devices for load in loads
         )
         return combined
@@ -572,7 +572,7 @@ def resolve_end_time(
     return max(last_emitted + trailing_time, max_now)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class KernelResult:
     """What one kernel execution produced, before façade-specific assembly.
 
@@ -855,9 +855,22 @@ class SimulationEngine:
         def emit(ue: UeContext, packet: Packet, time: float) -> None:
             """Transfer one packet at effective time ``time``."""
             promoted = ue.machine.notify_activity(time)
-            effective = packet if packet.timestamp == time else replace(
-                packet, timestamp=time
-            )
+            # Exact comparison is the boundary contract: time IS
+            # packet.timestamp (same float) unless MakeActive held the
+            # packet, in which case the release time replaces it.
+            if packet.timestamp == time:
+                effective = packet
+            else:
+                # Direct construction (not dataclasses.replace): this runs
+                # once per buffered MakeActive packet — the PR 5 packet-block
+                # contract.
+                effective = Packet(
+                    timestamp=time,
+                    size=packet.size,
+                    direction=packet.direction,
+                    flow_id=packet.flow_id,
+                    app=packet.app,
+                )
             if ue.collect:
                 ue.effective_packets.append(effective)
             else:
@@ -1212,4 +1225,4 @@ class SimulationEngine:
                 elif not active and ue.was_active:
                     result.load.deactivate()
                 ue.was_active = active
-        return replace(result, end_time=end_time, finished=True)
+        return replace(result, end_time=end_time, finished=True)  # repro-lint: allow[hot-path-slots] reason=once-per-run close-out, not a per-packet path

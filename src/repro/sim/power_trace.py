@@ -23,7 +23,7 @@ from ..traces.packet import PacketTrace
 __all__ = ["PowerSample", "PowerTrace", "build_power_trace"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PowerSample:
     """Power draw over one homogeneous span of time."""
 
@@ -71,7 +71,10 @@ class PowerTrace:
     @property
     def total_energy_j(self) -> float:
         """Integral of power over the profile, joules."""
-        return sum(s.energy_j for s in self._samples)
+        total = 0.0
+        for sample in self._samples:  # strict left fold (DESIGN.md §2.1)
+            total += sample.energy_j
+        return total
 
     def power_at(self, time: float) -> float:
         """Instantaneous power at ``time`` (0 outside the profile)."""

@@ -12,7 +12,7 @@ from ..traces.packet import PacketTrace
 __all__ = ["GapDecision", "SessionDelay", "SimulationResult"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class GapDecision:
     """One inter-packet gap and whether the policy demoted the radio within it.
 
@@ -27,7 +27,7 @@ class GapDecision:
     switched: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SessionDelay:
     """Delay imposed on one session start that arrived while the radio was Idle."""
 
@@ -41,7 +41,7 @@ class SessionDelay:
         return self.release_time - self.arrival_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SimulationResult:
     """Everything the metrics and figures need from one simulated run."""
 
@@ -79,7 +79,12 @@ class SimulationResult:
     def mean_delay(self) -> float:
         """Mean session delay in seconds (0 with no recorded sessions)."""
         values = self.delays
-        return sum(values) / len(values) if values else 0.0
+        if not values:
+            return 0.0
+        total = 0.0
+        for value in values:  # strict left fold (DESIGN.md §2.1)
+            total += value
+        return total / len(values)
 
     @property
     def median_delay(self) -> float:

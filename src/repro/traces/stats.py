@@ -97,7 +97,7 @@ class EmpiricalCdf:
         """Nearest-rank percentile of the samples, ``q`` in [0, 100]."""
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if q == 0.0:
+        if q == 0.0:  # repro-lint: allow[float-eq] reason=documented percentile edge: q=0.0 maps to the minimum sample by definition
             return self._samples[0]
         rank = max(1, int(-(-q / 100.0 * len(self._samples) // 1)))  # ceil
         return self._samples[min(rank, len(self._samples)) - 1]

@@ -1,0 +1,77 @@
+"""Shared fixtures for the repro-lint test suite.
+
+The linter is pure static analysis, so every test works the same way: plant
+source text at a rule-scoped path inside a throwaway root, run the engine,
+and inspect the partitioned :class:`~repro.devtools.lint.engine.LintResult`.
+Fixture modules (one positive, one negative per rule) live in
+``tests/devtools/fixtures/`` — they are data, not importable test code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import Baseline, LintEngine, build_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Where each rule's fixture must live for the rule's scope to apply.
+RULE_TARGETS = {
+    "seed-stride": "src/repro/traces/fixture_mod.py",
+    "left-fold": "src/repro/sim/fixture_mod.py",
+    "kernel-nondeterminism": "src/repro/core/fixture_mod.py",
+    "unordered-iteration": "src/repro/sim/fixture_mod.py",
+    "float-eq": "src/repro/sim/fixture_mod.py",
+    "registry-bypass": "src/repro/api/fixture_mod.py",
+    "hot-path-slots": "src/repro/sim/fixture_mod.py",
+    "shared-mutable-policy": "src/repro/api/fixture_mod.py",
+}
+
+#: A path where the same fixture must NOT fire (outside the rule's scope).
+RULE_OUT_OF_SCOPE = {
+    "seed-stride": "src/repro/sim/fixture_mod.py",
+    "left-fold": "src/repro/traces/fixture_mod.py",
+    "kernel-nondeterminism": "src/repro/analysis/fixture_mod.py",
+    "unordered-iteration": "src/repro/analysis/fixture_mod.py",
+    "float-eq": "benchmarks/fixture_mod.py",
+    "registry-bypass": "src/repro/core/fixture_mod.py",
+    "hot-path-slots": "src/repro/analysis/fixture_mod.py",
+    "shared-mutable-policy": "tools/fixture_mod.py",
+}
+
+
+def fixture_text(rule_id: str, kind: str) -> str:
+    """The committed fixture source for ``rule_id`` (kind: 'bad'/'good')."""
+    return (FIXTURES / f"{rule_id.replace('-', '_')}_{kind}.py").read_text(
+        encoding="utf-8"
+    )
+
+
+def plant(root: Path, relpath: str, source: str) -> Path:
+    target = root / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source, encoding="utf-8")
+    return target
+
+
+def lint_source(
+    root: Path,
+    relpath: str,
+    source: str,
+    baseline: Baseline | None = None,
+    select: list[str] | None = None,
+):
+    """Plant ``source`` at ``relpath`` under ``root`` and lint just it."""
+    plant(root, relpath, source)
+    engine = LintEngine(
+        root=root, rules=build_rules(select=select), baseline=baseline
+    )
+    return engine.run([Path(relpath)])
+
+
+@pytest.fixture(autouse=True)
+def _no_github_annotations(monkeypatch):
+    """Keep CLI runs in tests from auto-enabling workflow annotations."""
+    monkeypatch.delenv("GITHUB_ACTIONS", raising=False)

@@ -1,0 +1,5 @@
+"""Positive fixture: undocumented exact float equality (float-eq fires)."""
+
+
+def at_boundary(gap: float) -> bool:
+    return gap == 0.0

@@ -1,0 +1,5 @@
+"""Negative fixture: ordering comparison instead (float-eq stays quiet)."""
+
+
+def at_boundary(gap: float) -> bool:
+    return gap <= 0.0

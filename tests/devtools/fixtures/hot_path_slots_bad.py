@@ -1,0 +1,14 @@
+"""Positive fixture: unslotted kernel dataclass plus replace() on the
+packet path (hot-path-slots must fire twice)."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class Event:
+    time: float
+    size: int
+
+
+def shift(event: Event, dt: float) -> Event:
+    return replace(event, time=event.time + dt)

@@ -1,0 +1,13 @@
+"""Negative fixture: slotted dataclass, direct construction (quiet)."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    time: float
+    size: int
+
+
+def shift(event: Event, dt: float) -> Event:
+    return Event(time=event.time + dt, size=event.size)

@@ -1,0 +1,12 @@
+"""Positive fixture: ambient entropy (kernel-nondeterminism must fire)."""
+
+import random
+import time
+
+
+def jitter() -> float:
+    return random.random() + time.time()
+
+
+def label(name: str) -> int:
+    return hash(name)

@@ -1,0 +1,13 @@
+"""Negative fixture: seeded entropy only (kernel-nondeterminism quiet)."""
+
+import random
+import zlib
+
+
+def jitter(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def label(name: str) -> int:
+    return zlib.crc32(name.encode("utf-8"))

@@ -1,0 +1,7 @@
+"""Positive fixture: compensated summation (left-fold must fire)."""
+
+import math
+
+
+def total_energy(values: list[float]) -> float:
+    return math.fsum(values)

@@ -1,0 +1,8 @@
+"""Negative fixture: explicit left fold (left-fold must stay quiet)."""
+
+
+def total_energy(values: list[float]) -> float:
+    total = 0.0
+    for value in values:
+        total += value
+    return total

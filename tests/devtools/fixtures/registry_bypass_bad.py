@@ -1,0 +1,7 @@
+"""Positive fixture: direct policy construction (registry-bypass fires)."""
+
+from repro.core.makeidle import MakeIdlePolicy
+
+
+def build():
+    return MakeIdlePolicy(window_size=50)

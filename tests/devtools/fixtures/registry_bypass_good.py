@@ -1,0 +1,7 @@
+"""Negative fixture: registry construction (registry-bypass stays quiet)."""
+
+from repro.core.controller import build_scheme
+
+
+def build():
+    return build_scheme("makeidle", 50)

@@ -1,0 +1,5 @@
+"""Positive fixture: strided seed derivation (seed-stride must fire)."""
+
+
+def derive(seed: int, index: int) -> int:
+    return seed + 13 * index

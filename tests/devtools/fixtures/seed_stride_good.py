@@ -1,0 +1,12 @@
+"""Negative fixture: hashed seed derivation (seed-stride must stay quiet).
+
+The crc32 call's arguments are exempt even though the seed appears inside
+an f-string expression, and range-folding with ``%`` is not a stride.
+"""
+
+import zlib
+
+
+def derive(namespace: str, seed: int, index: int) -> int:
+    digest = zlib.crc32(f"{namespace}/{seed}/{index}".encode("utf-8"))
+    return digest % 2**31

@@ -1,0 +1,9 @@
+"""Positive fixture: one policy aliased across devices (must fire)."""
+
+
+def assign(policy, ids):
+    return [policy] * len(ids)
+
+
+def assign_comp(policy, ids):
+    return [policy for _ in ids]

@@ -1,0 +1,7 @@
+"""Negative fixture: a fresh policy per device (stays quiet)."""
+
+from repro.core.controller import build_scheme
+
+
+def assign(scheme: str, ids):
+    return [build_scheme(scheme, 100) for _ in ids]

@@ -1,0 +1,8 @@
+"""Positive fixture: set iteration (unordered-iteration must fire)."""
+
+
+def emit(ids: list[str]) -> list[str]:
+    out = []
+    for device in set(ids):
+        out.append(device)
+    return out

@@ -1,0 +1,8 @@
+"""Negative fixture: sorted before iterating (unordered-iteration quiet)."""
+
+
+def emit(ids: list[str]) -> list[str]:
+    out = []
+    for device in sorted(set(ids)):
+        out.append(device)
+    return out

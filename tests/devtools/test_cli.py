@@ -1,0 +1,125 @@
+"""CLI behaviour: exit codes, reporters, rule selection, baseline flags."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.lint.cli import main
+
+from .conftest import fixture_text, plant
+
+SIM = "src/repro/sim/fixture_mod.py"
+
+
+def _tree(tmp_path, kind):
+    plant(tmp_path, SIM, fixture_text("left-fold", kind))
+    return ["--root", str(tmp_path), "src"]
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    assert main(_tree(tmp_path, "good")) == 0
+    out = capsys.readouterr().out
+    assert "0 violations" in out
+
+
+def test_violation_exits_one_with_location_and_hint(tmp_path, capsys):
+    assert main(_tree(tmp_path, "bad")) == 1
+    out = capsys.readouterr().out
+    assert f"{SIM}:" in out
+    assert "[left-fold]" in out
+    assert "fix:" in out
+    assert "contract: DESIGN.md" in out
+
+
+def test_json_report_structure(tmp_path, capsys):
+    argv = _tree(tmp_path, "bad")
+    assert main(argv + ["--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["exit_code"] == 1
+    assert payload["files_checked"] == 1
+    assert "left-fold" in payload["active_rules"]
+    (violation,) = payload["violations"]
+    assert violation["rule"] == "left-fold"
+    assert violation["path"] == SIM
+    assert violation["line"] >= 1
+    assert violation["contract"].startswith("DESIGN.md")
+    assert payload["stale_baseline"] == []
+
+
+def test_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in (
+        "seed-stride",
+        "left-fold",
+        "kernel-nondeterminism",
+        "unordered-iteration",
+        "float-eq",
+        "registry-bypass",
+        "hot-path-slots",
+        "shared-mutable-policy",
+    ):
+        assert rule_id in out
+
+
+def test_select_and_ignore(tmp_path):
+    argv = _tree(tmp_path, "bad")
+    assert main(argv + ["--select", "float-eq"]) == 0
+    assert main(argv + ["--select", "left-fold,float-eq"]) == 1
+    assert main(argv + ["--ignore", "left-fold"]) == 0
+
+
+def test_unknown_rule_is_usage_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(_tree(tmp_path, "bad") + ["--select", "no-such-rule"])
+    assert excinfo.value.code == 2
+    capsys.readouterr()
+
+
+def test_missing_target_is_usage_error(tmp_path, capsys):
+    assert main(["--root", str(tmp_path), "no-such-dir"]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_malformed_baseline_is_usage_error(tmp_path, capsys):
+    (tmp_path / ".repro-lint-baseline.json").write_text("not json")
+    assert main(_tree(tmp_path, "good")) == 2
+    assert "baseline" in capsys.readouterr().err
+
+
+def test_write_baseline_then_clean_run(tmp_path, capsys):
+    argv = _tree(tmp_path, "bad")
+    assert main(argv) == 1
+    capsys.readouterr()
+
+    assert main(argv + ["--write-baseline"]) == 0
+    assert (tmp_path / ".repro-lint-baseline.json").exists()
+    capsys.readouterr()
+
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+
+def test_no_baseline_flag_surfaces_grandfathered_findings(tmp_path, capsys):
+    argv = _tree(tmp_path, "bad")
+    assert main(argv + ["--write-baseline"]) == 0
+    capsys.readouterr()
+    assert main(argv) == 0
+    assert main(argv + ["--no-baseline"]) == 1
+
+
+def test_github_annotations_on_stderr(tmp_path, capsys):
+    argv = _tree(tmp_path, "bad")
+    assert main(argv + ["--github-annotations"]) == 1
+    captured = capsys.readouterr()
+    assert "::error file=" in captured.err
+    assert f"file={SIM}" in captured.err
+
+
+def test_github_annotations_auto_enabled_in_actions(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("GITHUB_ACTIONS", "true")
+    assert main(_tree(tmp_path, "bad")) == 1
+    assert "::error file=" in capsys.readouterr().err

@@ -1,0 +1,110 @@
+"""Meta-tests against the live repository.
+
+These are the tests that make the linter a CI gate rather than a toy:
+the shipped tree must lint clean against the committed baseline, the
+baseline must carry no stale (already-paid) debt, and seeding a single
+contract violation into a copy of the tree must turn the gate red.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint.baseline import DEFAULT_BASELINE_NAME
+from repro.devtools.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LIVE_TARGETS = ["src", "tools", "benchmarks"]
+
+
+def test_live_tree_lints_clean_against_committed_baseline(capsys):
+    argv = ["--root", str(REPO_ROOT), "--format", "json", *LIVE_TARGETS]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"] == []
+    assert len(payload["active_rules"]) >= 8
+    assert payload["files_checked"] > 50
+    # every committed baseline entry still matches a real finding — the
+    # file never carries already-paid debt
+    assert payload["stale_baseline"] == []
+    # every committed suppression carries its reason
+    for item in payload["suppressed"]:
+        assert item["reason"], item
+
+
+def test_seeded_violation_turns_the_gate_red(tmp_path, capsys):
+    shutil.copytree(
+        REPO_ROOT / "src",
+        tmp_path / "src",
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    shutil.copy(
+        REPO_ROOT / DEFAULT_BASELINE_NAME, tmp_path / DEFAULT_BASELINE_NAME
+    )
+    argv = ["--root", str(tmp_path), "--format", "json", "src"]
+
+    # the copied tree is clean...
+    assert main(argv) == 0
+    capsys.readouterr()
+
+    # ...until one strided seed derivation sneaks in
+    seeded = tmp_path / "src/repro/traces/seeded_violation.py"
+    seeded.write_text(
+        "def derive(seed, index):\n    return seed + 13 * index\n",
+        encoding="utf-8",
+    )
+    assert main(argv) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (violation,) = payload["violations"]
+    assert violation["rule"] == "seed-stride"
+    assert violation["path"] == "src/repro/traces/seeded_violation.py"
+
+
+def test_linter_never_imports_the_analyzed_package():
+    """The CI invocation path runs the linter without importing repro.
+
+    With ``PYTHONPATH=src/repro`` the lint package is importable as the
+    top-level ``devtools`` package, so linting the tree touches neither
+    ``repro`` nor numpy — which is exactly how the no-dependency CI legs
+    invoke it.
+    """
+    code = textwrap.dedent(
+        """
+        import sys
+        from devtools.lint import cli
+        rc = cli.main(["--root", sys.argv[1], "src", "tools", "benchmarks"])
+        assert "repro" not in sys.modules, "linter imported the analyzed package"
+        assert "numpy" not in sys.modules, "linter imported numpy"
+        sys.exit(rc)
+        """
+    )
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src" / "repro"))
+    env.pop("GITHUB_ACTIONS", None)
+    proc = subprocess.run(
+        [sys.executable, "-c", code, str(REPO_ROOT)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violations" in proc.stdout
+
+
+def test_module_invocation_entry_point():
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.devtools.lint", "--list-rules"],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "seed-stride" in proc.stdout

@@ -1,0 +1,103 @@
+"""Suppression-pragma behaviour: reasons are mandatory, suppression is
+per-line and per-rule, and engine-level findings cannot excuse themselves."""
+
+from __future__ import annotations
+
+from repro.devtools.lint.pragmas import (
+    UNSUPPRESSABLE,
+    Pragma,
+    scan_pragmas,
+    suppresses,
+)
+
+from .conftest import lint_source
+
+SIM = "src/repro/sim/fixture_mod.py"
+
+
+def test_pragma_with_reason_suppresses(tmp_path):
+    source = (
+        "import math\n"
+        "\n"
+        "def total(values):\n"
+        "    return math.fsum(values)"
+        "  # repro-lint: allow[left-fold] reason=reference fold for tests\n"
+    )
+    result = lint_source(tmp_path, SIM, source)
+    assert result.violations == []
+    assert len(result.suppressed) == 1
+    finding, pragma = result.suppressed[0]
+    assert finding.rule == "left-fold"
+    assert pragma.reason == "reference fold for tests"
+    assert result.exit_code == 0
+
+
+def test_pragma_without_reason_is_bad_pragma(tmp_path):
+    source = (
+        "import math\n"
+        "\n"
+        "def total(values):\n"
+        "    return math.fsum(values)  # repro-lint: allow[left-fold]\n"
+    )
+    result = lint_source(tmp_path, SIM, source)
+    fired = {f.rule for f in result.violations}
+    # the malformed pragma suppresses nothing: both findings surface
+    assert fired == {"bad-pragma", "left-fold"}
+    assert result.exit_code == 1
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    source = (
+        "import math\n"
+        "\n"
+        "def total(values):\n"
+        "    return math.fsum(values)"
+        "  # repro-lint: allow[float-eq] reason=wrong rule on purpose\n"
+    )
+    result = lint_source(tmp_path, SIM, source)
+    assert {f.rule for f in result.violations} == {"left-fold"}
+    # the pragma suppressed nothing, so it is reported as unused
+    assert [(path, p.line) for path, p in result.unused_pragmas] == [(SIM, 4)]
+
+
+def test_pragma_suppresses_multiple_listed_rules(tmp_path):
+    source = (
+        "def check(gap, values):\n"
+        "    return sum(values) if gap == 0.0 else 0.0"
+        "  # repro-lint: allow[left-fold,float-eq] reason=test both on one line\n"
+    )
+    result = lint_source(tmp_path, SIM, source)
+    assert result.violations == []
+    assert {f.rule for f, _ in result.suppressed} == {"left-fold", "float-eq"}
+
+
+def test_unused_pragma_reported(tmp_path):
+    source = (
+        "x = 1  # repro-lint: allow[left-fold] reason=nothing to suppress\n"
+    )
+    result = lint_source(tmp_path, SIM, source)
+    assert result.violations == []
+    assert len(result.unused_pragmas) == 1
+
+
+def test_unsuppressable_findings():
+    assert UNSUPPRESSABLE == frozenset({"bad-pragma", "parse-error"})
+    pragma = Pragma(line=1, rules=("bad-pragma", "parse-error"), reason="no")
+    assert not suppresses(pragma, "bad-pragma")
+    assert not suppresses(pragma, "parse-error")
+    assert pragma.used == 0
+
+
+def test_scan_pragmas_grammar():
+    table, bad = scan_pragmas(
+        [
+            "a = 1  # repro-lint: allow[rule-a] reason=fine",
+            "b = 2  # repro-lint: allow[rule-a, rule-b] reason=two rules",
+            "c = 3  # repro-lint: allow[] reason=no rules",
+            "d = 4  # repro-lint: allowed[rule-a] reason=typo",
+        ]
+    )
+    assert set(table) == {1, 2}
+    assert table[2].rules == ("rule-a", "rule-b")
+    assert len(bad) == 2
+    assert all(f.rule == "bad-pragma" for f in bad)
